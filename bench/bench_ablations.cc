@@ -1,0 +1,197 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   * ENUM's exponential blow-up (why the paper's Fig. 5 reports INF),
+//   * Theorem-5 O(d) F-dominance test vs the Theorem-2 vertex test,
+//   * KDTT+ fused construction vs KDTT build-then-traverse,
+//   * B&B with and without the Theorem-3/4 pruning set,
+//   * R-tree fan-out sensitivity of B&B,
+//   * empirical scaling on the Theorem-1 OV reduction instances (the
+//     quadratic hardness wall).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/bnb_algorithm.h"
+#include "src/core/enum_algorithm.h"
+#include "src/core/kdtt_algorithm.h"
+#include "src/core/loop_algorithm.h"
+#include "src/core/mwtt_algorithm.h"
+#include "src/core/qdtt_algorithm.h"
+#include "src/core/ov_reduction.h"
+#include "src/prefs/fdominance.h"
+
+namespace arsp {
+namespace {
+
+using bench_util::MakeSynthetic;
+using bench_util::MakeWrRegion;
+
+// ---- ENUM blow-up: doubling m multiplies worlds by cnt+1. -----------------
+void BM_EnumBlowup(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kIndependent, m, 3, 2, 0.2, 0.0);
+  const PreferenceRegion region = MakeWrRegion(2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountNonZero(ComputeArspEnum(dataset, region, 1e9)));
+  }
+  state.counters["worlds"] = dataset.NumPossibleWorlds();
+}
+BENCHMARK(BM_EnumBlowup)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+
+// ---- F-dominance test cost: Theorem 2 vs Theorem 5. -----------------------
+void BM_FDominanceVertexTest(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<std::pair<double, double>> ranges;
+  for (int i = 0; i < d - 1; ++i) ranges.emplace_back(0.5, 2.0);
+  const auto wr = WeightRatioConstraints::Create(ranges).value();
+  const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1024; ++i) {
+    Point p(d);
+    for (int k = 0; k < d; ++k) p[k] = rng.Uniform01();
+    pts.push_back(std::move(p));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool dom = FDominatesVertex(pts[i % 1024], pts[(i + 7) % 1024],
+                                      region.vertices());
+    benchmark::DoNotOptimize(dom);
+    ++i;
+  }
+  state.counters["vertices"] = region.num_vertices();
+}
+BENCHMARK(BM_FDominanceVertexTest)->DenseRange(2, 8, 2);
+
+void BM_FDominanceRatioTest(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<std::pair<double, double>> ranges;
+  for (int i = 0; i < d - 1; ++i) ranges.emplace_back(0.5, 2.0);
+  const auto wr = WeightRatioConstraints::Create(ranges).value();
+  std::vector<Point> pts;
+  for (int i = 0; i < 1024; ++i) {
+    Point p(d);
+    for (int k = 0; k < d; ++k) p[k] = rng.Uniform01();
+    pts.push_back(std::move(p));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool dom =
+        FDominatesWeightRatio(pts[i % 1024], pts[(i + 7) % 1024], wr);
+    benchmark::DoNotOptimize(dom);
+    ++i;
+  }
+}
+BENCHMARK(BM_FDominanceRatioTest)->DenseRange(2, 8, 2);
+
+// ---- KDTT construction fusion ablation. -----------------------------------
+void BM_KdttConstruction(benchmark::State& state) {
+  const bool integrated = state.range(0) == 1;
+  // CORR data prunes aggressively near the origin — the regime where fusing
+  // construction with traversal pays (paper Fig. 5c).
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kCorrelated, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
+  const PreferenceRegion region = MakeWrRegion(4, 3);
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    const ArspResult result = ComputeArspKdtt(
+        dataset, region, {.integrated = integrated});
+    nodes = result.nodes_visited;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+  state.SetLabel(integrated ? "KDTT+ (fused)" : "KDTT (build-then-traverse)");
+}
+BENCHMARK(BM_KdttConstruction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ---- Space-partitioning tree ablation: the §III-B remark. ------------------
+// KDTT+ (binary kd splits) vs MWTT (multi-way slabs) vs QDTT+ (quadrants).
+void BM_PartitioningTree(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kIndependent, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
+  const PreferenceRegion region = MakeWrRegion(4, 3);
+  for (auto _ : state) {
+    ArspResult result;
+    switch (variant) {
+      case 0:
+        result = ComputeArspKdtt(dataset, region);
+        state.SetLabel("KDTT+ (binary kd)");
+        break;
+      case 1:
+        result = ComputeArspQdtt(dataset, region);
+        state.SetLabel("QDTT+ (quadrants)");
+        break;
+      default:
+        result = ComputeArspMwtt(dataset, region, {.fanout = variant});
+        state.SetLabel("MWTT fanout=" + std::to_string(variant));
+        break;
+    }
+    benchmark::DoNotOptimize(CountNonZero(result));
+  }
+}
+BENCHMARK(BM_PartitioningTree)->Arg(0)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- B&B pruning-set ablation. ---------------------------------------------
+void BM_BnbPruning(benchmark::State& state) {
+  const bool pruning = state.range(0) == 1;
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kIndependent, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
+  const PreferenceRegion region = MakeWrRegion(4, 3);
+  int64_t pruned = 0;
+  for (auto _ : state) {
+    const ArspResult result = ComputeArspBnb(
+        dataset, region, {.enable_pruning = pruning});
+    pruned = result.nodes_pruned;
+    benchmark::DoNotOptimize(pruned);
+  }
+  state.counters["pruned"] = static_cast<double>(pruned);
+  state.SetLabel(pruning ? "with Theorem-3/4 pruning" : "pruning disabled");
+}
+BENCHMARK(BM_BnbPruning)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ---- B&B R-tree fan-out sensitivity. ----------------------------------------
+void BM_BnbFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kIndependent, bench_util::ScaledM(256), 10, 4, 0.2, 0.0);
+  const PreferenceRegion region = MakeWrRegion(4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountNonZero(
+        ComputeArspBnb(dataset, region, {.rtree_fanout = fanout})));
+  }
+}
+BENCHMARK(BM_BnbFanout)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- OV hardness wall: the Theorem-1 reduction instances. -------------------
+void BM_OvReductionScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = 8;  // c log n flavour
+  const OvInstance ov = MakeRandomOvInstance(n, d, 0.5, 99);
+  const UncertainDataset dataset = BuildOvDataset(ov);
+  const PreferenceRegion region = PreferenceRegion::FullSimplex(d);
+  bool found = false;
+  for (auto _ : state) {
+    const ArspResult result = ComputeArspKdtt(dataset, region);
+    found = OvPairExists(result, dataset);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["n"] = n;
+  state.counters["pair_found"] = found ? 1 : 0;
+}
+BENCHMARK(BM_OvReductionScaling)->RangeMultiplier(2)->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace arsp
+
+BENCHMARK_MAIN();

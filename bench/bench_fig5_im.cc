@@ -1,0 +1,89 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Fig. 5 (r)–(t): the same ARSP algorithms under IM (interactively learned)
+// linear constraints on IND data, sweeping m, d and c. The key difference
+// from WR is that the preference region's vertex count |V| grows with c
+// (reported as the `vertices` counter), which drives QDTT+'s dimensional
+// blow-up — the paper's explanation for its failure at d ≥ 5 / large c.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace arsp {
+namespace {
+
+using bench_util::Algo;
+using bench_util::AlgoName;
+using bench_util::kLinearAlgos;
+using bench_util::MakeImRegion;
+using bench_util::MakeSynthetic;
+using bench_util::RunAlgo;
+using bench_util::ScaledM;
+
+void RunCase(benchmark::State& state, int m, int cnt, int dim, int c,
+             Algo algo) {
+  const UncertainDataset dataset = MakeSynthetic(
+      Distribution::kIndependent, m, cnt, dim, 0.2, 0.0);
+  const PreferenceRegion region = MakeImRegion(dim, c);
+  // QDTT+ quadrant codes cap at 63 mapped dimensions; the paper's QDTT+
+  // curve similarly disappears once IM vertex counts explode.
+  if (algo == Algo::kQdttPlus && region.num_vertices() > 24) {
+    state.SkipWithError("QDTT+ fan-out infeasible at this vertex count");
+    return;
+  }
+  int arsp_size = 0;
+  for (auto _ : state) {
+    const ArspResult result = RunAlgo(algo, dataset, region);
+    arsp_size = CountNonZero(result);
+    benchmark::DoNotOptimize(arsp_size);
+  }
+  state.counters["n"] = dataset.num_instances();
+  state.counters["vertices"] = region.num_vertices();
+  state.counters["arsp_size"] = arsp_size;
+}
+
+void Register(const std::string& name, int m, int cnt, int dim, int c,
+              Algo algo) {
+  benchmark::RegisterBenchmark(
+      (name + "/" + AlgoName(algo)).c_str(),
+      [=](benchmark::State& state) { RunCase(state, m, cnt, dim, c, algo); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+void RegisterAll() {
+  // ---- Fig. 5 (r): vary m, d=4, c=3.
+  for (int base_m : {128, 256, 512, 1024}) {
+    const int m = ScaledM(base_m);
+    for (Algo algo : kLinearAlgos) {
+      if (algo == Algo::kLoop && m * 20 / 2 > 16000) continue;
+      Register("Fig5r_IM_vary_m/m=" + std::to_string(m), m, 20, 4, 3, algo);
+    }
+  }
+  // ---- Fig. 5 (s): vary d, c = d-1.
+  for (int d : {2, 3, 4, 5, 6}) {
+    for (Algo algo : kLinearAlgos) {
+      Register("Fig5s_IM_vary_d/d=" + std::to_string(d), ScaledM(256), 10, d,
+               d - 1, algo);
+    }
+  }
+  // ---- Fig. 5 (t): vary c, d=4.
+  for (int c : {2, 3, 4, 5, 6, 7}) {
+    for (Algo algo : kLinearAlgos) {
+      Register("Fig5t_IM_vary_c/c=" + std::to_string(c), ScaledM(256), 10, 4,
+               c, algo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arsp
+
+int main(int argc, char** argv) {
+  arsp::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Fig. 5 (a)–(q): running time of LOOP / KDTT / KDTT+ / QDTT+ / B&B and the
+// ARSP size on synthetic datasets under WR linear constraints, sweeping
+//   (a–c) object cardinality m          (IND / ANTI / CORR)
+//   (d–f) instance count cnt            (IND / ANTI / CORR)
+//   (g–i) dimensionality d              (IND / ANTI / CORR)
+//   (j–l) region length l               (IND / ANTI / CORR)
+//   (m–o) truncated-object fraction ϕ   (IND / ANTI / CORR)
+//   (p–q) constraint count c, d = 6     (IND / ANTI)
+//
+// ENUM is omitted from the sweeps: it exceeds any time limit beyond toy
+// sizes (the paper's "INF" lines); bench_ablations shows its exponential
+// blow-up explicitly. Counters: n = instances, arsp_size = non-zero results.
+//
+// Cardinalities are scaled down from the paper's 16K-object default; see
+// bench_util.h and EXPERIMENTS.md. ARSP_BENCH_SCALE multiplies them.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace arsp {
+namespace {
+
+using bench_util::Algo;
+using bench_util::AlgoName;
+using bench_util::kLinearAlgos;
+using bench_util::MakeSynthetic;
+using bench_util::MakeWrRegion;
+using bench_util::RunAlgo;
+using bench_util::ScaledM;
+
+constexpr Distribution kDists[] = {Distribution::kIndependent,
+                                   Distribution::kAntiCorrelated,
+                                   Distribution::kCorrelated};
+
+struct Workload {
+  Distribution dist;
+  int m, cnt, dim;
+  double l, phi;
+  int c;  // number of WR constraints
+};
+
+void RunCase(benchmark::State& state, const Workload& w, Algo algo) {
+  const UncertainDataset dataset =
+      MakeSynthetic(w.dist, w.m, w.cnt, w.dim, w.l, w.phi);
+  const PreferenceRegion region = MakeWrRegion(w.dim, w.c);
+  int arsp_size = 0;
+  for (auto _ : state) {
+    const ArspResult result = RunAlgo(algo, dataset, region);
+    arsp_size = CountNonZero(result);
+    benchmark::DoNotOptimize(arsp_size);
+  }
+  state.counters["n"] = dataset.num_instances();
+  state.counters["m"] = dataset.num_objects();
+  state.counters["arsp_size"] = arsp_size;
+}
+
+void Register(const std::string& name, const Workload& w, Algo algo) {
+  benchmark::RegisterBenchmark(
+      (name + "/" + AlgoName(algo)).c_str(),
+      [w, algo](benchmark::State& state) { RunCase(state, w, algo); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+// LOOP is quadratic; keep it off the largest inputs so the full harness
+// stays inside a laptop budget (the paper similarly cuts curves at INF).
+bool LoopTooBig(const Workload& w) { return w.m * w.cnt / 2 > 16000; }
+
+void RegisterAll() {
+  // ---- Fig. 5 (a)-(c): vary m. Defaults: cnt=20, d=4, l=0.2, phi=0, c=3.
+  for (Distribution dist : kDists) {
+    for (int base_m : {128, 256, 512, 1024}) {
+      const Workload w{dist, ScaledM(base_m), 20, 4, 0.2, 0.0, 3};
+      for (Algo algo : kLinearAlgos) {
+        if (algo == Algo::kLoop && LoopTooBig(w)) continue;
+        Register("Fig5_vary_m/" + std::string(DistributionName(dist)) +
+                     "/m=" + std::to_string(w.m),
+                 w, algo);
+      }
+    }
+  }
+
+  // ---- Fig. 5 (d)-(f): vary cnt at m=512.
+  for (Distribution dist : kDists) {
+    for (int cnt : {5, 10, 20, 40}) {
+      const Workload w{dist, ScaledM(512), cnt, 4, 0.2, 0.0, 3};
+      for (Algo algo : kLinearAlgos) {
+        if (algo == Algo::kLoop && LoopTooBig(w)) continue;
+        Register("Fig5_vary_cnt/" + std::string(DistributionName(dist)) +
+                     "/cnt=" + std::to_string(cnt),
+                 w, algo);
+      }
+    }
+  }
+
+  // ---- Fig. 5 (g)-(i): vary d at m=256, cnt=10.
+  for (Distribution dist : kDists) {
+    for (int d : {2, 3, 4, 5, 6, 8}) {
+      const Workload w{dist, ScaledM(256), 10, d, 0.2, 0.0, d - 1};
+      for (Algo algo : kLinearAlgos) {
+        Register("Fig5_vary_d/" + std::string(DistributionName(dist)) +
+                     "/d=" + std::to_string(d),
+                 w, algo);
+      }
+    }
+  }
+
+  // ---- Fig. 5 (j)-(l): vary region length l at m=512, cnt=10.
+  for (Distribution dist : kDists) {
+    for (double l : {0.1, 0.2, 0.4, 0.6}) {
+      const Workload w{dist, ScaledM(512), 10, 4, l, 0.0, 3};
+      for (Algo algo : kLinearAlgos) {
+        Register("Fig5_vary_l/" + std::string(DistributionName(dist)) +
+                     "/l=" + std::to_string(l).substr(0, 3),
+                 w, algo);
+      }
+    }
+  }
+
+  // ---- Fig. 5 (m)-(o): vary phi at m=512, cnt=10.
+  for (Distribution dist : kDists) {
+    for (double phi : {0.0, 0.1, 0.4, 0.8}) {
+      const Workload w{dist, ScaledM(512), 10, 4, 0.2, phi, 3};
+      for (Algo algo : kLinearAlgos) {
+        Register("Fig5_vary_phi/" + std::string(DistributionName(dist)) +
+                     "/phi=" + std::to_string(phi).substr(0, 3),
+                 w, algo);
+      }
+    }
+  }
+
+  // ---- Fig. 5 (p)-(q): vary c at d=6 (IND and ANTI).
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kAntiCorrelated}) {
+    for (int c : {1, 2, 3, 4, 5}) {
+      const Workload w{dist, ScaledM(256), 10, 6, 0.2, 0.0, c};
+      for (Algo algo : kLinearAlgos) {
+        Register("Fig5_vary_c/" + std::string(DistributionName(dist)) +
+                     "/c=" + std::to_string(c),
+                 w, algo);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arsp
+
+int main(int argc, char** argv) {
+  arsp::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Fig. 8: eclipse query processing on certain IND datasets — DUAL-S versus
+// QUAD [2] (the quadtree intersection index, rebuilt from the paper's
+// description; index construction is preprocessing and excluded from query
+// time, as in the original evaluation). A plain O(s²) pairwise resolver is
+// included as a third reference series.
+//   (a) vary n at d = 3, q = [0.36, 2.75]
+//   (b) vary d at n = 2^14
+//   (c) vary the ratio range q at n = 2^14, d = 3
+// Counters report skyline / eclipse sizes and QUAD's index statistics.
+// The paper's shape: DUAL-S wins, the gap grows with d, and QUAD is far
+// more sensitive to the ratio range q.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/certain_rskyline.h"
+#include "src/eclipse/eclipse.h"
+#include "src/eclipse/quad_index.h"
+
+namespace arsp {
+namespace {
+
+using bench_util::Scale;
+
+enum class EclipseAlgo { kQuad, kDualS, kPairwise };
+
+const char* Name(EclipseAlgo algo) {
+  switch (algo) {
+    case EclipseAlgo::kQuad:
+      return "QUAD";
+    case EclipseAlgo::kDualS:
+      return "DUAL-S";
+    case EclipseAlgo::kPairwise:
+      return "PAIRWISE";
+  }
+  return "?";
+}
+
+std::vector<Point> MakePoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = rng.Uniform01();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+WeightRatioConstraints MakeQ(int dim, double lo, double hi) {
+  std::vector<std::pair<double, double>> ranges(
+      static_cast<size_t>(dim - 1), {lo, hi});
+  return WeightRatioConstraints::Create(std::move(ranges)).value();
+}
+
+// Per-dataset prepared state: all three contestants build their structures
+// once (the paper excludes preprocessing from the Fig. 8 query times); only
+// Query calls are timed.
+struct Prepared {
+  std::vector<Point> points;
+  std::vector<int> skyline;
+  std::unique_ptr<QuadEclipseIndex> quad;
+  std::unique_ptr<DualSEclipseIndex> dual_s;
+};
+
+const Prepared& CachedPrepared(int n, int dim) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Prepared>> cache;
+  auto key = std::make_pair(n, dim);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<Prepared>();
+    prepared->points =
+        MakePoints(n, dim, 0xec1157u + static_cast<uint64_t>(dim));
+    prepared->skyline = ComputeSkyline(prepared->points);
+    prepared->quad = std::make_unique<QuadEclipseIndex>(prepared->points);
+    prepared->dual_s = std::make_unique<DualSEclipseIndex>(prepared->points);
+    it = cache.emplace(key, std::move(prepared)).first;
+  }
+  return *it->second;
+}
+
+void RunCase(benchmark::State& state, int n, int dim, double lo, double hi,
+             EclipseAlgo algo) {
+  const Prepared& prepared = CachedPrepared(n, dim);
+  const WeightRatioConstraints wr = MakeQ(dim, lo, hi);
+  size_t eclipse_size = 0;
+  switch (algo) {
+    case EclipseAlgo::kQuad:
+      for (auto _ : state) {
+        eclipse_size = prepared.quad->Query(wr).size();
+        benchmark::DoNotOptimize(eclipse_size);
+      }
+      state.counters["quad_nodes"] = prepared.quad->num_nodes();
+      state.counters["quad_height"] = prepared.quad->height();
+      state.counters["hyperplanes"] = prepared.quad->num_hyperplanes();
+      break;
+    case EclipseAlgo::kDualS:
+      for (auto _ : state) {
+        eclipse_size = prepared.dual_s->Query(wr).size();
+        benchmark::DoNotOptimize(eclipse_size);
+      }
+      break;
+    case EclipseAlgo::kPairwise:
+      for (auto _ : state) {
+        eclipse_size =
+            ResolveEclipsePairwise(prepared.points, prepared.skyline, wr)
+                .size();
+        benchmark::DoNotOptimize(eclipse_size);
+      }
+      break;
+  }
+  state.counters["n"] = n;
+  state.counters["skyline"] = prepared.skyline.size();
+  state.counters["eclipse"] = eclipse_size;
+}
+
+void Register(const std::string& name, int n, int dim, double lo, double hi) {
+  for (EclipseAlgo algo :
+       {EclipseAlgo::kQuad, EclipseAlgo::kDualS, EclipseAlgo::kPairwise}) {
+    benchmark::RegisterBenchmark(
+        (name + "/" + Name(algo)).c_str(),
+        [=](benchmark::State& state) {
+          RunCase(state, n, dim, lo, hi, algo);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+void RegisterAll() {
+  const int base = static_cast<int>((1 << 14) * Scale());
+  // ---- Fig. 8 (a): vary n, d=3.
+  for (int shift : {-4, -2, 0, 2, 4}) {
+    const int n = std::max(256, shift >= 0 ? base << shift : base >> -shift);
+    Register("Fig8a_vary_n/n=" + std::to_string(n), n, 3, 0.36, 2.75);
+  }
+  // ---- Fig. 8 (b): vary d at n = base.
+  for (int d : {2, 3, 4, 5, 6}) {
+    Register("Fig8b_vary_d/d=" + std::to_string(d), std::max(256, base), d,
+             0.36, 2.75);
+  }
+  // ---- Fig. 8 (c): vary q at n = base, d=3 (the paper's four ranges).
+  const std::vector<std::pair<double, double>> kRanges = {
+      {0.84, 1.19}, {0.58, 1.73}, {0.36, 2.75}, {0.18, 5.67}};
+  for (size_t i = 0; i < kRanges.size(); ++i) {
+    Register("Fig8c_vary_q/q=" + std::to_string(i + 1), std::max(256, base),
+             3, kRanges[i].first, kRanges[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace arsp
+
+int main(int argc, char** argv) {
+  arsp::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

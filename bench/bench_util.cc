@@ -1,0 +1,112 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/core/bnb_algorithm.h"
+#include "src/core/dual_algorithm.h"
+#include "src/core/kdtt_algorithm.h"
+#include "src/core/loop_algorithm.h"
+#include "src/core/qdtt_algorithm.h"
+#include "src/prefs/constraint_generators.h"
+
+namespace arsp {
+namespace bench_util {
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kLoop:
+      return "LOOP";
+    case Algo::kKdtt:
+      return "KDTT";
+    case Algo::kKdttPlus:
+      return "KDTT+";
+    case Algo::kQdttPlus:
+      return "QDTT+";
+    case Algo::kBnb:
+      return "B&B";
+    case Algo::kDual:
+      return "DUAL";
+  }
+  return "?";
+}
+
+ArspResult RunAlgo(Algo algo, const UncertainDataset& dataset,
+                   const PreferenceRegion& region,
+                   const WeightRatioConstraints* wr) {
+  switch (algo) {
+    case Algo::kLoop:
+      return ComputeArspLoop(dataset, region);
+    case Algo::kKdtt:
+      return ComputeArspKdtt(dataset, region, {.integrated = false});
+    case Algo::kKdttPlus:
+      return ComputeArspKdtt(dataset, region, {.integrated = true});
+    case Algo::kQdttPlus:
+      return ComputeArspQdtt(dataset, region);
+    case Algo::kBnb:
+      return ComputeArspBnb(dataset, region);
+    case Algo::kDual:
+      ARSP_CHECK_MSG(wr != nullptr,
+                     "DUAL requires weight ratio constraints");
+      return ComputeArspDual(dataset, *wr);
+  }
+  ARSP_FATAL("unknown algorithm");
+}
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("ARSP_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.01 ? v : 0.01;
+  }();
+  return scale;
+}
+
+int ScaledM(int base) {
+  return std::max(16, static_cast<int>(base * Scale()));
+}
+
+UncertainDataset MakeSynthetic(Distribution dist, int num_objects, int cnt,
+                               int dim, double l, double phi) {
+  SyntheticConfig config;
+  config.num_objects = num_objects;
+  config.max_instances = cnt;
+  config.dim = dim;
+  config.region_length = l;
+  config.phi = phi;
+  config.distribution = dist;
+  // Seed depends on the workload shape so different sweep points use
+  // different (but reproducible) data.
+  config.seed = 0x9e3779b9u ^ (static_cast<uint64_t>(num_objects) << 20) ^
+                (static_cast<uint64_t>(cnt) << 10) ^
+                (static_cast<uint64_t>(dim) << 4) ^
+                static_cast<uint64_t>(dist);
+  return GenerateSynthetic(config);
+}
+
+PreferenceRegion MakeWrRegion(int dim, int c) {
+  auto region = PreferenceRegion::FromLinearConstraints(
+      MakeWeakRankingConstraints(dim, c));
+  ARSP_CHECK(region.ok());
+  return std::move(region).value();
+}
+
+PreferenceRegion MakeImRegion(int dim, int c, uint64_t seed) {
+  Rng rng(seed);
+  auto region = PreferenceRegion::FromLinearConstraints(
+      MakeInteractiveConstraints(dim, c, rng));
+  ARSP_CHECK(region.ok());
+  return std::move(region).value();
+}
+
+std::string Label(const std::string& panel, const std::string& series,
+                  const std::string& point) {
+  return panel + "/" + series + "/" + point;
+}
+
+}  // namespace bench_util
+}  // namespace arsp

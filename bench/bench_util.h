@@ -1,0 +1,67 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Shared infrastructure for the paper-reproduction benchmarks: an algorithm
+// registry matching the paper's names (LOOP, KDTT, KDTT+, QDTT+, B&B, DUAL),
+// workload construction per §V-A, and a global scale knob.
+//
+// Scaling: the paper's defaults (m = 16K, cnt = 400 → ~3.2M instances on a
+// 24-thread Xeon with 256 GB RAM) are far beyond a CI container budget. The
+// benchmarks default to m = 512, cnt = 20 and sweep proportionally; set
+// ARSP_BENCH_SCALE=4 (or any factor) to grow every cardinality sweep.
+// Relative algorithm behaviour — the paper's actual claims — is preserved;
+// EXPERIMENTS.md records the shape comparison per figure.
+
+#ifndef ARSP_BENCH_BENCH_UTIL_H_
+#define ARSP_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/prefs/weight_ratio.h"
+#include "src/uncertain/generators.h"
+
+namespace arsp {
+namespace bench_util {
+
+/// ARSP algorithms under benchmark, named as in the paper's figures.
+enum class Algo { kLoop, kKdtt, kKdttPlus, kQdttPlus, kBnb, kDual };
+
+/// Paper-style display name ("LOOP", "KDTT+", ...).
+const char* AlgoName(Algo algo);
+
+/// All algorithms of the linear-constraint experiments (Figs. 5 and 6).
+inline constexpr Algo kLinearAlgos[] = {Algo::kLoop, Algo::kKdtt,
+                                        Algo::kKdttPlus, Algo::kQdttPlus,
+                                        Algo::kBnb};
+
+/// Runs `algo` on the dataset. `wr` is required for Algo::kDual and ignored
+/// otherwise.
+ArspResult RunAlgo(Algo algo, const UncertainDataset& dataset,
+                   const PreferenceRegion& region,
+                   const WeightRatioConstraints* wr = nullptr);
+
+/// Global sweep scale from ARSP_BENCH_SCALE (default 1.0, min 0.01).
+double Scale();
+
+/// m scaled by ARSP_BENCH_SCALE and rounded to at least 16.
+int ScaledM(int base);
+
+/// Synthetic dataset per the paper's §V-A procedure with benchmark seeds.
+UncertainDataset MakeSynthetic(Distribution dist, int num_objects, int cnt,
+                               int dim, double l, double phi);
+
+/// The WR preference region with c constraints in d dimensions.
+PreferenceRegion MakeWrRegion(int dim, int c);
+
+/// The IM preference region with c constraints in d dimensions (fixed seed).
+PreferenceRegion MakeImRegion(int dim, int c, uint64_t seed = 12345);
+
+/// Label like "Fig5a/IND/KDTT+/m=512".
+std::string Label(const std::string& panel, const std::string& series,
+                  const std::string& point);
+
+}  // namespace bench_util
+}  // namespace arsp
+
+#endif  // ARSP_BENCH_BENCH_UTIL_H_

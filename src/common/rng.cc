@@ -1,0 +1,5 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Rng is header-only; this translation unit anchors the target.
+
+#include "src/common/rng.h"

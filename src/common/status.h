@@ -1,0 +1,117 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Minimal Status / StatusOr in the style of RocksDB and Abseil. Public
+// factory functions that can fail (bad constraints, degenerate preference
+// regions, invalid datasets) return Status or StatusOr<T> instead of
+// throwing, so callers can handle recoverable input errors explicitly.
+
+#ifndef ARSP_COMMON_STATUS_H_
+#define ARSP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace arsp {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Result of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: d must be >= 2".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of an operation that yields a T on success.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  StatusOr(Status status) : status_(std::move(status)) {
+    ARSP_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& value() const& {
+    ARSP_CHECK_MSG(ok(), "StatusOr::value() on error: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    ARSP_CHECK_MSG(ok(), "StatusOr::value() on error: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    ARSP_CHECK_MSG(ok(), "StatusOr::value() on error: %s",
+                   status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ARSP_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::arsp::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_STATUS_H_

@@ -1,0 +1,5 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Stopwatch is header-only; this translation unit anchors the target.
+
+#include "src/common/stopwatch.h"

@@ -1,0 +1,37 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Wall-clock stopwatch used by the benchmark harness to separate
+// preprocessing time from query time, mirroring the paper's reporting.
+
+#ifndef ARSP_COMMON_STOPWATCH_H_
+#define ARSP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace arsp {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) timing.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_STOPWATCH_H_

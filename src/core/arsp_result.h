@@ -1,0 +1,56 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Result container for the ARSP problem (Problem 1): the rskyline
+// probability of every instance, plus derived views (per-object
+// probabilities, result size, top-k) used by the experiments.
+
+#ifndef ARSP_CORE_ARSP_RESULT_H_
+#define ARSP_CORE_ARSP_RESULT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Probabilities are considered zero below this threshold; the same
+/// threshold decides when an accumulated object mass counts as 1 (the σ = 1
+/// tests of Algorithms 1 and 2). Shared by every algorithm so they agree.
+inline constexpr double kProbabilityEps = 1e-9;
+
+/// Output of an ARSP computation.
+struct ArspResult {
+  /// instance_probs[i] = Pr_rsky of the instance with global id i.
+  std::vector<double> instance_probs;
+
+  /// Diagnostic counters (not all algorithms fill all of them).
+  int64_t dominance_tests = 0;   ///< pairwise F-dominance tests performed
+  int64_t nodes_visited = 0;     ///< tree nodes expanded / constructed
+  int64_t nodes_pruned = 0;      ///< subtrees pruned
+};
+
+/// Number of instances with non-zero rskyline probability — the paper's
+/// "size of ARSP" reported in Figs. 5 and 6. Algorithms assign an exact 0.0
+/// to instances killed by a full-mass dominator, so the default threshold
+/// counts every representable positive probability (on ϕ = 1 datasets like
+/// IIP the paper counts all instances; probabilities below ~1e-308 still
+/// underflow to zero and are not counted).
+int CountNonZero(const ArspResult& result, double eps = 0.0);
+
+/// Pr_rsky per object: the sum of its instances' probabilities (§II-B).
+std::vector<double> ObjectProbabilities(const ArspResult& result,
+                                        const UncertainDataset& dataset);
+
+/// Objects sorted by descending rskyline probability, truncated to k;
+/// pairs of (object id, probability). Ties break on object id.
+std::vector<std::pair<int, double>> TopKObjects(
+    const ArspResult& result, const UncertainDataset& dataset, int k);
+
+/// Max absolute difference between two results (test/benchmark helper).
+double MaxAbsDiff(const ArspResult& a, const ArspResult& b);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_ARSP_RESULT_H_

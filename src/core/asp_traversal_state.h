@@ -1,0 +1,106 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Shared bookkeeping of the kd-ASP* style traversals (Algorithm 1 and its
+// quadtree variant): the per-object dominating mass σ, the running product
+// β = Π_{σ[j]≠1}(1 - σ[j]), and the full-object counter χ = |{j : σ[j]=1}|,
+// with O(1) incremental apply/undo as candidates move into the dominating
+// set D of a node.
+//
+// Deviation from the printed pseudocode (documented in DESIGN.md): at a
+// leaf, the case χ = 1 caused by the instance's *own* object still has
+// non-zero probability — the paper handles this case in its DUAL-M variant
+// (§IV-B) and we apply the same rule here.
+
+#ifndef ARSP_CORE_ASP_TRAVERSAL_STATE_H_
+#define ARSP_CORE_ASP_TRAVERSAL_STATE_H_
+
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/core/arsp_result.h"
+
+namespace arsp {
+namespace internal {
+
+/// Incremental (σ, β, χ) state over m objects.
+class AspTraversalState {
+ public:
+  explicit AspTraversalState(int num_objects)
+      : sigma_(static_cast<size_t>(num_objects), 0.0) {}
+
+  /// One σ update, recorded so the caller can undo it when unwinding.
+  struct Change {
+    int object;
+    double prob;
+  };
+
+  double beta() const { return beta_; }
+  int chi() const { return chi_; }
+  double sigma(int object) const {
+    return sigma_[static_cast<size_t>(object)];
+  }
+  /// True iff object j's entire mass dominates the current node's min
+  /// corner (σ[j] = 1 up to the shared probability tolerance).
+  bool IsFull(int object) const {
+    return sigma(object) >= 1.0 - kProbabilityEps;
+  }
+
+  /// σ[object] += prob, maintaining β and χ; appends to `undo_log`.
+  void Add(int object, double prob, std::vector<Change>* undo_log) {
+    double& s = sigma_[static_cast<size_t>(object)];
+    const double old_value = s;
+    s += prob;
+    const bool was_full = old_value >= 1.0 - kProbabilityEps;
+    const bool is_full = s >= 1.0 - kProbabilityEps;
+    if (!was_full && is_full) {
+      ++chi_;
+      beta_ /= (1.0 - old_value);  // remove the object's factor from β
+    } else if (!is_full) {
+      beta_ *= (1.0 - s) / (1.0 - old_value);
+    }
+    undo_log->push_back(Change{object, prob});
+  }
+
+  /// Reverts the changes in `undo_log`, newest first, restoring σ, β and χ
+  /// to their values before the corresponding Add calls.
+  void Undo(const std::vector<Change>& undo_log) {
+    for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
+      double& s = sigma_[static_cast<size_t>(it->object)];
+      const double new_value = s;
+      s -= it->prob;
+      const bool was_full = s >= 1.0 - kProbabilityEps;
+      const bool is_full = new_value >= 1.0 - kProbabilityEps;
+      if (is_full && !was_full) {
+        --chi_;
+        beta_ *= (1.0 - s);  // restore the object's factor
+      } else if (!is_full) {
+        beta_ *= (1.0 - s) / (1.0 - new_value);
+      }
+    }
+  }
+
+  /// Final rskyline probability of an instance of `object` with existence
+  /// probability `prob`, given that σ is exact for that instance's point:
+  ///   χ = 0            →  β · p / (1 - σ[own])
+  ///   χ = 1, own full  →  β · p      (β already excludes the own factor)
+  ///   otherwise        →  0          (some foreign object fully dominates)
+  double LeafProbability(int object, double prob) const {
+    if (chi_ == 0) {
+      return beta_ * prob / (1.0 - sigma(object));
+    }
+    if (chi_ == 1 && IsFull(object)) {
+      return beta_ * prob;
+    }
+    return 0.0;
+  }
+
+ private:
+  std::vector<double> sigma_;
+  double beta_ = 1.0;
+  int chi_ = 0;
+};
+
+}  // namespace internal
+}  // namespace arsp
+
+#endif  // ARSP_CORE_ASP_TRAVERSAL_STATE_H_

@@ -1,0 +1,227 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/bnb_algorithm.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/index/rtree.h"
+#include "src/prefs/fdominance.h"
+#include "src/prefs/score_mapper.h"
+
+namespace arsp {
+
+namespace {
+
+// A heap element: either an R-tree node or a single instance, ordered by
+// the score of its lower corner under the reference vertex ω (best-first).
+struct HeapEntry {
+  double key;
+  const RTree::Node* node;  // nullptr for instance entries
+  int instance_id;          // valid when node == nullptr
+
+  bool operator>(const HeapEntry& other) const { return key > other.key; }
+};
+
+// Incremental per-object bookkeeping: the aggregated R-tree over mapped
+// instances with non-zero probability, the running max corner p_i, and the
+// accumulated probability mass deciding membership in the pruning set P.
+struct ObjectState {
+  std::unique_ptr<RTree> tree;
+  Point max_corner;
+  double cum_prob = 0.0;
+  bool in_pruning_set = false;
+};
+
+bool PrunedBy(const Point& mapped, const std::vector<Point>& pruning_set) {
+  for (const Point& p : pruning_set) {
+    if (DominatesWeak(p, mapped)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ArspResult ComputeArspBnb(const UncertainDataset& dataset,
+                          const PreferenceRegion& region,
+                          const BnbOptions& options) {
+  ArspResult result;
+  const int n = dataset.num_instances();
+  const int m = dataset.num_objects();
+  result.instance_probs.assign(static_cast<size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  const ScoreMapper mapper(region);
+  const int mapped_dim = mapper.mapped_dim();
+  const Point& omega = region.vertices().front();
+
+  // Lower corner of the mapped space: scores are monotone in every
+  // coordinate (ω ≥ 0), so the score of the dataset's min corner bounds
+  // every instance's score from below. Used as the window-query origin.
+  const Point mapped_origin = mapper.Map(dataset.bounds().min_corner());
+
+  // Bulk-load the data R-tree over the *original* space; SV is computed on
+  // the fly only for instances that survive pruning.
+  std::vector<RTree::LeafEntry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (const Instance& inst : dataset.instances()) {
+    entries.push_back(
+        RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
+  }
+  const RTree data_tree =
+      RTree::BulkLoad(dataset.dim(), std::move(entries), options.rtree_fanout);
+
+  std::vector<ObjectState> objects(static_cast<size_t>(m));
+  std::vector<Point> pruning_set;  // |P| ≤ m (Theorem 4)
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push(HeapEntry{Score(omega, data_tree.root()->mbr().min_corner()),
+                      data_tree.root(), -1});
+
+  // Scratch for batch processing of equal-key instances.
+  struct BatchItem {
+    int instance_id;
+    Point mapped;
+    std::vector<double> sigma;  // per-object dominating mass
+    bool zeroed = false;
+  };
+  std::vector<BatchItem> batch;
+
+  while (!heap.empty()) {
+    const double key = heap.top().key;
+    batch.clear();
+
+    // Drain every entry with this exact key: expand nodes (their children
+    // with equal keys are drained in the same round) and collect instances.
+    // Batching keeps Eq. (3) symmetric for instances with tied scores,
+    // including exact duplicates.
+    while (!heap.empty() && heap.top().key == key) {
+      const HeapEntry entry = heap.top();
+      heap.pop();
+      if (entry.node != nullptr) {
+        ++result.nodes_visited;
+        const RTree::Node* node = entry.node;
+        if (options.enable_pruning &&
+            PrunedBy(mapper.Map(node->mbr().min_corner()), pruning_set)) {
+          ++result.nodes_pruned;
+          continue;
+        }
+        if (node->is_leaf()) {
+          for (const RTree::LeafEntry& leaf : node->entries()) {
+            heap.push(
+                HeapEntry{Score(omega, leaf.point), nullptr, leaf.id});
+          }
+        } else {
+          for (const auto& child : node->children()) {
+            heap.push(HeapEntry{Score(omega, child->mbr().min_corner()),
+                                child.get(), -1});
+          }
+        }
+        continue;
+      }
+      // Instance entry.
+      const Instance& inst = dataset.instance(entry.instance_id);
+      Point mapped = mapper.Map(inst.point);
+      if (options.enable_pruning && PrunedBy(mapped, pruning_set)) {
+        ++result.nodes_pruned;
+        continue;  // Pr_rsky = 0; Theorem 3 allows discarding it entirely.
+      }
+      BatchItem item;
+      item.instance_id = entry.instance_id;
+      item.mapped = std::move(mapped);
+      item.sigma.assign(static_cast<size_t>(m), 0.0);
+      batch.push_back(std::move(item));
+    }
+
+    if (batch.empty()) continue;
+
+    // Phase 1: window queries against the aggregated R-trees (all strictly
+    // earlier instances with non-zero probability are indexed there).
+    for (BatchItem& item : batch) {
+      const int own = dataset.instance(item.instance_id).object_id;
+      // Guard against sub-ulp inversions of the origin bound.
+      Point window_lo = mapped_origin;
+      for (int k = 0; k < mapped_dim; ++k) {
+        window_lo[k] = std::min(window_lo[k], item.mapped[k]);
+      }
+      const Mbr window(std::move(window_lo), item.mapped);
+      for (int j = 0; j < m; ++j) {
+        if (j == own || objects[static_cast<size_t>(j)].tree == nullptr) {
+          continue;
+        }
+        item.sigma[static_cast<size_t>(j)] +=
+            objects[static_cast<size_t>(j)].tree->WindowSum(window);
+      }
+    }
+
+    // Phase 2: tied instances of this round dominate each other whenever
+    // their mapped points weakly dominate; count that mass symmetrically
+    // before anything is inserted.
+    for (const BatchItem& s : batch) {
+      const Instance& s_inst = dataset.instance(s.instance_id);
+      for (BatchItem& t : batch) {
+        if (&s == &t) continue;
+        const Instance& t_inst = dataset.instance(t.instance_id);
+        if (s_inst.object_id == t_inst.object_id) continue;
+        ++result.dominance_tests;
+        if (DominatesWeak(s.mapped, t.mapped)) {
+          t.sigma[static_cast<size_t>(s_inst.object_id)] += s_inst.prob;
+        }
+      }
+    }
+
+    // Compute probabilities and decide survival.
+    for (BatchItem& item : batch) {
+      const Instance& inst = dataset.instance(item.instance_id);
+      double prob = inst.prob;
+      for (int j = 0; j < m && !item.zeroed; ++j) {
+        if (j == inst.object_id) continue;
+        const double sum = item.sigma[static_cast<size_t>(j)];
+        if (sum <= 0.0) continue;
+        if (sum >= 1.0 - kProbabilityEps) {
+          item.zeroed = true;
+        } else {
+          prob *= (1.0 - sum);
+        }
+      }
+      if (item.zeroed) continue;  // probability stays 0
+      result.instance_probs[static_cast<size_t>(item.instance_id)] = prob;
+    }
+
+    // Phase 3: insert batch instances into their object's aggregated R-tree
+    // and maintain the pruning set. Zero-probability instances are inserted
+    // too: Theorem 3's discard argument assumes an asymmetric dominance
+    // relation, which fails for instances with *equal* score vectors —
+    // mutually dominating duplicates are all zero, yet their mass must stay
+    // visible to later queries (see bnb_test.cc TieBatching tests).
+    // Instances pruned by P never reach this point, which remains safe: any
+    // later instance needing their mass is itself pruned by the same P
+    // entry (transitivity through the full object's max corner).
+    for (BatchItem& item : batch) {
+      const Instance& inst = dataset.instance(item.instance_id);
+      ObjectState& obj = objects[static_cast<size_t>(inst.object_id)];
+      if (obj.tree == nullptr) {
+        obj.tree = std::make_unique<RTree>(mapped_dim, options.rtree_fanout);
+        obj.max_corner = item.mapped;
+      } else {
+        for (int k = 0; k < mapped_dim; ++k) {
+          if (item.mapped[k] > obj.max_corner[k]) {
+            obj.max_corner[k] = item.mapped[k];
+          }
+        }
+      }
+      obj.tree->Insert(item.mapped, inst.prob, item.instance_id);
+      obj.cum_prob += inst.prob;
+      if (options.enable_pruning && !obj.in_pruning_set &&
+          obj.cum_prob >= 1.0 - kProbabilityEps) {
+        obj.in_pruning_set = true;
+        pruning_set.push_back(obj.max_corner);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace arsp

@@ -1,0 +1,34 @@
+// Copyright 2026 The ARSP Authors.
+//
+// B&B (§III-C, Algorithm 2): best-first traversal of an R-tree over the
+// original instances, mapping SV(·) on the fly so that pruned instances are
+// never mapped. A pruning set P of per-object maximum score corners
+// (Theorems 3 and 4, |P| ≤ m) discards subtrees whose instances all have
+// zero rskyline probability; per-object aggregated R-trees in score space
+// answer the window queries Σ_{s ∈ Tj, s ≺F t} p(s). Expected O(m n log n).
+
+#ifndef ARSP_CORE_BNB_ALGORITHM_H_
+#define ARSP_CORE_BNB_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Options for the branch-and-bound algorithm.
+struct BnbOptions {
+  /// Disables the Theorem-3/4 pruning set (ablation benchmarks only).
+  bool enable_pruning = true;
+  /// R-tree fan-out for both the data tree and the aggregated trees.
+  int rtree_fanout = 16;
+};
+
+/// Computes ARSP with the branch-and-bound algorithm.
+ArspResult ComputeArspBnb(const UncertainDataset& dataset,
+                          const PreferenceRegion& region,
+                          const BnbOptions& options = {});
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_BNB_ALGORITHM_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/certain_rskyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/prefs/fdominance.h"
+
+namespace arsp {
+
+std::vector<int> ComputeSkyline(const std::vector<Point>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  // Sorting by coordinate sum guarantees a dominator precedes (or ties with)
+  // everything it strictly dominates.
+  std::vector<double> keys(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < points[static_cast<size_t>(i)].dim(); ++k) {
+      keys[static_cast<size_t>(i)] += points[static_cast<size_t>(i)][k];
+    }
+  }
+  std::sort(order.begin(), order.end(), [&keys](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+
+  std::vector<int> skyline;
+  for (int idx : order) {
+    bool dominated = false;
+    for (int s : skyline) {
+      if (DominatesStrict(points[static_cast<size_t>(s)],
+                          points[static_cast<size_t>(idx)])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<int> ComputeRskyline(const std::vector<Point>& points,
+                                 const PreferenceRegion& region) {
+  const int n = static_cast<int>(points.size());
+  const std::vector<Point>& vertices = region.vertices();
+  const Point& omega = vertices.front();
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> keys(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys[static_cast<size_t>(i)] = Score(omega, points[static_cast<size_t>(i)]);
+  }
+  std::sort(order.begin(), order.end(), [&keys](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+
+  std::vector<int> result;
+  for (int pos = 0; pos < n; ++pos) {
+    const int idx = order[static_cast<size_t>(pos)];
+    bool dominated = false;
+    // Any F-dominator scores ≤ under ω, so it lies at an earlier position
+    // or inside the equal-score group around pos.
+    for (int prev = 0; prev < n && !dominated; ++prev) {
+      if (prev == pos) continue;
+      const int sid = order[static_cast<size_t>(prev)];
+      if (keys[static_cast<size_t>(sid)] > keys[static_cast<size_t>(idx)]) {
+        break;  // sorted: everything later scores strictly higher
+      }
+      dominated = FDominatesVertex(points[static_cast<size_t>(sid)],
+                                   points[static_cast<size_t>(idx)], vertices);
+    }
+    if (!dominated) result.push_back(idx);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace arsp

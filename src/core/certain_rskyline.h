@@ -1,0 +1,30 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Skyline and restricted skyline on *certain* datasets (§II-A). Used for
+// the paper's "aggregated rskyline" comparison baseline (Table I) and as
+// the first stage of the eclipse algorithms.
+
+#ifndef ARSP_CORE_CERTAIN_RSKYLINE_H_
+#define ARSP_CORE_CERTAIN_RSKYLINE_H_
+
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/prefs/preference_region.h"
+
+namespace arsp {
+
+/// Indices of points not strictly coordinate-dominated by any other point
+/// (classic skyline; duplicates are kept since neither strictly dominates).
+std::vector<int> ComputeSkyline(const std::vector<Point>& points);
+
+/// Indices of points not F-dominated by any other point: RSKY(D, F) for
+/// the vertex-described preference region. Distinct points with identical
+/// score vectors F-dominate each other and are both excluded, matching the
+/// paper's definition.
+std::vector<int> ComputeRskyline(const std::vector<Point>& points,
+                                 const PreferenceRegion& region);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_CERTAIN_RSKYLINE_H_

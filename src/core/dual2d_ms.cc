@@ -1,0 +1,128 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/dual2d_ms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arsp {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kThreeHalfPi = 4.712388980384689857693965074919;
+constexpr double kAngleEps = 1e-12;
+
+// Angle of s around t in [0, 2π); coincident points sit at 3π/2, which lies
+// inside the dominator range of every ratio range (mutual F-dominance of
+// duplicates).
+double AngleAround(const Point& t, const Point& s) {
+  const double dx = s[0] - t[0];
+  const double dy = s[1] - t[1];
+  if (dx == 0.0 && dy == 0.0) return kThreeHalfPi;
+  double theta = std::atan2(dy, dx);
+  if (theta < 0.0) theta += kTwoPi;
+  return theta;
+}
+
+}  // namespace
+
+size_t Dual2dMs::EstimateMemoryBytes(int num_instances) {
+  // Per (t, s) pair: angle + prefix product (double each) + prefix zero
+  // count (int). Prefix arrays have one extra slot per instance — ignored.
+  return static_cast<size_t>(num_instances) *
+         static_cast<size_t>(num_instances) * (8 + 8 + 4);
+}
+
+StatusOr<Dual2dMs> Dual2dMs::Build(const UncertainDataset& dataset,
+                                   size_t max_memory_bytes) {
+  if (dataset.dim() != 2) {
+    return Status::InvalidArgument("Dual2dMs requires a 2-dimensional dataset");
+  }
+  for (int j = 0; j < dataset.num_objects(); ++j) {
+    if (dataset.object_size(j) != 1) {
+      return Status::Unimplemented(
+          "Dual2dMs supports single-instance objects only (the paper's IIP "
+          "setting); multi-instance objects break prefix-product composition");
+    }
+  }
+  if (EstimateMemoryBytes(dataset.num_instances()) > max_memory_bytes) {
+    return Status::FailedPrecondition(
+        "Dual2dMs quadratic index would exceed the memory budget; "
+        "subsample the dataset (the paper hits the same wall, Fig. 7b)");
+  }
+
+  const int n = dataset.num_instances();
+  std::vector<PerInstance> table(static_cast<size_t>(n));
+
+  std::vector<std::pair<double, double>> angled;  // (angle, prob)
+  for (int ti = 0; ti < n; ++ti) {
+    const Instance& t = dataset.instance(ti);
+    angled.clear();
+    angled.reserve(static_cast<size_t>(n - 1));
+    for (int si = 0; si < n; ++si) {
+      if (si == ti) continue;  // single-instance objects: skip own object
+      const Instance& s = dataset.instance(si);
+      angled.emplace_back(AngleAround(t.point, s.point), s.prob);
+    }
+    std::sort(angled.begin(), angled.end());
+
+    PerInstance& row = table[static_cast<size_t>(ti)];
+    row.prob = t.prob;
+    row.angles.reserve(angled.size());
+    row.prefix_logs.reserve(angled.size() + 1);
+    row.prefix_zeros.reserve(angled.size() + 1);
+    row.prefix_logs.push_back(0.0);
+    row.prefix_zeros.push_back(0);
+    for (const auto& [angle, prob] : angled) {
+      row.angles.push_back(angle);
+      const double factor = 1.0 - prob;
+      if (factor <= kProbabilityEps) {
+        row.prefix_logs.push_back(row.prefix_logs.back());
+        row.prefix_zeros.push_back(row.prefix_zeros.back() + 1);
+      } else {
+        row.prefix_logs.push_back(row.prefix_logs.back() + std::log(factor));
+        row.prefix_zeros.push_back(row.prefix_zeros.back());
+      }
+    }
+  }
+  return Dual2dMs(std::move(table));
+}
+
+ArspResult Dual2dMs::Query(double ratio_lo, double ratio_hi) const {
+  ARSP_CHECK_MSG(ratio_lo > 0.0 && ratio_lo <= ratio_hi,
+                 "ratio range must satisfy 0 < l <= h");
+  const double theta_lo = M_PI - std::atan(ratio_lo) - kAngleEps;
+  const double theta_hi = kTwoPi - std::atan(ratio_hi) + kAngleEps;
+
+  ArspResult result;
+  result.instance_probs.assign(table_.size(), 0.0);
+  for (size_t ti = 0; ti < table_.size(); ++ti) {
+    const PerInstance& row = table_[ti];
+    const auto begin_it =
+        std::lower_bound(row.angles.begin(), row.angles.end(), theta_lo);
+    const auto end_it =
+        std::upper_bound(row.angles.begin(), row.angles.end(), theta_hi);
+    const size_t a = static_cast<size_t>(begin_it - row.angles.begin());
+    const size_t b = static_cast<size_t>(end_it - row.angles.begin());
+    if (row.prefix_zeros[b] - row.prefix_zeros[a] > 0) {
+      result.instance_probs[ti] = 0.0;  // a certain dominator in range
+    } else {
+      result.instance_probs[ti] =
+          row.prob * std::exp(row.prefix_logs[b] - row.prefix_logs[a]);
+    }
+  }
+  return result;
+}
+
+size_t Dual2dMs::MemoryBytes() const {
+  size_t total = 0;
+  for (const PerInstance& row : table_) {
+    total += row.angles.size() * sizeof(double) +
+             row.prefix_logs.size() * sizeof(double) +
+             row.prefix_zeros.size() * sizeof(int);
+  }
+  return total;
+}
+
+}  // namespace arsp

@@ -1,0 +1,118 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/dual_algorithm.h"
+
+#include <vector>
+
+#include "src/index/kdtree.h"
+
+namespace arsp {
+
+namespace {
+
+// Vertical tolerance for the below-or-on test of Eq. (6); dominance at the
+// boundary (h'(r*) = 0) is inclusive per Theorem 5.
+constexpr double kBelowEps = 1e-9;
+
+// Region code of s relative to t: bit i = 1 iff s[i] >= t[i] (the paper's
+// "0 if less than t[i], 1 otherwise").
+int RegionCode(const Point& s, const Point& t, int d) {
+  int code = 0;
+  for (int i = 0; i < d - 1; ++i) {
+    if (s[i] >= t[i]) code |= (1 << i);
+  }
+  return code;
+}
+
+}  // namespace
+
+Hyperplane MakeRegionHyperplane(const Point& t, int region_code,
+                                const WeightRatioConstraints& wr) {
+  const int d = wr.dim();
+  // Eq. (6): x[d] = Σ_i c_i (t[i] - x[i]) + t[d] with c_i = l_i for bit 0
+  // and h_i for bit 1. In the library's x[d] = coef·x - offset form:
+  //   coef_i = -c_i,  offset = -(Σ_i c_i t[i] + t[d]).
+  std::vector<double> coef(static_cast<size_t>(d - 1));
+  double constant = t[d - 1];
+  for (int i = 0; i < d - 1; ++i) {
+    const double c = ((region_code >> i) & 1) ? wr.hi(i) : wr.lo(i);
+    coef[static_cast<size_t>(i)] = -c;
+    constant += c * t[i];
+  }
+  return Hyperplane(std::move(coef), -constant);
+}
+
+ArspResult ComputeArspDual(const UncertainDataset& dataset,
+                           const WeightRatioConstraints& wr) {
+  const int d = wr.dim();
+  ARSP_CHECK_MSG(dataset.dim() == d,
+                 "weight ratio constraints are for dimension %d but the "
+                 "dataset has dimension %d",
+                 d, dataset.dim());
+  const int n = dataset.num_instances();
+  const int m = dataset.num_objects();
+
+  ArspResult result;
+  result.instance_probs.assign(static_cast<size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  std::vector<KdItem> items;
+  items.reserve(static_cast<size_t>(n));
+  for (const Instance& inst : dataset.instances()) {
+    items.push_back(KdItem{inst.point, inst.instance_id, inst.prob});
+  }
+  const KdTree tree(std::move(items));
+  const Mbr& bounds = tree.root_mbr();
+
+  std::vector<double> sigma(static_cast<size_t>(m), 0.0);
+  std::vector<int> touched;
+
+  for (const Instance& t : dataset.instances()) {
+    touched.clear();
+    for (int k = 0; k < (1 << (d - 1)); ++k) {
+      // Orthant box of region k, clipped to the data bounds. Boxes of
+      // adjacent regions share their boundary; the exact region-code check
+      // in the visitor prevents double counting at s[i] == t[i].
+      Point lo = bounds.min_corner();
+      Point hi = bounds.max_corner();
+      bool feasible = true;
+      for (int i = 0; i < d - 1 && feasible; ++i) {
+        if ((k >> i) & 1) {
+          lo[i] = t.point[i];
+          feasible = t.point[i] <= hi[i];
+        } else {
+          hi[i] = t.point[i];
+          feasible = lo[i] <= t.point[i];
+        }
+      }
+      if (!feasible) continue;
+      const Mbr box(lo, hi);
+      const Hyperplane plane = MakeRegionHyperplane(t.point, k, wr);
+
+      tree.ForEachInBoxBelow(box, plane, kBelowEps, [&](const KdItem& item) {
+        const Instance& s = dataset.instance(item.id);
+        if (s.object_id == t.object_id) return;
+        if (RegionCode(s.point, t.point, d) != k) return;
+        ++result.dominance_tests;
+        double& bucket = sigma[static_cast<size_t>(s.object_id)];
+        if (bucket == 0.0) touched.push_back(s.object_id);
+        bucket += s.prob;
+      });
+    }
+
+    double prob = t.prob;
+    for (int j : touched) {
+      const double sum = sigma[static_cast<size_t>(j)];
+      if (sum >= 1.0 - kProbabilityEps) {
+        prob = 0.0;
+        break;
+      }
+      prob *= (1.0 - sum);
+    }
+    result.instance_probs[static_cast<size_t>(t.instance_id)] = prob;
+    for (int j : touched) sigma[static_cast<size_t>(j)] = 0.0;
+  }
+  return result;
+}
+
+}  // namespace arsp

@@ -1,0 +1,45 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/enum_algorithm.h"
+
+#include "src/prefs/fdominance.h"
+#include "src/uncertain/possible_worlds.h"
+
+namespace arsp {
+
+ArspResult ComputeArspEnum(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           double max_worlds) {
+  ArspResult result;
+  result.instance_probs.assign(
+      static_cast<size_t>(dataset.num_instances()), 0.0);
+  const std::vector<Point>& vertices = region.vertices();
+
+  ForEachPossibleWorld(
+      dataset,
+      [&](const PossibleWorld& world) {
+        // An instance is in the world's rskyline iff no other present
+        // instance F-dominates it.
+        for (int j = 0; j < dataset.num_objects(); ++j) {
+          const int tid = world.choice[static_cast<size_t>(j)];
+          if (tid < 0) continue;
+          const Point& t = dataset.instance(tid).point;
+          bool dominated = false;
+          for (int l = 0; l < dataset.num_objects() && !dominated; ++l) {
+            if (l == j) continue;
+            const int sid = world.choice[static_cast<size_t>(l)];
+            if (sid < 0) continue;
+            ++result.dominance_tests;
+            dominated = FDominatesVertex(dataset.instance(sid).point, t,
+                                         vertices);
+          }
+          if (!dominated) {
+            result.instance_probs[static_cast<size_t>(tid)] += world.prob;
+          }
+        }
+      },
+      max_worlds);
+  return result;
+}
+
+}  // namespace arsp

@@ -1,0 +1,25 @@
+// Copyright 2026 The ARSP Authors.
+//
+// ENUM (§III-A, first baseline): enumerate every possible world, compute its
+// rskyline, and accumulate world probabilities per instance (Eq. 2).
+// Exponential time — it exists as executable ground truth for the other
+// algorithms and for the paper's Fig. 5 "ENUM never finishes" observation.
+
+#ifndef ARSP_CORE_ENUM_ALGORITHM_H_
+#define ARSP_CORE_ENUM_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Computes ARSP by possible-world enumeration. Aborts (by design) when the
+/// number of worlds exceeds `max_worlds`.
+ArspResult ComputeArspEnum(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           double max_worlds = 2e7);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_ENUM_ALGORITHM_H_

@@ -1,0 +1,240 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/kdtt_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/asp_traversal_state.h"
+#include "src/prefs/score_mapper.h"
+
+namespace arsp {
+
+namespace {
+
+using internal::AspTraversalState;
+
+// An instance after mapping into the d'-dimensional score space.
+struct MappedInstance {
+  Point point;
+  double prob;
+  int object;
+  int instance_id;
+};
+
+class KdAspRunner {
+ public:
+  KdAspRunner(std::vector<MappedInstance> mapped, int num_objects,
+              ArspResult* result)
+      : mapped_(std::move(mapped)),
+        order_(mapped_.size()),
+        state_(num_objects),
+        result_(result) {
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  // KDTT+: construction fused with traversal.
+  void RunIntegrated() {
+    if (mapped_.empty()) return;
+    std::vector<int> candidates(order_);
+    RecurseIntegrated(0, static_cast<int>(mapped_.size()), candidates);
+  }
+
+  // KDTT: build the full kd-tree, then pre-order traverse it.
+  void RunPrebuilt() {
+    if (mapped_.empty()) return;
+    const int root = Build(0, static_cast<int>(mapped_.size()));
+    std::vector<int> candidates(order_);
+    Traverse(root, candidates);
+  }
+
+ private:
+  struct Node {
+    int begin, end;
+    int left = -1, right = -1;
+    Point pmin, pmax;
+  };
+
+  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
+    const int dim = mapped_.front().point.dim();
+    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
+                .point;
+    *pmax = *pmin;
+    for (int i = begin + 1; i < end; ++i) {
+      const Point& p =
+          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
+      for (int k = 0; k < dim; ++k) {
+        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
+        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
+      }
+    }
+  }
+
+  int WidestDim(const Point& pmin, const Point& pmax) const {
+    int dim = 0;
+    double widest = -1.0;
+    for (int k = 0; k < pmin.dim(); ++k) {
+      const double extent = pmax[k] - pmin[k];
+      if (extent > widest) {
+        widest = extent;
+        dim = k;
+      }
+    }
+    return dim;
+  }
+
+  void PartitionRange(int begin, int end, int mid, int split_dim) {
+    std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                     order_.begin() + end, [this, split_dim](int a, int b) {
+                       return mapped_[static_cast<size_t>(a)].point[split_dim] <
+                              mapped_[static_cast<size_t>(b)].point[split_dim];
+                     });
+  }
+
+  // Moves candidates into D (σ) when they dominate pmin, keeps them when
+  // they dominate pmax; everything else is discarded for this subtree.
+  void ProcessCandidates(const Point& pmin, const Point& pmax,
+                         const std::vector<int>& parent_candidates,
+                         std::vector<int>* kept,
+                         std::vector<AspTraversalState::Change>* undo_log) {
+    for (int cid : parent_candidates) {
+      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
+      ++result_->dominance_tests;
+      if (DominatesWeak(mi.point, pmin)) {
+        state_.Add(mi.object, mi.prob, undo_log);
+      } else if (DominatesWeak(mi.point, pmax)) {
+        kept->push_back(cid);
+      }
+    }
+  }
+
+  // Terminal handling shared by both traversal modes. Returns true when the
+  // subtree is fully resolved (leaf emitted or pruned).
+  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
+                      int end) {
+    if (state_.chi() >= 2) {
+      // At least two distinct objects fully dominate pmin: every instance in
+      // the subtree has at least one foreign full dominator — all zero.
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (state_.chi() == 1) {
+      // One object's whole mass dominates pmin. Its own instances can still
+      // survive, but (see DESIGN.md) they must coincide with pmin exactly,
+      // where the accumulated σ is exact — emit them, prune the rest.
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        if (mi.point == pmin) {
+          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+              state_.LeafProbability(mi.object, mi.prob);
+        }
+      }
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (pmin == pmax) {
+      // True leaf (single instance, or several coincident instances whose
+      // mutual dominance is already inside σ).
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+            state_.LeafProbability(mi.object, mi.prob);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void RecurseIntegrated(int begin, int end,
+                         const std::vector<int>& parent_candidates) {
+    ++result_->nodes_visited;
+    Point pmin, pmax;
+    ComputeCorners(begin, end, &pmin, &pmax);
+
+    std::vector<int> kept;
+    std::vector<AspTraversalState::Change> undo_log;
+    ProcessCandidates(pmin, pmax, parent_candidates, &kept, &undo_log);
+
+    if (!HandleTerminal(pmin, pmax, begin, end)) {
+      const int mid = begin + (end - begin) / 2;
+      PartitionRange(begin, end, mid, WidestDim(pmin, pmax));
+      RecurseIntegrated(begin, mid, kept);
+      RecurseIntegrated(mid, end, kept);
+    }
+    state_.Undo(undo_log);
+  }
+
+  int Build(int begin, int end) {
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.back().begin = begin;
+    nodes_.back().end = end;
+    Point pmin, pmax;
+    ComputeCorners(begin, end, &pmin, &pmax);
+    nodes_[static_cast<size_t>(node_id)].pmin = pmin;
+    nodes_[static_cast<size_t>(node_id)].pmax = pmax;
+    if (end - begin > 1 && !(pmin == pmax)) {
+      const int mid = begin + (end - begin) / 2;
+      PartitionRange(begin, end, mid, WidestDim(pmin, pmax));
+      const int left = Build(begin, mid);
+      const int right = Build(mid, end);
+      nodes_[static_cast<size_t>(node_id)].left = left;
+      nodes_[static_cast<size_t>(node_id)].right = right;
+    }
+    return node_id;
+  }
+
+  void Traverse(int node_id, const std::vector<int>& parent_candidates) {
+    ++result_->nodes_visited;
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+
+    std::vector<int> kept;
+    std::vector<AspTraversalState::Change> undo_log;
+    ProcessCandidates(node.pmin, node.pmax, parent_candidates, &kept,
+                      &undo_log);
+
+    if (!HandleTerminal(node.pmin, node.pmax, node.begin, node.end)) {
+      ARSP_DCHECK(node.left >= 0 && node.right >= 0);
+      Traverse(node.left, kept);
+      Traverse(node.right, kept);
+    }
+    state_.Undo(undo_log);
+  }
+
+  std::vector<MappedInstance> mapped_;
+  std::vector<int> order_;
+  std::vector<Node> nodes_;
+  AspTraversalState state_;
+  ArspResult* result_;
+};
+
+}  // namespace
+
+ArspResult ComputeArspKdtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           const KdttOptions& options) {
+  ArspResult result;
+  result.instance_probs.assign(
+      static_cast<size_t>(dataset.num_instances()), 0.0);
+  if (dataset.num_instances() == 0) return result;
+
+  const ScoreMapper mapper(region);
+  std::vector<MappedInstance> mapped;
+  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
+  for (const Instance& inst : dataset.instances()) {
+    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
+                                    inst.object_id, inst.instance_id});
+  }
+
+  KdAspRunner runner(std::move(mapped), dataset.num_objects(), &result);
+  if (options.integrated) {
+    runner.RunIntegrated();
+  } else {
+    runner.RunPrebuilt();
+  }
+  return result;
+}
+
+}  // namespace arsp

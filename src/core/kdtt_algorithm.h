@@ -1,0 +1,35 @@
+// Copyright 2026 The ARSP Authors.
+//
+// KDTT / KDTT+ (§III-B, Algorithm 1): map instances to the d'-dimensional
+// score space SV(·), where F-dominance becomes coordinate dominance
+// (Theorem 2), then run the kd-ASP* traversal to compute all skyline
+// probabilities of the mapped dataset. Time O(c² + d d' n + n^{2-1/d'}).
+//
+// KDTT first builds the whole kd-tree and then traverses it (the structure
+// of Afshani et al. [12]); KDTT+ fuses construction into the pre-order
+// traversal so that pruned subtrees are never even built.
+
+#ifndef ARSP_CORE_KDTT_ALGORITHM_H_
+#define ARSP_CORE_KDTT_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Options for the kd-traversal family.
+struct KdttOptions {
+  /// true = KDTT+ (construction fused with traversal; pruned subtrees are
+  /// not built); false = KDTT (build the full tree, then traverse).
+  bool integrated = true;
+};
+
+/// Computes ARSP with the kd-tree traversal algorithm.
+ArspResult ComputeArspKdtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           const KdttOptions& options = {});
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_KDTT_ALGORITHM_H_

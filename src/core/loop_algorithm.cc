@@ -1,0 +1,88 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/loop_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/prefs/fdominance.h"
+
+namespace arsp {
+
+ArspResult ComputeArspLoop(const UncertainDataset& dataset,
+                           const PreferenceRegion& region) {
+  const int n = dataset.num_instances();
+  const int m = dataset.num_objects();
+  ArspResult result;
+  result.instance_probs.assign(static_cast<size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  const std::vector<Point>& vertices = region.vertices();
+  const Point& omega = vertices.front();
+
+  // Sort instance ids by score under ω; an F-dominator of t can only appear
+  // at a score ≤ t's score, i.e. at an earlier position or inside t's
+  // equal-score group.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> keys(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys[static_cast<size_t>(i)] = Score(omega, dataset.instance(i).point);
+  }
+  std::sort(order.begin(), order.end(), [&keys](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+
+  // σ[j] is reset lazily through the touched list (m can be large).
+  std::vector<double> sigma(static_cast<size_t>(m), 0.0);
+  std::vector<int> touched;
+
+  int group_begin = 0;
+  while (group_begin < n) {
+    // The equal-score group [group_begin, group_end).
+    int group_end = group_begin + 1;
+    const double key = keys[static_cast<size_t>(order[
+        static_cast<size_t>(group_begin)])];
+    while (group_end < n &&
+           keys[static_cast<size_t>(order[static_cast<size_t>(group_end)])] ==
+               key) {
+      ++group_end;
+    }
+
+    for (int pos = group_begin; pos < group_end; ++pos) {
+      const int tid = order[static_cast<size_t>(pos)];
+      const Instance& t = dataset.instance(tid);
+      touched.clear();
+      // Candidate dominators: everything strictly before the group plus the
+      // other members of the group.
+      for (int prev = 0; prev < group_end; ++prev) {
+        if (prev == pos) continue;
+        const int sid = order[static_cast<size_t>(prev)];
+        const Instance& s = dataset.instance(sid);
+        if (s.object_id == t.object_id) continue;
+        ++result.dominance_tests;
+        if (FDominatesVertex(s.point, t.point, vertices)) {
+          if (sigma[static_cast<size_t>(s.object_id)] == 0.0) {
+            touched.push_back(s.object_id);
+          }
+          sigma[static_cast<size_t>(s.object_id)] += s.prob;
+        }
+      }
+      double prob = t.prob;
+      for (int j : touched) {
+        const double sum = sigma[static_cast<size_t>(j)];
+        if (sum >= 1.0 - kProbabilityEps) {
+          prob = 0.0;
+          break;
+        }
+        prob *= (1.0 - sum);
+      }
+      result.instance_probs[static_cast<size_t>(tid)] = prob;
+      for (int j : touched) sigma[static_cast<size_t>(j)] = 0.0;
+    }
+    group_begin = group_end;
+  }
+  return result;
+}
+
+}  // namespace arsp

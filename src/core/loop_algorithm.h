@@ -1,0 +1,24 @@
+// Copyright 2026 The ARSP Authors.
+//
+// LOOP (§III-A, second baseline): evaluate Eq. (3) directly. Instances are
+// sorted by score under one vertex of the preference region, which
+// guarantees that no instance is F-dominated by a successor; each instance
+// is then tested against every candidate predecessor with the Theorem-2
+// vertex test. O(c² + d d' n²).
+
+#ifndef ARSP_CORE_LOOP_ALGORITHM_H_
+#define ARSP_CORE_LOOP_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Computes ARSP with the quadratic sorted-scan baseline.
+ArspResult ComputeArspLoop(const UncertainDataset& dataset,
+                           const PreferenceRegion& region);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_LOOP_ALGORITHM_H_

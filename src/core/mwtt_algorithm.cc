@@ -1,0 +1,162 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/mwtt_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/asp_traversal_state.h"
+#include "src/prefs/score_mapper.h"
+
+namespace arsp {
+
+namespace {
+
+using internal::AspTraversalState;
+
+struct MappedInstance {
+  Point point;
+  double prob;
+  int object;
+  int instance_id;
+};
+
+class MultiWayAspRunner {
+ public:
+  MultiWayAspRunner(std::vector<MappedInstance> mapped, int num_objects,
+                    int fanout, ArspResult* result)
+      : mapped_(std::move(mapped)),
+        order_(mapped_.size()),
+        fanout_(fanout),
+        state_(num_objects),
+        result_(result) {
+    ARSP_CHECK_MSG(fanout >= 2, "MWTT fanout must be >= 2 (got %d)", fanout);
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  void Run() {
+    if (mapped_.empty()) return;
+    std::vector<int> candidates(order_);
+    Recurse(0, static_cast<int>(mapped_.size()), candidates);
+  }
+
+ private:
+  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
+    const int dim = mapped_.front().point.dim();
+    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
+                .point;
+    *pmax = *pmin;
+    for (int i = begin + 1; i < end; ++i) {
+      const Point& p =
+          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
+      for (int k = 0; k < dim; ++k) {
+        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
+        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
+      }
+    }
+  }
+
+  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
+                      int end) {
+    if (state_.chi() >= 2) {
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (state_.chi() == 1) {
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        if (mi.point == pmin) {
+          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+              state_.LeafProbability(mi.object, mi.prob);
+        }
+      }
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (pmin == pmax) {
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+            state_.LeafProbability(mi.object, mi.prob);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
+    ++result_->nodes_visited;
+    Point pmin, pmax;
+    ComputeCorners(begin, end, &pmin, &pmax);
+
+    std::vector<int> kept;
+    std::vector<AspTraversalState::Change> undo_log;
+    for (int cid : parent_candidates) {
+      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
+      ++result_->dominance_tests;
+      if (DominatesWeak(mi.point, pmin)) {
+        state_.Add(mi.object, mi.prob, &undo_log);
+      } else if (DominatesWeak(mi.point, pmax)) {
+        kept.push_back(cid);
+      }
+    }
+
+    if (!HandleTerminal(pmin, pmax, begin, end)) {
+      // Sort the range along the widest dimension and recurse on `fanout`
+      // equal slabs (1-D STR slicing). Slabs inherit small extents on the
+      // split dimension, improving min-corner dominance tests.
+      int split_dim = 0;
+      double widest = -1.0;
+      for (int k = 0; k < pmin.dim(); ++k) {
+        if (pmax[k] - pmin[k] > widest) {
+          widest = pmax[k] - pmin[k];
+          split_dim = k;
+        }
+      }
+      std::sort(order_.begin() + begin, order_.begin() + end,
+                [this, split_dim](int a, int b) {
+                  return mapped_[static_cast<size_t>(a)].point[split_dim] <
+                         mapped_[static_cast<size_t>(b)].point[split_dim];
+                });
+      const int total = end - begin;
+      const int slab = std::max(1, (total + fanout_ - 1) / fanout_);
+      for (int chunk = begin; chunk < end; chunk += slab) {
+        Recurse(chunk, std::min(end, chunk + slab), kept);
+      }
+    }
+    state_.Undo(undo_log);
+  }
+
+  std::vector<MappedInstance> mapped_;
+  std::vector<int> order_;
+  const int fanout_;
+  AspTraversalState state_;
+  ArspResult* result_;
+};
+
+}  // namespace
+
+ArspResult ComputeArspMwtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           const MwttOptions& options) {
+  ArspResult result;
+  result.instance_probs.assign(
+      static_cast<size_t>(dataset.num_instances()), 0.0);
+  if (dataset.num_instances() == 0) return result;
+
+  const ScoreMapper mapper(region);
+  std::vector<MappedInstance> mapped;
+  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
+  for (const Instance& inst : dataset.instances()) {
+    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
+                                    inst.object_id, inst.instance_id});
+  }
+  MultiWayAspRunner runner(std::move(mapped), dataset.num_objects(),
+                           options.fanout, &result);
+  runner.Run();
+  return result;
+}
+
+}  // namespace arsp

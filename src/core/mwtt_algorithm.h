@@ -1,0 +1,33 @@
+// Copyright 2026 The ARSP Authors.
+//
+// MWTT — the "any space-partitioning tree" remark of §III-B made concrete:
+// the kd-ASP* state machine over a multi-way tree that splits each node
+// into `fanout` equal slabs along its widest mapped dimension (the
+// one-dimensional STR discipline R-trees use for bulk loading). Sits
+// between KDTT+ (fanout 2) and QDTT+ (fanout 2^{d'}) and lets the ablation
+// benchmarks sweep the partitioning trade-off explicitly.
+
+#ifndef ARSP_CORE_MWTT_ALGORITHM_H_
+#define ARSP_CORE_MWTT_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Options for the multi-way tree traversal.
+struct MwttOptions {
+  /// Children per node (≥ 2). 2 reproduces KDTT+'s shape with slab splits.
+  int fanout = 8;
+};
+
+/// Computes ARSP with the multi-way tree traversal (construction fused
+/// with the pre-order traversal, like KDTT+).
+ArspResult ComputeArspMwtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           const MwttOptions& options = {});
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_MWTT_ALGORITHM_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/ov_reduction.h"
+
+#include "src/common/rng.h"
+
+namespace arsp {
+
+OvInstance MakeRandomOvInstance(int n, int dim, double density,
+                                uint64_t seed) {
+  ARSP_CHECK(n >= 1 && dim >= 1);
+  Rng rng(seed);
+  OvInstance ov;
+  auto fill = [&](std::vector<std::vector<int>>* out) {
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> v(static_cast<size_t>(dim));
+      for (int k = 0; k < dim; ++k) v[static_cast<size_t>(k)] =
+          rng.Bernoulli(density) ? 1 : 0;
+      out->push_back(std::move(v));
+    }
+  };
+  fill(&ov.a);
+  fill(&ov.b);
+  return ov;
+}
+
+UncertainDataset BuildOvDataset(const OvInstance& ov) {
+  ARSP_CHECK(!ov.a.empty() && !ov.b.empty());
+  const int dim = static_cast<int>(ov.a.front().size());
+  UncertainDatasetBuilder builder(dim);
+
+  for (const std::vector<int>& b : ov.b) {
+    ARSP_CHECK(static_cast<int>(b.size()) == dim);
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = static_cast<double>(b[
+        static_cast<size_t>(k)]);
+    builder.AddSingleton(std::move(p), 1.0);
+  }
+
+  std::vector<Point> xi;
+  std::vector<double> probs;
+  const double p_each = 1.0 / static_cast<double>(ov.a.size());
+  for (const std::vector<int>& a : ov.a) {
+    ARSP_CHECK(static_cast<int>(a.size()) == dim);
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) {
+      p[k] = a[static_cast<size_t>(k)] == 0 ? 1.5 : 0.5;
+    }
+    xi.push_back(std::move(p));
+    probs.push_back(p_each);
+  }
+  builder.AddObject(std::move(xi), std::move(probs));
+
+  auto dataset = builder.Build();
+  ARSP_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+bool OvPairExists(const ArspResult& result, const UncertainDataset& dataset) {
+  const int ta = dataset.num_objects() - 1;  // T_A is the last object
+  const auto [begin, end] = dataset.object_range(ta);
+  for (int i = begin; i < end; ++i) {
+    if (result.instance_probs[static_cast<size_t>(i)] <= kProbabilityEps) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OvPairExistsBrute(const OvInstance& ov) {
+  for (const auto& a : ov.a) {
+    for (const auto& b : ov.b) {
+      int dot = 0;
+      for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+      if (dot == 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace arsp

@@ -1,0 +1,46 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The fine-grained hardness reduction of Theorem 1: an Orthogonal Vectors
+// instance (A, B ⊆ {0,1}^d) maps to an uncertain dataset such that a pair
+// (a, b) with a·b = 0 exists iff some instance of the big object T_A has
+// rskyline probability zero. Usable both as a correctness test of the ARSP
+// algorithms and as an empirical illustration of the conditional lower
+// bound (bench_ablations).
+
+#ifndef ARSP_CORE_OV_REDUCTION_H_
+#define ARSP_CORE_OV_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/arsp_result.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// A binary vector set pair for the Orthogonal Vectors problem.
+struct OvInstance {
+  std::vector<std::vector<int>> a;
+  std::vector<std::vector<int>> b;
+};
+
+/// Draws |A| = |B| = n random vectors in {0,1}^d with 1-probability
+/// `density`.
+OvInstance MakeRandomOvInstance(int n, int dim, double density,
+                                uint64_t seed);
+
+/// Theorem-1 construction: one singleton object (p = 1) per b ∈ B, plus one
+/// object T_A (the last object) whose instances are ξ(a) with
+/// ξ(a)[i] = 3/2 if a[i] = 0 else 1/2, each with probability 1/|A|.
+UncertainDataset BuildOvDataset(const OvInstance& ov);
+
+/// Decodes the reduction: true iff some instance of T_A (the last object)
+/// has zero rskyline probability in `result`.
+bool OvPairExists(const ArspResult& result, const UncertainDataset& dataset);
+
+/// Quadratic reference solver for Orthogonal Vectors.
+bool OvPairExistsBrute(const OvInstance& ov);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_OV_REDUCTION_H_

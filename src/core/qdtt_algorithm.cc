@@ -1,0 +1,181 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/qdtt_algorithm.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "src/core/asp_traversal_state.h"
+#include "src/prefs/score_mapper.h"
+
+namespace arsp {
+
+namespace {
+
+using internal::AspTraversalState;
+
+struct MappedInstance {
+  Point point;
+  double prob;
+  int object;
+  int instance_id;
+};
+
+class QuadAspRunner {
+ public:
+  QuadAspRunner(std::vector<MappedInstance> mapped, int num_objects,
+                ArspResult* result)
+      : mapped_(std::move(mapped)),
+        order_(mapped_.size()),
+        state_(num_objects),
+        result_(result) {
+    ARSP_CHECK_MSG(mapped_.empty() || mapped_.front().point.dim() <= 63,
+                   "QDTT+ quadrant codes support at most 63 mapped "
+                   "dimensions; use KDTT+ or B&B for larger vertex sets");
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  void Run() {
+    if (mapped_.empty()) return;
+    std::vector<int> candidates(order_);
+    Recurse(0, static_cast<int>(mapped_.size()), candidates);
+  }
+
+ private:
+  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
+    const int dim = mapped_.front().point.dim();
+    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
+                .point;
+    *pmax = *pmin;
+    for (int i = begin + 1; i < end; ++i) {
+      const Point& p =
+          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
+      for (int k = 0; k < dim; ++k) {
+        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
+        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
+      }
+    }
+  }
+
+  uint64_t QuadrantCode(const Point& p, const Point& center) const {
+    uint64_t code = 0;
+    for (int k = 0; k < p.dim(); ++k) {
+      code = (code << 1) | (p[k] > center[k] ? 1u : 0u);
+    }
+    return code;
+  }
+
+  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
+                      int end) {
+    if (state_.chi() >= 2) {
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (state_.chi() == 1) {
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        if (mi.point == pmin) {
+          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+              state_.LeafProbability(mi.object, mi.prob);
+        }
+      }
+      ++result_->nodes_pruned;
+      return true;
+    }
+    if (pmin == pmax) {
+      for (int i = begin; i < end; ++i) {
+        const MappedInstance& mi =
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
+            state_.LeafProbability(mi.object, mi.prob);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
+    ++result_->nodes_visited;
+    Point pmin, pmax;
+    ComputeCorners(begin, end, &pmin, &pmax);
+
+    std::vector<int> kept;
+    std::vector<AspTraversalState::Change> undo_log;
+    for (int cid : parent_candidates) {
+      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
+      ++result_->dominance_tests;
+      if (DominatesWeak(mi.point, pmin)) {
+        state_.Add(mi.object, mi.prob, &undo_log);
+      } else if (DominatesWeak(mi.point, pmax)) {
+        kept.push_back(cid);
+      }
+    }
+
+    if (!HandleTerminal(pmin, pmax, begin, end)) {
+      // Partition the range into quadrants around the box center by sorting
+      // on the quadrant code; only non-empty quadrants recurse (no 2^{d'}
+      // allocation, though the fan-out still hurts in high dimensions).
+      Point center(pmin.dim());
+      for (int k = 0; k < pmin.dim(); ++k) {
+        center[k] = 0.5 * (pmin[k] + pmax[k]);
+      }
+      std::sort(order_.begin() + begin, order_.begin() + end,
+                [this, &center](int a, int b) {
+                  return QuadrantCode(mapped_[static_cast<size_t>(a)].point,
+                                      center) <
+                         QuadrantCode(mapped_[static_cast<size_t>(b)].point,
+                                      center);
+                });
+      int chunk = begin;
+      while (chunk < end) {
+        const uint64_t code = QuadrantCode(
+            mapped_[static_cast<size_t>(order_[static_cast<size_t>(chunk)])]
+                .point,
+            center);
+        int chunk_end = chunk + 1;
+        while (chunk_end < end &&
+               QuadrantCode(
+                   mapped_[static_cast<size_t>(
+                               order_[static_cast<size_t>(chunk_end)])]
+                       .point,
+                   center) == code) {
+          ++chunk_end;
+        }
+        Recurse(chunk, chunk_end, kept);
+        chunk = chunk_end;
+      }
+    }
+    state_.Undo(undo_log);
+  }
+
+  std::vector<MappedInstance> mapped_;
+  std::vector<int> order_;
+  AspTraversalState state_;
+  ArspResult* result_;
+};
+
+}  // namespace
+
+ArspResult ComputeArspQdtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region) {
+  ArspResult result;
+  result.instance_probs.assign(
+      static_cast<size_t>(dataset.num_instances()), 0.0);
+  if (dataset.num_instances() == 0) return result;
+
+  const ScoreMapper mapper(region);
+  std::vector<MappedInstance> mapped;
+  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
+  for (const Instance& inst : dataset.instances()) {
+    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
+                                    inst.object_id, inst.instance_id});
+  }
+
+  QuadAspRunner runner(std::move(mapped), dataset.num_objects(), &result);
+  runner.Run();
+  return result;
+}
+
+}  // namespace arsp

@@ -1,0 +1,24 @@
+// Copyright 2026 The ARSP Authors.
+//
+// QDTT+ (§III-B, remark): the quadtree variant of Algorithm 1. Each node
+// partitions its point set around the center of its bounding box into up to
+// 2^{d'} quadrants, which yields smaller MBRs (and earlier pruning) in low
+// dimensions but suffers when d' grows — exactly the trade-off the paper's
+// Fig. 5 measures. Construction is fused with the pre-order traversal.
+
+#ifndef ARSP_CORE_QDTT_ALGORITHM_H_
+#define ARSP_CORE_QDTT_ALGORITHM_H_
+
+#include "src/core/arsp_result.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Computes ARSP with the quadtree traversal algorithm (QDTT+).
+ArspResult ComputeArspQdtt(const UncertainDataset& dataset,
+                           const PreferenceRegion& region);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_QDTT_ALGORITHM_H_

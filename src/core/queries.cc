@@ -1,0 +1,57 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/queries.h"
+
+#include <algorithm>
+
+namespace arsp {
+
+std::vector<std::pair<int, double>> ObjectsAboveThreshold(
+    const ArspResult& result, const UncertainDataset& dataset,
+    double threshold) {
+  std::vector<std::pair<int, double>> ranked =
+      TopKObjects(result, dataset, -1);
+  auto cut = std::find_if(ranked.begin(), ranked.end(),
+                          [threshold](const std::pair<int, double>& e) {
+                            return e.second < threshold;
+                          });
+  ranked.erase(cut, ranked.end());
+  return ranked;
+}
+
+std::vector<std::pair<int, double>> InstancesAboveThreshold(
+    const ArspResult& result, double threshold) {
+  std::vector<std::pair<int, double>> out;
+  for (size_t i = 0; i < result.instance_probs.size(); ++i) {
+    if (result.instance_probs[i] >= threshold) {
+      out.emplace_back(static_cast<int>(i), result.instance_probs[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<int, double>> TopKInstances(const ArspResult& result,
+                                                  int k) {
+  std::vector<std::pair<int, double>> out =
+      InstancesAboveThreshold(result, 0.0);
+  if (k >= 0 && static_cast<int>(out.size()) > k) {
+    out.resize(static_cast<size_t>(k));
+  }
+  return out;
+}
+
+double ThresholdForObjectCount(const ArspResult& result,
+                               const UncertainDataset& dataset,
+                               int max_objects) {
+  ARSP_CHECK(max_objects >= 1);
+  const std::vector<std::pair<int, double>> ranked =
+      TopKObjects(result, dataset, max_objects);
+  if (ranked.empty()) return 0.0;
+  return ranked.back().second;
+}
+
+}  // namespace arsp

@@ -1,0 +1,45 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Convenience query semantics built on top of a full ARSP result. The
+// paper's motivation for computing *all* rskyline probabilities (§I) is
+// exactly that every derived retrieval — top-k, probability thresholds,
+// controllable result sizes — becomes a cheap post-processing step, with no
+// need to pick a threshold up front.
+
+#ifndef ARSP_CORE_QUERIES_H_
+#define ARSP_CORE_QUERIES_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/core/arsp_result.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Objects whose rskyline probability is at least `threshold`, sorted by
+/// descending probability (the p-threshold query of Pei et al. [10] lifted
+/// to rskylines). Pairs of (object id, probability).
+std::vector<std::pair<int, double>> ObjectsAboveThreshold(
+    const ArspResult& result, const UncertainDataset& dataset,
+    double threshold);
+
+/// Instances whose rskyline probability is at least `threshold`, sorted by
+/// descending probability. Pairs of (instance id, probability).
+std::vector<std::pair<int, double>> InstancesAboveThreshold(
+    const ArspResult& result, double threshold);
+
+/// Top-k instances by rskyline probability (ties broken by instance id).
+std::vector<std::pair<int, double>> TopKInstances(const ArspResult& result,
+                                                  int k);
+
+/// The smallest probability threshold that yields at most `max_objects`
+/// objects — i.e. the probability of the (max_objects)-th ranked object.
+/// Gives users "controllable output size" without re-running the query.
+double ThresholdForObjectCount(const ArspResult& result,
+                               const UncertainDataset& dataset,
+                               int max_objects);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_QUERIES_H_

@@ -1,0 +1,15 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/skyline_probability.h"
+
+#include "src/core/kdtt_algorithm.h"
+#include "src/prefs/preference_region.h"
+
+namespace arsp {
+
+ArspResult ComputeAllSkylineProbabilities(const UncertainDataset& dataset) {
+  return ComputeArspKdtt(dataset, PreferenceRegion::FullSimplex(dataset.dim()),
+                         KdttOptions{.integrated = true});
+}
+
+}  // namespace arsp

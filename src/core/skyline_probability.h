@@ -1,0 +1,23 @@
+// Copyright 2026 The ARSP Authors.
+//
+// All skyline probabilities (ASP): the special case of ARSP where F is the
+// set of all monotone scoring functions, so F-dominance is coordinate
+// dominance (§II, [9], [11]–[13]). Used for the Table-II comparison between
+// skyline and rskyline probability rankings.
+
+#ifndef ARSP_CORE_SKYLINE_PROBABILITY_H_
+#define ARSP_CORE_SKYLINE_PROBABILITY_H_
+
+#include "src/core/arsp_result.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Computes the skyline probability of every instance (kd-ASP* on the
+/// identity mapping; the full-simplex preference region's vertices are the
+/// standard basis, so the mapped space is the data space itself).
+ArspResult ComputeAllSkylineProbabilities(const UncertainDataset& dataset);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_SKYLINE_PROBABILITY_H_

@@ -1,0 +1,137 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/eclipse/eclipse.h"
+
+#include <algorithm>
+
+#include "src/core/certain_rskyline.h"
+#include "src/core/dual_algorithm.h"
+#include "src/index/kdtree.h"
+#include "src/prefs/fdominance.h"
+
+namespace arsp {
+
+namespace {
+
+constexpr double kBelowEps = 1e-9;
+
+// Resolves F-dominance among the skyline candidates pairwise; a witness
+// dominator of any point can always be found inside the skyline (a minimal
+// element below it), so testing within the skyline is complete.
+std::vector<int> PairwiseOverCandidates(const std::vector<Point>& points,
+                                        const std::vector<int>& candidates,
+                                        const WeightRatioConstraints& wr) {
+  std::vector<int> eclipse;
+  for (int t : candidates) {
+    bool dominated = false;
+    for (int s : candidates) {
+      if (s == t) continue;
+      if (FDominatesWeightRatio(points[static_cast<size_t>(s)],
+                                points[static_cast<size_t>(t)], wr)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) eclipse.push_back(t);
+  }
+  std::sort(eclipse.begin(), eclipse.end());
+  return eclipse;
+}
+
+}  // namespace
+
+std::vector<int> ComputeEclipseBrute(const std::vector<Point>& points,
+                                     const WeightRatioConstraints& wr) {
+  std::vector<int> all(points.size());
+  for (size_t i = 0; i < points.size(); ++i) all[i] = static_cast<int>(i);
+  return PairwiseOverCandidates(points, all, wr);
+}
+
+std::vector<int> ComputeEclipsePairwise(const std::vector<Point>& points,
+                                        const WeightRatioConstraints& wr) {
+  return PairwiseOverCandidates(points, ComputeSkyline(points), wr);
+}
+
+std::vector<int> ResolveEclipsePairwise(const std::vector<Point>& points,
+                                        const std::vector<int>& candidates,
+                                        const WeightRatioConstraints& wr) {
+  return PairwiseOverCandidates(points, candidates, wr);
+}
+
+struct DualSEclipseIndex::Impl {
+  std::vector<int> skyline;       // original indices
+  std::vector<Point> sky_points;  // skyline coordinates (by skyline order)
+  KdTree tree;
+
+  explicit Impl(const std::vector<Point>& points)
+      : skyline(ComputeSkyline(points)), tree(MakeItems(points, skyline)) {
+    sky_points.reserve(skyline.size());
+    for (int idx : skyline) {
+      sky_points.push_back(points[static_cast<size_t>(idx)]);
+    }
+  }
+
+  static std::vector<KdItem> MakeItems(const std::vector<Point>& points,
+                                       const std::vector<int>& skyline) {
+    std::vector<KdItem> items;
+    items.reserve(skyline.size());
+    for (int idx : skyline) {
+      items.push_back(KdItem{points[static_cast<size_t>(idx)], idx, 1.0});
+    }
+    return items;
+  }
+};
+
+DualSEclipseIndex::DualSEclipseIndex(const std::vector<Point>& points)
+    : impl_(std::make_unique<Impl>(points)) {}
+
+DualSEclipseIndex::~DualSEclipseIndex() = default;
+DualSEclipseIndex::DualSEclipseIndex(DualSEclipseIndex&&) noexcept = default;
+DualSEclipseIndex& DualSEclipseIndex::operator=(DualSEclipseIndex&&) noexcept =
+    default;
+
+int DualSEclipseIndex::skyline_size() const {
+  return static_cast<int>(impl_->skyline.size());
+}
+
+std::vector<int> DualSEclipseIndex::Query(
+    const WeightRatioConstraints& wr) const {
+  const int d = wr.dim();
+  const Mbr& bounds = impl_->tree.root_mbr();
+  std::vector<int> eclipse;
+  for (size_t pos = 0; pos < impl_->skyline.size(); ++pos) {
+    const int idx = impl_->skyline[pos];
+    const Point& t = impl_->sky_points[pos];
+    bool dominated = false;
+    for (int k = 0; k < (1 << (d - 1)) && !dominated; ++k) {
+      Point lo = bounds.min_corner();
+      Point hi = bounds.max_corner();
+      bool feasible = true;
+      for (int i = 0; i < d - 1 && feasible; ++i) {
+        if ((k >> i) & 1) {
+          lo[i] = t[i];
+          feasible = t[i] <= hi[i];
+        } else {
+          hi[i] = t[i];
+          feasible = lo[i] <= t[i];
+        }
+      }
+      if (!feasible) continue;
+      // At a shared orthant boundary (s[i] == t[i]) the l/h coefficient
+      // multiplies zero, so a hit in an adjacent region's probe is still a
+      // genuine F-dominator — no exact region check needed for emptiness.
+      dominated = impl_->tree.ExistsInBoxBelow(
+          Mbr(lo, hi), MakeRegionHyperplane(t, k, wr), kBelowEps, idx);
+    }
+    if (!dominated) eclipse.push_back(idx);
+  }
+  std::sort(eclipse.begin(), eclipse.end());
+  return eclipse;
+}
+
+std::vector<int> ComputeEclipseDualS(const std::vector<Point>& points,
+                                     const WeightRatioConstraints& wr) {
+  return DualSEclipseIndex(points).Query(wr);
+}
+
+}  // namespace arsp

@@ -1,0 +1,198 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/eclipse/quad_index.h"
+
+#include <algorithm>
+
+#include "src/core/certain_rskyline.h"
+
+namespace arsp {
+
+QuadEclipseIndex::QuadEclipseIndex(const std::vector<Point>& points,
+                                   const Options& options)
+    : dim_(points.empty() ? 0 : points.front().dim()), options_(options) {
+  skyline_ = ComputeSkyline(points);
+  sky_points_.reserve(skyline_.size());
+  for (int idx : skyline_) {
+    sky_points_.push_back(points[static_cast<size_t>(idx)]);
+  }
+
+  const int s = static_cast<int>(sky_points_.size());
+  pairs_.reserve(static_cast<size_t>(s) * (s - 1) / 2);
+  for (int a = 0; a < s; ++a) {
+    for (int b = a + 1; b < s; ++b) {
+      PairPlane plane;
+      plane.a = a;
+      plane.b = b;
+      plane.coef.resize(static_cast<size_t>(dim_ - 1));
+      for (int k = 0; k < dim_ - 1; ++k) {
+        plane.coef[static_cast<size_t>(k)] =
+            sky_points_[static_cast<size_t>(a)][k] -
+            sky_points_[static_cast<size_t>(b)][k];
+      }
+      plane.offset = sky_points_[static_cast<size_t>(a)][dim_ - 1] -
+                     sky_points_[static_cast<size_t>(b)][dim_ - 1];
+      pairs_.push_back(std::move(plane));
+    }
+  }
+
+  root_ = std::make_unique<Node>();
+  root_->lo = Point(dim_ - 1);
+  root_->hi = Point(dim_ - 1);
+  for (int k = 0; k < dim_ - 1; ++k) {
+    root_->lo[k] = options_.ratio_lo;
+    root_->hi[k] = options_.ratio_hi;
+  }
+  root_->planes.resize(pairs_.size());
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    root_->planes[i] = static_cast<int>(i);
+  }
+  num_nodes_ = 1;
+  total_plane_refs_ = static_cast<long long>(pairs_.size());
+  if (options_.max_depth <= 0) {
+    // Adaptive default: keep the node count civilised as fan-out grows.
+    static const int kDepthByRatioDims[] = {0, 12, 10, 7, 5, 4};
+    const int r = std::min(dim_ - 1, 5);
+    options_.max_depth = kDepthByRatioDims[r];
+  }
+  Build(root_.get(), 0);
+}
+
+void QuadEclipseIndex::MinMaxOverBox(const PairPlane& plane, const Point& lo,
+                                     const Point& hi, double* min_out,
+                                     double* max_out) {
+  double lo_sum = plane.offset;
+  double hi_sum = plane.offset;
+  for (size_t k = 0; k < plane.coef.size(); ++k) {
+    const double c = plane.coef[k];
+    if (c >= 0.0) {
+      lo_sum += c * lo[static_cast<int>(k)];
+      hi_sum += c * hi[static_cast<int>(k)];
+    } else {
+      lo_sum += c * hi[static_cast<int>(k)];
+      hi_sum += c * lo[static_cast<int>(k)];
+    }
+  }
+  *min_out = lo_sum;
+  *max_out = hi_sum;
+}
+
+void QuadEclipseIndex::Build(Node* node, int depth) {
+  height_ = std::max(height_, depth);
+  if (static_cast<int>(node->planes.size()) <= options_.leaf_size ||
+      depth >= options_.max_depth || num_nodes_ >= options_.max_nodes ||
+      total_plane_refs_ >= options_.max_plane_refs) {
+    return;
+  }
+  const int r = dim_ - 1;
+  Point center(r);
+  for (int k = 0; k < r; ++k) {
+    center[k] = 0.5 * (node->lo[k] + node->hi[k]);
+  }
+  // 2^{d-1} children — the fan-out the paper blames for QUAD's poor
+  // scaling in d.
+  for (int code = 0; code < (1 << r); ++code) {
+    auto child = std::make_unique<Node>();
+    child->lo = node->lo;
+    child->hi = node->hi;
+    for (int k = 0; k < r; ++k) {
+      if ((code >> k) & 1) {
+        child->lo[k] = center[k];
+      } else {
+        child->hi[k] = center[k];
+      }
+    }
+    for (int plane_id : node->planes) {
+      double min_v, max_v;
+      MinMaxOverBox(pairs_[static_cast<size_t>(plane_id)], child->lo,
+                    child->hi, &min_v, &max_v);
+      if (min_v < 0.0 && max_v > 0.0) {
+        child->planes.push_back(plane_id);
+      }
+    }
+    if (!child->planes.empty()) {
+      ++num_nodes_;
+      total_plane_refs_ += static_cast<long long>(child->planes.size());
+      Node* child_ptr = child.get();
+      node->children.push_back(std::move(child));
+      Build(child_ptr, depth + 1);
+    }
+  }
+  if (node->children.empty()) {
+    // No child kept any hyperplane (they all became sign-definite exactly
+    // at the split); keep this node as a leaf.
+    return;
+  }
+  total_plane_refs_ -= static_cast<long long>(node->planes.size());
+  node->planes.clear();
+  node->planes.shrink_to_fit();
+}
+
+void QuadEclipseIndex::CollectCrossing(const Node* node, const Point& qlo,
+                                       const Point& qhi,
+                                       std::vector<char>* crossing) const {
+  // Skip cells disjoint from the query window.
+  for (int k = 0; k < dim_ - 1; ++k) {
+    if (node->hi[k] < qlo[k] || node->lo[k] > qhi[k]) return;
+  }
+  if (node->is_leaf()) {
+    for (int plane_id : node->planes) {
+      if ((*crossing)[static_cast<size_t>(plane_id)]) continue;
+      double min_v, max_v;
+      MinMaxOverBox(pairs_[static_cast<size_t>(plane_id)], qlo, qhi, &min_v,
+                    &max_v);
+      if (min_v < 0.0 && max_v > 0.0) {
+        (*crossing)[static_cast<size_t>(plane_id)] = 1;
+      }
+    }
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectCrossing(child.get(), qlo, qhi, crossing);
+  }
+}
+
+std::vector<int> QuadEclipseIndex::Query(
+    const WeightRatioConstraints& wr) const {
+  ARSP_CHECK_MSG(wr.dim() == dim_,
+                 "query dimensionality %d != indexed dimensionality %d",
+                 wr.dim(), dim_);
+  const int r = dim_ - 1;
+  Point qlo(r), qhi(r);
+  for (int k = 0; k < r; ++k) {
+    qlo[k] = wr.lo(k);
+    qhi[k] = wr.hi(k);
+  }
+
+  // Window query on the intersection index: hyperplanes crossing q. These
+  // pairs trade wins inside q, so they dominate in neither direction.
+  std::vector<char> crossing(pairs_.size(), 0);
+  if (root_ != nullptr && !pairs_.empty()) {
+    CollectCrossing(root_.get(), qlo, qhi, &crossing);
+  }
+
+  // Resolution sweep ("order vectors" in [2]): every non-crossing pair is
+  // sign-definite over q; one corner evaluation decides who dominates.
+  std::vector<char> dominated(sky_points_.size(), 0);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (crossing[i]) continue;
+    const PairPlane& plane = pairs_[i];
+    double min_v, max_v;
+    MinMaxOverBox(plane, qlo, qhi, &min_v, &max_v);
+    if (max_v <= 0.0) {
+      dominated[static_cast<size_t>(plane.b)] = 1;  // a beats b everywhere
+    }
+    if (min_v >= 0.0) {
+      dominated[static_cast<size_t>(plane.a)] = 1;  // b beats a everywhere
+    }
+  }
+
+  std::vector<int> eclipse;
+  for (size_t i = 0; i < sky_points_.size(); ++i) {
+    if (!dominated[i]) eclipse.push_back(skyline_[i]);
+  }
+  std::sort(eclipse.begin(), eclipse.end());
+  return eclipse;
+}
+
+}  // namespace arsp

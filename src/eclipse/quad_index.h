@@ -1,0 +1,115 @@
+// Copyright 2026 The ARSP Authors.
+//
+// QUAD — the index-based eclipse algorithm of Liu et al. [2], rebuilt from
+// the description in the ARSP paper's §V-D: an "Intersection Index"
+// quadtree over the pairwise score-difference hyperplanes in ratio space.
+//
+// For skyline points i and j, the hyperplane
+//     diff_ij(r) = Σ_{k<d-1} (t_i[k] - t_j[k]) r_k + (t_i[d] - t_j[d]) = 0
+// splits ratio space into the region where i beats j and the region where j
+// beats i. A query box q = Π [l_k, h_k] is answered by a window query that
+// returns the hyperplanes crossing q (those pairs trade wins inside q and
+// dominate neither way), followed by an O(s²) iteration that resolves the
+// remaining pairs by a corner evaluation and reports the objects that no
+// one dominates ("zero order vector").
+//
+// The structure reproduces the properties the paper measures: 2^{d-1}
+// fan-out at every node, slowly shrinking per-node hyperplane lists (and
+// hence tall trees) in higher dimensions, and query cost driven by the
+// number of hyperplanes the window query returns.
+
+#ifndef ARSP_ECLIPSE_QUAD_INDEX_H_
+#define ARSP_ECLIPSE_QUAD_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/prefs/weight_ratio.h"
+
+namespace arsp {
+
+/// Intersection-index eclipse structure (QUAD [2]).
+class QuadEclipseIndex {
+ public:
+  struct Options {
+    /// Ratio-space bounding box covered by the index; queries may extend
+    /// beyond it (crossing pairs outside the box dominate neither way, so
+    /// correctness is unaffected — only the measured traversal changes).
+    double ratio_lo = 0.02;
+    double ratio_hi = 10.0;
+    /// Split a node while it holds more than this many hyperplanes...
+    int leaf_size = 16;
+    /// ...but never deeper than this; 0 picks a dimension-adaptive default
+    /// (the 2^{d-1} fan-out makes deep trees explode combinatorially, the
+    /// pathology the paper measures).
+    int max_depth = 0;
+    /// Hard budget on quadtree nodes; splitting stops once reached.
+    int max_nodes = 200000;
+    /// Hard budget on stored hyperplane references across all nodes
+    /// (memory guard; ~4 bytes each). Splitting stops once reached.
+    long long max_plane_refs = 8000000;
+  };
+
+  /// Builds the skyline, the pairwise hyperplanes, and the quadtree with
+  /// default options.
+  explicit QuadEclipseIndex(const std::vector<Point>& points)
+      : QuadEclipseIndex(points, Options()) {}
+
+  /// Builds with explicit options.
+  QuadEclipseIndex(const std::vector<Point>& points, const Options& options);
+
+  /// Eclipse query: indices (into the original point set) of points not
+  /// F-dominated under `wr`. Requires wr.dim() == data dimension.
+  std::vector<int> Query(const WeightRatioConstraints& wr) const;
+
+  /// Skyline size s (the index is built over the skyline only).
+  int skyline_size() const { return static_cast<int>(skyline_.size()); }
+  /// Number of pairwise hyperplanes s(s-1)/2.
+  int num_hyperplanes() const { return static_cast<int>(pairs_.size()); }
+  /// Number of quadtree nodes (the paper's tree-size pathology measure).
+  int num_nodes() const { return num_nodes_; }
+  /// Maximum node depth reached.
+  int height() const { return height_; }
+  /// Total stored hyperplane references across nodes; divided by
+  /// num_hyperplanes() this measures how many cells each hyperplane
+  /// crosses — the replication factor behind QUAD's memory growth.
+  long long total_plane_refs() const { return total_plane_refs_; }
+
+ private:
+  // One pairwise hyperplane: diff(r) = coef · r + offset, between skyline
+  // list positions a and b (diff = score_a - score_b).
+  struct PairPlane {
+    std::vector<double> coef;
+    double offset;
+    int a, b;
+  };
+
+  struct Node {
+    Point lo, hi;                 // cell box in ratio space
+    std::vector<int> planes;      // hyperplanes indefinite over the cell
+    std::vector<std::unique_ptr<Node>> children;
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  void Build(Node* node, int depth);
+  static void MinMaxOverBox(const PairPlane& plane, const Point& lo,
+                            const Point& hi, double* min_out,
+                            double* max_out);
+  void CollectCrossing(const Node* node, const Point& qlo, const Point& qhi,
+                       std::vector<char>* crossing) const;
+
+  int dim_;
+  Options options_;
+  std::vector<int> skyline_;      // original indices
+  std::vector<Point> sky_points_;
+  std::vector<PairPlane> pairs_;
+  std::unique_ptr<Node> root_;
+  int num_nodes_ = 0;
+  int height_ = 0;
+  long long total_plane_refs_ = 0;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_ECLIPSE_QUAD_INDEX_H_

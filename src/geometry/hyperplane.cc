@@ -1,0 +1,38 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/geometry/hyperplane.h"
+
+namespace arsp {
+
+double Hyperplane::HeightAt(const Point& p) const {
+  ARSP_DCHECK(p.dim() >= dim() - 1);
+  double h = -offset_;
+  for (size_t i = 0; i < coef_.size(); ++i) {
+    h += coef_[i] * p[static_cast<int>(i)];
+  }
+  return h;
+}
+
+double Hyperplane::SignedDistance(const Point& p) const {
+  ARSP_DCHECK(p.dim() == dim());
+  return p[dim() - 1] - HeightAt(p);
+}
+
+bool Hyperplane::BelowOrOn(const Point& p, double eps) const {
+  return SignedDistance(p) <= eps;
+}
+
+Hyperplane Hyperplane::DualOfPoint(const Point& p) {
+  std::vector<double> coef(static_cast<size_t>(p.dim() - 1));
+  for (int i = 0; i + 1 < p.dim(); ++i) coef[static_cast<size_t>(i)] = p[i];
+  return Hyperplane(std::move(coef), p[p.dim() - 1]);
+}
+
+Point Hyperplane::DualPoint() const {
+  Point p(dim());
+  for (int i = 0; i + 1 < dim(); ++i) p[i] = coef_[static_cast<size_t>(i)];
+  p[dim() - 1] = offset_;
+  return p;
+}
+
+}  // namespace arsp

@@ -1,0 +1,55 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/geometry/linalg.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace arsp {
+
+std::optional<std::vector<double>> SolveLinearSystem(
+    const Matrix& a, const std::vector<double>& b, double tol) {
+  const int n = a.rows();
+  ARSP_CHECK(a.cols() == n);
+  ARSP_CHECK(static_cast<int>(b.size()) == n);
+
+  // Augmented working copy [A | b].
+  Matrix w(n, n + 1);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) w(r, c) = a(r, c);
+    w(r, n) = b[static_cast<size_t>(r)];
+  }
+
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::fabs(w(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      double v = std::fabs(w(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < tol) return std::nullopt;
+    if (pivot != col) {
+      for (int c = col; c <= n; ++c) std::swap(w(pivot, c), w(col, c));
+    }
+    const double inv = 1.0 / w(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = w(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (int c = col; c <= n; ++c) w(r, c) -= factor * w(col, c);
+    }
+  }
+
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = w(r, n);
+    for (int c = r + 1; c < n; ++c) sum -= w(r, c) * x[static_cast<size_t>(c)];
+    x[static_cast<size_t>(r)] = sum / w(r, r);
+  }
+  return x;
+}
+
+}  // namespace arsp

@@ -1,0 +1,50 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Small dense linear algebra: just enough to enumerate the vertices of the
+// preference polytope (solving d x d systems arising from active-constraint
+// subsets). Dimensions are tiny (d <= ~10), so a pivoted Gaussian
+// elimination is both exact enough and fast.
+
+#ifndef ARSP_GEOMETRY_LINALG_H_
+#define ARSP_GEOMETRY_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+namespace arsp {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for a square A with partial pivoting.
+///
+/// Returns std::nullopt when A is singular (pivot below `tol`), which the
+/// vertex-enumeration caller interprets as "this constraint subset does not
+/// define a unique vertex".
+std::optional<std::vector<double>> SolveLinearSystem(
+    const Matrix& a, const std::vector<double>& b, double tol = 1e-10);
+
+}  // namespace arsp
+
+#endif  // ARSP_GEOMETRY_LINALG_H_

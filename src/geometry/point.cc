@@ -1,0 +1,68 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/geometry/point.h"
+
+#include <cstdio>
+
+namespace arsp {
+
+Point Point::operator-(const Point& other) const {
+  ARSP_CHECK(dim() == other.dim());
+  Point out(dim());
+  for (int i = 0; i < dim(); ++i) out[i] = (*this)[i] - other[i];
+  return out;
+}
+
+Point Point::operator+(const Point& other) const {
+  ARSP_CHECK(dim() == other.dim());
+  Point out(dim());
+  for (int i = 0; i < dim(); ++i) out[i] = (*this)[i] + other[i];
+  return out;
+}
+
+double Point::Dot(const Point& other) const {
+  ARSP_CHECK(dim() == other.dim());
+  double sum = 0.0;
+  for (int i = 0; i < dim(); ++i) sum += (*this)[i] * other[i];
+  return sum;
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dim(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", (*this)[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+bool DominatesWeak(const Point& a, const Point& b) {
+  ARSP_DCHECK(a.dim() == b.dim());
+  for (int i = 0; i < a.dim(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool DominatesStrict(const Point& a, const Point& b) {
+  ARSP_DCHECK(a.dim() == b.dim());
+  bool strictly_better = false;
+  for (int i = 0; i < a.dim(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool LexLess(const Point& a, const Point& b) {
+  ARSP_DCHECK(a.dim() == b.dim());
+  for (int i = 0; i < a.dim(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+}  // namespace arsp

@@ -1,0 +1,84 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Dense d-dimensional points and coordinate-wise dominance. Lower values are
+// preferred throughout the library, matching the paper's convention.
+
+#ifndef ARSP_GEOMETRY_POINT_H_
+#define ARSP_GEOMETRY_POINT_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace arsp {
+
+/// A point in R^d with dense double coordinates.
+///
+/// Points are small (d <= 8 in every experiment in the paper) and copied
+/// freely; the vector-backed representation keeps dimensionality dynamic so
+/// the same code serves both the original data space (dimension d) and the
+/// mapped score space (dimension d' = |V|).
+class Point {
+ public:
+  Point() = default;
+
+  /// A point at the origin of R^dim.
+  explicit Point(int dim) : coords_(static_cast<size_t>(dim), 0.0) {
+    ARSP_CHECK(dim >= 0);
+  }
+
+  /// Takes ownership of explicit coordinates.
+  explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
+
+  /// Brace-list construction, e.g. Point{1.0, 2.0}.
+  Point(std::initializer_list<double> coords) : coords_(coords) {}
+
+  /// Number of dimensions.
+  int dim() const { return static_cast<int>(coords_.size()); }
+
+  double operator[](int i) const {
+    ARSP_DCHECK(i >= 0 && i < dim());
+    return coords_[static_cast<size_t>(i)];
+  }
+  double& operator[](int i) {
+    ARSP_DCHECK(i >= 0 && i < dim());
+    return coords_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<double>& coords() const { return coords_; }
+
+  bool operator==(const Point& other) const = default;
+
+  /// Component-wise difference (this - other).
+  Point operator-(const Point& other) const;
+  /// Component-wise sum.
+  Point operator+(const Point& other) const;
+
+  /// Inner product with another point of the same dimension.
+  double Dot(const Point& other) const;
+
+  /// Human-readable "(x1, x2, ...)" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coords_;
+};
+
+/// Returns true iff a[i] <= b[i] for every dimension (weak coordinate
+/// dominance, written a ⪯ b in the paper). Note the paper's dominance between
+/// distinct instances does not require strict inequality in any coordinate.
+bool DominatesWeak(const Point& a, const Point& b);
+
+/// Returns true iff a ⪯ b and a != b (a dominates b in the classic skyline
+/// sense: no worse anywhere, strictly better somewhere).
+bool DominatesStrict(const Point& a, const Point& b);
+
+/// Lexicographic comparison, used for deterministic tie-breaking.
+bool LexLess(const Point& a, const Point& b);
+
+}  // namespace arsp
+
+#endif  // ARSP_GEOMETRY_POINT_H_

@@ -1,0 +1,150 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/index/kdtree.h"
+
+#include <algorithm>
+
+namespace arsp {
+
+KdTree::KdTree(std::vector<KdItem> items, int leaf_size)
+    : dim_(items.empty() ? 0 : items.front().point.dim()),
+      items_(std::move(items)),
+      empty_mbr_(Mbr::Empty(dim_)) {
+  ARSP_CHECK(leaf_size >= 1);
+  for (const KdItem& item : items_) ARSP_CHECK(item.point.dim() == dim_);
+  if (!items_.empty()) {
+    nodes_.reserve(2 * items_.size() / static_cast<size_t>(leaf_size) + 2);
+    Build(0, static_cast<int>(items_.size()), leaf_size);
+  }
+}
+
+int KdTree::Build(int begin, int end, int leaf_size) {
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    Mbr box = Mbr::Empty(dim_);
+    double sum = 0.0;
+    for (int i = begin; i < end; ++i) {
+      box.Extend(items_[static_cast<size_t>(i)].point);
+      sum += items_[static_cast<size_t>(i)].weight;
+    }
+    node.mbr = box;
+    node.weight_sum = sum;
+  }
+  if (end - begin <= leaf_size) return node_idx;
+
+  // Split on the widest dimension at the median.
+  const Mbr box = nodes_[static_cast<size_t>(node_idx)].mbr;
+  int split_dim = 0;
+  double widest = -1.0;
+  for (int i = 0; i < dim_; ++i) {
+    const double extent = box.max_corner()[i] - box.min_corner()[i];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = i;
+    }
+  }
+  const int mid = begin + (end - begin) / 2;
+  std::nth_element(items_.begin() + begin, items_.begin() + mid,
+                   items_.begin() + end,
+                   [split_dim](const KdItem& a, const KdItem& b) {
+                     return a.point[split_dim] < b.point[split_dim];
+                   });
+  // Degenerate case: all points identical in split_dim; bucket them.
+  if (items_[static_cast<size_t>(begin)].point[split_dim] ==
+      items_[static_cast<size_t>(end - 1)].point[split_dim]) {
+    return node_idx;
+  }
+  const int left = Build(begin, mid, leaf_size);
+  const int right = Build(mid, end, leaf_size);
+  nodes_[static_cast<size_t>(node_idx)].left = left;
+  nodes_[static_cast<size_t>(node_idx)].right = right;
+  return node_idx;
+}
+
+const Mbr& KdTree::root_mbr() const {
+  if (nodes_.empty()) return empty_mbr_;
+  return nodes_.front().mbr;
+}
+
+bool KdTree::BoxContainsMbr(const Mbr& box, const Mbr& mbr) {
+  for (int i = 0; i < mbr.dim(); ++i) {
+    if (mbr.min_corner()[i] < box.min_corner()[i] ||
+        mbr.max_corner()[i] > box.max_corner()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double KdTree::SumInBox(const Mbr& box) const {
+  if (nodes_.empty()) return 0.0;
+  return SumRec(0, box);
+}
+
+double KdTree::SumRec(int node_idx, const Mbr& box) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  if (!box.Intersects(node.mbr)) return 0.0;
+  if (BoxContainsMbr(box, node.mbr)) return node.weight_sum;
+  if (node.is_leaf()) {
+    double sum = 0.0;
+    for (int i = node.begin; i < node.end; ++i) {
+      const KdItem& item = items_[static_cast<size_t>(i)];
+      if (box.Contains(item.point)) sum += item.weight;
+    }
+    return sum;
+  }
+  return SumRec(node.left, box) + SumRec(node.right, box);
+}
+
+double KdTree::MinSignedDistance(const Mbr& mbr, const Hyperplane& hp) {
+  // SignedDistance(p) = p[d-1] - Σ coef_i p_i + offset is linear, so its
+  // extremum over a box sits at a corner chosen per-coordinate by sign.
+  const int d = hp.dim();
+  double v = mbr.min_corner()[d - 1] + hp.offset();
+  for (int i = 0; i < d - 1; ++i) {
+    const double c = hp.coef()[static_cast<size_t>(i)];
+    v -= c * (c >= 0.0 ? mbr.max_corner()[i] : mbr.min_corner()[i]);
+  }
+  return v;
+}
+
+double KdTree::MaxSignedDistance(const Mbr& mbr, const Hyperplane& hp) {
+  const int d = hp.dim();
+  double v = mbr.max_corner()[d - 1] + hp.offset();
+  for (int i = 0; i < d - 1; ++i) {
+    const double c = hp.coef()[static_cast<size_t>(i)];
+    v -= c * (c >= 0.0 ? mbr.min_corner()[i] : mbr.max_corner()[i]);
+  }
+  return v;
+}
+
+bool KdTree::ExistsInBoxBelow(const Mbr& box, const Hyperplane& hp, double eps,
+                              int exclude_id) const {
+  if (nodes_.empty()) return false;
+  return ExistsRec(0, box, hp, eps, exclude_id);
+}
+
+bool KdTree::ExistsRec(int node_idx, const Mbr& box, const Hyperplane& hp,
+                       double eps, int exclude_id) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  if (!box.Intersects(node.mbr)) return false;
+  if (MinSignedDistance(node.mbr, hp) > eps) return false;
+  if (node.is_leaf()) {
+    for (int i = node.begin; i < node.end; ++i) {
+      const KdItem& item = items_[static_cast<size_t>(i)];
+      if (item.id == exclude_id) continue;
+      if (box.Contains(item.point) && hp.SignedDistance(item.point) <= eps) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return ExistsRec(node.left, box, hp, eps, exclude_id) ||
+         ExistsRec(node.right, box, hp, eps, exclude_id);
+}
+
+}  // namespace arsp

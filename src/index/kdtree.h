@@ -1,0 +1,132 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Static kd-tree over weighted, id-tagged points. Serves three roles:
+//  * window (box) aggregation and reporting,
+//  * half-space reporting restricted to an orthant (the practical substitute
+//    for Meiser point location in the DUAL algorithm, §IV-A),
+//  * emptiness tests for the eclipse DUAL-S algorithm.
+//
+// The tree is built once over a point set (median splits) and is immutable;
+// incremental indexing is the R-tree's job.
+
+#ifndef ARSP_INDEX_KDTREE_H_
+#define ARSP_INDEX_KDTREE_H_
+
+#include <vector>
+
+#include "src/geometry/hyperplane.h"
+#include "src/geometry/mbr.h"
+#include "src/geometry/point.h"
+
+namespace arsp {
+
+/// A point with an integer payload id and a weight (existence probability
+/// for uncertain instances; 1.0 for certain data).
+struct KdItem {
+  Point point;
+  int id = 0;
+  double weight = 1.0;
+};
+
+/// Immutable kd-tree with subtree weight aggregation.
+class KdTree {
+ public:
+  /// Builds the tree over `items` (may be empty). `leaf_size` bounds the
+  /// bucket size at leaves.
+  explicit KdTree(std::vector<KdItem> items, int leaf_size = 16);
+
+  int size() const { return static_cast<int>(items_.size()); }
+  int dim() const { return dim_; }
+
+  /// Tight bounding box of the indexed points (empty box if size()==0).
+  const Mbr& root_mbr() const;
+
+  /// Sum of weights of points inside `box` (inclusive bounds).
+  double SumInBox(const Mbr& box) const;
+
+  /// Invokes `fn(item)` for every point inside `box`.
+  template <typename Fn>
+  void ForEachInBox(const Mbr& box, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    VisitBox<Fn>(0, box, fn);
+  }
+
+  /// Invokes `fn(item)` for every point inside `box` that lies below or on
+  /// the hyperplane `hp` (vertical tolerance eps).
+  template <typename Fn>
+  void ForEachInBoxBelow(const Mbr& box, const Hyperplane& hp, double eps,
+                         Fn&& fn) const {
+    if (nodes_.empty()) return;
+    VisitBoxBelow<Fn>(0, box, hp, eps, fn);
+  }
+
+  /// True iff some point with id != exclude_id lies inside `box` and below
+  /// or on `hp`. Used by eclipse DUAL-S emptiness probes.
+  bool ExistsInBoxBelow(const Mbr& box, const Hyperplane& hp, double eps,
+                        int exclude_id) const;
+
+ private:
+  struct Node {
+    Mbr mbr;
+    double weight_sum = 0.0;
+    int left = -1;    // child node indexes; -1 for leaves
+    int right = -1;
+    int begin = 0;    // item range [begin, end) for leaves
+    int end = 0;
+    bool is_leaf() const { return left < 0; }
+  };
+
+  int Build(int begin, int end, int leaf_size);
+
+  // Minimum / maximum of hp.SignedDistance over the node's MBR.
+  static double MinSignedDistance(const Mbr& mbr, const Hyperplane& hp);
+  static double MaxSignedDistance(const Mbr& mbr, const Hyperplane& hp);
+
+  template <typename Fn>
+  void VisitBox(int node_idx, const Mbr& box, Fn& fn) const {
+    const Node& node = nodes_[static_cast<size_t>(node_idx)];
+    if (!box.Intersects(node.mbr)) return;
+    if (node.is_leaf()) {
+      for (int i = node.begin; i < node.end; ++i) {
+        const KdItem& item = items_[static_cast<size_t>(i)];
+        if (box.Contains(item.point)) fn(item);
+      }
+      return;
+    }
+    VisitBox(node.left, box, fn);
+    VisitBox(node.right, box, fn);
+  }
+
+  template <typename Fn>
+  void VisitBoxBelow(int node_idx, const Mbr& box, const Hyperplane& hp,
+                     double eps, Fn& fn) const {
+    const Node& node = nodes_[static_cast<size_t>(node_idx)];
+    if (!box.Intersects(node.mbr)) return;
+    if (MinSignedDistance(node.mbr, hp) > eps) return;  // fully above
+    if (node.is_leaf()) {
+      for (int i = node.begin; i < node.end; ++i) {
+        const KdItem& item = items_[static_cast<size_t>(i)];
+        if (box.Contains(item.point) && hp.SignedDistance(item.point) <= eps) {
+          fn(item);
+        }
+      }
+      return;
+    }
+    VisitBoxBelow(node.left, box, hp, eps, fn);
+    VisitBoxBelow(node.right, box, hp, eps, fn);
+  }
+
+  bool ExistsRec(int node_idx, const Mbr& box, const Hyperplane& hp,
+                 double eps, int exclude_id) const;
+  double SumRec(int node_idx, const Mbr& box) const;
+  static bool BoxContainsMbr(const Mbr& box, const Mbr& mbr);
+
+  int dim_;
+  std::vector<KdItem> items_;
+  std::vector<Node> nodes_;
+  Mbr empty_mbr_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_INDEX_KDTREE_H_

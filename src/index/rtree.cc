@@ -1,0 +1,282 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arsp {
+
+RTree::RTree(int dim, int max_entries) : dim_(dim), max_entries_(max_entries) {
+  ARSP_CHECK(dim >= 1);
+  ARSP_CHECK(max_entries >= 4);
+}
+
+void RTree::RecomputeNode(Node* node) {
+  Mbr box = Mbr::Empty(node->mbr_.dim() ? node->mbr_.dim()
+                                        : (node->entries_.empty()
+                                               ? (node->children_.empty()
+                                                      ? 0
+                                                      : node->children_.front()
+                                                            ->mbr_.dim())
+                                               : node->entries_.front()
+                                                     .point.dim()));
+  double sum = 0.0;
+  if (node->is_leaf()) {
+    for (const LeafEntry& e : node->entries_) {
+      box.Extend(e.point);
+      sum += e.weight;
+    }
+  } else {
+    for (const auto& child : node->children_) {
+      box.Extend(child->mbr_);
+      sum += child->weight_sum_;
+    }
+  }
+  node->mbr_ = box;
+  node->weight_sum_ = sum;
+}
+
+// ---------------------------------------------------------------------------
+// STR bulk load
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<RTree::Node> RTree::BuildStr(std::vector<LeafEntry>* entries,
+                                             int begin, int end,
+                                             int level_hint) {
+  const int n = end - begin;
+  auto node = std::make_unique<Node>();
+  node->mbr_ = Mbr::Empty(dim_);
+  if (n <= max_entries_) {
+    node->entries_.assign(entries->begin() + begin, entries->begin() + end);
+    RecomputeNode(node.get());
+    return node;
+  }
+
+  // Capacity of one child subtree: the largest power of max_entries_ < n.
+  long long child_cap = max_entries_;
+  while (child_cap * max_entries_ < n) child_cap *= max_entries_;
+
+  const int sort_dim = level_hint % dim_;
+  std::sort(entries->begin() + begin, entries->begin() + end,
+            [sort_dim](const LeafEntry& a, const LeafEntry& b) {
+              return a.point[sort_dim] < b.point[sort_dim];
+            });
+
+  for (int chunk = begin; chunk < end;
+       chunk += static_cast<int>(child_cap)) {
+    const int chunk_end =
+        std::min<long long>(chunk + child_cap, end);
+    node->children_.push_back(
+        BuildStr(entries, chunk, static_cast<int>(chunk_end), level_hint + 1));
+  }
+  RecomputeNode(node.get());
+  return node;
+}
+
+RTree RTree::BulkLoad(int dim, std::vector<LeafEntry> entries,
+                      int max_entries) {
+  RTree tree(dim, max_entries);
+  tree.size_ = static_cast<int>(entries.size());
+  if (!entries.empty()) {
+    tree.root_ =
+        tree.BuildStr(&entries, 0, static_cast<int>(entries.size()), 0);
+  }
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Guttman insertion with quadratic split
+// ---------------------------------------------------------------------------
+
+void RTree::Insert(const Point& point, double weight, int id) {
+  ARSP_CHECK(point.dim() == dim_);
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->mbr_ = Mbr::Empty(dim_);
+  }
+  std::unique_ptr<Node> split;
+  InsertRec(root_.get(), LeafEntry{point, weight, id}, &split);
+  if (split) {
+    // Root overflowed: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->children_.push_back(std::move(root_));
+    new_root->children_.push_back(std::move(split));
+    RecomputeNode(new_root.get());
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+void RTree::InsertRec(Node* node, LeafEntry entry,
+                      std::unique_ptr<Node>* split_out) {
+  split_out->reset();
+  if (node->is_leaf()) {
+    node->entries_.push_back(std::move(entry));
+    RecomputeNode(node);
+    if (static_cast<int>(node->entries_.size()) > max_entries_) {
+      SplitNode(node, split_out);
+    }
+    return;
+  }
+
+  // Choose the child whose MBR needs least enlargement (ties: smaller
+  // volume), then recurse.
+  const Mbr entry_box = Mbr::OfPoint(entry.point);
+  Node* best = nullptr;
+  double best_enlargement = 0.0;
+  double best_volume = 0.0;
+  for (const auto& child : node->children_) {
+    const double enlargement = child->mbr_.Enlargement(entry_box);
+    const double volume = child->mbr_.Volume();
+    if (best == nullptr || enlargement < best_enlargement ||
+        (enlargement == best_enlargement && volume < best_volume)) {
+      best = child.get();
+      best_enlargement = enlargement;
+      best_volume = volume;
+    }
+  }
+  std::unique_ptr<Node> child_split;
+  InsertRec(best, std::move(entry), &child_split);
+  if (child_split) node->children_.push_back(std::move(child_split));
+  RecomputeNode(node);
+  if (static_cast<int>(node->children_.size()) > max_entries_) {
+    SplitNode(node, split_out);
+  }
+}
+
+namespace {
+
+// Quadratic-split seed selection: the pair wasting the most dead volume.
+template <typename GetMbr>
+std::pair<int, int> PickSeeds(int count, const GetMbr& mbr_of) {
+  int seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (int i = 0; i < count; ++i) {
+    for (int j = i + 1; j < count; ++j) {
+      Mbr merged = mbr_of(i);
+      merged.Extend(mbr_of(j));
+      const double waste =
+          merged.Volume() - mbr_of(i).Volume() - mbr_of(j).Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  return {seed_a, seed_b};
+}
+
+}  // namespace
+
+void RTree::SplitNode(Node* node, std::unique_ptr<Node>* split_out) {
+  auto sibling = std::make_unique<Node>();
+  sibling->mbr_ = Mbr::Empty(dim_);
+
+  if (node->is_leaf()) {
+    std::vector<LeafEntry> all = std::move(node->entries_);
+    node->entries_.clear();
+    const auto [sa, sb] = PickSeeds(
+        static_cast<int>(all.size()),
+        [&all](int i) { return Mbr::OfPoint(all[static_cast<size_t>(i)].point); });
+    Mbr box_a = Mbr::OfPoint(all[static_cast<size_t>(sa)].point);
+    Mbr box_b = Mbr::OfPoint(all[static_cast<size_t>(sb)].point);
+    node->entries_.push_back(all[static_cast<size_t>(sa)]);
+    sibling->entries_.push_back(all[static_cast<size_t>(sb)]);
+    for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+      if (i == sa || i == sb) continue;
+      const Mbr box = Mbr::OfPoint(all[static_cast<size_t>(i)].point);
+      if (box_a.Enlargement(box) <= box_b.Enlargement(box)) {
+        node->entries_.push_back(all[static_cast<size_t>(i)]);
+        box_a.Extend(box);
+      } else {
+        sibling->entries_.push_back(all[static_cast<size_t>(i)]);
+        box_b.Extend(box);
+      }
+    }
+  } else {
+    std::vector<std::unique_ptr<Node>> all = std::move(node->children_);
+    node->children_.clear();
+    const auto [sa, sb] =
+        PickSeeds(static_cast<int>(all.size()),
+                  [&all](int i) { return all[static_cast<size_t>(i)]->mbr_; });
+    Mbr box_a = all[static_cast<size_t>(sa)]->mbr_;
+    Mbr box_b = all[static_cast<size_t>(sb)]->mbr_;
+    for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+      if (i == sa) {
+        node->children_.push_back(std::move(all[static_cast<size_t>(i)]));
+        continue;
+      }
+      if (i == sb) {
+        sibling->children_.push_back(std::move(all[static_cast<size_t>(i)]));
+        continue;
+      }
+      const Mbr box = all[static_cast<size_t>(i)]->mbr_;
+      if (box_a.Enlargement(box) <= box_b.Enlargement(box)) {
+        node->children_.push_back(std::move(all[static_cast<size_t>(i)]));
+        box_a.Extend(box);
+      } else {
+        sibling->children_.push_back(std::move(all[static_cast<size_t>(i)]));
+        box_b.Extend(box);
+      }
+    }
+  }
+  RecomputeNode(node);
+  RecomputeNode(sibling.get());
+  *split_out = std::move(sibling);
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+bool RTree::BoxContainsMbr(const Mbr& box, const Mbr& mbr) {
+  for (int i = 0; i < mbr.dim(); ++i) {
+    if (mbr.min_corner()[i] < box.min_corner()[i] ||
+        mbr.max_corner()[i] > box.max_corner()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RTree::WindowSum(const Mbr& box) const {
+  if (!root_) return 0.0;
+  return WindowSumRec(root_.get(), box);
+}
+
+double RTree::WindowSumRec(const Node* node, const Mbr& box) const {
+  if (node->mbr_.IsEmpty() || !box.Intersects(node->mbr_)) return 0.0;
+  if (BoxContainsMbr(box, node->mbr_)) return node->weight_sum_;
+  if (node->is_leaf()) {
+    double sum = 0.0;
+    for (const LeafEntry& e : node->entries_) {
+      if (box.Contains(e.point)) sum += e.weight;
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  for (const auto& child : node->children_) {
+    sum += WindowSumRec(child.get(), box);
+  }
+  return sum;
+}
+
+void RTree::CollectInBox(const Mbr& box, std::vector<int>* out_ids) const {
+  if (root_) CollectRec(root_.get(), box, out_ids);
+}
+
+void RTree::CollectRec(const Node* node, const Mbr& box,
+                       std::vector<int>* out_ids) const {
+  if (node->mbr_.IsEmpty() || !box.Intersects(node->mbr_)) return;
+  if (node->is_leaf()) {
+    for (const LeafEntry& e : node->entries_) {
+      if (box.Contains(e.point)) out_ids->push_back(e.id);
+    }
+    return;
+  }
+  for (const auto& child : node->children_) CollectRec(child.get(), box, out_ids);
+}
+
+}  // namespace arsp

@@ -1,0 +1,97 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Guttman R-tree over weighted points with per-node weight aggregation.
+// Two roles in the paper's Algorithm 2 (B&B):
+//  * a bulk-loaded (STR) tree over all instances I, traversed best-first;
+//  * one incrementally grown "aggregated R-tree" per uncertain object,
+//    answering window-sum queries Σ p(s) over dominance boxes [origin, q].
+
+#ifndef ARSP_INDEX_RTREE_H_
+#define ARSP_INDEX_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/geometry/mbr.h"
+#include "src/geometry/point.h"
+
+namespace arsp {
+
+/// Dynamic R-tree (quadratic-split insertion, STR bulk load) storing points
+/// with an id and a weight; internal nodes cache subtree weight sums.
+class RTree {
+ public:
+  /// A point stored at a leaf.
+  struct LeafEntry {
+    Point point;
+    double weight = 1.0;
+    int id = 0;
+  };
+
+  /// Tree node, exposed read-only so traversal algorithms (B&B) can walk
+  /// the structure with their own priority queues.
+  class Node {
+   public:
+    bool is_leaf() const { return children_.empty(); }
+    const Mbr& mbr() const { return mbr_; }
+    double weight_sum() const { return weight_sum_; }
+    const std::vector<std::unique_ptr<Node>>& children() const {
+      return children_;
+    }
+    const std::vector<LeafEntry>& entries() const { return entries_; }
+
+   private:
+    friend class RTree;
+    Mbr mbr_;
+    double weight_sum_ = 0.0;
+    std::vector<std::unique_ptr<Node>> children_;  // internal nodes
+    std::vector<LeafEntry> entries_;               // leaf nodes
+  };
+
+  /// Empty tree over R^dim. `max_entries` bounds node fan-out.
+  explicit RTree(int dim, int max_entries = 16);
+
+  /// Sort-Tile-Recursive bulk load; much better node quality than repeated
+  /// insertion for static data.
+  static RTree BulkLoad(int dim, std::vector<LeafEntry> entries,
+                        int max_entries = 16);
+
+  int dim() const { return dim_; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Root node; nullptr when the tree is empty.
+  const Node* root() const { return root_.get(); }
+
+  /// Inserts a point (Guttman: least-enlargement descent, quadratic split).
+  void Insert(const Point& point, double weight, int id);
+
+  /// Sum of weights of points inside `box` (inclusive bounds), using node
+  /// aggregates for fully covered subtrees.
+  double WindowSum(const Mbr& box) const;
+
+  /// Collects ids of all points inside `box`.
+  void CollectInBox(const Mbr& box, std::vector<int>* out_ids) const;
+
+ private:
+  void InsertRec(Node* node, LeafEntry entry,
+                 std::unique_ptr<Node>* split_out);
+  void SplitNode(Node* node, std::unique_ptr<Node>* split_out);
+  static void RecomputeNode(Node* node);
+  double WindowSumRec(const Node* node, const Mbr& box) const;
+  void CollectRec(const Node* node, const Mbr& box,
+                  std::vector<int>* out_ids) const;
+  static bool BoxContainsMbr(const Mbr& box, const Mbr& mbr);
+
+  std::unique_ptr<Node> BuildStr(std::vector<LeafEntry>* entries, int begin,
+                                 int end, int level_hint);
+
+  int dim_;
+  int max_entries_;
+  int size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_INDEX_RTREE_H_

@@ -1,0 +1,185 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/io/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace arsp {
+
+namespace {
+
+// Splits one CSV line on commas (no quoting — attribute data is numeric).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+// Strict double parse with leading/trailing whitespace tolerance.
+bool ParseDouble(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
+    const std::string& text, bool header,
+    std::vector<std::string>* object_names) {
+  std::stringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  bool skipped_header = !header;
+  int dim = -1;
+
+  // Preserve first-appearance object order.
+  std::map<std::string, int> object_ids;
+  std::vector<std::string> names;
+  std::vector<std::vector<Point>> points;
+  std::vector<std::vector<double>> probs;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    const std::vector<std::string> fields = SplitCsvLine(trimmed);
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected object,prob,attr1[,...] (got " +
+          std::to_string(fields.size()) + " fields)");
+    }
+    const int row_dim = static_cast<int>(fields.size()) - 2;
+    if (dim < 0) {
+      dim = row_dim;
+    } else if (row_dim != dim) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(dim) + " attributes, got " + std::to_string(row_dim));
+    }
+
+    const std::string key = Trim(fields[0]);
+    double prob = 0.0;
+    if (!ParseDouble(fields[1], &prob)) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": bad probability '" + fields[1] + "'");
+    }
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) {
+      double v = 0.0;
+      if (!ParseDouble(fields[static_cast<size_t>(k) + 2], &v)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": bad attribute '" +
+            fields[static_cast<size_t>(k) + 2] + "'");
+      }
+      p[k] = v;
+    }
+
+    auto [it, inserted] =
+        object_ids.emplace(key, static_cast<int>(names.size()));
+    if (inserted) {
+      names.push_back(key);
+      points.emplace_back();
+      probs.emplace_back();
+    }
+    points[static_cast<size_t>(it->second)].push_back(std::move(p));
+    probs[static_cast<size_t>(it->second)].push_back(prob);
+  }
+
+  if (dim < 0) {
+    return Status::InvalidArgument("no data rows found");
+  }
+  UncertainDatasetBuilder builder(dim);
+  for (size_t j = 0; j < names.size(); ++j) {
+    builder.AddObject(std::move(points[j]), std::move(probs[j]));
+  }
+  auto dataset = builder.Build();
+  if (!dataset.ok()) return dataset.status();
+  if (object_names != nullptr) *object_names = std::move(names);
+  return std::move(dataset).value();
+}
+
+StatusOr<UncertainDataset> LoadUncertainDatasetCsv(
+    const std::string& path, bool header,
+    std::vector<std::string>* object_names) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseUncertainDatasetCsv(buffer.str(), header, object_names);
+}
+
+std::string FormatArspResultCsv(
+    const ArspResult& result, const UncertainDataset& dataset,
+    const std::vector<std::string>* object_names) {
+  ARSP_CHECK(static_cast<int>(result.instance_probs.size()) ==
+             dataset.num_instances());
+  std::string out = "object,instance,prob,pr_rsky\n";
+  char buf[128];
+  for (const Instance& inst : dataset.instances()) {
+    const std::string name =
+        object_names != nullptr
+            ? (*object_names)[static_cast<size_t>(inst.object_id)]
+            : std::to_string(inst.object_id);
+    std::snprintf(buf, sizeof(buf), "%s,%d,%.17g,%.17g\n", name.c_str(),
+                  inst.instance_id, inst.prob,
+                  result.instance_probs[static_cast<size_t>(
+                      inst.instance_id)]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatObjectResultCsv(
+    const ArspResult& result, const UncertainDataset& dataset,
+    const std::vector<std::string>* object_names) {
+  std::string out = "object,pr_rsky\n";
+  char buf[128];
+  for (const auto& [object, prob] : TopKObjects(result, dataset, -1)) {
+    const std::string name =
+        object_names != nullptr ? (*object_names)[static_cast<size_t>(object)]
+                                : std::to_string(object);
+    std::snprintf(buf, sizeof(buf), "%s,%.17g\n", name.c_str(), prob);
+    out += buf;
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  file << text;
+  if (!file) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace arsp

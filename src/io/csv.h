@@ -1,0 +1,58 @@
+// Copyright 2026 The ARSP Authors.
+//
+// CSV import/export so the library is usable on real datasets without
+// writing C++: uncertain datasets load from a simple instance-per-row
+// format, results export per instance or per object.
+
+#ifndef ARSP_IO_CSV_H_
+#define ARSP_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/arsp_result.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Parses an uncertain dataset from CSV text.
+///
+/// Format: one instance per row,
+///     object,prob,attr1,attr2,...,attrD
+/// where `object` is an arbitrary string key grouping instances into
+/// uncertain objects (first appearance fixes the object order), `prob` is
+/// the instance's existence probability, and all rows must agree on D.
+/// Lines starting with '#' and blank lines are skipped. If `header` is
+/// true, the first data line is skipped as a header.
+///
+/// On success, `object_names` (if non-null) receives the object key for
+/// each object id.
+StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
+    const std::string& text, bool header = false,
+    std::vector<std::string>* object_names = nullptr);
+
+/// Reads and parses a CSV file (see ParseUncertainDatasetCsv).
+StatusOr<UncertainDataset> LoadUncertainDatasetCsv(
+    const std::string& path, bool header = false,
+    std::vector<std::string>* object_names = nullptr);
+
+/// Renders per-instance results as CSV:
+///     object,instance,prob,pr_rsky
+/// `object_names` is optional (object ids are used when absent).
+std::string FormatArspResultCsv(
+    const ArspResult& result, const UncertainDataset& dataset,
+    const std::vector<std::string>* object_names = nullptr);
+
+/// Renders per-object results as CSV sorted by descending probability:
+///     object,pr_rsky
+std::string FormatObjectResultCsv(
+    const ArspResult& result, const UncertainDataset& dataset,
+    const std::vector<std::string>* object_names = nullptr);
+
+/// Writes text to a file.
+Status WriteTextFile(const std::string& path, const std::string& text);
+
+}  // namespace arsp
+
+#endif  // ARSP_IO_CSV_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/constraint_generators.h"
+
+#include <cmath>
+
+namespace arsp {
+
+LinearConstraints MakeWeakRankingConstraints(int dim, int num_constraints) {
+  ARSP_CHECK_MSG(num_constraints >= 0 && num_constraints <= dim - 1,
+                 "WR requires 0 <= c <= d-1 (got c=%d, d=%d)", num_constraints,
+                 dim);
+  LinearConstraints out(dim);
+  for (int i = 0; i < num_constraints; ++i) {
+    // ω[i+1] - ω[i] <= 0.
+    std::vector<double> coef(static_cast<size_t>(dim), 0.0);
+    coef[static_cast<size_t>(i)] = -1.0;
+    coef[static_cast<size_t>(i + 1)] = 1.0;
+    out.Add(std::move(coef), 0.0);
+  }
+  return out;
+}
+
+Point RandomSimplexWeight(int dim, Rng& rng) {
+  // Exponential spacings: normalize i.i.d. Exp(1) draws.
+  Point omega(dim);
+  double sum = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double u = rng.Uniform01();
+    if (u <= 0.0) u = 1e-12;
+    omega[i] = -std::log(u);
+    sum += omega[i];
+  }
+  for (int i = 0; i < dim; ++i) omega[i] /= sum;
+  return omega;
+}
+
+LinearConstraints MakeInteractiveConstraints(int dim, int num_constraints,
+                                             Rng& rng) {
+  ARSP_CHECK(num_constraints >= 0);
+  const Point target = RandomSimplexWeight(dim, rng);
+  LinearConstraints out(dim);
+  for (int i = 0; i < num_constraints; ++i) {
+    std::vector<double> coef(static_cast<size_t>(dim), 0.0);
+    double slack_at_target = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double tj = rng.Uniform01();
+      const double sj = rng.Uniform01();
+      coef[static_cast<size_t>(j)] = tj - sj;
+      slack_at_target += (tj - sj) * target[j];
+    }
+    if (slack_at_target > 0.0) {
+      // Flip the halfspace so the hidden weight remains feasible.
+      for (double& c : coef) c = -c;
+    }
+    out.Add(std::move(coef), 0.0);
+  }
+  return out;
+}
+
+}  // namespace arsp

@@ -1,0 +1,35 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The two constraint-generation methods from the paper's experimental setup
+// (§V-A): WR (weak rankings on weight attributes) and IM (interactively
+// learned halfspace constraints around a hidden target weight ω*).
+
+#ifndef ARSP_PREFS_CONSTRAINT_GENERATORS_H_
+#define ARSP_PREFS_CONSTRAINT_GENERATORS_H_
+
+#include "src/common/rng.h"
+#include "src/prefs/linear_constraints.h"
+
+namespace arsp {
+
+/// WR: weak rankings ω[i] ≥ ω[i+1] for 1 ≤ i ≤ c (requires c ≤ d-1).
+/// The induced preference region always has exactly d vertices:
+/// (1,0,...), (1/2,1/2,0,...), ..., (1/(c+1),...,1/(c+1),0,...), and the
+/// unconstrained sub-simplex corners.
+LinearConstraints MakeWeakRankingConstraints(int dim, int num_constraints);
+
+/// IM: interactive learning (Qian et al. [25]). Draws a hidden weight ω*
+/// uniformly from the simplex, then emits c halfspaces
+///   Σ_j (t_i[j] - s_i[j]) ω[j] ≤ 0   (sign chosen so ω* stays feasible)
+/// with t_i, s_i uniform in [0,1]^d. The region always contains ω*, and its
+/// vertex count typically grows with c (the behaviour Fig. 5(t) relies on).
+LinearConstraints MakeInteractiveConstraints(int dim, int num_constraints,
+                                             Rng& rng);
+
+/// Draws a weight uniformly at random from the unit simplex S^{d-1}
+/// (exponential-spacings construction).
+Point RandomSimplexWeight(int dim, Rng& rng);
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_CONSTRAINT_GENERATORS_H_

@@ -1,0 +1,30 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/fdominance.h"
+
+namespace arsp {
+
+bool FDominatesVertex(const Point& t, const Point& s,
+                      const std::vector<Point>& vertices) {
+  for (const Point& omega : vertices) {
+    if (Score(omega, t) > Score(omega, s)) return false;
+  }
+  return true;
+}
+
+bool FDominatesWeightRatio(const Point& t, const Point& s,
+                           const WeightRatioConstraints& wr) {
+  const int d = wr.dim();
+  ARSP_DCHECK(t.dim() == d && s.dim() == d);
+  // Minimize Σ_{i<d} (s[i]-t[i]) r_i over r ∈ Π [l_i, h_i]: each coordinate
+  // independently takes l_i when its coefficient is positive and h_i when it
+  // is non-positive (Lemma 1 reduces the simplex LP to this box LP).
+  double rhs = 0.0;
+  for (int i = 0; i < d - 1; ++i) {
+    const double diff = s[i] - t[i];
+    rhs += (diff > 0.0 ? wr.lo(i) : wr.hi(i)) * diff;
+  }
+  return t[d - 1] - s[d - 1] <= rhs;
+}
+
+}  // namespace arsp

@@ -1,0 +1,48 @@
+// Copyright 2026 The ARSP Authors.
+//
+// F-dominance tests. Theorem 2 reduces F-dominance for a vertex-described
+// preference region to score comparisons under the vertex set V; Theorem 5
+// gives the O(d) closed-form test for weight ratio constraints.
+//
+// The paper's definition: t ≺F s for s ≠ t iff f(t) ≤ f(s) for every f ∈ F.
+// Note this is *weak* comparison in every function — two distinct instances
+// with identical scores F-dominate each other, and all algorithms here treat
+// that case consistently (both probabilities see the other's mass).
+
+#ifndef ARSP_PREFS_FDOMINANCE_H_
+#define ARSP_PREFS_FDOMINANCE_H_
+
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/prefs/preference_region.h"
+#include "src/prefs/weight_ratio.h"
+
+namespace arsp {
+
+/// Score of t under weight ω: S_ω(t) = Σ ω[i] t[i].
+inline double Score(const Point& omega, const Point& t) {
+  return omega.Dot(t);
+}
+
+/// Theorem 2: t ≺F s iff S_ω(t) ≤ S_ω(s) for every vertex ω ∈ V.
+/// Comparisons are exact (no epsilon) so every algorithm in the library
+/// agrees bit-for-bit on the dominance relation.
+bool FDominatesVertex(const Point& t, const Point& s,
+                      const std::vector<Point>& vertices);
+
+/// Theorem 2 via a PreferenceRegion.
+inline bool FDominates(const Point& t, const Point& s,
+                       const PreferenceRegion& region) {
+  return FDominatesVertex(t, s, region.vertices());
+}
+
+/// Theorem 5: O(d) F-dominance test under weight ratio constraints.
+/// t ≺F s iff
+///   t[d] - s[d] ≤ Σ_{i<d} (1[s[i] > t[i]] l_i + 1[s[i] ≤ t[i]] h_i)(s[i]-t[i])
+bool FDominatesWeightRatio(const Point& t, const Point& s,
+                           const WeightRatioConstraints& wr);
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_FDOMINANCE_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/linear_constraints.h"
+
+#include <cstdio>
+
+namespace arsp {
+
+double LinearConstraint::Slack(const Point& omega) const {
+  ARSP_DCHECK(omega.dim() == static_cast<int>(coef.size()));
+  double s = -rhs;
+  for (int i = 0; i < omega.dim(); ++i) {
+    s += coef[static_cast<size_t>(i)] * omega[i];
+  }
+  return s;
+}
+
+StatusOr<LinearConstraints> LinearConstraints::Create(
+    int dim, std::vector<LinearConstraint> rows) {
+  if (dim < 1) {
+    return Status::InvalidArgument("weight dimension must be >= 1");
+  }
+  for (const LinearConstraint& row : rows) {
+    if (static_cast<int>(row.coef.size()) != dim) {
+      return Status::InvalidArgument(
+          "constraint coefficient size does not match weight dimension");
+    }
+  }
+  LinearConstraints out(dim);
+  out.rows_ = std::move(rows);
+  return out;
+}
+
+void LinearConstraints::Add(std::vector<double> coef, double rhs) {
+  ARSP_CHECK_MSG(static_cast<int>(coef.size()) == dim_,
+                 "constraint coefficient size %zu != weight dimension %d",
+                 coef.size(), dim_);
+  rows_.push_back(LinearConstraint{std::move(coef), rhs});
+}
+
+bool LinearConstraints::Satisfies(const Point& omega, double eps) const {
+  for (const LinearConstraint& row : rows_) {
+    if (row.Slack(omega) > eps) return false;
+  }
+  return true;
+}
+
+std::string LinearConstraints::ToString() const {
+  std::string out;
+  char buf[64];
+  for (const LinearConstraint& row : rows_) {
+    for (size_t i = 0; i < row.coef.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%+gw%zu ", row.coef[i], i + 1);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "<= %g\n", row.rhs);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace arsp

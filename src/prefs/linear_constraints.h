@@ -1,0 +1,62 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Linear constraints A ω ≤ b imposed on weight vectors of linear scoring
+// functions, on top of the unit-simplex constraints ω_i ≥ 0, Σ ω_i = 1.
+// This is the paper's general way of specifying the function set F (§III).
+
+#ifndef ARSP_PREFS_LINEAR_CONSTRAINTS_H_
+#define ARSP_PREFS_LINEAR_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/point.h"
+
+namespace arsp {
+
+/// One linear inequality Σ_i coef[i] * ω[i] ≤ rhs over weight space.
+struct LinearConstraint {
+  std::vector<double> coef;
+  double rhs = 0.0;
+
+  /// Evaluates Σ coef[i] ω[i] - rhs (≤ 0 means satisfied).
+  double Slack(const Point& omega) const;
+};
+
+/// A conjunction of linear inequalities A ω ≤ b over R^d weight space.
+///
+/// The unit-simplex constraints are implicit and always enforced by
+/// PreferenceRegion; this class stores only the user-supplied rows.
+class LinearConstraints {
+ public:
+  /// Empty constraint set over d-dimensional weights (F = all linear
+  /// scoring functions with weights in the simplex).
+  explicit LinearConstraints(int dim) : dim_(dim) {
+    ARSP_CHECK_MSG(dim >= 1, "weight dimension must be >= 1");
+  }
+
+  /// Validated construction from explicit rows.
+  static StatusOr<LinearConstraints> Create(
+      int dim, std::vector<LinearConstraint> rows);
+
+  int dim() const { return dim_; }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  const std::vector<LinearConstraint>& rows() const { return rows_; }
+
+  /// Appends one inequality; coef must have size dim().
+  void Add(std::vector<double> coef, double rhs);
+
+  /// True iff A ω ≤ b holds within tolerance eps.
+  bool Satisfies(const Point& omega, double eps = 1e-9) const;
+
+  std::string ToString() const;
+
+ private:
+  int dim_;
+  std::vector<LinearConstraint> rows_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_LINEAR_CONSTRAINTS_H_

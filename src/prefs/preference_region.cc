@@ -1,0 +1,191 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/preference_region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/linalg.h"
+
+namespace arsp {
+
+namespace {
+
+constexpr double kFeasEps = 1e-9;
+
+// Deduplicates near-identical vertices and orders them deterministically.
+// Solved vertices can carry feasibility-tolerance negatives (-1e-9-ish);
+// downstream code relies on exactly non-negative weights (score
+// monotonicity), so clamp and renormalize onto the simplex first.
+std::vector<Point> DedupeAndSort(std::vector<Point> vertices) {
+  for (Point& v : vertices) {
+    double sum = 0.0;
+    for (int i = 0; i < v.dim(); ++i) {
+      if (v[i] < 0.0) v[i] = 0.0;
+      sum += v[i];
+    }
+    ARSP_CHECK(sum > 0.0);
+    for (int i = 0; i < v.dim(); ++i) v[i] /= sum;
+  }
+  std::sort(vertices.begin(), vertices.end(), LexLess);
+  std::vector<Point> out;
+  for (Point& v : vertices) {
+    bool dup = false;
+    for (const Point& u : out) {
+      double diff = 0.0;
+      for (int i = 0; i < v.dim(); ++i) diff = std::max(diff, std::fabs(v[i] - u[i]));
+      if (diff < 1e-8) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<PreferenceRegion> PreferenceRegion::FromLinearConstraints(
+    const LinearConstraints& constraints) {
+  const int d = constraints.dim();
+  if (d < 1) return Status::InvalidArgument("weight dimension must be >= 1");
+
+  // The full inequality system: ω_i >= 0 (d rows) followed by the user rows.
+  // A vertex of Ω is the unique solution of the simplex equality plus d-1
+  // inequalities made tight that additionally satisfies all inequalities.
+  std::vector<LinearConstraint> ineqs;
+  for (int i = 0; i < d; ++i) {
+    std::vector<double> coef(static_cast<size_t>(d), 0.0);
+    coef[static_cast<size_t>(i)] = -1.0;  // -ω_i <= 0
+    ineqs.push_back(LinearConstraint{std::move(coef), 0.0});
+  }
+  for (const LinearConstraint& row : constraints.rows()) ineqs.push_back(row);
+
+  const int total = static_cast<int>(ineqs.size());
+  std::vector<Point> vertices;
+
+  // Enumerate (d-1)-subsets of tight inequalities via a choose-vector.
+  std::vector<int> pick(static_cast<size_t>(d - 1));
+  // Special case d == 1: the only weight is ω = (1).
+  if (d == 1) {
+    Point omega{1.0};
+    if (constraints.Satisfies(omega, kFeasEps)) {
+      return PreferenceRegion(1, {omega}, constraints);
+    }
+    return Status::InvalidArgument("preference region is empty");
+  }
+
+  // Iterative subset enumeration.
+  for (int i = 0; i < d - 1; ++i) pick[static_cast<size_t>(i)] = i;
+  while (true) {
+    // Build the d x d system: row 0 is Σ ω_i = 1, rows 1..d-1 are the tight
+    // versions of the picked inequalities.
+    Matrix a(d, d);
+    std::vector<double> b(static_cast<size_t>(d), 0.0);
+    for (int c = 0; c < d; ++c) a(0, c) = 1.0;
+    b[0] = 1.0;
+    for (int r = 0; r < d - 1; ++r) {
+      const LinearConstraint& row =
+          ineqs[static_cast<size_t>(pick[static_cast<size_t>(r)])];
+      for (int c = 0; c < d; ++c) a(r + 1, c) = row.coef[static_cast<size_t>(c)];
+      b[static_cast<size_t>(r + 1)] = row.rhs;
+    }
+    if (auto solution = SolveLinearSystem(a, b)) {
+      Point omega(std::move(*solution));
+      bool feasible = true;
+      for (const LinearConstraint& row : ineqs) {
+        if (row.Slack(omega) > kFeasEps) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) vertices.push_back(std::move(omega));
+    }
+
+    // Advance the choose-vector.
+    int idx = d - 2;
+    while (idx >= 0 &&
+           pick[static_cast<size_t>(idx)] == total - (d - 1) + idx) {
+      --idx;
+    }
+    if (idx < 0) break;
+    ++pick[static_cast<size_t>(idx)];
+    for (int j = idx + 1; j < d - 1; ++j) {
+      pick[static_cast<size_t>(j)] = pick[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+
+  vertices = DedupeAndSort(std::move(vertices));
+  if (vertices.empty()) {
+    return Status::InvalidArgument("preference region is empty");
+  }
+  return PreferenceRegion(d, std::move(vertices), constraints);
+}
+
+PreferenceRegion PreferenceRegion::FromWeightRatios(
+    const WeightRatioConstraints& wr) {
+  // The projective box has exactly 2^{d-1} vertices; keep the paper's
+  // k-vertex order rather than lexicographic coordinate order so that the
+  // DUAL algorithms can index vertices by region code k.
+  return PreferenceRegion(wr.dim(), wr.SimplexVertices(),
+                          wr.ToLinearConstraints());
+}
+
+PreferenceRegion PreferenceRegion::FullSimplex(int dim) {
+  ARSP_CHECK(dim >= 1);
+  std::vector<Point> vertices;
+  vertices.reserve(static_cast<size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    Point basis(dim);
+    basis[i] = 1.0;
+    vertices.push_back(std::move(basis));
+  }
+  return PreferenceRegion(dim, std::move(vertices), LinearConstraints(dim));
+}
+
+StatusOr<PreferenceRegion> PreferenceRegion::FromVertices(
+    std::vector<Point> vertices) {
+  if (vertices.empty()) {
+    return Status::InvalidArgument("vertex set must be non-empty");
+  }
+  const int d = vertices.front().dim();
+  for (const Point& v : vertices) {
+    if (v.dim() != d) {
+      return Status::InvalidArgument("vertices have mixed dimensions");
+    }
+    double sum = 0.0;
+    for (int i = 0; i < d; ++i) {
+      if (v[i] < -kFeasEps) {
+        return Status::InvalidArgument("vertex has a negative weight");
+      }
+      sum += v[i];
+    }
+    if (std::fabs(sum - 1.0) > 1e-6) {
+      return Status::InvalidArgument("vertex does not lie on the simplex");
+    }
+  }
+  return PreferenceRegion(d, std::move(vertices), LinearConstraints(d));
+}
+
+bool PreferenceRegion::Contains(const Point& omega, double eps) const {
+  if (omega.dim() != dim_) return false;
+  double sum = 0.0;
+  for (int i = 0; i < dim_; ++i) {
+    if (omega[i] < -eps) return false;
+    sum += omega[i];
+  }
+  if (std::fabs(sum - 1.0) > eps) return false;
+  return constraints_.Satisfies(omega, eps);
+}
+
+Point PreferenceRegion::Centroid() const {
+  Point c(dim_);
+  for (const Point& v : vertices_) {
+    for (int i = 0; i < dim_; ++i) c[i] += v[i];
+  }
+  for (int i = 0; i < dim_; ++i) c[i] /= static_cast<double>(num_vertices());
+  return c;
+}
+
+}  // namespace arsp

@@ -1,0 +1,77 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The preference region Ω = {ω ∈ S^{d-1} | A ω ≤ b} — a closed convex
+// polytope on the unit simplex — represented by its vertex set V. Theorem 2
+// reduces the F-dominance test to score comparisons under V, and the
+// KDTT/QDTT algorithms map instances into the |V|-dimensional score space.
+
+#ifndef ARSP_PREFS_PREFERENCE_REGION_H_
+#define ARSP_PREFS_PREFERENCE_REGION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/point.h"
+#include "src/prefs/linear_constraints.h"
+#include "src/prefs/weight_ratio.h"
+
+namespace arsp {
+
+/// Vertex representation of the preference region Ω.
+class PreferenceRegion {
+ public:
+  /// Enumerates the vertices of Ω = {ω ∈ S^{d-1} | A ω ≤ b}.
+  ///
+  /// The paper computes V through polar duality plus quickhull; we enumerate
+  /// candidate vertices directly as solutions of d x d active-constraint
+  /// systems (the simplex equality Σω = 1 plus d-1 inequalities turned
+  /// tight), filtering by feasibility. Output is identical (the vertex set),
+  /// and c, d are small in all workloads, so the C(c+d, d-1) enumeration is
+  /// exact and cheap. Returns InvalidArgument when Ω is empty.
+  static StatusOr<PreferenceRegion> FromLinearConstraints(
+      const LinearConstraints& constraints);
+
+  /// Region for weight ratio constraints: vertices in the paper's k-vertex
+  /// order (no enumeration needed; the region is a projective box).
+  static PreferenceRegion FromWeightRatios(const WeightRatioConstraints& wr);
+
+  /// The whole simplex S^{d-1} (F = all linear scoring functions). Its
+  /// vertices are the standard basis, so F-dominance degenerates to
+  /// coordinate dominance and ARSP degenerates to the classic all-skyline-
+  /// probabilities (ASP) problem.
+  static PreferenceRegion FullSimplex(int dim);
+
+  /// Region with an explicitly given vertex set (tests, custom F).
+  static StatusOr<PreferenceRegion> FromVertices(std::vector<Point> vertices);
+
+  /// Weight-space dimensionality d.
+  int dim() const { return dim_; }
+
+  /// Number of vertices d' = |V|.
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+
+  /// The vertex set V; every vertex lies on the unit simplex.
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// True iff omega lies in Ω (simplex membership + A ω ≤ b); only
+  /// available for regions built from linear constraints.
+  bool Contains(const Point& omega, double eps = 1e-9) const;
+
+  /// The arithmetic mean of the vertices — an interior representative
+  /// weight, used for sorting instances by score.
+  Point Centroid() const;
+
+ private:
+  PreferenceRegion(int dim, std::vector<Point> vertices,
+                   LinearConstraints constraints)
+      : dim_(dim), vertices_(std::move(vertices)),
+        constraints_(std::move(constraints)) {}
+
+  int dim_;
+  std::vector<Point> vertices_;
+  LinearConstraints constraints_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_PREFERENCE_REGION_H_

@@ -1,0 +1,5 @@
+// Copyright 2026 The ARSP Authors.
+//
+// ScoreMapper is header-only; this translation unit anchors the target.
+
+#include "src/prefs/score_mapper.h"

@@ -1,0 +1,54 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The score-space mapping SV(t) = (S_{ω1}(t), ..., S_{ωd'}(t)) used by the
+// tree-traversal algorithms (§III-B): by Theorem 2, t ≺F s in the original
+// space iff SV(t) ⪯ SV(s) (coordinate dominance) in the mapped space, which
+// turns ARSP into the classic ASP problem in d' dimensions.
+
+#ifndef ARSP_PREFS_SCORE_MAPPER_H_
+#define ARSP_PREFS_SCORE_MAPPER_H_
+
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/prefs/preference_region.h"
+
+namespace arsp {
+
+/// Maps points from the d-dimensional data space to the d'-dimensional
+/// score space spanned by the preference region's vertices.
+class ScoreMapper {
+ public:
+  /// Keeps a reference to the region's vertex set; the region must outlive
+  /// the mapper.
+  explicit ScoreMapper(const PreferenceRegion& region)
+      : vertices_(&region.vertices()) {}
+
+  /// Mapped dimensionality d' = |V|.
+  int mapped_dim() const { return static_cast<int>(vertices_->size()); }
+
+  /// SV(t): the i-th output coordinate is the score of t under vertex ω_i.
+  Point Map(const Point& t) const {
+    const std::vector<Point>& v = *vertices_;
+    Point out(mapped_dim());
+    for (int i = 0; i < mapped_dim(); ++i) {
+      out[i] = v[static_cast<size_t>(i)].Dot(t);
+    }
+    return out;
+  }
+
+  /// Maps a batch of points.
+  std::vector<Point> MapAll(const std::vector<Point>& points) const {
+    std::vector<Point> out;
+    out.reserve(points.size());
+    for (const Point& p : points) out.push_back(Map(p));
+    return out;
+  }
+
+ private:
+  const std::vector<Point>* vertices_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_SCORE_MAPPER_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Weight ratio constraints (§IV): user-specified ranges
+// R = Π_{i<d} [l_i, h_i] requiring ω[d] > 0 and l_i ≤ ω[i]/ω[d] ≤ h_i.
+// The last dimension acts as the reference dimension, exactly as in the
+// eclipse query of Liu et al. [2].
+
+#ifndef ARSP_PREFS_WEIGHT_RATIO_H_
+#define ARSP_PREFS_WEIGHT_RATIO_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/point.h"
+
+namespace arsp {
+
+class LinearConstraints;
+
+/// Weight ratio constraints over d-dimensional weights: d-1 positive ranges
+/// [l_i, h_i] on the ratios ω[i]/ω[d].
+class WeightRatioConstraints {
+ public:
+  /// Validated construction; requires 0 < l_i <= h_i for each of d-1 ranges.
+  static StatusOr<WeightRatioConstraints> Create(
+      std::vector<std::pair<double, double>> ranges);
+
+  /// Data-space dimensionality d (= number of ranges + 1).
+  int dim() const { return static_cast<int>(ranges_.size()) + 1; }
+
+  const std::vector<std::pair<double, double>>& ranges() const {
+    return ranges_;
+  }
+  double lo(int i) const { return ranges_[static_cast<size_t>(i)].first; }
+  double hi(int i) const { return ranges_[static_cast<size_t>(i)].second; }
+
+  /// The k-vertex of the ratio hyper-rectangle R in the paper's
+  /// lexicographic numbering: bit i of k selects h_i (1) or l_i (0).
+  /// Returned as a (d-1)-dimensional ratio vector r.
+  Point RatioVertex(int k) const;
+
+  /// The 2^{d-1} vertices of the induced preference region on the simplex,
+  /// ordered by k: ω = (r, 1) / (Σ r + 1) for each ratio vertex r.
+  std::vector<Point> SimplexVertices() const;
+
+  /// Equivalent general linear constraints l_i ω_d - ω_i ≤ 0 and
+  /// ω_i - h_i ω_d ≤ 0, for running the general-F algorithms on weight
+  /// ratio inputs.
+  LinearConstraints ToLinearConstraints() const;
+
+ private:
+  explicit WeightRatioConstraints(
+      std::vector<std::pair<double, double>> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  std::vector<std::pair<double, double>> ranges_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_PREFS_WEIGHT_RATIO_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Continuous uncertainty — the paper's stated future direction (§VII):
+// objects whose location follows a continuous distribution rather than a
+// discrete instance set. Exact integration of dominance probabilities is
+// expensive; this module provides the standard practical route: Monte-Carlo
+// discretization into the library's discrete model, with as many samples as
+// the accuracy budget allows, plus a convergence-aware estimator.
+
+#ifndef ARSP_UNCERTAIN_CONTINUOUS_H_
+#define ARSP_UNCERTAIN_CONTINUOUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/prefs/preference_region.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Shape of a continuous object's distribution.
+enum class ContinuousKind {
+  kUniformBox,  ///< uniform over [center - half, center + half]
+  kGaussian,    ///< axis-aligned normal with per-dimension stddev
+};
+
+/// One continuously distributed uncertain object.
+struct ContinuousObject {
+  ContinuousKind kind = ContinuousKind::kUniformBox;
+  Point center;
+  /// Box half-extents (kUniformBox) or per-dimension stddev (kGaussian).
+  Point spread;
+  /// Probability that the object materializes at all (≤ 1).
+  double existence_prob = 1.0;
+};
+
+/// A dataset of continuously distributed objects.
+class ContinuousUncertainDataset {
+ public:
+  explicit ContinuousUncertainDataset(int dim) : dim_(dim) {
+    ARSP_CHECK(dim >= 1);
+  }
+
+  int dim() const { return dim_; }
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+  const std::vector<ContinuousObject>& objects() const { return objects_; }
+
+  /// Adds a uniform-box object; returns its id.
+  int AddUniformBox(Point center, Point half_extent,
+                    double existence_prob = 1.0);
+  /// Adds an axis-aligned Gaussian object; returns its id.
+  int AddGaussian(Point mean, Point stddev, double existence_prob = 1.0);
+
+  /// Draws one point from object `j`'s distribution.
+  Point Sample(int j, Rng& rng) const;
+
+  /// Monte-Carlo discretization: every object becomes
+  /// `samples_per_object` equiprobable instances with total mass equal to
+  /// its existence probability. The result plugs into every ARSP algorithm.
+  UncertainDataset Discretize(int samples_per_object, Rng& rng) const;
+
+ private:
+  int dim_;
+  std::vector<ContinuousObject> objects_;
+};
+
+/// Monte-Carlo estimate of per-object rskyline probabilities with a simple
+/// convergence report: the estimate is the mean over `num_trials`
+/// independent discretizations, and `max_stderr_out` (if non-null) receives
+/// the largest standard error across objects — the knob for deciding
+/// whether samples_per_object / num_trials suffice.
+std::vector<double> EstimateContinuousRskyline(
+    const ContinuousUncertainDataset& dataset, const PreferenceRegion& region,
+    int samples_per_object, int num_trials, uint64_t seed,
+    double* max_stderr_out = nullptr);
+
+}  // namespace arsp
+
+#endif  // ARSP_UNCERTAIN_CONTINUOUS_H_

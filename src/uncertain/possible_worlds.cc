@@ -1,0 +1,64 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/possible_worlds.h"
+
+namespace arsp {
+
+namespace {
+
+constexpr double kProbEps = 1e-9;
+
+void Recurse(const UncertainDataset& dataset, int object_id,
+             PossibleWorld* world,
+             const std::function<void(const PossibleWorld&)>& fn) {
+  if (object_id == dataset.num_objects()) {
+    fn(*world);
+    return;
+  }
+  const auto [begin, end] = dataset.object_range(object_id);
+  const double saved_prob = world->prob;
+
+  for (int i = begin; i < end; ++i) {
+    world->choice[static_cast<size_t>(object_id)] = i;
+    world->prob = saved_prob * dataset.instance(i).prob;
+    Recurse(dataset, object_id + 1, world, fn);
+  }
+  const double absent = 1.0 - dataset.object_prob(object_id);
+  if (absent > kProbEps) {
+    world->choice[static_cast<size_t>(object_id)] = -1;
+    world->prob = saved_prob * absent;
+    Recurse(dataset, object_id + 1, world, fn);
+  }
+  world->prob = saved_prob;
+}
+
+}  // namespace
+
+void ForEachPossibleWorld(const UncertainDataset& dataset,
+                          const std::function<void(const PossibleWorld&)>& fn,
+                          double max_worlds) {
+  ARSP_CHECK_MSG(dataset.NumPossibleWorlds() <= max_worlds,
+                 "possible-world enumeration over %g worlds exceeds limit %g",
+                 dataset.NumPossibleWorlds(), max_worlds);
+  PossibleWorld world;
+  world.choice.assign(static_cast<size_t>(dataset.num_objects()), -1);
+  world.prob = 1.0;
+  Recurse(dataset, 0, &world, fn);
+}
+
+double WorldProbability(const UncertainDataset& dataset,
+                        const PossibleWorld& world) {
+  ARSP_CHECK(static_cast<int>(world.choice.size()) == dataset.num_objects());
+  double prob = 1.0;
+  for (int j = 0; j < dataset.num_objects(); ++j) {
+    const int pick = world.choice[static_cast<size_t>(j)];
+    if (pick < 0) {
+      prob *= 1.0 - dataset.object_prob(j);
+    } else {
+      prob *= dataset.instance(pick).prob;
+    }
+  }
+  return prob;
+}
+
+}  // namespace arsp

@@ -1,0 +1,75 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+namespace {
+constexpr double kProbEps = 1e-9;
+}  // namespace
+
+double UncertainDataset::NumPossibleWorlds() const {
+  double worlds = 1.0;
+  for (int j = 0; j < num_objects(); ++j) {
+    const bool may_be_absent = object_prob(j) < 1.0 - kProbEps;
+    worlds *= static_cast<double>(object_size(j) + (may_be_absent ? 1 : 0));
+  }
+  return worlds;
+}
+
+int UncertainDatasetBuilder::AddObject(std::vector<Point> points,
+                                       std::vector<double> probs) {
+  object_points_.push_back(std::move(points));
+  object_probs_.push_back(std::move(probs));
+  return static_cast<int>(object_points_.size()) - 1;
+}
+
+StatusOr<UncertainDataset> UncertainDatasetBuilder::Build() {
+  UncertainDataset out;
+  out.dim_ = dim_;
+  out.bounds_ = Mbr::Empty(dim_);
+
+  const int m = static_cast<int>(object_points_.size());
+  int next_instance = 0;
+  for (int j = 0; j < m; ++j) {
+    const auto& points = object_points_[static_cast<size_t>(j)];
+    const auto& probs = object_probs_[static_cast<size_t>(j)];
+    if (points.empty()) {
+      return Status::InvalidArgument("object has no instances");
+    }
+    if (points.size() != probs.size()) {
+      return Status::InvalidArgument(
+          "instance points and probabilities differ in count");
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (points[i].dim() != dim_) {
+        return Status::InvalidArgument("instance dimensionality mismatch");
+      }
+      if (!(probs[i] > 0.0) || probs[i] > 1.0 + kProbEps) {
+        return Status::InvalidArgument(
+            "instance probability must be in (0, 1]");
+      }
+      total += probs[i];
+    }
+    if (total > 1.0 + kProbEps) {
+      return Status::InvalidArgument(
+          "object probabilities sum to more than 1");
+    }
+    const int begin = next_instance;
+    for (size_t i = 0; i < points.size(); ++i) {
+      Instance inst;
+      inst.point = points[i];
+      inst.prob = std::min(probs[i], 1.0);
+      inst.object_id = j;
+      inst.instance_id = next_instance++;
+      out.bounds_.Extend(inst.point);
+      out.instances_.push_back(std::move(inst));
+    }
+    out.object_ranges_.emplace_back(begin, next_instance);
+    out.object_probs_.push_back(std::min(total, 1.0));
+  }
+  return out;
+}
+
+}  // namespace arsp

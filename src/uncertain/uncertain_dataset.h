@@ -1,0 +1,108 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The uncertain data model of the paper (§II-B): a dataset D of m uncertain
+// objects, each a discrete probability distribution over instances in R^d.
+// An object materializes as at most one of its instances; objects are
+// mutually independent; Σ_t p(t) ≤ 1 per object (strict < 1 means the object
+// may be absent from a possible world).
+
+#ifndef ARSP_UNCERTAIN_UNCERTAIN_DATASET_H_
+#define ARSP_UNCERTAIN_UNCERTAIN_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/mbr.h"
+#include "src/geometry/point.h"
+
+namespace arsp {
+
+/// One instance of an uncertain object.
+struct Instance {
+  Point point;
+  double prob = 0.0;
+  int object_id = 0;    ///< Index of the owning object in the dataset.
+  int instance_id = 0;  ///< Global index in the flattened instance set I.
+};
+
+/// Immutable uncertain dataset; build through UncertainDatasetBuilder.
+class UncertainDataset {
+ public:
+  /// An empty 0-dimensional dataset (useful as a placeholder before
+  /// assignment; every query-facing API requires a built dataset).
+  UncertainDataset() : bounds_(Mbr::Empty(0)) {}
+
+  /// Data-space dimensionality d.
+  int dim() const { return dim_; }
+  /// Number of uncertain objects m.
+  int num_objects() const { return static_cast<int>(object_ranges_.size()); }
+  /// Total number of instances n = |I|.
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+
+  /// Flattened instance set I (instances of one object are contiguous).
+  const std::vector<Instance>& instances() const { return instances_; }
+  const Instance& instance(int i) const {
+    return instances_[static_cast<size_t>(i)];
+  }
+
+  /// [begin, end) range of object `j` in the flattened instance vector.
+  std::pair<int, int> object_range(int j) const {
+    return object_ranges_[static_cast<size_t>(j)];
+  }
+  /// Number of instances of object `j`.
+  int object_size(int j) const {
+    const auto [b, e] = object_range(j);
+    return e - b;
+  }
+  /// Total existence probability Σ_t p(t) of object `j`.
+  double object_prob(int j) const {
+    return object_probs_[static_cast<size_t>(j)];
+  }
+
+  /// Tight bounding box of all instances.
+  const Mbr& bounds() const { return bounds_; }
+
+  /// Number of possible worlds, as a double (it overflows integers fast);
+  /// each object contributes (#instances + [Σp < 1]) choices.
+  double NumPossibleWorlds() const;
+
+ private:
+  friend class UncertainDatasetBuilder;
+
+  int dim_ = 0;
+  std::vector<Instance> instances_;
+  std::vector<std::pair<int, int>> object_ranges_;
+  std::vector<double> object_probs_;
+  Mbr bounds_;
+};
+
+/// Incremental builder with validation.
+class UncertainDatasetBuilder {
+ public:
+  /// Builder for a d-dimensional dataset.
+  explicit UncertainDatasetBuilder(int dim) : dim_(dim) {
+    ARSP_CHECK(dim >= 1);
+  }
+
+  /// Adds one uncertain object given its instances and probabilities.
+  /// Returns the object id.
+  int AddObject(std::vector<Point> points, std::vector<double> probs);
+
+  /// Convenience: object with a single certain-ish instance.
+  int AddSingleton(Point point, double prob) {
+    return AddObject({std::move(point)}, {prob});
+  }
+
+  /// Validates (dims match, probs in (0,1], per-object sums ≤ 1) and builds.
+  StatusOr<UncertainDataset> Build();
+
+ private:
+  int dim_;
+  std::vector<std::vector<Point>> object_points_;
+  std::vector<std::vector<double>> object_probs_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_UNCERTAIN_UNCERTAIN_DATASET_H_

@@ -1,0 +1,163 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The central property suite: every ARSP algorithm must produce the same
+// probabilities. LOOP (validated against ENUM in enum_loop_test) acts as the
+// reference; KDTT, KDTT+, QDTT+, B&B, and DUAL are compared against it over
+// a parameterized sweep of dimensionality, distribution, constraint family,
+// instance counts, ϕ, and tie-heavy grid data.
+
+#include <gtest/gtest.h>
+
+#include "src/core/bnb_algorithm.h"
+#include "src/core/dual_algorithm.h"
+#include "src/core/enum_algorithm.h"
+#include "src/core/kdtt_algorithm.h"
+#include "src/core/loop_algorithm.h"
+#include "src/core/qdtt_algorithm.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::ImRegion;
+using testing_util::RandomDataset;
+using testing_util::RandomWr;
+using testing_util::WrRegion;
+
+struct SweepCase {
+  int dim;
+  int num_objects;
+  int max_instances;
+  double phi;
+  bool grid;
+  uint64_t seed;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "d=" << c.dim << " m=" << c.num_objects << " cnt=" << c.max_instances
+      << " phi=" << c.phi << (c.grid ? " grid" : "") << " seed=" << c.seed;
+}
+
+class EquivalenceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EquivalenceSweep, AllAlgorithmsAgreeUnderWeakRanking) {
+  const SweepCase& c = GetParam();
+  const UncertainDataset dataset = RandomDataset(
+      c.num_objects, c.max_instances, c.dim, c.phi, c.seed, c.grid);
+  const PreferenceRegion region = WrRegion(c.dim, c.dim - 1);
+
+  const ArspResult reference = ComputeArspLoop(dataset, region);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region,
+                                                  {.integrated = false})),
+            1e-8)
+      << "KDTT";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region,
+                                                  {.integrated = true})),
+            1e-8)
+      << "KDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(dataset, region)), 1e-8)
+      << "QDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(dataset, region)), 1e-8)
+      << "B&B";
+}
+
+TEST_P(EquivalenceSweep, AllAlgorithmsAgreeUnderWeightRatios) {
+  const SweepCase& c = GetParam();
+  const UncertainDataset dataset = RandomDataset(
+      c.num_objects, c.max_instances, c.dim, c.phi, c.seed + 1000, c.grid);
+  const WeightRatioConstraints wr = RandomWr(c.dim, c.seed);
+  const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
+
+  const ArspResult reference = ComputeArspLoop(dataset, region);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region)), 1e-8)
+      << "KDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(dataset, region)), 1e-8)
+      << "QDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(dataset, region)), 1e-8)
+      << "B&B";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspDual(dataset, wr)), 1e-8)
+      << "DUAL";
+}
+
+TEST_P(EquivalenceSweep, AllAlgorithmsAgreeUnderInteractiveConstraints) {
+  const SweepCase& c = GetParam();
+  const UncertainDataset dataset = RandomDataset(
+      c.num_objects, c.max_instances, c.dim, c.phi, c.seed + 2000, c.grid);
+  const PreferenceRegion region = ImRegion(c.dim, c.dim, c.seed);
+
+  const ArspResult reference = ComputeArspLoop(dataset, region);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region)), 1e-8)
+      << "KDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(dataset, region)), 1e-8)
+      << "QDTT+";
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(dataset, region)), 1e-8)
+      << "B&B";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceSweep,
+    ::testing::Values(
+        SweepCase{2, 20, 3, 0.0, false, 1}, SweepCase{2, 20, 3, 0.0, true, 2},
+        SweepCase{2, 40, 5, 0.5, false, 3}, SweepCase{3, 20, 3, 0.0, false, 4},
+        SweepCase{3, 30, 4, 0.3, true, 5}, SweepCase{3, 50, 2, 1.0, false, 6},
+        SweepCase{4, 20, 3, 0.0, false, 7}, SweepCase{4, 30, 4, 0.5, true, 8},
+        SweepCase{5, 20, 3, 0.0, false, 9},
+        SweepCase{5, 25, 3, 0.2, false, 10},
+        SweepCase{6, 15, 3, 0.0, false, 11},
+        SweepCase{2, 60, 6, 0.1, true, 12}));
+
+TEST(EquivalenceEdgeCases, SingleInstancePerObjectPhiOne) {
+  // The IIP regime: every object is one instance with Σp < 1; B&B's pruning
+  // set stays empty (the paper notes B&B degenerates toward LOOP here).
+  const UncertainDataset dataset = RandomDataset(40, 1, 2, 1.0, 21);
+  const PreferenceRegion region = WrRegion(2, 1);
+  const ArspResult reference = ComputeArspLoop(dataset, region);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(dataset, region)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(dataset, region)), 1e-9);
+}
+
+TEST(EquivalenceEdgeCases, ManyDuplicatesAcrossObjects) {
+  // Every object concentrated on two shared points: maximal tie stress.
+  UncertainDatasetBuilder builder(2);
+  for (int j = 0; j < 10; ++j) {
+    builder.AddObject({Point{0.5, 0.5}, Point{0.25, 0.75}}, {0.5, 0.5});
+  }
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  const PreferenceRegion region = WrRegion(2, 1);
+  const ArspResult reference = ComputeArspEnum(*dataset, region, 2e7);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspLoop(*dataset, region)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(*dataset, region)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(*dataset, region)), 1e-9);
+  EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(*dataset, region)), 1e-9);
+}
+
+TEST(EquivalenceEdgeCases, EnumCrossCheckOnTinyInputs) {
+  // Direct ENUM comparison for the tree and B&B algorithms on inputs small
+  // enough to enumerate.
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 2);
+    const UncertainDataset dataset = RandomDataset(6, 3, dim, 0.4, seed);
+    const PreferenceRegion region = WrRegion(dim, dim - 1);
+    const ArspResult reference = ComputeArspEnum(dataset, region);
+    EXPECT_LT(MaxAbsDiff(reference, ComputeArspKdtt(dataset, region)), 1e-9)
+        << seed;
+    EXPECT_LT(MaxAbsDiff(reference, ComputeArspQdtt(dataset, region)), 1e-9)
+        << seed;
+    EXPECT_LT(MaxAbsDiff(reference, ComputeArspBnb(dataset, region)), 1e-9)
+        << seed;
+  }
+}
+
+TEST(EquivalenceEdgeCases, ResultSizeConsistentAcrossAlgorithms) {
+  const UncertainDataset dataset = RandomDataset(30, 4, 3, 0.2, 77);
+  const PreferenceRegion region = WrRegion(3, 2);
+  const int reference = CountNonZero(ComputeArspLoop(dataset, region));
+  EXPECT_EQ(reference, CountNonZero(ComputeArspKdtt(dataset, region)));
+  EXPECT_EQ(reference, CountNonZero(ComputeArspQdtt(dataset, region)));
+  EXPECT_EQ(reference, CountNonZero(ComputeArspBnb(dataset, region)));
+}
+
+}  // namespace
+}  // namespace arsp

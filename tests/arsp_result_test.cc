@@ -1,0 +1,55 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/arsp_result.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+TEST(ArspResultTest, CountNonZero) {
+  ArspResult result;
+  result.instance_probs = {0.0, 0.5, 1e-12, 0.2, 0.0};
+  EXPECT_EQ(CountNonZero(result), 3);  // every representable positive
+  EXPECT_EQ(CountNonZero(result, 1e-9), 2);
+}
+
+TEST(ArspResultTest, ObjectProbabilitiesSumInstances) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}}, {0.5, 0.5});
+  builder.AddSingleton(Point{3.0}, 1.0);
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  ArspResult result;
+  result.instance_probs = {0.3, 0.2, 0.7};
+  const std::vector<double> objs = ObjectProbabilities(result, *dataset);
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_NEAR(objs[0], 0.5, 1e-12);
+  EXPECT_NEAR(objs[1], 0.7, 1e-12);
+}
+
+TEST(ArspResultTest, TopKOrdersAndTruncates) {
+  UncertainDatasetBuilder builder(1);
+  for (int i = 0; i < 4; ++i) builder.AddSingleton(Point{1.0 * i}, 1.0);
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  ArspResult result;
+  result.instance_probs = {0.2, 0.9, 0.9, 0.1};
+  const auto top = TopKObjects(result, *dataset, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 1);  // tie with 2, lower id first
+  EXPECT_EQ(top[1].first, 2);
+  EXPECT_EQ(top[2].first, 0);
+}
+
+TEST(ArspResultTest, MaxAbsDiff) {
+  ArspResult a, b;
+  a.instance_probs = {0.1, 0.5, 0.9};
+  b.instance_probs = {0.1, 0.6, 0.85};
+  EXPECT_NEAR(MaxAbsDiff(a, b), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,103 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/certain_rskyline.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::WrRegion;
+
+std::vector<Point> RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = rng.Uniform01();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<int> BruteSkyline(const std::vector<Point>& points) {
+  std::vector<int> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = (j != i) && DominatesStrict(points[j], points[i]);
+    }
+    if (!dominated) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> BruteRskyline(const std::vector<Point>& points,
+                               const PreferenceRegion& region) {
+  std::vector<int> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = (j != i) &&
+                  FDominatesVertex(points[j], points[i], region.vertices());
+    }
+    if (!dominated) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(CertainSkylineTest, MatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto points = RandomPoints(200, 2 + static_cast<int>(seed % 3), seed);
+    EXPECT_EQ(ComputeSkyline(points), BruteSkyline(points)) << seed;
+  }
+}
+
+TEST(CertainSkylineTest, DuplicatesBothSurviveStrictSkyline) {
+  const std::vector<Point> points = {{0.5, 0.5}, {0.5, 0.5}, {0.9, 0.9}};
+  EXPECT_EQ(ComputeSkyline(points), (std::vector<int>{0, 1}));
+}
+
+TEST(CertainRskylineTest, MatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const auto points = RandomPoints(200, dim, seed + 10);
+    const PreferenceRegion region = WrRegion(dim, dim - 1);
+    EXPECT_EQ(ComputeRskyline(points, region), BruteRskyline(points, region))
+        << seed;
+  }
+}
+
+TEST(CertainRskylineTest, RskylineSubsetOfSkyline) {
+  // The paper's §I: rskyline results are usually smaller than skylines, and
+  // always a subset (F-dominance extends coordinate dominance).
+  const auto points = RandomPoints(500, 3, 42);
+  const PreferenceRegion region = WrRegion(3, 2);
+  const std::vector<int> sky = ComputeSkyline(points);
+  const std::vector<int> rsky = ComputeRskyline(points, region);
+  EXPECT_LE(rsky.size(), sky.size());
+  for (int idx : rsky) {
+    EXPECT_TRUE(std::binary_search(sky.begin(), sky.end(), idx)) << idx;
+  }
+}
+
+TEST(CertainRskylineTest, DuplicatesEliminateEachOther) {
+  const std::vector<Point> points = {{0.5, 0.5}, {0.5, 0.5}, {0.1, 0.9}};
+  const PreferenceRegion region = WrRegion(2, 1);
+  const std::vector<int> rsky = ComputeRskyline(points, region);
+  EXPECT_EQ(std::count(rsky.begin(), rsky.end(), 0), 0);
+  EXPECT_EQ(std::count(rsky.begin(), rsky.end(), 1), 0);
+}
+
+TEST(CertainRskylineTest, FullSimplexEqualsWeakSkyline) {
+  // With F = all linear functions, rskyline = skyline up to duplicate
+  // handling; on duplicate-free data they coincide exactly.
+  const auto points = RandomPoints(300, 3, 99);
+  const PreferenceRegion region = PreferenceRegion::FullSimplex(3);
+  EXPECT_EQ(ComputeRskyline(points, region), ComputeSkyline(points));
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,75 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/constraint_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/prefs/preference_region.h"
+
+namespace arsp {
+namespace {
+
+TEST(ConstraintGeneratorsTest, WeakRankingShape) {
+  const LinearConstraints lc = MakeWeakRankingConstraints(4, 3);
+  EXPECT_EQ(lc.dim(), 4);
+  EXPECT_EQ(lc.num_constraints(), 3);
+  // Decreasing weights satisfy; any inversion violates.
+  EXPECT_TRUE(lc.Satisfies(Point{0.4, 0.3, 0.2, 0.1}));
+  EXPECT_TRUE(lc.Satisfies(Point{0.25, 0.25, 0.25, 0.25}));
+  EXPECT_FALSE(lc.Satisfies(Point{0.3, 0.4, 0.2, 0.1}));
+}
+
+TEST(ConstraintGeneratorsTest, WeakRankingPartial) {
+  // c < d-1 leaves the tail unconstrained.
+  const LinearConstraints lc = MakeWeakRankingConstraints(4, 1);
+  EXPECT_TRUE(lc.Satisfies(Point{0.3, 0.2, 0.1, 0.4}));
+  EXPECT_FALSE(lc.Satisfies(Point{0.2, 0.3, 0.1, 0.4}));
+}
+
+TEST(ConstraintGeneratorsTest, RandomSimplexWeightIsOnSimplex) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point w = RandomSimplexWeight(5, rng);
+    double sum = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_GE(w[i], 0.0);
+      sum += w[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ConstraintGeneratorsTest, InteractiveRegionsNonEmptyAndGrowVertices) {
+  // The paper (Fig. 5t) relies on IM vertex counts typically growing with
+  // c, unlike WR's constant d. Check non-emptiness always, and growth on
+  // average across seeds.
+  double vertices_c1 = 0.0;
+  double vertices_c6 = 0.0;
+  const int kSeeds = 20;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng1(seed), rng6(seed + 1000);
+    const auto r1 = PreferenceRegion::FromLinearConstraints(
+        MakeInteractiveConstraints(4, 1, rng1));
+    const auto r6 = PreferenceRegion::FromLinearConstraints(
+        MakeInteractiveConstraints(4, 6, rng6));
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r6.ok());
+    vertices_c1 += r1->num_vertices();
+    vertices_c6 += r6->num_vertices();
+  }
+  EXPECT_GT(vertices_c6 / kSeeds, vertices_c1 / kSeeds);
+}
+
+TEST(ConstraintGeneratorsTest, DeterministicUnderSeed) {
+  Rng a(99), b(99);
+  const LinearConstraints ca = MakeInteractiveConstraints(3, 4, a);
+  const LinearConstraints cb = MakeInteractiveConstraints(3, 4, b);
+  ASSERT_EQ(ca.num_constraints(), cb.num_constraints());
+  for (int i = 0; i < ca.num_constraints(); ++i) {
+    EXPECT_EQ(ca.rows()[static_cast<size_t>(i)].coef,
+              cb.rows()[static_cast<size_t>(i)].coef);
+  }
+}
+
+}  // namespace
+}  // namespace arsp

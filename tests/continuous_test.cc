@@ -1,0 +1,110 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::WrRegion;
+
+TEST(ContinuousTest, DiscretizeShape) {
+  ContinuousUncertainDataset dataset(2);
+  dataset.AddUniformBox(Point{0.5, 0.5}, Point{0.1, 0.1}, 0.8);
+  dataset.AddGaussian(Point{0.2, 0.8}, Point{0.05, 0.05});
+  Rng rng(1);
+  const UncertainDataset discrete = dataset.Discretize(16, rng);
+  EXPECT_EQ(discrete.num_objects(), 2);
+  EXPECT_EQ(discrete.num_instances(), 32);
+  EXPECT_NEAR(discrete.object_prob(0), 0.8, 1e-9);
+  EXPECT_NEAR(discrete.object_prob(1), 1.0, 1e-9);
+}
+
+TEST(ContinuousTest, BoxSamplesStayInBox) {
+  ContinuousUncertainDataset dataset(3);
+  dataset.AddUniformBox(Point{0.5, 0.5, 0.5}, Point{0.2, 0.1, 0.0});
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Point p = dataset.Sample(0, rng);
+    EXPECT_GE(p[0], 0.3);
+    EXPECT_LE(p[0], 0.7);
+    EXPECT_GE(p[1], 0.4);
+    EXPECT_LE(p[1], 0.6);
+    EXPECT_EQ(p[2], 0.5);  // zero spread is deterministic
+  }
+}
+
+TEST(ContinuousTest, SeparatedBoxesGiveExactAnswers) {
+  // Object A's box lies strictly inside the dominance region of every point
+  // of B's box: A always survives, B never does.
+  ContinuousUncertainDataset dataset(2);
+  dataset.AddUniformBox(Point{0.2, 0.2}, Point{0.05, 0.05});
+  dataset.AddUniformBox(Point{0.8, 0.8}, Point{0.05, 0.05});
+  const PreferenceRegion region = WrRegion(2, 1);
+  double stderr_out = 1.0;
+  const std::vector<double> probs = EstimateContinuousRskyline(
+      dataset, region, /*samples_per_object=*/64, /*num_trials=*/4,
+      /*seed=*/3, &stderr_out);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0], 1.0, 1e-9);
+  EXPECT_NEAR(probs[1], 0.0, 1e-9);
+  EXPECT_NEAR(stderr_out, 0.0, 1e-9);
+}
+
+TEST(ContinuousTest, SymmetricObjectsConvergeToHalf) {
+  // Two i.i.d. objects on the same diagonal segment: by symmetry each ends
+  // up un-dominated with probability ~1/2 + P(tie)=0. Monte-Carlo must land
+  // near 0.5 with shrinking error.
+  ContinuousUncertainDataset dataset(2);
+  dataset.AddUniformBox(Point{0.5, 0.5}, Point{0.2, 0.2});
+  dataset.AddUniformBox(Point{0.5, 0.5}, Point{0.2, 0.2});
+  const PreferenceRegion region =
+      PreferenceRegion::FromWeightRatios(testing_util::Example1Wr());
+  double stderr_out = 0.0;
+  const std::vector<double> probs = EstimateContinuousRskyline(
+      dataset, region, /*samples_per_object=*/128, /*num_trials=*/6,
+      /*seed=*/7, &stderr_out);
+  // Pr(un-dominated) is symmetric across the two objects.
+  EXPECT_NEAR(probs[0], probs[1], 0.1);
+  // Under F = ratios [0.5, 2], B survives iff A's draw does not F-dominate
+  // it; by symmetry that probability equals 1 - P(A ≺F B) with
+  // P(A ≺F B) = P(B ≺F A), so both lie in (0, 1) strictly.
+  EXPECT_GT(probs[0], 0.2);
+  EXPECT_LT(probs[0], 0.8);
+  EXPECT_LT(stderr_out, 0.1);
+}
+
+TEST(ContinuousTest, EstimateIsDeterministicUnderSeed) {
+  ContinuousUncertainDataset dataset(2);
+  dataset.AddUniformBox(Point{0.4, 0.6}, Point{0.1, 0.1});
+  dataset.AddGaussian(Point{0.6, 0.4}, Point{0.1, 0.1});
+  const PreferenceRegion region = WrRegion(2, 1);
+  const auto a = EstimateContinuousRskyline(dataset, region, 32, 3, 11);
+  const auto b = EstimateContinuousRskyline(dataset, region, 32, 3, 11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ContinuousTest, MoreSamplesReduceDiscretizationGap) {
+  // A box straddling another box's dominance boundary: the coarse estimate
+  // moves toward the fine estimate as samples grow.
+  ContinuousUncertainDataset dataset(2);
+  dataset.AddUniformBox(Point{0.35, 0.35}, Point{0.15, 0.15});
+  dataset.AddUniformBox(Point{0.5, 0.5}, Point{0.15, 0.15});
+  const PreferenceRegion region = WrRegion(2, 1);
+  const auto fine =
+      EstimateContinuousRskyline(dataset, region, 1024, 4, 23);
+  const auto coarse = EstimateContinuousRskyline(dataset, region, 16, 4, 23);
+  const auto medium =
+      EstimateContinuousRskyline(dataset, region, 256, 4, 23);
+  // The medium estimate should not be farther from fine than the coarse
+  // one by more than noise.
+  const double coarse_gap = std::abs(coarse[1] - fine[1]);
+  const double medium_gap = std::abs(medium[1] - fine[1]);
+  EXPECT_LT(medium_gap, coarse_gap + 0.05);
+}
+
+}  // namespace
+}  // namespace arsp

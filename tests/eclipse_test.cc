@@ -1,0 +1,119 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/eclipse/eclipse.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/certain_rskyline.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::RandomWr;
+
+std::vector<Point> RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = rng.Uniform01();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(EclipseTest, AllThreeAlgorithmsAgree) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const auto points = RandomPoints(400, dim, seed);
+    const WeightRatioConstraints wr = RandomWr(dim, seed + 50);
+    const std::vector<int> brute = ComputeEclipseBrute(points, wr);
+    EXPECT_EQ(brute, ComputeEclipsePairwise(points, wr)) << "seed=" << seed;
+    EXPECT_EQ(brute, ComputeEclipseDualS(points, wr)) << "seed=" << seed;
+  }
+}
+
+TEST(EclipseTest, EclipseSubsetOfSkyline) {
+  const auto points = RandomPoints(1000, 3, 3);
+  const WeightRatioConstraints wr = RandomWr(3, 7);
+  const std::vector<int> eclipse = ComputeEclipseDualS(points, wr);
+  const std::vector<int> skyline = ComputeSkyline(points);
+  for (int idx : eclipse) {
+    EXPECT_TRUE(std::binary_search(skyline.begin(), skyline.end(), idx));
+  }
+  EXPECT_LE(eclipse.size(), skyline.size());
+}
+
+TEST(EclipseTest, WiderRatioRangeYieldsSmallerOrEqualEclipse) {
+  // Wider R means weaker dominance per pair... no: wider R makes dominance
+  // *harder* (more weights must agree), so the eclipse set grows with the
+  // range and shrinks as the range narrows (Fig. 8c's q sensitivity).
+  const auto points = RandomPoints(600, 2, 11);
+  const auto narrow = WeightRatioConstraints::Create({{0.84, 1.19}}).value();
+  const auto wide = WeightRatioConstraints::Create({{0.18, 5.67}}).value();
+  const size_t narrow_size = ComputeEclipseDualS(points, narrow).size();
+  const size_t wide_size = ComputeEclipseDualS(points, wide).size();
+  EXPECT_LE(narrow_size, wide_size);
+}
+
+TEST(EclipseTest, DuplicatePointsEliminateEachOther) {
+  std::vector<Point> points = {{0.2, 0.8}, {0.2, 0.8}, {0.9, 0.1}};
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  const std::vector<int> eclipse = ComputeEclipseDualS(points, wr);
+  EXPECT_EQ(eclipse, ComputeEclipseBrute(points, wr));
+  EXPECT_EQ(std::count(eclipse.begin(), eclipse.end(), 0), 0);
+  EXPECT_EQ(std::count(eclipse.begin(), eclipse.end(), 1), 0);
+}
+
+TEST(EclipseTest, SinglePointIsItsOwnEclipse) {
+  const std::vector<Point> points = {{0.4, 0.6}};
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  EXPECT_EQ(ComputeEclipseDualS(points, wr), (std::vector<int>{0}));
+}
+
+TEST(EclipseTest, DegenerateRatioPointActsLikeSingleWeight) {
+  // l = h collapses F to a single scoring function: the eclipse is the set
+  // of minimum-score points under that weight.
+  const auto points = RandomPoints(300, 2, 17);
+  const auto wr = WeightRatioConstraints::Create({{1.0, 1.0}}).value();
+  const std::vector<int> eclipse = ComputeEclipseBrute(points, wr);
+  double best = 1e100;
+  for (const Point& p : points) best = std::min(best, p[0] + p[1]);
+  for (int idx : eclipse) {
+    EXPECT_NEAR(points[static_cast<size_t>(idx)][0] +
+                    points[static_cast<size_t>(idx)][1],
+                best, 1e-12);
+  }
+  EXPECT_EQ(ComputeEclipseDualS(points, wr), eclipse);
+}
+
+TEST(EclipseTest, HigherDimensions) {
+  const auto points = RandomPoints(300, 5, 23);
+  const WeightRatioConstraints wr = RandomWr(5, 29);
+  EXPECT_EQ(ComputeEclipseBrute(points, wr),
+            ComputeEclipseDualS(points, wr));
+}
+
+TEST(EclipseTest, PreparedIndexAnswersManyQueries) {
+  const auto points = RandomPoints(800, 3, 31);
+  const DualSEclipseIndex index(points);
+  EXPECT_GT(index.skyline_size(), 0);
+  for (uint64_t q = 0; q < 6; ++q) {
+    const WeightRatioConstraints wr = RandomWr(3, 100 + q);
+    EXPECT_EQ(index.Query(wr), ComputeEclipseBrute(points, wr)) << q;
+  }
+}
+
+TEST(EclipseTest, PreparedIndexIsMovable) {
+  const auto points = RandomPoints(100, 2, 37);
+  DualSEclipseIndex index(points);
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  const std::vector<int> before = index.Query(wr);
+  DualSEclipseIndex moved = std::move(index);
+  EXPECT_EQ(moved.Query(wr), before);
+}
+
+}  // namespace
+}  // namespace arsp

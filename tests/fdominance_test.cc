@@ -1,0 +1,147 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Property tests for the two F-dominance tests: Theorem 2 (vertex scores)
+// and Theorem 5 (closed-form weight-ratio test), including their mutual
+// equivalence on random data.
+
+#include "src/prefs/fdominance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/prefs/constraint_generators.h"
+
+namespace arsp {
+namespace {
+
+Point RandomPoint(int dim, Rng& rng) {
+  Point p(dim);
+  for (int i = 0; i < dim; ++i) p[i] = rng.Uniform01();
+  return p;
+}
+
+TEST(FDominanceTest, VertexTestBasics) {
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
+  // (1,1) F-dominates (2,2) but not vice versa.
+  EXPECT_TRUE(FDominates(Point{1.0, 1.0}, Point{2.0, 2.0}, region));
+  EXPECT_FALSE(FDominates(Point{2.0, 2.0}, Point{1.0, 1.0}, region));
+  // Equal points weakly dominate each other (paper's definition).
+  EXPECT_TRUE(FDominates(Point{1.0, 1.0}, Point{1.0, 1.0}, region));
+}
+
+TEST(FDominanceTest, FDominanceIsWeakerThanCoordinateDominance) {
+  // Coordinate dominance implies F-dominance for any region (monotone
+  // scoring), but F can also order coordinate-incomparable points.
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
+  EXPECT_TRUE(FDominates(Point{1.0, 3.0}, Point{2.0, 3.5}, region));
+  // (1,3) vs (2,3.5): coordinate dominance holds too. Now an incomparable
+  // pair: (0, 1.2) vs (1, 0.3): under (1/3,2/3) the former scores 0.8 vs
+  // 0.533; under (2/3,1/3) it scores 0.4 vs 0.767 — no dominance either way.
+  EXPECT_FALSE(FDominates(Point{0.0, 1.2}, Point{1.0, 0.3}, region));
+  EXPECT_FALSE(FDominates(Point{1.0, 0.3}, Point{0.0, 1.2}, region));
+  // But (1,2) F-dominates (2,1.8)? scores: (1/3+4/3)=5/3 vs (2/3+1.2)=1.867;
+  // (2/3+2/3)=4/3 vs (4/3+0.6)=1.93 — yes, although coordinates are
+  // incomparable.
+  EXPECT_TRUE(FDominates(Point{1.0, 2.0}, Point{2.0, 1.8}, region));
+  EXPECT_FALSE(DominatesWeak(Point{1.0, 2.0}, Point{2.0, 1.8}));
+}
+
+TEST(FDominanceTest, PaperExample3) {
+  // Example 3: R = [0.5, 2]; t3,1=(6,5) and t3,2, t3,3 F-dominate
+  // t2,3=(9,12).
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  const Point t23{9.0, 12.0};
+  EXPECT_TRUE(FDominatesWeightRatio(Point{6.0, 5.0}, t23, wr));
+  // A point exactly on h_{t,0}: y = -0.5x + 16.5, e.g. (5, 14).
+  EXPECT_TRUE(FDominatesWeightRatio(Point{5.0, 14.0}, t23, wr));
+  // Slightly above the hyperplane: no longer dominating.
+  EXPECT_FALSE(FDominatesWeightRatio(Point{5.0, 14.1}, t23, wr));
+  // Region 1 (x >= 9): on h_{t,1}: y = -2x + 30, e.g. (10, 10).
+  EXPECT_TRUE(FDominatesWeightRatio(Point{10.0, 10.0}, t23, wr));
+  EXPECT_FALSE(FDominatesWeightRatio(Point{10.0, 10.2}, t23, wr));
+}
+
+TEST(FDominanceTest, Theorem5MatchesTheorem2OnRandomPairs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = rng.UniformInt(2, 5);
+    std::vector<std::pair<double, double>> ranges;
+    for (int i = 0; i < d - 1; ++i) {
+      const double lo = rng.Uniform(0.1, 1.5);
+      ranges.emplace_back(lo, lo + rng.Uniform(0.0, 2.0));
+    }
+    const auto wr = WeightRatioConstraints::Create(ranges).value();
+    const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
+    for (int pair = 0; pair < 20; ++pair) {
+      const Point t = RandomPoint(d, rng);
+      const Point s = RandomPoint(d, rng);
+      EXPECT_EQ(FDominatesWeightRatio(t, s, wr),
+                FDominatesVertex(t, s, region.vertices()))
+          << "d=" << d << " t=" << t.ToString() << " s=" << s.ToString();
+    }
+  }
+}
+
+TEST(FDominanceTest, TransitivityUnderRandomRegions) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int d = 3;
+    const LinearConstraints lc = MakeInteractiveConstraints(d, 3, rng);
+    const auto region = PreferenceRegion::FromLinearConstraints(lc);
+    ASSERT_TRUE(region.ok());
+    const Point a = RandomPoint(d, rng);
+    const Point b = RandomPoint(d, rng);
+    const Point c = RandomPoint(d, rng);
+    if (FDominates(a, b, *region) && FDominates(b, c, *region)) {
+      EXPECT_TRUE(FDominates(a, c, *region));
+    }
+  }
+}
+
+TEST(FDominanceTest, CoordinateDominanceImpliesFDominance) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int d = rng.UniformInt(2, 5);
+    const LinearConstraints lc =
+        MakeWeakRankingConstraints(d, rng.UniformInt(0, d - 1));
+    const auto region = PreferenceRegion::FromLinearConstraints(lc);
+    ASSERT_TRUE(region.ok());
+    Point t = RandomPoint(d, rng);
+    Point s = t;
+    for (int i = 0; i < d; ++i) s[i] += rng.Uniform(0.0, 0.5);
+    EXPECT_TRUE(FDominates(t, s, *region));
+  }
+}
+
+TEST(FDominanceTest, NarrowerRegionDominatesMore) {
+  // Shrinking Ω (adding constraints) can only enlarge the dominance
+  // relation: if t ≺F s for the wide region, it still holds for the narrow
+  // one. This drives the Fig. 5(p–t) "vary c" trends.
+  Rng rng(17);
+  const auto wide = WeightRatioConstraints::Create({{0.2, 5.0}}).value();
+  const auto narrow = WeightRatioConstraints::Create({{0.8, 1.25}}).value();
+  int wide_count = 0;
+  int narrow_count = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point t = RandomPoint(2, rng);
+    const Point s = RandomPoint(2, rng);
+    const bool wide_dom = FDominatesWeightRatio(t, s, wide);
+    const bool narrow_dom = FDominatesWeightRatio(t, s, narrow);
+    if (wide_dom) {
+      ++wide_count;
+      EXPECT_TRUE(narrow_dom);
+    }
+    if (narrow_dom) ++narrow_count;
+  }
+  EXPECT_GT(narrow_count, wide_count);  // strictly more dominance overall
+}
+
+TEST(FDominanceTest, ScoreIsLinear) {
+  const Point omega{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(Score(omega, Point{4.0, 8.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace arsp

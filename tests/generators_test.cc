@@ -1,0 +1,155 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+TEST(GeneratorsTest, SyntheticRespectsConfig) {
+  SyntheticConfig config;
+  config.num_objects = 100;
+  config.max_instances = 10;
+  config.dim = 3;
+  config.phi = 0.0;
+  const UncertainDataset dataset = GenerateSynthetic(config);
+  EXPECT_EQ(dataset.num_objects(), 100);
+  EXPECT_EQ(dataset.dim(), 3);
+  EXPECT_GE(dataset.num_instances(), 100);
+  EXPECT_LE(dataset.num_instances(), 1000);
+  for (int j = 0; j < dataset.num_objects(); ++j) {
+    EXPECT_NEAR(dataset.object_prob(j), 1.0, 1e-9) << "phi=0: full mass";
+    EXPECT_LE(dataset.object_size(j), 10);
+  }
+  // All coordinates inside the unit cube.
+  for (const Instance& inst : dataset.instances()) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_GE(inst.point[k], 0.0);
+      EXPECT_LE(inst.point[k], 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SyntheticPhiTruncatesPrefix) {
+  SyntheticConfig config;
+  config.num_objects = 50;
+  config.max_instances = 8;
+  config.phi = 0.4;
+  const UncertainDataset dataset = GenerateSynthetic(config);
+  for (int j = 0; j < 20; ++j) {
+    EXPECT_LT(dataset.object_prob(j), 1.0 - 1e-9) << "object " << j;
+  }
+  for (int j = 20; j < 50; ++j) {
+    EXPECT_NEAR(dataset.object_prob(j), 1.0, 1e-9) << "object " << j;
+  }
+}
+
+TEST(GeneratorsTest, SyntheticDeterministicUnderSeed) {
+  SyntheticConfig config;
+  config.num_objects = 30;
+  config.seed = 77;
+  const UncertainDataset a = GenerateSynthetic(config);
+  const UncertainDataset b = GenerateSynthetic(config);
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  for (int i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.instance(i).point, b.instance(i).point);
+  }
+}
+
+TEST(GeneratorsTest, DistributionsDifferInCorrelation) {
+  // Empirical correlation of the first two center coordinates: positive for
+  // CORR, negative for ANTI (sampled via per-object means).
+  auto correlation = [](Distribution dist) {
+    SyntheticConfig config;
+    config.num_objects = 2000;
+    config.max_instances = 1;
+    config.dim = 2;
+    config.distribution = dist;
+    config.seed = 5;
+    const UncertainDataset dataset = GenerateSynthetic(config);
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    const int n = dataset.num_instances();
+    for (const Instance& inst : dataset.instances()) {
+      sx += inst.point[0];
+      sy += inst.point[1];
+      sxx += inst.point[0] * inst.point[0];
+      syy += inst.point[1] * inst.point[1];
+      sxy += inst.point[0] * inst.point[1];
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    return cov / std::sqrt(vx * vy);
+  };
+  EXPECT_GT(correlation(Distribution::kCorrelated), 0.6);
+  EXPECT_LT(correlation(Distribution::kAntiCorrelated), -0.2);
+  EXPECT_NEAR(correlation(Distribution::kIndependent), 0.0, 0.15);
+}
+
+TEST(GeneratorsTest, IipLikeShape) {
+  const UncertainDataset iip = GenerateIipLike(500, 3);
+  EXPECT_EQ(iip.dim(), 2);
+  EXPECT_EQ(iip.num_objects(), 500);
+  EXPECT_EQ(iip.num_instances(), 500);
+  for (int j = 0; j < iip.num_objects(); ++j) {
+    EXPECT_EQ(iip.object_size(j), 1);
+    const double p = iip.object_prob(j);
+    EXPECT_TRUE(p == 0.8 || p == 0.7 || p == 0.6) << p;
+  }
+}
+
+TEST(GeneratorsTest, CarLikeShape) {
+  const UncertainDataset car = GenerateCarLike(200, 4);
+  EXPECT_EQ(car.dim(), 4);
+  EXPECT_EQ(car.num_objects(), 200);
+  for (int j = 0; j < car.num_objects(); ++j) {
+    EXPECT_GE(car.object_size(j), 1);
+    EXPECT_LE(car.object_size(j), 30);
+    EXPECT_NEAR(car.object_prob(j), 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, NbaLikeShape) {
+  std::vector<std::string> names;
+  const UncertainDataset nba = GenerateNbaLike(50, 3, 11, &names);
+  EXPECT_EQ(nba.dim(), 3);
+  EXPECT_EQ(nba.num_objects(), 50);
+  ASSERT_EQ(names.size(), 50u);
+  EXPECT_EQ(names.front(), "Player-001");
+  for (int j = 0; j < nba.num_objects(); ++j) {
+    EXPECT_NEAR(nba.object_prob(j), 1.0, 1e-9);
+    // Uniform per-record probability 1/|T|.
+    const auto [begin, end] = nba.object_range(j);
+    for (int i = begin; i < end; ++i) {
+      EXPECT_NEAR(nba.instance(i).prob, 1.0 / (end - begin), 1e-12);
+    }
+  }
+  EXPECT_EQ(NbaMetricNames(3),
+            (std::vector<std::string>{"rebounds", "assists", "points"}));
+}
+
+TEST(GeneratorsTest, AggregateByMeanIsWeightedMean) {
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{0.0, 0.0}, Point{2.0, 4.0}}, {0.25, 0.75});
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  const std::vector<Point> agg = AggregateByMean(*dataset);
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_NEAR(agg[0][0], 1.5, 1e-12);
+  EXPECT_NEAR(agg[0][1], 3.0, 1e-12);
+}
+
+TEST(GeneratorsTest, TakeObjectsPrefix) {
+  const UncertainDataset iip = GenerateIipLike(100, 1);
+  const UncertainDataset sub = TakeObjects(iip, 40);
+  EXPECT_EQ(sub.num_objects(), 40);
+  for (int i = 0; i < sub.num_instances(); ++i) {
+    EXPECT_EQ(sub.instance(i).point, iip.instance(i).point);
+  }
+}
+
+}  // namespace
+}  // namespace arsp

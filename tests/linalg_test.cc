@@ -1,0 +1,70 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/geometry/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+TEST(LinalgTest, SolvesIdentity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const auto x = SolveLinearSystem(a, {3.0, -4.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], -4.0);
+}
+
+TEST(LinalgTest, SolvesGeneralSystem) {
+  // 2x + y = 5 ; x - y = 1  => x = 2, y = 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = -1.0;
+  const auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(LinalgTest, RequiresPivoting) {
+  // First pivot is zero; solvable only with row swaps.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = SolveLinearSystem(a, {7.0, 9.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 9.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 7.0, 1e-12);
+}
+
+TEST(LinalgTest, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).has_value());
+}
+
+TEST(LinalgTest, SolvesThreeByThree) {
+  // Simplex-style system: x+y+z=1, y-x=0 (tight), z=0 (tight).
+  Matrix a(3, 3);
+  for (int c = 0; c < 3; ++c) a(0, c) = 1.0;
+  a(1, 0) = -1.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 1.0;
+  const auto x = SolveLinearSystem(a, {1.0, 0.0, 0.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 0.5, 1e-12);
+  EXPECT_NEAR((*x)[2], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace arsp

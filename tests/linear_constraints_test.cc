@@ -1,0 +1,56 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/linear_constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+TEST(LinearConstraintsTest, EmptySetAcceptsEverything) {
+  const LinearConstraints lc(3);
+  EXPECT_EQ(lc.num_constraints(), 0);
+  EXPECT_TRUE(lc.Satisfies(Point{0.2, 0.3, 0.5}));
+}
+
+TEST(LinearConstraintsTest, SlackSign) {
+  LinearConstraint row{{1.0, -1.0}, 0.0};  // ω1 - ω2 <= 0
+  EXPECT_LT(row.Slack(Point{0.2, 0.8}), 0.0);
+  EXPECT_GT(row.Slack(Point{0.8, 0.2}), 0.0);
+  EXPECT_DOUBLE_EQ(row.Slack(Point{0.5, 0.5}), 0.0);
+}
+
+TEST(LinearConstraintsTest, SatisfiesWithTolerance) {
+  LinearConstraints lc(2);
+  lc.Add({1.0, -1.0}, 0.0);
+  EXPECT_TRUE(lc.Satisfies(Point{0.5, 0.5}));
+  EXPECT_TRUE(lc.Satisfies(Point{0.5 + 1e-12, 0.5}));   // within eps
+  EXPECT_FALSE(lc.Satisfies(Point{0.6, 0.4}));
+}
+
+TEST(LinearConstraintsTest, CreateValidatesRowWidth) {
+  const auto bad = LinearConstraints::Create(
+      3, {LinearConstraint{{1.0, 2.0}, 0.0}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  const auto good = LinearConstraints::Create(
+      2, {LinearConstraint{{1.0, -1.0}, 0.5}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->num_constraints(), 1);
+}
+
+TEST(LinearConstraintsTest, CreateRejectsZeroDim) {
+  EXPECT_FALSE(LinearConstraints::Create(0, {}).ok());
+}
+
+TEST(LinearConstraintsTest, MultipleRowsAllMustHold) {
+  LinearConstraints lc(3);
+  lc.Add({1.0, -1.0, 0.0}, 0.0);  // ω1 <= ω2
+  lc.Add({0.0, 1.0, -1.0}, 0.0);  // ω2 <= ω3
+  EXPECT_TRUE(lc.Satisfies(Point{0.1, 0.3, 0.6}));
+  EXPECT_FALSE(lc.Satisfies(Point{0.1, 0.6, 0.3}));
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,78 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point origin(3);
+  EXPECT_EQ(origin.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(origin[i], 0.0);
+
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[2], 3.0);
+
+  p[1] = 7.5;
+  EXPECT_EQ(p[1], 7.5);
+}
+
+TEST(PointTest, ArithmeticAndDot) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, 5.0};
+  const Point diff = b - a;
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+  const Point sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 13.0);
+}
+
+TEST(PointTest, EqualityIsExact) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_NE((Point{1.0, 2.0}), (Point{1.0, 2.0000001}));
+  EXPECT_NE((Point{1.0}), (Point{1.0, 0.0}));
+}
+
+TEST(PointTest, WeakDominance) {
+  EXPECT_TRUE(DominatesWeak({1.0, 2.0}, {1.0, 2.0}));  // reflexive
+  EXPECT_TRUE(DominatesWeak({1.0, 2.0}, {1.0, 3.0}));
+  EXPECT_TRUE(DominatesWeak({0.0, 0.0}, {5.0, 5.0}));
+  EXPECT_FALSE(DominatesWeak({1.0, 4.0}, {2.0, 3.0}));  // incomparable
+  EXPECT_FALSE(DominatesWeak({2.0, 3.0}, {1.0, 4.0}));
+}
+
+TEST(PointTest, StrictDominanceRequiresImprovement) {
+  EXPECT_FALSE(DominatesStrict({1.0, 2.0}, {1.0, 2.0}));  // equal: no
+  EXPECT_TRUE(DominatesStrict({1.0, 2.0}, {1.0, 2.5}));
+  EXPECT_FALSE(DominatesStrict({1.0, 2.5}, {1.0, 2.0}));
+}
+
+TEST(PointTest, DominanceTransitivity) {
+  const Point a{0.0, 1.0, 2.0};
+  const Point b{0.5, 1.0, 2.0};
+  const Point c{0.5, 1.5, 2.5};
+  ASSERT_TRUE(DominatesWeak(a, b));
+  ASSERT_TRUE(DominatesWeak(b, c));
+  EXPECT_TRUE(DominatesWeak(a, c));
+}
+
+TEST(PointTest, LexOrder) {
+  EXPECT_TRUE(LexLess({1.0, 9.0}, {2.0, 0.0}));
+  EXPECT_TRUE(LexLess({1.0, 1.0}, {1.0, 2.0}));
+  EXPECT_FALSE(LexLess({1.0, 2.0}, {1.0, 2.0}));
+  EXPECT_FALSE(LexLess({2.0, 0.0}, {1.0, 9.0}));
+}
+
+TEST(PointTest, ToStringIsReadable) {
+  EXPECT_EQ((Point{1.0, 2.5}).ToString(), "(1, 2.5)");
+  EXPECT_EQ(Point(0).ToString(), "()");
+}
+
+}  // namespace
+}  // namespace arsp

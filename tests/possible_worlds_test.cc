@@ -1,0 +1,91 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+UncertainDataset SmallDataset() {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}}, {0.5, 0.5});
+  builder.AddSingleton(Point{3.0}, 0.6);
+  auto out = builder.Build();
+  return std::move(out).value();
+}
+
+TEST(PossibleWorldsTest, ProbabilitiesSumToOne) {
+  const UncertainDataset dataset = SmallDataset();
+  double total = 0.0;
+  int count = 0;
+  ForEachPossibleWorld(dataset, [&](const PossibleWorld& world) {
+    total += world.prob;
+    ++count;
+  });
+  EXPECT_EQ(count, 4);  // {t11,t12} x {t21, absent}
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, IndividualWorldProbabilities) {
+  const UncertainDataset dataset = SmallDataset();
+  ForEachPossibleWorld(dataset, [&](const PossibleWorld& world) {
+    double expected = 1.0;
+    expected *= world.choice[0] >= 0 ? 0.5 : 0.0;  // object 0 never absent
+    expected *= world.choice[1] >= 0 ? 0.6 : 0.4;
+    EXPECT_NEAR(world.prob, expected, 1e-12);
+    EXPECT_NEAR(WorldProbability(dataset, world), expected, 1e-12);
+  });
+}
+
+TEST(PossibleWorldsTest, PaperExample1WorldProbability) {
+  // Example 1: T1 (2 instances, 1/2), T2 (3, 1/3), T3 (3, 1/3), T4 (2, 1/2);
+  // the world {t1,1, t2,1, t3,1, t4,1} has probability 1/36.
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{2.0, 10.0}, Point{14.0, 14.0}}, {0.5, 0.5});
+  builder.AddObject({Point{3.0, 3.0}, Point{8.0, 11.0}, Point{9.0, 12.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  builder.AddObject({Point{6.0, 5.0}, Point{7.0, 6.0}, Point{10.0, 9.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  builder.AddObject({Point{12.0, 1.0}, Point{13.0, 4.0}}, {0.5, 0.5});
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+
+  PossibleWorld world;
+  world.choice = {0, 2, 5, 8};  // first instance of each object
+  EXPECT_NEAR(WorldProbability(*dataset, world), 1.0 / 36.0, 1e-12);
+
+  double total = 0.0;
+  ForEachPossibleWorld(*dataset,
+                       [&](const PossibleWorld& w) { total += w.prob; });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, AbsentObjectsEnumerated) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddSingleton(Point{1.0}, 0.25);
+  builder.AddSingleton(Point{2.0}, 0.75);
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  int absent_first = 0;
+  ForEachPossibleWorld(*dataset, [&](const PossibleWorld& world) {
+    if (world.choice[0] < 0) ++absent_first;
+  });
+  EXPECT_EQ(absent_first, 2);  // absent-first paired with both states of obj 1
+}
+
+TEST(PossibleWorldsTest, WorldCountGuard) {
+  // 2^30 worlds must trip the guard.
+  UncertainDatasetBuilder builder(1);
+  for (int i = 0; i < 30; ++i) {
+    builder.AddObject({Point{1.0}, Point{2.0}}, {0.5, 0.5});
+  }
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_DEATH(
+      ForEachPossibleWorld(*dataset, [](const PossibleWorld&) {}, 1e6),
+      "exceeds limit");
+}
+
+}  // namespace
+}  // namespace arsp

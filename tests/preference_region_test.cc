@@ -1,0 +1,142 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/prefs/preference_region.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/prefs/constraint_generators.h"
+
+namespace arsp {
+namespace {
+
+bool HasVertexNear(const std::vector<Point>& vertices, const Point& target,
+                   double tol = 1e-9) {
+  return std::any_of(vertices.begin(), vertices.end(), [&](const Point& v) {
+    for (int i = 0; i < v.dim(); ++i) {
+      if (std::abs(v[i] - target[i]) > tol) return false;
+    }
+    return true;
+  });
+}
+
+TEST(PreferenceRegionTest, FullSimplexVerticesAreBasis) {
+  const PreferenceRegion region = PreferenceRegion::FullSimplex(3);
+  EXPECT_EQ(region.dim(), 3);
+  EXPECT_EQ(region.num_vertices(), 3);
+  EXPECT_TRUE(HasVertexNear(region.vertices(), Point{1.0, 0.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(region.vertices(), Point{0.0, 1.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(region.vertices(), Point{0.0, 0.0, 1.0}));
+}
+
+TEST(PreferenceRegionTest, UnconstrainedEnumerationRecoversSimplex) {
+  const auto region =
+      PreferenceRegion::FromLinearConstraints(LinearConstraints(3));
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->num_vertices(), 3);
+  EXPECT_TRUE(HasVertexNear(region->vertices(), Point{1.0, 0.0, 0.0}));
+}
+
+TEST(PreferenceRegionTest, WeakRankingVertices) {
+  // WR with c = d-1 = 2: ω1 >= ω2 >= ω3. The region's vertices are the
+  // "averaging" weights (1,0,0), (1/2,1/2,0), (1/3,1/3,1/3) — exactly the
+  // set V in the paper's NBA effectiveness study (§V-B).
+  const auto region = PreferenceRegion::FromLinearConstraints(
+      MakeWeakRankingConstraints(3, 2));
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->num_vertices(), 3);
+  EXPECT_TRUE(HasVertexNear(region->vertices(), Point{1.0, 0.0, 0.0}));
+  EXPECT_TRUE(HasVertexNear(region->vertices(), Point{0.5, 0.5, 0.0}));
+  EXPECT_TRUE(
+      HasVertexNear(region->vertices(), Point{1.0 / 3, 1.0 / 3, 1.0 / 3}));
+}
+
+TEST(PreferenceRegionTest, WeakRankingAlwaysHasDVertices) {
+  // The paper notes WR regions always have d vertices, for any c <= d-1.
+  for (int d = 2; d <= 6; ++d) {
+    for (int c = 1; c <= d - 1; ++c) {
+      const auto region = PreferenceRegion::FromLinearConstraints(
+          MakeWeakRankingConstraints(d, c));
+      ASSERT_TRUE(region.ok()) << "d=" << d << " c=" << c;
+      EXPECT_EQ(region->num_vertices(), d) << "d=" << d << " c=" << c;
+    }
+  }
+}
+
+TEST(PreferenceRegionTest, EmptyRegionIsRejected) {
+  LinearConstraints lc(2);
+  lc.Add({1.0, 0.0}, -0.1);  // ω1 <= -0.1: impossible on the simplex
+  const auto region = PreferenceRegion::FromLinearConstraints(lc);
+  EXPECT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PreferenceRegionTest, SingletonRegion) {
+  LinearConstraints lc(2);
+  lc.Add({1.0, -1.0}, 0.0);   // ω1 <= ω2
+  lc.Add({-1.0, 1.0}, 0.0);   // ω2 <= ω1
+  const auto region = PreferenceRegion::FromLinearConstraints(lc);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->num_vertices(), 1);
+  EXPECT_TRUE(HasVertexNear(region->vertices(), Point{0.5, 0.5}));
+}
+
+TEST(PreferenceRegionTest, FromWeightRatiosMatchesLinearEnumeration) {
+  const auto wr =
+      WeightRatioConstraints::Create({{0.5, 2.0}, {0.25, 4.0}}).value();
+  const PreferenceRegion direct = PreferenceRegion::FromWeightRatios(wr);
+  const auto enumerated =
+      PreferenceRegion::FromLinearConstraints(wr.ToLinearConstraints());
+  ASSERT_TRUE(enumerated.ok());
+  ASSERT_EQ(direct.num_vertices(), enumerated->num_vertices());
+  for (const Point& v : direct.vertices()) {
+    EXPECT_TRUE(HasVertexNear(enumerated->vertices(), v, 1e-8))
+        << "missing " << v.ToString();
+  }
+}
+
+TEST(PreferenceRegionTest, ContainsChecksSimplexAndConstraints) {
+  const auto region = PreferenceRegion::FromLinearConstraints(
+      MakeWeakRankingConstraints(3, 2));
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(region->Contains(Point{0.5, 0.3, 0.2}));
+  EXPECT_FALSE(region->Contains(Point{0.2, 0.3, 0.5}));  // violates ranking
+  EXPECT_FALSE(region->Contains(Point{0.5, 0.5, 0.5}));  // off simplex
+}
+
+TEST(PreferenceRegionTest, CentroidIsInsideForConvexRegion) {
+  const auto region = PreferenceRegion::FromLinearConstraints(
+      MakeWeakRankingConstraints(4, 3));
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(region->Contains(region->Centroid(), 1e-6));
+}
+
+TEST(PreferenceRegionTest, InteractiveRegionsContainHiddenWeight) {
+  // IM regions must be non-empty (they contain ω* by construction) and every
+  // enumerated vertex must satisfy the constraints.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const LinearConstraints lc = MakeInteractiveConstraints(4, 5, rng);
+    const auto region = PreferenceRegion::FromLinearConstraints(lc);
+    ASSERT_TRUE(region.ok()) << "seed=" << seed;
+    for (const Point& v : region->vertices()) {
+      EXPECT_TRUE(lc.Satisfies(v, 1e-6)) << v.ToString();
+    }
+  }
+}
+
+TEST(PreferenceRegionTest, FromVerticesValidates) {
+  EXPECT_FALSE(PreferenceRegion::FromVertices({}).ok());
+  EXPECT_FALSE(
+      PreferenceRegion::FromVertices({Point{0.5, 0.4}}).ok());  // sum != 1
+  EXPECT_FALSE(
+      PreferenceRegion::FromVertices({Point{1.5, -0.5}}).ok());  // negative
+  const auto ok = PreferenceRegion::FromVertices(
+      {Point{0.5, 0.5}, Point{1.0, 0.0}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_vertices(), 2);
+}
+
+}  // namespace
+}  // namespace arsp

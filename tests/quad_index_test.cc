@@ -1,0 +1,115 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/eclipse/quad_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/eclipse/eclipse.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::RandomWr;
+
+std::vector<Point> RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = rng.Uniform01();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(QuadIndexTest, MatchesBruteForceAcrossDimsAndRanges) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 4);
+    const auto points = RandomPoints(500, dim, seed);
+    const QuadEclipseIndex index(points);
+    for (uint64_t q = 0; q < 4; ++q) {
+      const WeightRatioConstraints wr = RandomWr(dim, seed * 10 + q);
+      EXPECT_EQ(index.Query(wr), ComputeEclipseBrute(points, wr))
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(QuadIndexTest, OneIndexServesManyQueries) {
+  const auto points = RandomPoints(2000, 3, 42);
+  const QuadEclipseIndex index(points);
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.84, 1.19}, {0.58, 1.73}, {0.36, 2.75}, {0.18, 5.67}}) {
+    const auto wr =
+        WeightRatioConstraints::Create({{lo, hi}, {lo, hi}}).value();
+    EXPECT_EQ(index.Query(wr), ComputeEclipseDualS(points, wr))
+        << lo << " " << hi;
+  }
+}
+
+TEST(QuadIndexTest, QueriesOutsideIndexedBoxStayCorrect) {
+  // The index covers [0.02, 10]; wider queries fall back to corner
+  // resolution and must still be exact.
+  const auto points = RandomPoints(300, 2, 7);
+  const QuadEclipseIndex index(points);
+  const auto wr = WeightRatioConstraints::Create({{0.001, 50.0}}).value();
+  EXPECT_EQ(index.Query(wr), ComputeEclipseBrute(points, wr));
+}
+
+TEST(QuadIndexTest, DegeneratePointRange) {
+  const auto points = RandomPoints(300, 3, 9);
+  const QuadEclipseIndex index(points);
+  const auto wr =
+      WeightRatioConstraints::Create({{1.0, 1.0}, {1.0, 1.0}}).value();
+  EXPECT_EQ(index.Query(wr), ComputeEclipseBrute(points, wr));
+}
+
+TEST(QuadIndexTest, DuplicatePoints) {
+  std::vector<Point> points = RandomPoints(100, 2, 11);
+  points.push_back(points.front());
+  const QuadEclipseIndex index(points);
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  EXPECT_EQ(index.Query(wr), ComputeEclipseBrute(points, wr));
+}
+
+TEST(QuadIndexTest, StatsArePopulated) {
+  const auto points = RandomPoints(3000, 4, 13);
+  const QuadEclipseIndex index(points);
+  EXPECT_GT(index.skyline_size(), 0);
+  EXPECT_EQ(index.num_hyperplanes(),
+            index.skyline_size() * (index.skyline_size() - 1) / 2);
+  EXPECT_GT(index.num_nodes(), 1);
+  EXPECT_GT(index.height(), 0);
+}
+
+TEST(QuadIndexTest, PlaneReplicationGrowsWithDimension) {
+  // The paper's observation: in higher dimensions, a node's hyperplane set
+  // shrinks only slightly relative to its parent, so each hyperplane is
+  // replicated across many more cells per tree level. Compare per-level
+  // replication (refs per plane per level of height) at equal budgets.
+  QuadEclipseIndex::Options opts;
+  opts.max_depth = 3;  // same depth for both dimensionalities
+  const auto p2 = RandomPoints(4000, 2, 17);
+  const auto p5 = RandomPoints(4000, 5, 17);
+  const QuadEclipseIndex i2(p2, opts);
+  const QuadEclipseIndex i5(p5, opts);
+  const double refs_per_plane_2 =
+      static_cast<double>(i2.total_plane_refs()) /
+      std::max(1, i2.num_hyperplanes());
+  const double refs_per_plane_5 =
+      static_cast<double>(i5.total_plane_refs()) /
+      std::max(1, i5.num_hyperplanes());
+  EXPECT_GT(refs_per_plane_5, refs_per_plane_2);
+}
+
+TEST(QuadIndexTest, SinglePoint) {
+  const std::vector<Point> points = {{0.3, 0.7}};
+  const QuadEclipseIndex index(points);
+  const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+  EXPECT_EQ(index.Query(wr), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,104 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Shared helpers for the algorithm test suites: small random uncertain
+// datasets, preference regions of both constraint families, and an
+// Example-1-style hand dataset whose coordinates are consistent with the
+// dominance relations the paper states in Examples 1 and 3.
+
+#ifndef ARSP_TESTS_TEST_UTIL_H_
+#define ARSP_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/prefs/constraint_generators.h"
+#include "src/prefs/fdominance.h"
+#include "src/prefs/preference_region.h"
+#include "src/prefs/weight_ratio.h"
+#include "src/uncertain/generators.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+namespace testing_util {
+
+/// A small random uncertain dataset with duplicate-prone coordinates when
+/// `grid` is set (coordinates snapped to a coarse grid, so exact ties and
+/// duplicate points actually occur).
+inline UncertainDataset RandomDataset(int num_objects, int max_instances,
+                                      int dim, double phi, uint64_t seed,
+                                      bool grid = false) {
+  Rng rng(seed);
+  UncertainDatasetBuilder builder(dim);
+  const int truncated = static_cast<int>(phi * num_objects + 0.5);
+  for (int j = 0; j < num_objects; ++j) {
+    const int count = rng.UniformInt(1, max_instances);
+    std::vector<Point> points;
+    std::vector<double> probs;
+    const bool drop_mass = j < truncated;
+    for (int i = 0; i < count; ++i) {
+      Point p(dim);
+      for (int k = 0; k < dim; ++k) {
+        double v = rng.Uniform01();
+        if (grid) v = std::round(v * 4.0) / 4.0;  // 5 distinct values
+        p[k] = v;
+      }
+      points.push_back(std::move(p));
+      probs.push_back((drop_mass ? 0.9 : 1.0) / count);
+    }
+    builder.AddObject(std::move(points), std::move(probs));
+  }
+  auto out = builder.Build();
+  return std::move(out).value();
+}
+
+/// WR preference region for dimension d with c constraints.
+inline PreferenceRegion WrRegion(int dim, int c) {
+  auto region = PreferenceRegion::FromLinearConstraints(
+      MakeWeakRankingConstraints(dim, c));
+  return std::move(region).value();
+}
+
+/// IM preference region for dimension d with c constraints.
+inline PreferenceRegion ImRegion(int dim, int c, uint64_t seed) {
+  Rng rng(seed);
+  auto region = PreferenceRegion::FromLinearConstraints(
+      MakeInteractiveConstraints(dim, c, rng));
+  return std::move(region).value();
+}
+
+/// Random weight-ratio constraints for dimension d.
+inline WeightRatioConstraints RandomWr(int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> ranges;
+  for (int i = 0; i < dim - 1; ++i) {
+    const double lo = rng.Uniform(0.2, 1.2);
+    ranges.emplace_back(lo, lo + rng.Uniform(0.0, 2.0));
+  }
+  return WeightRatioConstraints::Create(std::move(ranges)).value();
+}
+
+/// A 4-object / 10-instance dataset shaped like the paper's Fig. 1, with
+/// coordinates consistent with Example 3 (t2,3 = (9,12), t3,1 = (6,5), and
+/// t3,1, t3,2, t3,3 all F-dominate t2,3 under R = [0.5, 2]).
+inline UncertainDataset Example1Dataset() {
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{2.0, 10.0}, Point{14.0, 14.0}}, {0.5, 0.5});
+  builder.AddObject({Point{3.0, 3.0}, Point{8.0, 11.0}, Point{9.0, 12.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  builder.AddObject({Point{6.0, 5.0}, Point{7.0, 6.0}, Point{10.0, 9.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  builder.AddObject({Point{12.0, 1.0}, Point{13.0, 4.0}}, {0.5, 0.5});
+  auto out = builder.Build();
+  return std::move(out).value();
+}
+
+/// The Example-1 preference region: F = {ω1 x1 + ω2 x2 | 0.5 ω2 ≤ ω1 ≤ 2 ω2}.
+inline WeightRatioConstraints Example1Wr() {
+  return WeightRatioConstraints::Create({{0.5, 2.0}}).value();
+}
+
+}  // namespace testing_util
+}  // namespace arsp
+
+#endif  // ARSP_TESTS_TEST_UTIL_H_

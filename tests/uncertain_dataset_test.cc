@@ -1,0 +1,109 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/uncertain/uncertain_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace arsp {
+namespace {
+
+TEST(UncertainDatasetTest, BuildAndAccess) {
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{1.0, 2.0}, Point{3.0, 4.0}}, {0.5, 0.5});
+  builder.AddSingleton(Point{0.0, 0.0}, 0.7);
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->dim(), 2);
+  EXPECT_EQ(dataset->num_objects(), 2);
+  EXPECT_EQ(dataset->num_instances(), 3);
+  EXPECT_EQ(dataset->object_size(0), 2);
+  EXPECT_EQ(dataset->object_size(1), 1);
+  EXPECT_DOUBLE_EQ(dataset->object_prob(0), 1.0);
+  EXPECT_DOUBLE_EQ(dataset->object_prob(1), 0.7);
+  EXPECT_EQ(dataset->instance(2).object_id, 1);
+  EXPECT_EQ(dataset->instance(2).instance_id, 2);
+}
+
+TEST(UncertainDatasetTest, InstancesAreContiguousPerObject) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}, Point{3.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  builder.AddObject({Point{4.0}, Point{5.0}}, {0.5, 0.5});
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->object_range(0), std::make_pair(0, 3));
+  EXPECT_EQ(dataset->object_range(1), std::make_pair(3, 5));
+  for (int i = 0; i < dataset->num_instances(); ++i) {
+    EXPECT_EQ(dataset->instance(i).instance_id, i);
+  }
+}
+
+TEST(UncertainDatasetTest, RejectsBadProbabilities) {
+  {
+    UncertainDatasetBuilder builder(1);
+    builder.AddObject({Point{1.0}}, {0.0});  // zero probability
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    UncertainDatasetBuilder builder(1);
+    builder.AddObject({Point{1.0}}, {1.5});  // above 1
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    UncertainDatasetBuilder builder(1);
+    builder.AddObject({Point{1.0}, Point{2.0}}, {0.7, 0.7});  // sum > 1
+    EXPECT_FALSE(builder.Build().ok());
+  }
+}
+
+TEST(UncertainDatasetTest, RejectsDimensionMismatch) {
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{1.0}}, {1.0});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(UncertainDatasetTest, RejectsMismatchedCounts) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}}, {1.0});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(UncertainDatasetTest, RejectsEmptyObject) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({}, {});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(UncertainDatasetTest, ToleratesRoundingToOne) {
+  // Three instances of 1/3 each sum to slightly less/more than 1 in floating
+  // point; the builder must accept this and clamp.
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}, Point{3.0}},
+                    {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_LE(dataset->object_prob(0), 1.0);
+}
+
+TEST(UncertainDatasetTest, BoundsCoverAllInstances) {
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{1.0, 5.0}, Point{3.0, 2.0}}, {0.4, 0.4});
+  builder.AddSingleton(Point{-1.0, 7.0}, 1.0);
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->bounds().min_corner(), (Point{-1.0, 2.0}));
+  EXPECT_EQ(dataset->bounds().max_corner(), (Point{3.0, 7.0}));
+}
+
+TEST(UncertainDatasetTest, PossibleWorldCount) {
+  UncertainDatasetBuilder builder(1);
+  builder.AddObject({Point{1.0}, Point{2.0}}, {0.5, 0.5});  // 2 choices
+  builder.AddSingleton(Point{3.0}, 0.5);                    // 2 (may vanish)
+  builder.AddSingleton(Point{4.0}, 1.0);                    // 1
+  const auto dataset = builder.Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_DOUBLE_EQ(dataset->NumPossibleWorlds(), 4.0);
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,250 @@
+// Copyright 2026 The ARSP Authors.
+//
+// arsp_cli — run ARSP queries on CSV datasets from the command line.
+//
+// Usage:
+//   arsp_cli --input data.csv [--header]
+//            --constraints wr:0.5,2.0[,l2,h2,...]   (weight ratios), or
+//            --constraints rank:c                   (weak ranking ω1≥...≥ωc+1)
+//            [--algo kdtt+|kdtt|qdtt+|bnb|loop|dual]
+//            [--topk K] [--threshold P]
+//            [--instances out_instances.csv] [--objects out_objects.csv]
+//
+// CSV input format: object,prob,attr1,...,attrD (see src/io/csv.h). Lower
+// attribute values are preferred; negate "higher is better" columns.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/core/bnb_algorithm.h"
+#include "src/core/dual_algorithm.h"
+#include "src/core/kdtt_algorithm.h"
+#include "src/core/loop_algorithm.h"
+#include "src/core/qdtt_algorithm.h"
+#include "src/core/queries.h"
+#include "src/io/csv.h"
+#include "src/prefs/constraint_generators.h"
+#include "src/prefs/preference_region.h"
+
+namespace {
+
+using namespace arsp;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: arsp_cli --input data.csv --constraints wr:l1,h1[,...]|rank:c\n"
+      "                [--header] [--algo kdtt+|kdtt|qdtt+|bnb|loop|dual]\n"
+      "                [--topk K] [--threshold P]\n"
+      "                [--instances out.csv] [--objects out.csv]\n");
+}
+
+struct Args {
+  std::string input;
+  std::string constraints;
+  std::string algo = "kdtt+";
+  bool header = false;
+  int topk = 10;
+  std::optional<double> threshold;
+  std::string instances_out;
+  std::string objects_out;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (flag == "--input") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->input = v;
+    } else if (flag == "--constraints") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->constraints = v;
+    } else if (flag == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->algo = v;
+    } else if (flag == "--header") {
+      args->header = true;
+    } else if (flag == "--topk") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->topk = std::atoi(v);
+    } else if (flag == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->threshold = std::atof(v);
+    } else if (flag == "--instances") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->instances_out = v;
+    } else if (flag == "--objects") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->objects_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->input.empty() && !args->constraints.empty();
+}
+
+// Parses "wr:0.5,2.0,..." into weight ratio ranges.
+std::optional<std::vector<std::pair<double, double>>> ParseWrSpec(
+    const std::string& spec) {
+  std::vector<double> values;
+  std::string token;
+  for (char c : spec) {
+    if (c == ',') {
+      values.push_back(std::atof(token.c_str()));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) values.push_back(std::atof(token.c_str()));
+  if (values.empty() || values.size() % 2 != 0) return std::nullopt;
+  std::vector<std::pair<double, double>> ranges;
+  for (size_t i = 0; i < values.size(); i += 2) {
+    ranges.emplace_back(values[i], values[i + 1]);
+  }
+  return ranges;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::vector<std::string> names;
+  auto dataset = LoadUncertainDatasetCsv(args.input, args.header, &names);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", args.input.c_str(),
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %d objects / %d instances, d = %d\n",
+              dataset->num_objects(), dataset->num_instances(),
+              dataset->dim());
+
+  // Build the preference region from the constraint spec.
+  std::optional<WeightRatioConstraints> wr;
+  std::optional<PreferenceRegion> region;
+  if (args.constraints.rfind("wr:", 0) == 0) {
+    auto ranges = ParseWrSpec(args.constraints.substr(3));
+    if (!ranges) {
+      std::fprintf(stderr, "bad weight-ratio spec '%s'\n",
+                   args.constraints.c_str());
+      return 2;
+    }
+    if (static_cast<int>(ranges->size()) + 1 != dataset->dim()) {
+      std::fprintf(stderr, "need %d ratio ranges for d=%d data (got %zu)\n",
+                   dataset->dim() - 1, dataset->dim(), ranges->size());
+      return 2;
+    }
+    auto built = WeightRatioConstraints::Create(*ranges);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 2;
+    }
+    wr = std::move(built).value();
+    region = PreferenceRegion::FromWeightRatios(*wr);
+  } else if (args.constraints.rfind("rank:", 0) == 0) {
+    const int c = std::atoi(args.constraints.c_str() + 5);
+    if (c < 0 || c > dataset->dim() - 1) {
+      std::fprintf(stderr, "rank constraint count must be in [0, %d]\n",
+                   dataset->dim() - 1);
+      return 2;
+    }
+    auto built = PreferenceRegion::FromLinearConstraints(
+        MakeWeakRankingConstraints(dataset->dim(), c));
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 2;
+    }
+    region = std::move(built).value();
+  } else {
+    std::fprintf(stderr, "constraints must start with 'wr:' or 'rank:'\n");
+    return 2;
+  }
+  std::printf("preference region: %d vertices\n", region->num_vertices());
+
+  // Run the requested algorithm.
+  Stopwatch sw;
+  ArspResult result;
+  if (args.algo == "kdtt+") {
+    result = ComputeArspKdtt(*dataset, *region, {.integrated = true});
+  } else if (args.algo == "kdtt") {
+    result = ComputeArspKdtt(*dataset, *region, {.integrated = false});
+  } else if (args.algo == "qdtt+") {
+    result = ComputeArspQdtt(*dataset, *region);
+  } else if (args.algo == "bnb") {
+    result = ComputeArspBnb(*dataset, *region);
+  } else if (args.algo == "loop") {
+    result = ComputeArspLoop(*dataset, *region);
+  } else if (args.algo == "dual") {
+    if (!wr) {
+      std::fprintf(stderr, "--algo dual requires wr: constraints\n");
+      return 2;
+    }
+    result = ComputeArspDual(*dataset, *wr);
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", args.algo.c_str());
+    return 2;
+  }
+  std::printf("computed ARSP in %.2f ms (%s); result size %d\n",
+              sw.ElapsedMillis(), args.algo.c_str(), CountNonZero(result));
+
+  // Report.
+  if (args.threshold) {
+    const auto above = ObjectsAboveThreshold(result, *dataset, *args.threshold);
+    std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
+                above.size());
+    for (const auto& [object, prob] : above) {
+      std::printf("  %-20s %.4f\n",
+                  names[static_cast<size_t>(object)].c_str(), prob);
+    }
+  } else {
+    std::printf("\ntop-%d objects by Pr_rsky:\n", args.topk);
+    for (const auto& [object, prob] :
+         TopKObjects(result, *dataset, args.topk)) {
+      std::printf("  %-20s %.4f\n",
+                  names[static_cast<size_t>(object)].c_str(), prob);
+    }
+  }
+
+  if (!args.instances_out.empty()) {
+    const Status st = WriteTextFile(
+        args.instances_out, FormatArspResultCsv(result, *dataset, &names));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote per-instance results to %s\n",
+                args.instances_out.c_str());
+  }
+  if (!args.objects_out.empty()) {
+    const Status st = WriteTextFile(
+        args.objects_out, FormatObjectResultCsv(result, *dataset, &names));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote per-object results to %s\n", args.objects_out.c_str());
+  }
+  return 0;
+}
