@@ -4,22 +4,25 @@
 //   * ENUM's exponential blow-up (why the paper's Fig. 5 reports INF),
 //   * Theorem-5 O(d) F-dominance test vs the Theorem-2 vertex test,
 //   * KDTT+ fused construction vs KDTT build-then-traverse,
+//   * the §III-B space-partitioning remark (KDTT+ / QDTT+ / MWTT fan-outs),
 //   * B&B with and without the Theorem-3/4 pruning set,
 //   * R-tree fan-out sensitivity of B&B,
 //   * empirical scaling on the Theorem-1 OV reduction instances (the
 //     quadratic hardness wall).
+//
+// Every ARSP run goes through the SolverRegistry: the ablation axes are the
+// solvers' typed options (integrated, fanout, pruning, rtree_fanout), not
+// separate entry points.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
-#include "src/core/bnb_algorithm.h"
-#include "src/core/enum_algorithm.h"
-#include "src/core/kdtt_algorithm.h"
-#include "src/core/loop_algorithm.h"
-#include "src/core/mwtt_algorithm.h"
-#include "src/core/qdtt_algorithm.h"
 #include "src/core/ov_reduction.h"
+#include "src/core/solver.h"
 #include "src/prefs/fdominance.h"
 
 namespace arsp {
@@ -27,6 +30,8 @@ namespace {
 
 using bench_util::MakeSynthetic;
 using bench_util::MakeWrRegion;
+using bench_util::MustCreate;
+using bench_util::MustSolve;
 
 // ---- ENUM blow-up: doubling m multiplies worlds by cnt+1. -----------------
 void BM_EnumBlowup(benchmark::State& state) {
@@ -34,9 +39,11 @@ void BM_EnumBlowup(benchmark::State& state) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kIndependent, m, 3, 2, 0.2, 0.0);
   const PreferenceRegion region = MakeWrRegion(2, 1);
+  const auto solver =
+      MustCreate("enum", SolverOptions().SetDouble("max_worlds", 1e9));
+  ExecutionContext context(dataset, region);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        CountNonZero(ComputeArspEnum(dataset, region, 1e9)));
+    benchmark::DoNotOptimize(CountNonZero(MustSolve(*solver, context)));
   }
   state.counters["worlds"] = dataset.NumPossibleWorlds();
 }
@@ -97,10 +104,11 @@ void BM_KdttConstruction(benchmark::State& state) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kCorrelated, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
   const PreferenceRegion region = MakeWrRegion(4, 3);
+  const auto solver = MustCreate(integrated ? "kdtt+" : "kdtt");
+  ExecutionContext context(dataset, region);
   int64_t nodes = 0;
   for (auto _ : state) {
-    const ArspResult result = ComputeArspKdtt(
-        dataset, region, {.integrated = integrated});
+    const ArspResult result = MustSolve(*solver, context);
     nodes = result.nodes_visited;
     benchmark::DoNotOptimize(nodes);
   }
@@ -111,33 +119,41 @@ BENCHMARK(BM_KdttConstruction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
 // ---- Space-partitioning tree ablation: the §III-B remark. ------------------
-// KDTT+ (binary kd splits) vs MWTT (multi-way slabs) vs QDTT+ (quadrants).
-void BM_PartitioningTree(benchmark::State& state) {
-  const int variant = static_cast<int>(state.range(0));
+// KDTT+ (binary kd splits) vs QDTT+ (quadrants) vs MWTT fan-out sweep, all
+// as registered solvers sharing one ExecutionContext per workload.
+void BM_PartitioningTree(benchmark::State& state, const std::string& algo,
+                         const SolverOptions& options,
+                         const std::string& label) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kIndependent, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
   const PreferenceRegion region = MakeWrRegion(4, 3);
+  const auto solver = MustCreate(algo, options);
+  ExecutionContext context(dataset, region);
   for (auto _ : state) {
-    ArspResult result;
-    switch (variant) {
-      case 0:
-        result = ComputeArspKdtt(dataset, region);
-        state.SetLabel("KDTT+ (binary kd)");
-        break;
-      case 1:
-        result = ComputeArspQdtt(dataset, region);
-        state.SetLabel("QDTT+ (quadrants)");
-        break;
-      default:
-        result = ComputeArspMwtt(dataset, region, {.fanout = variant});
-        state.SetLabel("MWTT fanout=" + std::to_string(variant));
-        break;
-    }
-    benchmark::DoNotOptimize(CountNonZero(result));
+    benchmark::DoNotOptimize(CountNonZero(MustSolve(*solver, context)));
+  }
+  state.SetLabel(label);
+}
+
+void RegisterPartitioningTree() {
+  benchmark::RegisterBenchmark(
+      "BM_PartitioningTree/kdtt+", [](benchmark::State& state) {
+        BM_PartitioningTree(state, "kdtt+", {}, "KDTT+ (binary kd)");
+      })->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "BM_PartitioningTree/qdtt+", [](benchmark::State& state) {
+        BM_PartitioningTree(state, "qdtt+", {}, "QDTT+ (quadrants)");
+      })->Unit(benchmark::kMillisecond)->Iterations(1);
+  for (int fanout : {4, 8, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        ("BM_PartitioningTree/mwtt_fanout=" + std::to_string(fanout)).c_str(),
+        [fanout](benchmark::State& state) {
+          BM_PartitioningTree(state, "mwtt",
+                              SolverOptions().SetInt("fanout", fanout),
+                              "MWTT fanout=" + std::to_string(fanout));
+        })->Unit(benchmark::kMillisecond)->Iterations(1);
   }
 }
-BENCHMARK(BM_PartitioningTree)->Arg(0)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
-    ->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 // ---- B&B pruning-set ablation. ---------------------------------------------
 void BM_BnbPruning(benchmark::State& state) {
@@ -145,10 +161,12 @@ void BM_BnbPruning(benchmark::State& state) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kIndependent, bench_util::ScaledM(512), 20, 4, 0.2, 0.0);
   const PreferenceRegion region = MakeWrRegion(4, 3);
+  const auto solver =
+      MustCreate("bnb", SolverOptions().SetBool("pruning", pruning));
+  ExecutionContext context(dataset, region);
   int64_t pruned = 0;
   for (auto _ : state) {
-    const ArspResult result = ComputeArspBnb(
-        dataset, region, {.enable_pruning = pruning});
+    const ArspResult result = MustSolve(*solver, context);
     pruned = result.nodes_pruned;
     benchmark::DoNotOptimize(pruned);
   }
@@ -164,9 +182,11 @@ void BM_BnbFanout(benchmark::State& state) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kIndependent, bench_util::ScaledM(256), 10, 4, 0.2, 0.0);
   const PreferenceRegion region = MakeWrRegion(4, 3);
+  const auto solver =
+      MustCreate("bnb", SolverOptions().SetInt("rtree_fanout", fanout));
+  ExecutionContext context(dataset, region);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(CountNonZero(
-        ComputeArspBnb(dataset, region, {.rtree_fanout = fanout})));
+    benchmark::DoNotOptimize(CountNonZero(MustSolve(*solver, context)));
   }
 }
 BENCHMARK(BM_BnbFanout)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
@@ -179,9 +199,11 @@ void BM_OvReductionScaling(benchmark::State& state) {
   const OvInstance ov = MakeRandomOvInstance(n, d, 0.5, 99);
   const UncertainDataset dataset = BuildOvDataset(ov);
   const PreferenceRegion region = PreferenceRegion::FullSimplex(d);
+  const auto solver = MustCreate("kdtt+");
+  ExecutionContext context(dataset, region);
   bool found = false;
   for (auto _ : state) {
-    const ArspResult result = ComputeArspKdtt(dataset, region);
+    const ArspResult result = MustSolve(*solver, context);
     found = OvPairExists(result, dataset);
     benchmark::DoNotOptimize(found);
   }
@@ -194,4 +216,10 @@ BENCHMARK(BM_OvReductionScaling)->RangeMultiplier(2)->Range(256, 4096)
 }  // namespace
 }  // namespace arsp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  arsp::RegisterPartitioningTree();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

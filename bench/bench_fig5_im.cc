@@ -13,7 +13,7 @@
 namespace arsp {
 namespace {
 
-using bench_util::Algo;
+using bench_util::AlgoCaps;
 using bench_util::AlgoName;
 using bench_util::kLinearAlgos;
 using bench_util::MakeImRegion;
@@ -22,14 +22,16 @@ using bench_util::RunAlgo;
 using bench_util::ScaledM;
 
 void RunCase(benchmark::State& state, int m, int cnt, int dim, int c,
-             Algo algo) {
+             const std::string& algo) {
   const UncertainDataset dataset = MakeSynthetic(
       Distribution::kIndependent, m, cnt, dim, 0.2, 0.0);
   const PreferenceRegion region = MakeImRegion(dim, c);
-  // QDTT+ quadrant codes cap at 63 mapped dimensions; the paper's QDTT+
-  // curve similarly disappears once IM vertex counts explode.
-  if (algo == Algo::kQdttPlus && region.num_vertices() > 24) {
-    state.SkipWithError("QDTT+ fan-out infeasible at this vertex count");
+  // Quadrant-style fan-out is exponential in the vertex count (the
+  // registry's cost flag); the paper's QDTT+ curve similarly disappears
+  // once IM vertex counts explode.
+  if ((AlgoCaps(algo) & kCapExponentialInVertices) != 0 &&
+      region.num_vertices() > 24) {
+    state.SkipWithError("quadrant fan-out infeasible at this vertex count");
     return;
   }
   int arsp_size = 0;
@@ -44,7 +46,7 @@ void RunCase(benchmark::State& state, int m, int cnt, int dim, int c,
 }
 
 void Register(const std::string& name, int m, int cnt, int dim, int c,
-              Algo algo) {
+              const std::string& algo) {
   benchmark::RegisterBenchmark(
       (name + "/" + AlgoName(algo)).c_str(),
       [=](benchmark::State& state) { RunCase(state, m, cnt, dim, c, algo); })
@@ -56,21 +58,23 @@ void RegisterAll() {
   // ---- Fig. 5 (r): vary m, d=4, c=3.
   for (int base_m : {128, 256, 512, 1024}) {
     const int m = ScaledM(base_m);
-    for (Algo algo : kLinearAlgos) {
-      if (algo == Algo::kLoop && m * 20 / 2 > 16000) continue;
+    for (const char* algo : kLinearAlgos) {
+      if ((AlgoCaps(algo) & kCapQuadraticTime) != 0 && m * 20 / 2 > 16000) {
+        continue;
+      }
       Register("Fig5r_IM_vary_m/m=" + std::to_string(m), m, 20, 4, 3, algo);
     }
   }
   // ---- Fig. 5 (s): vary d, c = d-1.
   for (int d : {2, 3, 4, 5, 6}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       Register("Fig5s_IM_vary_d/d=" + std::to_string(d), ScaledM(256), 10, d,
                d - 1, algo);
     }
   }
   // ---- Fig. 5 (t): vary c, d=4.
   for (int c : {2, 3, 4, 5, 6, 7}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       Register("Fig5t_IM_vary_c/c=" + std::to_string(c), ScaledM(256), 10, 4,
                c, algo);
     }

@@ -23,7 +23,7 @@
 namespace arsp {
 namespace {
 
-using bench_util::Algo;
+using bench_util::AlgoCaps;
 using bench_util::AlgoName;
 using bench_util::kLinearAlgos;
 using bench_util::MakeSynthetic;
@@ -42,7 +42,8 @@ struct Workload {
   int c;  // number of WR constraints
 };
 
-void RunCase(benchmark::State& state, const Workload& w, Algo algo) {
+void RunCase(benchmark::State& state, const Workload& w,
+             const std::string& algo) {
   const UncertainDataset dataset =
       MakeSynthetic(w.dist, w.m, w.cnt, w.dim, w.l, w.phi);
   const PreferenceRegion region = MakeWrRegion(w.dim, w.c);
@@ -57,7 +58,8 @@ void RunCase(benchmark::State& state, const Workload& w, Algo algo) {
   state.counters["arsp_size"] = arsp_size;
 }
 
-void Register(const std::string& name, const Workload& w, Algo algo) {
+void Register(const std::string& name, const Workload& w,
+              const std::string& algo) {
   benchmark::RegisterBenchmark(
       (name + "/" + AlgoName(algo)).c_str(),
       [w, algo](benchmark::State& state) { RunCase(state, w, algo); })
@@ -65,17 +67,20 @@ void Register(const std::string& name, const Workload& w, Algo algo) {
       ->Iterations(1);
 }
 
-// LOOP is quadratic; keep it off the largest inputs so the full harness
-// stays inside a laptop budget (the paper similarly cuts curves at INF).
-bool LoopTooBig(const Workload& w) { return w.m * w.cnt / 2 > 16000; }
+// Quadratic solvers (the registry's cost flag, i.e. LOOP) stay off the
+// largest inputs so the full harness fits a laptop budget (the paper
+// similarly cuts curves at INF).
+bool TooBig(const std::string& algo, const Workload& w) {
+  return (AlgoCaps(algo) & kCapQuadraticTime) != 0 && w.m * w.cnt / 2 > 16000;
+}
 
 void RegisterAll() {
   // ---- Fig. 5 (a)-(c): vary m. Defaults: cnt=20, d=4, l=0.2, phi=0, c=3.
   for (Distribution dist : kDists) {
     for (int base_m : {128, 256, 512, 1024}) {
       const Workload w{dist, ScaledM(base_m), 20, 4, 0.2, 0.0, 3};
-      for (Algo algo : kLinearAlgos) {
-        if (algo == Algo::kLoop && LoopTooBig(w)) continue;
+      for (const char* algo : kLinearAlgos) {
+        if (TooBig(algo, w)) continue;
         Register("Fig5_vary_m/" + std::string(DistributionName(dist)) +
                      "/m=" + std::to_string(w.m),
                  w, algo);
@@ -87,8 +92,8 @@ void RegisterAll() {
   for (Distribution dist : kDists) {
     for (int cnt : {5, 10, 20, 40}) {
       const Workload w{dist, ScaledM(512), cnt, 4, 0.2, 0.0, 3};
-      for (Algo algo : kLinearAlgos) {
-        if (algo == Algo::kLoop && LoopTooBig(w)) continue;
+      for (const char* algo : kLinearAlgos) {
+        if (TooBig(algo, w)) continue;
         Register("Fig5_vary_cnt/" + std::string(DistributionName(dist)) +
                      "/cnt=" + std::to_string(cnt),
                  w, algo);
@@ -100,7 +105,7 @@ void RegisterAll() {
   for (Distribution dist : kDists) {
     for (int d : {2, 3, 4, 5, 6, 8}) {
       const Workload w{dist, ScaledM(256), 10, d, 0.2, 0.0, d - 1};
-      for (Algo algo : kLinearAlgos) {
+      for (const char* algo : kLinearAlgos) {
         Register("Fig5_vary_d/" + std::string(DistributionName(dist)) +
                      "/d=" + std::to_string(d),
                  w, algo);
@@ -112,7 +117,7 @@ void RegisterAll() {
   for (Distribution dist : kDists) {
     for (double l : {0.1, 0.2, 0.4, 0.6}) {
       const Workload w{dist, ScaledM(512), 10, 4, l, 0.0, 3};
-      for (Algo algo : kLinearAlgos) {
+      for (const char* algo : kLinearAlgos) {
         Register("Fig5_vary_l/" + std::string(DistributionName(dist)) +
                      "/l=" + std::to_string(l).substr(0, 3),
                  w, algo);
@@ -124,7 +129,7 @@ void RegisterAll() {
   for (Distribution dist : kDists) {
     for (double phi : {0.0, 0.1, 0.4, 0.8}) {
       const Workload w{dist, ScaledM(512), 10, 4, 0.2, phi, 3};
-      for (Algo algo : kLinearAlgos) {
+      for (const char* algo : kLinearAlgos) {
         Register("Fig5_vary_phi/" + std::string(DistributionName(dist)) +
                      "/phi=" + std::to_string(phi).substr(0, 3),
                  w, algo);
@@ -137,7 +142,7 @@ void RegisterAll() {
                             Distribution::kAntiCorrelated}) {
     for (int c : {1, 2, 3, 4, 5}) {
       const Workload w{dist, ScaledM(256), 10, 6, 0.2, 0.0, c};
-      for (Algo algo : kLinearAlgos) {
+      for (const char* algo : kLinearAlgos) {
         Register("Fig5_vary_c/" + std::string(DistributionName(dist)) +
                      "/c=" + std::to_string(c),
                  w, algo);

@@ -17,7 +17,7 @@
 namespace arsp {
 namespace {
 
-using bench_util::Algo;
+using bench_util::AlgoCaps;
 using bench_util::AlgoName;
 using bench_util::kLinearAlgos;
 using bench_util::MakeWrRegion;
@@ -44,9 +44,11 @@ UncertainDataset NbaFull(int dim) {
 }
 
 void RunCase(benchmark::State& state, const UncertainDataset& dataset, int c,
-             Algo algo) {
-  if (algo == Algo::kLoop && dataset.num_instances() > 20000) {
-    state.SkipWithError("LOOP over 20K instances exceeds the harness budget");
+             const std::string& algo) {
+  if ((AlgoCaps(algo) & kCapQuadraticTime) != 0 &&
+      dataset.num_instances() > 20000) {
+    state.SkipWithError(
+        "quadratic solver over 20K instances exceeds the harness budget");
     return;
   }
   const PreferenceRegion region = MakeWrRegion(dataset.dim(), c);
@@ -64,11 +66,11 @@ void RunCase(benchmark::State& state, const UncertainDataset& dataset, int c,
 void RegisterAll() {
   // ---- Fig. 6 (a): IIP-like, vary m%.
   for (int pct : {20, 40, 60, 80, 100}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       const int count = std::max(1, IipFull().num_objects() * pct / 100);
       benchmark::RegisterBenchmark(
           ("Fig6a_IIP/m%=" + std::to_string(pct) + "/" + AlgoName(algo)).c_str(),
-          [count, algo](benchmark::State& state) {
+          [count, algo = std::string(algo)](benchmark::State& state) {
             const UncertainDataset subset = TakeObjects(IipFull(), count);
             RunCase(state, subset, 1, algo);
           })
@@ -78,11 +80,11 @@ void RegisterAll() {
   }
   // ---- Fig. 6 (b): CAR-like, vary m%.
   for (int pct : {20, 40, 60, 80, 100}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       const int count = std::max(1, CarFull().num_objects() * pct / 100);
       benchmark::RegisterBenchmark(
           ("Fig6b_CAR/m%=" + std::to_string(pct) + "/" + AlgoName(algo)).c_str(),
-          [count, algo](benchmark::State& state) {
+          [count, algo = std::string(algo)](benchmark::State& state) {
             const UncertainDataset subset = TakeObjects(CarFull(), count);
             RunCase(state, subset, 3, algo);
           })
@@ -92,10 +94,10 @@ void RegisterAll() {
   }
   // ---- Fig. 6 (c): NBA-like (d=8 full metrics), vary m%.
   for (int pct : {20, 40, 60, 80, 100}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       benchmark::RegisterBenchmark(
           ("Fig6c_NBA/m%=" + std::to_string(pct) + "/" + AlgoName(algo)).c_str(),
-          [pct, algo](benchmark::State& state) {
+          [pct, algo = std::string(algo)](benchmark::State& state) {
             const UncertainDataset full = NbaFull(4);
             const UncertainDataset subset = TakeObjects(
                 full, std::max(1, full.num_objects() * pct / 100));
@@ -107,10 +109,10 @@ void RegisterAll() {
   }
   // ---- Fig. 6 (d): NBA-like, vary d.
   for (int d : {2, 3, 4, 5, 6, 8}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       benchmark::RegisterBenchmark(
           ("Fig6d_NBA/d=" + std::to_string(d) + "/" + AlgoName(algo)).c_str(),
-          [d, algo](benchmark::State& state) {
+          [d, algo = std::string(algo)](benchmark::State& state) {
             RunCase(state, NbaFull(d), d - 1, algo);
           })
           ->Unit(benchmark::kMillisecond)
@@ -119,10 +121,10 @@ void RegisterAll() {
   }
   // ---- Fig. 6 (e): NBA-like (d=8), vary c.
   for (int c : {1, 3, 5, 7}) {
-    for (Algo algo : kLinearAlgos) {
+    for (const char* algo : kLinearAlgos) {
       benchmark::RegisterBenchmark(
           ("Fig6e_NBA/c=" + std::to_string(c) + "/" + AlgoName(algo)).c_str(),
-          [c, algo](benchmark::State& state) {
+          [c, algo = std::string(algo)](benchmark::State& state) {
             RunCase(state, NbaFull(8), c, algo);
           })
           ->Unit(benchmark::kMillisecond)

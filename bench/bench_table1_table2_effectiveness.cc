@@ -16,7 +16,6 @@
 
 #include "bench/bench_util.h"
 #include "src/core/certain_rskyline.h"
-#include "src/core/kdtt_algorithm.h"
 #include "src/core/skyline_probability.h"
 #include "src/prefs/constraint_generators.h"
 
@@ -35,7 +34,7 @@ int Run() {
       MakeWeakRankingConstraints(3, 2));
   ARSP_CHECK(region.ok());
 
-  const ArspResult rsky = ComputeArspKdtt(nba, *region);
+  const ArspResult rsky = bench_util::RunAlgo("kdtt+", nba, *region);
   const ArspResult sky = ComputeAllSkylineProbabilities(nba);
   const std::vector<Point> averages = AggregateByMean(nba);
   const std::vector<int> aggregated = ComputeRskyline(averages, *region);

@@ -4,56 +4,51 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "src/common/rng.h"
-#include "src/core/bnb_algorithm.h"
-#include "src/core/dual_algorithm.h"
-#include "src/core/kdtt_algorithm.h"
-#include "src/core/loop_algorithm.h"
-#include "src/core/qdtt_algorithm.h"
 #include "src/prefs/constraint_generators.h"
 
 namespace arsp {
 namespace bench_util {
 
-const char* AlgoName(Algo algo) {
-  switch (algo) {
-    case Algo::kLoop:
-      return "LOOP";
-    case Algo::kKdtt:
-      return "KDTT";
-    case Algo::kKdttPlus:
-      return "KDTT+";
-    case Algo::kQdttPlus:
-      return "QDTT+";
-    case Algo::kBnb:
-      return "B&B";
-    case Algo::kDual:
-      return "DUAL";
-  }
-  return "?";
+std::unique_ptr<ArspSolver> MustCreate(const std::string& algo,
+                                       const SolverOptions& options) {
+  StatusOr<std::unique_ptr<ArspSolver>> solver =
+      SolverRegistry::Create(algo, options);
+  ARSP_CHECK_MSG(solver.ok(), "%s", solver.status().ToString().c_str());
+  return std::move(solver).value();
 }
 
-ArspResult RunAlgo(Algo algo, const UncertainDataset& dataset,
+ArspResult MustSolve(ArspSolver& solver, ExecutionContext& context) {
+  StatusOr<ArspResult> result = solver.Solve(context);
+  ARSP_CHECK_MSG(result.ok(), "%s", result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+std::string AlgoName(const std::string& algo) {
+  return MustCreate(algo)->display_name();
+}
+
+uint32_t AlgoCaps(const std::string& algo) {
+  return MustCreate(algo)->capabilities();
+}
+
+ArspResult RunAlgo(const std::string& algo, const UncertainDataset& dataset,
                    const PreferenceRegion& region,
                    const WeightRatioConstraints* wr) {
-  switch (algo) {
-    case Algo::kLoop:
-      return ComputeArspLoop(dataset, region);
-    case Algo::kKdtt:
-      return ComputeArspKdtt(dataset, region, {.integrated = false});
-    case Algo::kKdttPlus:
-      return ComputeArspKdtt(dataset, region, {.integrated = true});
-    case Algo::kQdttPlus:
-      return ComputeArspQdtt(dataset, region);
-    case Algo::kBnb:
-      return ComputeArspBnb(dataset, region);
-    case Algo::kDual:
-      ARSP_CHECK_MSG(wr != nullptr,
-                     "DUAL requires weight ratio constraints");
-      return ComputeArspDual(dataset, *wr);
+  const std::unique_ptr<ArspSolver> solver = MustCreate(algo);
+  std::optional<ExecutionContext> context;
+  if (solver->capabilities() & kCapRequiresWeightRatios) {
+    ARSP_CHECK_MSG(wr != nullptr, "%s requires weight ratio constraints",
+                   algo.c_str());
+    context.emplace(dataset, *wr);
+  } else {
+    context.emplace(dataset, region);
   }
-  ARSP_FATAL("unknown algorithm");
+  StatusOr<ArspResult> result = solver->Solve(*context);
+  ARSP_CHECK_MSG(result.ok(), "%s", result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 double Scale() {

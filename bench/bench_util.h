@@ -1,8 +1,9 @@
 // Copyright 2026 The ARSP Authors.
 //
-// Shared infrastructure for the paper-reproduction benchmarks: an algorithm
-// registry matching the paper's names (LOOP, KDTT, KDTT+, QDTT+, B&B, DUAL),
-// workload construction per §V-A, and a global scale knob.
+// Shared infrastructure for the paper-reproduction benchmarks: registry-
+// driven algorithm execution (names match SolverRegistry; display names
+// match the paper's figures), workload construction per §V-A, and a global
+// scale knob.
 //
 // Scaling: the paper's defaults (m = 16K, cnt = 400 → ~3.2M instances on a
 // 24-thread Xeon with 256 GB RAM) are far beyond a CI container budget. The
@@ -14,9 +15,11 @@
 #ifndef ARSP_BENCH_BENCH_UTIL_H_
 #define ARSP_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/core/arsp_result.h"
+#include "src/core/solver.h"
 #include "src/prefs/preference_region.h"
 #include "src/prefs/weight_ratio.h"
 #include "src/uncertain/generators.h"
@@ -24,22 +27,32 @@
 namespace arsp {
 namespace bench_util {
 
-/// ARSP algorithms under benchmark, named as in the paper's figures.
-enum class Algo { kLoop, kKdtt, kKdttPlus, kQdttPlus, kBnb, kDual };
+/// Registry names of the algorithms in the linear-constraint experiments
+/// (Figs. 5 and 6). Any name from SolverRegistry::Names() works everywhere
+/// a benchmark takes an algorithm.
+inline constexpr const char* kLinearAlgos[] = {"loop", "kdtt", "kdtt+",
+                                               "qdtt+", "bnb"};
 
-/// Paper-style display name ("LOOP", "KDTT+", ...).
-const char* AlgoName(Algo algo);
+/// Paper-style display name from the registry ("LOOP", "KDTT+", "B&B").
+std::string AlgoName(const std::string& algo);
 
-/// All algorithms of the linear-constraint experiments (Figs. 5 and 6).
-inline constexpr Algo kLinearAlgos[] = {Algo::kLoop, Algo::kKdtt,
-                                        Algo::kKdttPlus, Algo::kQdttPlus,
-                                        Algo::kBnb};
+/// Capability flags (SolverCaps) of a registered solver; benchmarks use the
+/// cost-class flags to skip infeasible sweep points without naming
+/// algorithms.
+uint32_t AlgoCaps(const std::string& algo);
 
-/// Runs `algo` on the dataset. `wr` is required for Algo::kDual and ignored
-/// otherwise.
-ArspResult RunAlgo(Algo algo, const UncertainDataset& dataset,
+/// Runs a registered solver on the dataset. `wr` is required for solvers
+/// with kCapRequiresWeightRatios and ignored otherwise.
+ArspResult RunAlgo(const std::string& algo, const UncertainDataset& dataset,
                    const PreferenceRegion& region,
                    const WeightRatioConstraints* wr = nullptr);
+
+/// Creates a configured solver or aborts — benchmark setup is trusted code.
+std::unique_ptr<ArspSolver> MustCreate(const std::string& algo,
+                                       const SolverOptions& options = {});
+
+/// Solves or aborts; for drivers that reuse one solver/context pair.
+ArspResult MustSolve(ArspSolver& solver, ExecutionContext& context);
 
 /// Global sweep scale from ARSP_BENCH_SCALE (default 1.0, min 0.01).
 double Scale();

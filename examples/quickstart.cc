@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "src/core/bnb_algorithm.h"
-#include "src/core/kdtt_algorithm.h"
+#include "src/core/solver.h"
 #include "src/prefs/preference_region.h"
 #include "src/prefs/weight_ratio.h"
 #include "src/uncertain/uncertain_dataset.h"
@@ -37,12 +36,24 @@ int main() {
   // The user cannot pin exact weights, only that neither attribute matters
   // more than twice as much as the other: 0.5 <= ω1/ω2 <= 2.
   const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
-  const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
-  std::printf("preference region has %d vertices\n", region.num_vertices());
 
-  // Compute ARSP. KDTT+ is the near-optimal tree-traversal algorithm;
-  // ComputeArspBnb / ComputeArspLoop / ComputeArspDual are interchangeable.
-  const ArspResult result = ComputeArspKdtt(*dataset, region);
+  // An ExecutionContext owns the per-query preprocessing; any registered
+  // solver can run against it ("kdtt+" is the paper's default — swap in
+  // "bnb", "loop", "dual", ... without touching anything else).
+  ExecutionContext context(*dataset, wr);
+  std::printf("preference region has %d vertices\n",
+              context.region().num_vertices());
+  auto solver = SolverRegistry::Create("kdtt+");
+  if (!solver.ok()) {
+    std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
+    return 1;
+  }
+  auto solved = (*solver)->Solve(context);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "%s\n", solved.status().ToString().c_str());
+    return 1;
+  }
+  const ArspResult& result = *solved;
 
   std::printf("\nper-instance rskyline probabilities:\n");
   for (const Instance& inst : dataset->instances()) {

@@ -29,6 +29,7 @@ struct ArspResult {
   int64_t dominance_tests = 0;   ///< pairwise F-dominance tests performed
   int64_t nodes_visited = 0;     ///< tree nodes expanded / constructed
   int64_t nodes_pruned = 0;      ///< subtrees pruned
+  int64_t index_probes = 0;      ///< window / half-space index probes issued
 };
 
 /// Number of instances with non-zero rskyline probability — the paper's

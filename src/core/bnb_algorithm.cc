@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/core/solver.h"
 #include "src/index/rtree.h"
 #include "src/prefs/fdominance.h"
 #include "src/prefs/score_mapper.h"
@@ -42,36 +43,27 @@ bool PrunedBy(const Point& mapped, const std::vector<Point>& pruning_set) {
   return false;
 }
 
-}  // namespace
-
-ArspResult ComputeArspBnb(const UncertainDataset& dataset,
-                          const PreferenceRegion& region,
-                          const BnbOptions& options) {
+ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
+  const UncertainDataset& dataset = context.dataset();
   ArspResult result;
   const int n = dataset.num_instances();
   const int m = dataset.num_objects();
   result.instance_probs.assign(static_cast<size_t>(n), 0.0);
   if (n == 0) return result;
 
-  const ScoreMapper mapper(region);
+  const ScoreMapper& mapper = context.mapper();
   const int mapped_dim = mapper.mapped_dim();
-  const Point& omega = region.vertices().front();
+  const Point& omega = context.region().vertices().front();
 
   // Lower corner of the mapped space: scores are monotone in every
   // coordinate (ω ≥ 0), so the score of the dataset's min corner bounds
   // every instance's score from below. Used as the window-query origin.
   const Point mapped_origin = mapper.Map(dataset.bounds().min_corner());
 
-  // Bulk-load the data R-tree over the *original* space; SV is computed on
-  // the fly only for instances that survive pruning.
-  std::vector<RTree::LeafEntry> entries;
-  entries.reserve(static_cast<size_t>(n));
-  for (const Instance& inst : dataset.instances()) {
-    entries.push_back(
-        RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
-  }
-  const RTree data_tree =
-      RTree::BulkLoad(dataset.dim(), std::move(entries), options.rtree_fanout);
+  // The bulk-loaded R-tree over the *original* space is query-independent
+  // and shared through the context; SV is computed on the fly only for
+  // instances that survive pruning.
+  const RTree& data_tree = context.instance_rtree(options.rtree_fanout);
 
   std::vector<ObjectState> objects(static_cast<size_t>(m));
   std::vector<Point> pruning_set;  // |P| ≤ m (Theorem 4)
@@ -151,6 +143,7 @@ ArspResult ComputeArspBnb(const UncertainDataset& dataset,
         if (j == own || objects[static_cast<size_t>(j)].tree == nullptr) {
           continue;
         }
+        ++result.index_probes;
         item.sigma[static_cast<size_t>(j)] +=
             objects[static_cast<size_t>(j)].tree->WindowSum(window);
       }
@@ -222,6 +215,58 @@ ArspResult ComputeArspBnb(const UncertainDataset& dataset,
     }
   }
   return result;
+}
+
+class BnbSolver : public ArspSolver {
+ public:
+  explicit BnbSolver(const BnbOptions& options = {}) : options_(options) {}
+
+  const char* name() const override { return "bnb"; }
+  const char* display_name() const override { return "B&B"; }
+  const char* description() const override {
+    return "best-first branch-and-bound over an R-tree (Algorithm 2); "
+           "options pruning=bool, rtree_fanout=N";
+  }
+
+  Status Configure(const SolverOptions& options) override {
+    ARSP_RETURN_IF_ERROR(options.ExpectOnly({"pruning", "rtree_fanout"}));
+    StatusOr<bool> pruning = options.BoolOr("pruning", options_.enable_pruning);
+    if (!pruning.ok()) return pruning.status();
+    StatusOr<int64_t> fanout =
+        options.IntOr("rtree_fanout", options_.rtree_fanout);
+    if (!fanout.ok()) return fanout.status();
+    if (*fanout < 2) {
+      return Status::InvalidArgument("bnb rtree_fanout must be >= 2, got " +
+                                     std::to_string(*fanout));
+    }
+    options_.enable_pruning = *pruning;
+    options_.rtree_fanout = static_cast<int>(*fanout);
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    return RunBnb(context, options_);
+  }
+
+ private:
+  BnbOptions options_;
+};
+
+ARSP_REGISTER_SOLVER(bnb, "bnb",
+                     [] { return std::make_unique<BnbSolver>(); });
+
+}  // namespace
+
+namespace internal {
+void LinkBnbSolver() {}
+}  // namespace internal
+
+ArspResult ComputeArspBnb(const UncertainDataset& dataset,
+                          const PreferenceRegion& region,
+                          const BnbOptions& options) {
+  ExecutionContext context(dataset, region);
+  return BnbSolver(options).Solve(context).value();
 }
 
 }  // namespace arsp

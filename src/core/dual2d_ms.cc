@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/core/solver.h"
 
 namespace arsp {
 
@@ -124,5 +127,59 @@ size_t Dual2dMs::MemoryBytes() const {
   }
   return total;
 }
+
+namespace {
+
+// Registry façade: builds the angular index, then answers the single ratio
+// range of the context's constraints. One-shot solves pay the quadratic
+// preprocessing every time — the structure shines when one build serves
+// many ratio ranges, which the Dual2dMs class exposes directly.
+class Dual2dMsSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "dual-2d-ms"; }
+  const char* display_name() const override { return "DUAL-2D-MS"; }
+  const char* description() const override {
+    return "2-d angular-sweep index for weight ratio ranges (quadratic "
+           "memory, log-time queries); option max_memory_bytes=N";
+  }
+  uint32_t capabilities() const override {
+    return kCapRequiresWeightRatios | kCapRequires2d |
+           kCapRequiresSingleInstanceObjects | kCapQuadraticTime;
+  }
+
+  Status Configure(const SolverOptions& options) override {
+    ARSP_RETURN_IF_ERROR(options.ExpectOnly({"max_memory_bytes"}));
+    StatusOr<int64_t> budget = options.IntOr(
+        "max_memory_bytes", static_cast<int64_t>(max_memory_bytes_));
+    if (!budget.ok()) return budget.status();
+    if (*budget <= 0) {
+      return Status::InvalidArgument(
+          "dual-2d-ms max_memory_bytes must be positive");
+    }
+    max_memory_bytes_ = static_cast<size_t>(*budget);
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    StatusOr<Dual2dMs> index =
+        Dual2dMs::Build(context.dataset(), max_memory_bytes_);
+    if (!index.ok()) return index.status();
+    const WeightRatioConstraints& wr = context.weight_ratios();
+    return index->Query(wr.lo(0), wr.hi(0));
+  }
+
+ private:
+  size_t max_memory_bytes_ = size_t{6} << 30;
+};
+
+ARSP_REGISTER_SOLVER(dual_2d_ms, "dual-2d-ms",
+                     [] { return std::make_unique<Dual2dMsSolver>(); });
+
+}  // namespace
+
+namespace internal {
+void LinkDual2dMsSolver() {}
+}  // namespace internal
 
 }  // namespace arsp

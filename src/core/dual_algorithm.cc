@@ -2,8 +2,10 @@
 
 #include "src/core/dual_algorithm.h"
 
+#include <memory>
 #include <vector>
 
+#include "src/core/solver.h"
 #include "src/index/kdtree.h"
 
 namespace arsp {
@@ -24,31 +26,10 @@ int RegionCode(const Point& s, const Point& t, int d) {
   return code;
 }
 
-}  // namespace
-
-Hyperplane MakeRegionHyperplane(const Point& t, int region_code,
-                                const WeightRatioConstraints& wr) {
+ArspResult RunDual(ExecutionContext& context) {
+  const UncertainDataset& dataset = context.dataset();
+  const WeightRatioConstraints& wr = context.weight_ratios();
   const int d = wr.dim();
-  // Eq. (6): x[d] = Σ_i c_i (t[i] - x[i]) + t[d] with c_i = l_i for bit 0
-  // and h_i for bit 1. In the library's x[d] = coef·x - offset form:
-  //   coef_i = -c_i,  offset = -(Σ_i c_i t[i] + t[d]).
-  std::vector<double> coef(static_cast<size_t>(d - 1));
-  double constant = t[d - 1];
-  for (int i = 0; i < d - 1; ++i) {
-    const double c = ((region_code >> i) & 1) ? wr.hi(i) : wr.lo(i);
-    coef[static_cast<size_t>(i)] = -c;
-    constant += c * t[i];
-  }
-  return Hyperplane(std::move(coef), -constant);
-}
-
-ArspResult ComputeArspDual(const UncertainDataset& dataset,
-                           const WeightRatioConstraints& wr) {
-  const int d = wr.dim();
-  ARSP_CHECK_MSG(dataset.dim() == d,
-                 "weight ratio constraints are for dimension %d but the "
-                 "dataset has dimension %d",
-                 d, dataset.dim());
   const int n = dataset.num_instances();
   const int m = dataset.num_objects();
 
@@ -56,12 +37,8 @@ ArspResult ComputeArspDual(const UncertainDataset& dataset,
   result.instance_probs.assign(static_cast<size_t>(n), 0.0);
   if (n == 0) return result;
 
-  std::vector<KdItem> items;
-  items.reserve(static_cast<size_t>(n));
-  for (const Instance& inst : dataset.instances()) {
-    items.push_back(KdItem{inst.point, inst.instance_id, inst.prob});
-  }
-  const KdTree tree(std::move(items));
+  // Kd-tree over the original points, shared through the context.
+  const KdTree& tree = context.instance_kdtree();
   const Mbr& bounds = tree.root_mbr();
 
   std::vector<double> sigma(static_cast<size_t>(m), 0.0);
@@ -89,6 +66,7 @@ ArspResult ComputeArspDual(const UncertainDataset& dataset,
       const Mbr box(lo, hi);
       const Hyperplane plane = MakeRegionHyperplane(t.point, k, wr);
 
+      ++result.index_probes;
       tree.ForEachInBoxBelow(box, plane, kBelowEps, [&](const KdItem& item) {
         const Instance& s = dataset.instance(item.id);
         if (s.object_id == t.object_id) return;
@@ -113,6 +91,53 @@ ArspResult ComputeArspDual(const UncertainDataset& dataset,
     for (int j : touched) sigma[static_cast<size_t>(j)] = 0.0;
   }
   return result;
+}
+
+class DualSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "dual"; }
+  const char* display_name() const override { return "DUAL"; }
+  const char* description() const override {
+    return "half-space reporting reduction for weight ratio constraints "
+           "(Eq. 6), served by kd-tree probes";
+  }
+  uint32_t capabilities() const override { return kCapRequiresWeightRatios; }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    return RunDual(context);
+  }
+};
+
+ARSP_REGISTER_SOLVER(dual, "dual",
+                     [] { return std::make_unique<DualSolver>(); });
+
+}  // namespace
+
+namespace internal {
+void LinkDualSolver() {}
+}  // namespace internal
+
+Hyperplane MakeRegionHyperplane(const Point& t, int region_code,
+                                const WeightRatioConstraints& wr) {
+  const int d = wr.dim();
+  // Eq. (6): x[d] = Σ_i c_i (t[i] - x[i]) + t[d] with c_i = l_i for bit 0
+  // and h_i for bit 1. In the library's x[d] = coef·x - offset form:
+  //   coef_i = -c_i,  offset = -(Σ_i c_i t[i] + t[d]).
+  std::vector<double> coef(static_cast<size_t>(d - 1));
+  double constant = t[d - 1];
+  for (int i = 0; i < d - 1; ++i) {
+    const double c = ((region_code >> i) & 1) ? wr.hi(i) : wr.lo(i);
+    coef[static_cast<size_t>(i)] = -c;
+    constant += c * t[i];
+  }
+  return Hyperplane(std::move(coef), -constant);
+}
+
+ArspResult ComputeArspDual(const UncertainDataset& dataset,
+                           const WeightRatioConstraints& wr) {
+  ExecutionContext context(dataset, wr);
+  return DualSolver().Solve(context).value();
 }
 
 }  // namespace arsp

@@ -2,14 +2,18 @@
 
 #include "src/core/enum_algorithm.h"
 
+#include <memory>
+
+#include "src/core/solver.h"
 #include "src/prefs/fdominance.h"
 #include "src/uncertain/possible_worlds.h"
 
 namespace arsp {
 
-ArspResult ComputeArspEnum(const UncertainDataset& dataset,
-                           const PreferenceRegion& region,
-                           double max_worlds) {
+namespace {
+
+ArspResult RunEnum(const UncertainDataset& dataset,
+                   const PreferenceRegion& region, double max_worlds) {
   ArspResult result;
   result.instance_probs.assign(
       static_cast<size_t>(dataset.num_instances()), 0.0);
@@ -40,6 +44,56 @@ ArspResult ComputeArspEnum(const UncertainDataset& dataset,
       },
       max_worlds);
   return result;
+}
+
+class EnumSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "enum"; }
+  const char* display_name() const override { return "ENUM"; }
+  const char* description() const override {
+    return "possible-world enumeration (exponential ground truth); option "
+           "max_worlds=N";
+  }
+  uint32_t capabilities() const override { return kCapExponentialTime; }
+
+  Status Configure(const SolverOptions& options) override {
+    ARSP_RETURN_IF_ERROR(options.ExpectOnly({"max_worlds"}));
+    StatusOr<double> max_worlds = options.DoubleOr("max_worlds", max_worlds_);
+    if (!max_worlds.ok()) return max_worlds.status();
+    if (*max_worlds <= 0) {
+      return Status::InvalidArgument("enum max_worlds must be positive");
+    }
+    max_worlds_ = *max_worlds;
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    return RunEnum(context.dataset(), context.region(), max_worlds_);
+  }
+
+ private:
+  double max_worlds_ = 2e7;
+};
+
+ARSP_REGISTER_SOLVER(enumeration, "enum",
+                     [] { return std::make_unique<EnumSolver>(); });
+
+}  // namespace
+
+namespace internal {
+void LinkEnumSolver() {}
+}  // namespace internal
+
+ArspResult ComputeArspEnum(const UncertainDataset& dataset,
+                           const PreferenceRegion& region,
+                           double max_worlds) {
+  ExecutionContext context(dataset, region);
+  EnumSolver solver;
+  const Status st =
+      solver.Configure(SolverOptions().SetDouble("max_worlds", max_worlds));
+  ARSP_CHECK(st.ok());
+  return solver.Solve(context).value();
 }
 
 }  // namespace arsp

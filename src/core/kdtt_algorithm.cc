@@ -3,9 +3,11 @@
 #include "src/core/kdtt_algorithm.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "src/core/asp_traversal_state.h"
+#include "src/core/solver.h"
 #include "src/prefs/score_mapper.h"
 
 namespace arsp {
@@ -14,19 +16,11 @@ namespace {
 
 using internal::AspTraversalState;
 
-// An instance after mapping into the d'-dimensional score space.
-struct MappedInstance {
-  Point point;
-  double prob;
-  int object;
-  int instance_id;
-};
-
 class KdAspRunner {
  public:
-  KdAspRunner(std::vector<MappedInstance> mapped, int num_objects,
+  KdAspRunner(const std::vector<MappedInstance>& mapped, int num_objects,
               ArspResult* result)
-      : mapped_(std::move(mapped)),
+      : mapped_(mapped),
         order_(mapped_.size()),
         state_(num_objects),
         result_(result) {
@@ -203,38 +197,68 @@ class KdAspRunner {
     state_.Undo(undo_log);
   }
 
-  std::vector<MappedInstance> mapped_;
+  const std::vector<MappedInstance>& mapped_;
   std::vector<int> order_;
   std::vector<Node> nodes_;
   AspTraversalState state_;
   ArspResult* result_;
 };
 
+// Solver façade over both traversal modes; "kdtt+" fuses construction with
+// the traversal, "kdtt" builds the full tree first. The mode is part of the
+// solver's registered identity (two names), not an option — options must
+// never make name() disagree with what the registry handed out.
+class KdttSolver : public ArspSolver {
+ public:
+  explicit KdttSolver(bool integrated) : integrated_(integrated) {}
+
+  const char* name() const override { return integrated_ ? "kdtt+" : "kdtt"; }
+  const char* display_name() const override {
+    return integrated_ ? "KDTT+" : "KDTT";
+  }
+  const char* description() const override {
+    return integrated_
+               ? "kd-tree traversal, construction fused with pruning "
+                 "(Algorithm 1, the paper's default)"
+               : "kd-tree traversal over a fully prebuilt tree";
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    ArspResult result;
+    result.instance_probs.assign(
+        static_cast<size_t>(context.dataset().num_instances()), 0.0);
+    if (context.dataset().num_instances() == 0) return result;
+    KdAspRunner runner(context.mapped_instances(),
+                       context.dataset().num_objects(), &result);
+    if (integrated_) {
+      runner.RunIntegrated();
+    } else {
+      runner.RunPrebuilt();
+    }
+    return result;
+  }
+
+ private:
+  const bool integrated_;
+};
+
+ARSP_REGISTER_SOLVER(kdtt, "kdtt",
+                     [] { return std::make_unique<KdttSolver>(false); });
+ARSP_REGISTER_SOLVER(kdtt_plus, "kdtt+",
+                     [] { return std::make_unique<KdttSolver>(true); });
+
 }  // namespace
+
+namespace internal {
+void LinkKdttSolver() {}
+}  // namespace internal
 
 ArspResult ComputeArspKdtt(const UncertainDataset& dataset,
                            const PreferenceRegion& region,
                            const KdttOptions& options) {
-  ArspResult result;
-  result.instance_probs.assign(
-      static_cast<size_t>(dataset.num_instances()), 0.0);
-  if (dataset.num_instances() == 0) return result;
-
-  const ScoreMapper mapper(region);
-  std::vector<MappedInstance> mapped;
-  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
-  for (const Instance& inst : dataset.instances()) {
-    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
-                                    inst.object_id, inst.instance_id});
-  }
-
-  KdAspRunner runner(std::move(mapped), dataset.num_objects(), &result);
-  if (options.integrated) {
-    runner.RunIntegrated();
-  } else {
-    runner.RunPrebuilt();
-  }
-  return result;
+  ExecutionContext context(dataset, region);
+  return KdttSolver(options.integrated).Solve(context).value();
 }
 
 }  // namespace arsp

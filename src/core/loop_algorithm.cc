@@ -3,14 +3,18 @@
 #include "src/core/loop_algorithm.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
+#include "src/core/solver.h"
 #include "src/prefs/fdominance.h"
 
 namespace arsp {
 
-ArspResult ComputeArspLoop(const UncertainDataset& dataset,
-                           const PreferenceRegion& region) {
+namespace {
+
+ArspResult RunLoop(const UncertainDataset& dataset,
+                   const PreferenceRegion& region) {
   const int n = dataset.num_instances();
   const int m = dataset.num_objects();
   ArspResult result;
@@ -83,6 +87,36 @@ ArspResult ComputeArspLoop(const UncertainDataset& dataset,
     group_begin = group_end;
   }
   return result;
+}
+
+class LoopSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "loop"; }
+  const char* display_name() const override { return "LOOP"; }
+  const char* description() const override {
+    return "quadratic sorted-scan baseline evaluating Eq. (3) directly";
+  }
+  uint32_t capabilities() const override { return kCapQuadraticTime; }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    return RunLoop(context.dataset(), context.region());
+  }
+};
+
+ARSP_REGISTER_SOLVER(loop, "loop",
+                     [] { return std::make_unique<LoopSolver>(); });
+
+}  // namespace
+
+namespace internal {
+void LinkLoopSolver() {}
+}  // namespace internal
+
+ArspResult ComputeArspLoop(const UncertainDataset& dataset,
+                           const PreferenceRegion& region) {
+  ExecutionContext context(dataset, region);
+  return LoopSolver().Solve(context).value();
 }
 
 }  // namespace arsp

@@ -3,9 +3,11 @@
 #include "src/core/mwtt_algorithm.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "src/core/asp_traversal_state.h"
+#include "src/core/solver.h"
 #include "src/prefs/score_mapper.h"
 
 namespace arsp {
@@ -14,18 +16,11 @@ namespace {
 
 using internal::AspTraversalState;
 
-struct MappedInstance {
-  Point point;
-  double prob;
-  int object;
-  int instance_id;
-};
-
 class MultiWayAspRunner {
  public:
-  MultiWayAspRunner(std::vector<MappedInstance> mapped, int num_objects,
-                    int fanout, ArspResult* result)
-      : mapped_(std::move(mapped)),
+  MultiWayAspRunner(const std::vector<MappedInstance>& mapped,
+                    int num_objects, int fanout, ArspResult* result)
+      : mapped_(mapped),
         order_(mapped_.size()),
         fanout_(fanout),
         state_(num_objects),
@@ -129,34 +124,67 @@ class MultiWayAspRunner {
     state_.Undo(undo_log);
   }
 
-  std::vector<MappedInstance> mapped_;
+  const std::vector<MappedInstance>& mapped_;
   std::vector<int> order_;
   const int fanout_;
   AspTraversalState state_;
   ArspResult* result_;
 };
 
+class MwttSolver : public ArspSolver {
+ public:
+  explicit MwttSolver(int fanout = MwttOptions{}.fanout) : fanout_(fanout) {}
+
+  const char* name() const override { return "mwtt"; }
+  const char* display_name() const override { return "MWTT"; }
+  const char* description() const override {
+    return "multi-way tree traversal (equal slabs along the widest mapped "
+           "dimension); option fanout=N";
+  }
+
+  Status Configure(const SolverOptions& options) override {
+    ARSP_RETURN_IF_ERROR(options.ExpectOnly({"fanout"}));
+    StatusOr<int64_t> fanout = options.IntOr("fanout", fanout_);
+    if (!fanout.ok()) return fanout.status();
+    if (*fanout < 2) {
+      return Status::InvalidArgument("mwtt fanout must be >= 2, got " +
+                                     std::to_string(*fanout));
+    }
+    fanout_ = static_cast<int>(*fanout);
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    ArspResult result;
+    result.instance_probs.assign(
+        static_cast<size_t>(context.dataset().num_instances()), 0.0);
+    if (context.dataset().num_instances() == 0) return result;
+    MultiWayAspRunner runner(context.mapped_instances(),
+                             context.dataset().num_objects(), fanout_,
+                             &result);
+    runner.Run();
+    return result;
+  }
+
+ private:
+  int fanout_;
+};
+
+ARSP_REGISTER_SOLVER(mwtt, "mwtt",
+                     [] { return std::make_unique<MwttSolver>(); });
+
 }  // namespace
+
+namespace internal {
+void LinkMwttSolver() {}
+}  // namespace internal
 
 ArspResult ComputeArspMwtt(const UncertainDataset& dataset,
                            const PreferenceRegion& region,
                            const MwttOptions& options) {
-  ArspResult result;
-  result.instance_probs.assign(
-      static_cast<size_t>(dataset.num_instances()), 0.0);
-  if (dataset.num_instances() == 0) return result;
-
-  const ScoreMapper mapper(region);
-  std::vector<MappedInstance> mapped;
-  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
-  for (const Instance& inst : dataset.instances()) {
-    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
-                                    inst.object_id, inst.instance_id});
-  }
-  MultiWayAspRunner runner(std::move(mapped), dataset.num_objects(),
-                           options.fanout, &result);
-  runner.Run();
-  return result;
+  ExecutionContext context(dataset, region);
+  return MwttSolver(options.fanout).Solve(context).value();
 }
 
 }  // namespace arsp

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <numeric>
 
 #include "src/core/asp_traversal_state.h"
+#include "src/core/solver.h"
 #include "src/prefs/score_mapper.h"
 
 namespace arsp {
@@ -15,18 +17,11 @@ namespace {
 
 using internal::AspTraversalState;
 
-struct MappedInstance {
-  Point point;
-  double prob;
-  int object;
-  int instance_id;
-};
-
 class QuadAspRunner {
  public:
-  QuadAspRunner(std::vector<MappedInstance> mapped, int num_objects,
+  QuadAspRunner(const std::vector<MappedInstance>& mapped, int num_objects,
                 ArspResult* result)
-      : mapped_(std::move(mapped)),
+      : mapped_(mapped),
         order_(mapped_.size()),
         state_(num_objects),
         result_(result) {
@@ -150,32 +145,48 @@ class QuadAspRunner {
     state_.Undo(undo_log);
   }
 
-  std::vector<MappedInstance> mapped_;
+  const std::vector<MappedInstance>& mapped_;
   std::vector<int> order_;
   AspTraversalState state_;
   ArspResult* result_;
 };
 
+class QdttSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "qdtt+"; }
+  const char* display_name() const override { return "QDTT+"; }
+  const char* description() const override {
+    return "quadtree traversal (2^d' quadrants per node), construction "
+           "fused with pruning";
+  }
+  uint32_t capabilities() const override { return kCapExponentialInVertices; }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    ArspResult result;
+    result.instance_probs.assign(
+        static_cast<size_t>(context.dataset().num_instances()), 0.0);
+    if (context.dataset().num_instances() == 0) return result;
+    QuadAspRunner runner(context.mapped_instances(),
+                         context.dataset().num_objects(), &result);
+    runner.Run();
+    return result;
+  }
+};
+
+ARSP_REGISTER_SOLVER(qdtt_plus, "qdtt+",
+                     [] { return std::make_unique<QdttSolver>(); });
+
 }  // namespace
+
+namespace internal {
+void LinkQdttSolver() {}
+}  // namespace internal
 
 ArspResult ComputeArspQdtt(const UncertainDataset& dataset,
                            const PreferenceRegion& region) {
-  ArspResult result;
-  result.instance_probs.assign(
-      static_cast<size_t>(dataset.num_instances()), 0.0);
-  if (dataset.num_instances() == 0) return result;
-
-  const ScoreMapper mapper(region);
-  std::vector<MappedInstance> mapped;
-  mapped.reserve(static_cast<size_t>(dataset.num_instances()));
-  for (const Instance& inst : dataset.instances()) {
-    mapped.push_back(MappedInstance{mapper.Map(inst.point), inst.prob,
-                                    inst.object_id, inst.instance_id});
-  }
-
-  QuadAspRunner runner(std::move(mapped), dataset.num_objects(), &result);
-  runner.Run();
-  return result;
+  ExecutionContext context(dataset, region);
+  return QdttSolver().Solve(context).value();
 }
 
 }  // namespace arsp

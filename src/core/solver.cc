@@ -1,0 +1,407 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/solver.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/stopwatch.h"
+
+namespace arsp {
+
+namespace internal {
+// Link anchors defined in the built-in solver translation units. Referencing
+// them here forces the archive linker to pull those object files into every
+// binary that uses the registry, which in turn runs their self-registration
+// statics. A binary that never touches the registry links none of this.
+void LinkEnumSolver();
+void LinkLoopSolver();
+void LinkKdttSolver();
+void LinkQdttSolver();
+void LinkMwttSolver();
+void LinkBnbSolver();
+void LinkDualSolver();
+void LinkDual2dMsSolver();
+}  // namespace internal
+
+namespace {
+
+void EnsureBuiltinsLinked() {
+  internal::LinkEnumSolver();
+  internal::LinkLoopSolver();
+  internal::LinkKdttSolver();
+  internal::LinkQdttSolver();
+  internal::LinkMwttSolver();
+  internal::LinkBnbSolver();
+  internal::LinkDualSolver();
+  internal::LinkDual2dMsSolver();
+}
+
+std::string Lowered(const std::string& name) {
+  std::string out = name;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::map<std::string, SolverRegistry::Factory>& RegistryMap() {
+  static auto* map = new std::map<std::string, SolverRegistry::Factory>();
+  return *map;
+}
+
+const char* TypeName(const SolverOptions::Value& v) {
+  switch (v.index()) {
+    case 0:
+      return "bool";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    default:
+      return "string";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- stats
+
+std::string SolverStats::ToString() const {
+  std::ostringstream os;
+  os << "solver=" << solver << " setup_ms=" << setup_millis
+     << " solve_ms=" << solve_millis << " dominance_tests=" << dominance_tests
+     << " nodes_visited=" << nodes_visited << " nodes_pruned=" << nodes_pruned
+     << " index_probes=" << index_probes;
+  return os.str();
+}
+
+// -------------------------------------------------------------- options
+
+SolverOptions& SolverOptions::SetBool(const std::string& key, bool v) {
+  values_[key] = Value(v);
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetInt(const std::string& key, int64_t v) {
+  values_[key] = Value(v);
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetDouble(const std::string& key, double v) {
+  values_[key] = Value(v);
+  return *this;
+}
+
+SolverOptions& SolverOptions::SetString(const std::string& key,
+                                        std::string v) {
+  values_[key] = Value(std::move(v));
+  return *this;
+}
+
+bool SolverOptions::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::vector<std::string> SolverOptions::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+StatusOr<bool> SolverOptions::BoolOr(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const bool* v = std::get_if<bool>(&it->second)) return *v;
+  return Status::InvalidArgument("option '" + key + "' must be a bool, got " +
+                                 TypeName(it->second));
+}
+
+StatusOr<int64_t> SolverOptions::IntOr(const std::string& key,
+                                       int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const int64_t* v = std::get_if<int64_t>(&it->second)) return *v;
+  return Status::InvalidArgument("option '" + key + "' must be an int, got " +
+                                 TypeName(it->second));
+}
+
+StatusOr<double> SolverOptions::DoubleOr(const std::string& key,
+                                         double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const double* v = std::get_if<double>(&it->second)) return *v;
+  if (const int64_t* v = std::get_if<int64_t>(&it->second)) {
+    return static_cast<double>(*v);
+  }
+  return Status::InvalidArgument("option '" + key +
+                                 "' must be a number, got " +
+                                 TypeName(it->second));
+}
+
+StatusOr<std::string> SolverOptions::StringOr(const std::string& key,
+                                              std::string def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (const std::string* v = std::get_if<std::string>(&it->second)) return *v;
+  return Status::InvalidArgument("option '" + key +
+                                 "' must be a string, got " +
+                                 TypeName(it->second));
+}
+
+Status SolverOptions::ExpectOnly(
+    std::initializer_list<const char*> known) const {
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string msg = "unknown option '" + key + "'";
+      if (known.size() > 0) {
+        msg += "; supported:";
+        for (const char* k : known) msg += std::string(" ") + k;
+      }
+      return Status::InvalidArgument(std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+Status SolverOptions::ParseKeyValue(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("option spec '" + spec +
+                                   "' is not key=value");
+  }
+  const std::string key = spec.substr(0, eq);
+  const std::string value = spec.substr(eq + 1);
+  if (value == "true" || value == "false") {
+    SetBool(key, value == "true");
+    return Status::OK();
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long as_int = std::strtoll(value.c_str(), &end, 10);
+  if (end != value.c_str() && *end == '\0') {
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("option '" + key + "' value '" + value +
+                                     "' overflows int64");
+    }
+    SetInt(key, as_int);
+    return Status::OK();
+  }
+  errno = 0;
+  const double as_double = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() && *end == '\0') {
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("option '" + key + "' value '" + value +
+                                     "' is out of double range");
+    }
+    SetDouble(key, as_double);
+    return Status::OK();
+  }
+  SetString(key, value);
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- context
+
+// Lazy accessors nest (mapped_instances() -> mapper() -> region()); only the
+// outermost timer records, so a shared wall-clock span is counted once.
+class ExecutionContext::SetupTimer {
+ public:
+  explicit SetupTimer(const ExecutionContext* context)
+      : context_(context), outermost_(context->setup_depth_ == 0) {
+    ++context_->setup_depth_;
+  }
+  ~SetupTimer() {
+    --context_->setup_depth_;
+    if (outermost_) context_->stats_.setup_millis += sw_.ElapsedMillis();
+  }
+
+ private:
+  const ExecutionContext* context_;
+  const bool outermost_;
+  Stopwatch sw_;
+};
+
+ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
+                                   PreferenceRegion region)
+    : dataset_(&dataset), region_(std::move(region)) {}
+
+ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
+                                   WeightRatioConstraints wr)
+    : dataset_(&dataset), wr_(std::move(wr)) {
+  ARSP_CHECK_MSG(dataset.num_instances() == 0 || dataset.dim() == wr_->dim(),
+                 "weight ratio constraints are for dimension %d but the "
+                 "dataset has dimension %d",
+                 wr_->dim(), dataset.dim());
+}
+
+const WeightRatioConstraints& ExecutionContext::weight_ratios() const {
+  ARSP_CHECK_MSG(wr_.has_value(),
+                 "context was not built from weight ratio constraints");
+  return *wr_;
+}
+
+const PreferenceRegion& ExecutionContext::region() const {
+  if (!region_.has_value()) {
+    SetupTimer timer(this);
+    region_ = PreferenceRegion::FromWeightRatios(weight_ratios());
+  }
+  return *region_;
+}
+
+const ScoreMapper& ExecutionContext::mapper() const {
+  if (!mapper_.has_value()) {
+    SetupTimer timer(this);
+    mapper_.emplace(region());
+  }
+  return *mapper_;
+}
+
+const std::vector<MappedInstance>& ExecutionContext::mapped_instances()
+    const {
+  if (!mapped_.has_value()) {
+    SetupTimer timer(this);
+    const ScoreMapper& map = mapper();
+    std::vector<MappedInstance> mapped;
+    mapped.reserve(static_cast<size_t>(dataset_->num_instances()));
+    for (const Instance& inst : dataset_->instances()) {
+      mapped.push_back(MappedInstance{map.Map(inst.point), inst.prob,
+                                      inst.object_id, inst.instance_id});
+    }
+    mapped_ = std::move(mapped);
+  }
+  return *mapped_;
+}
+
+const KdTree& ExecutionContext::instance_kdtree() const {
+  if (!kdtree_.has_value()) {
+    SetupTimer timer(this);
+    std::vector<KdItem> items;
+    items.reserve(static_cast<size_t>(dataset_->num_instances()));
+    for (const Instance& inst : dataset_->instances()) {
+      items.push_back(KdItem{inst.point, inst.instance_id, inst.prob});
+    }
+    kdtree_.emplace(std::move(items));
+  }
+  return *kdtree_;
+}
+
+const RTree& ExecutionContext::instance_rtree(int fanout) const {
+  if (!rtree_.has_value() || rtree_fanout_ != fanout) {
+    SetupTimer timer(this);
+    std::vector<RTree::LeafEntry> entries;
+    entries.reserve(static_cast<size_t>(dataset_->num_instances()));
+    for (const Instance& inst : dataset_->instances()) {
+      entries.push_back(
+          RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
+    }
+    rtree_ = RTree::BulkLoad(dataset_->dim(), std::move(entries), fanout);
+    rtree_fanout_ = fanout;
+  }
+  return *rtree_;
+}
+
+bool ExecutionContext::single_instance_objects() const {
+  if (!single_instance_.has_value()) {
+    bool single = true;
+    for (int j = 0; j < dataset_->num_objects() && single; ++j) {
+      single = dataset_->object_size(j) == 1;
+    }
+    single_instance_ = single;
+  }
+  return *single_instance_;
+}
+
+// --------------------------------------------------------------- solver
+
+Status ArspSolver::ValidateContext(const ExecutionContext& context) const {
+  const uint32_t caps = capabilities();
+  if ((caps & kCapRequiresWeightRatios) && !context.has_weight_ratios()) {
+    return Status::FailedPrecondition(
+        std::string(display_name()) +
+        " requires weight-ratio constraints (wr:...), not a general "
+        "preference region");
+  }
+  if ((caps & kCapRequires2d) && context.dataset().dim() != 2) {
+    return Status::FailedPrecondition(
+        std::string(display_name()) + " requires 2-dimensional data (got d=" +
+        std::to_string(context.dataset().dim()) + ")");
+  }
+  if ((caps & kCapRequiresSingleInstanceObjects) &&
+      !context.single_instance_objects()) {
+    return Status::FailedPrecondition(
+        std::string(display_name()) +
+        " requires single-instance objects (the IIP regime)");
+  }
+  return Status::OK();
+}
+
+StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context) {
+  ARSP_RETURN_IF_ERROR(ValidateContext(context));
+  SolverStats& stats = *context.mutable_stats();
+  stats = SolverStats{};
+  stats.solver = name();
+  Stopwatch sw;
+  StatusOr<ArspResult> result = SolveImpl(context);
+  if (!result.ok()) return result;
+  stats.solve_millis = sw.ElapsedMillis();
+  stats.dominance_tests = result->dominance_tests;
+  stats.nodes_visited = result->nodes_visited;
+  stats.nodes_pruned = result->nodes_pruned;
+  stats.index_probes = result->index_probes;
+  return result;
+}
+
+// ------------------------------------------------------------- registry
+
+bool SolverRegistry::Register(const std::string& name, Factory factory) {
+  ARSP_CHECK_MSG(static_cast<bool>(factory), "null solver factory for '%s'",
+                 name.c_str());
+  RegistryMap()[Lowered(name)] = std::move(factory);
+  return true;
+}
+
+StatusOr<std::unique_ptr<ArspSolver>> SolverRegistry::Create(
+    const std::string& name) {
+  EnsureBuiltinsLinked();
+  const auto& map = RegistryMap();
+  const auto it = map.find(Lowered(name));
+  if (it == map.end()) {
+    std::string msg = "unknown solver '" + name + "'; registered:";
+    for (const auto& [registered, factory] : map) msg += " " + registered;
+    return Status::NotFound(std::move(msg));
+  }
+  std::unique_ptr<ArspSolver> solver = it->second();
+  ARSP_CHECK_MSG(solver != nullptr, "factory for '%s' returned null",
+                 name.c_str());
+  return solver;
+}
+
+StatusOr<std::unique_ptr<ArspSolver>> SolverRegistry::Create(
+    const std::string& name, const SolverOptions& options) {
+  StatusOr<std::unique_ptr<ArspSolver>> solver = Create(name);
+  if (!solver.ok()) return solver;
+  ARSP_RETURN_IF_ERROR((*solver)->Configure(options));
+  return solver;
+}
+
+std::vector<std::string> SolverRegistry::Names() {
+  EnsureBuiltinsLinked();
+  std::vector<std::string> names;
+  names.reserve(RegistryMap().size());
+  for (const auto& [name, factory] : RegistryMap()) names.push_back(name);
+  return names;
+}
+
+}  // namespace arsp

@@ -1,0 +1,265 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The unified solver abstraction over every ARSP algorithm family (§III-§IV):
+// one problem — all rskyline probabilities — served by interchangeable
+// algorithms (ENUM, LOOP, B&B, KDTT/KDTT+, QDTT+, MWTT, DUAL, DUAL-2D-MS).
+//
+//  * ArspSolver        — the algorithm interface: canonical name, capability
+//                        flags, a typed option bag, and an instrumented
+//                        Solve() entry point.
+//  * SolverRegistry    — name → factory map; algorithm files self-register,
+//                        so drivers never hand-roll string dispatch.
+//  * ExecutionContext  — owns the once-per-query preprocessing every solver
+//                        would otherwise recompute: the §III-B score-space
+//                        mapping SV(·), the mapped instance set, query-
+//                        independent index structures over the original
+//                        points, and the instrumentation of the last run.
+//
+// Adding a solver: subclass ArspSolver in the algorithm's .cc file, register
+// it with ARSP_REGISTER_SOLVER, and (for solvers built into libarsp) add a
+// link anchor in solver.cc so archive linking keeps the translation unit.
+// See ARCHITECTURE.md for the full recipe.
+
+#ifndef ARSP_CORE_SOLVER_H_
+#define ARSP_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/arsp_result.h"
+#include "src/index/kdtree.h"
+#include "src/index/rtree.h"
+#include "src/prefs/preference_region.h"
+#include "src/prefs/score_mapper.h"
+#include "src/prefs/weight_ratio.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// An instance mapped into the d'-dimensional score space SV(·) (§III-B),
+/// where F-dominance is coordinate dominance (Theorem 2). Shared by every
+/// tree-traversal solver through ExecutionContext::mapped_instances().
+struct MappedInstance {
+  Point point;
+  double prob;
+  int object;
+  int instance_id;
+};
+
+/// Capability flags: what a solver needs from the query, and cost classes
+/// that let harnesses budget runtime without naming algorithms.
+enum SolverCaps : uint32_t {
+  kCapNone = 0,
+  /// Only runs under weight ratio constraints (§IV); the context must have
+  /// been built from WeightRatioConstraints.
+  kCapRequiresWeightRatios = 1u << 0,
+  /// Only runs on 2-dimensional data (DUAL-2D-MS).
+  kCapRequires2d = 1u << 1,
+  /// Only runs when every object has a single instance (the IIP regime of
+  /// §V-D that DUAL-2D-MS's prefix products assume).
+  kCapRequiresSingleInstanceObjects = 1u << 2,
+  /// Θ(n²) or worse in the instance count; harnesses skip large inputs.
+  kCapQuadraticTime = 1u << 3,
+  /// Exponential in the object count; executable ground truth only.
+  kCapExponentialTime = 1u << 4,
+  /// Work grows exponentially with the mapped dimensionality d' = |V|
+  /// (QDTT+'s 2^{d'} quadrant fan-out); harnesses cap the vertex count.
+  kCapExponentialInVertices = 1u << 5,
+};
+
+/// Uniform instrumentation for one Solve() run: wall time split into the
+/// context preprocessing this run triggered vs. the traversal itself, plus
+/// the algorithm counters mirrored from ArspResult.
+struct SolverStats {
+  std::string solver;            ///< canonical solver name
+  double setup_millis = 0.0;     ///< lazy context preprocessing this run paid
+  double solve_millis = 0.0;     ///< total Solve() wall time (includes setup)
+  int64_t dominance_tests = 0;   ///< pairwise F-dominance tests
+  int64_t nodes_visited = 0;     ///< tree nodes expanded / constructed
+  int64_t nodes_pruned = 0;      ///< subtrees pruned
+  int64_t index_probes = 0;      ///< window / half-space index probes
+
+  /// One-line "k=v" rendering for logs and arsp_cli --stats.
+  std::string ToString() const;
+};
+
+/// Typed option bag passed to ArspSolver::Configure. Values keep the type
+/// they were set with; typed getters fail loudly on mismatches instead of
+/// silently coercing.
+class SolverOptions {
+ public:
+  using Value = std::variant<bool, int64_t, double, std::string>;
+
+  SolverOptions& SetBool(const std::string& key, bool v);
+  SolverOptions& SetInt(const std::string& key, int64_t v);
+  SolverOptions& SetDouble(const std::string& key, double v);
+  SolverOptions& SetString(const std::string& key, std::string v);
+
+  bool empty() const { return values_.empty(); }
+  bool Has(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+
+  /// Typed reads with a default for absent keys. A present key of the wrong
+  /// type is an InvalidArgument (ints widen to double in DoubleOr).
+  StatusOr<bool> BoolOr(const std::string& key, bool def) const;
+  StatusOr<int64_t> IntOr(const std::string& key, int64_t def) const;
+  StatusOr<double> DoubleOr(const std::string& key, double def) const;
+  StatusOr<std::string> StringOr(const std::string& key,
+                                 std::string def) const;
+
+  /// InvalidArgument when any key is not in `known` — solvers call this
+  /// first so typos fail instead of being ignored.
+  Status ExpectOnly(std::initializer_list<const char*> known) const;
+
+  /// Parses a "key=value" pair (CLI --opt). Values parse as bool
+  /// (true/false), int64, double, or fall back to string.
+  Status ParseKeyValue(const std::string& spec);
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+class ExecutionContext;
+
+/// Interface every ARSP algorithm implements. Solvers are cheap to construct
+/// and carry only configuration; all per-query state lives in the
+/// ExecutionContext so one context can be solved by many algorithms (and,
+/// later, by many threads against read-only preprocessing).
+class ArspSolver {
+ public:
+  virtual ~ArspSolver() = default;
+
+  /// Canonical registry name, e.g. "kdtt+".
+  virtual const char* name() const = 0;
+  /// Paper-style display name, e.g. "KDTT+" or "B&B".
+  virtual const char* display_name() const = 0;
+  /// One-line description for `arsp_cli --algo list`.
+  virtual const char* description() const = 0;
+  /// Bitwise OR of SolverCaps.
+  virtual uint32_t capabilities() const { return kCapNone; }
+
+  /// Applies solver-specific options. Unknown keys and type mismatches are
+  /// InvalidArgument. The default accepts only an empty bag.
+  virtual Status Configure(const SolverOptions& options) {
+    return options.ExpectOnly({});
+  }
+
+  /// Checks the context against capabilities(); FailedPrecondition explains
+  /// what is missing (e.g. DUAL without weight-ratio constraints).
+  Status ValidateContext(const ExecutionContext& context) const;
+
+  /// Validates, runs the algorithm, and records SolverStats (wall time via
+  /// Stopwatch plus the ArspResult counters) into the context.
+  StatusOr<ArspResult> Solve(ExecutionContext& context);
+
+ protected:
+  /// The algorithm body. Preprocessing comes from the context; anything the
+  /// solver computes here is per-run.
+  virtual StatusOr<ArspResult> SolveImpl(ExecutionContext& context) = 0;
+};
+
+/// Once-per-query state shared across solvers: the dataset, the constraint
+/// family, and lazily computed (then cached) preprocessing artifacts. The
+/// dataset must outlive the context; constraints are copied in.
+class ExecutionContext {
+ public:
+  /// Context for a general preference region (weak ranking, interactive, or
+  /// custom vertex sets).
+  ExecutionContext(const UncertainDataset& dataset, PreferenceRegion region);
+
+  /// Context for weight ratio constraints. General-F solvers derive the
+  /// preference region lazily through region(); DUAL-family solvers read the
+  /// ratios directly.
+  ExecutionContext(const UncertainDataset& dataset,
+                   WeightRatioConstraints wr);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  const UncertainDataset& dataset() const { return *dataset_; }
+
+  bool has_weight_ratios() const { return wr_.has_value(); }
+  /// The weight ratio constraints; only valid when has_weight_ratios().
+  const WeightRatioConstraints& weight_ratios() const;
+
+  /// The preference region Ω; derived from the weight ratios on first use
+  /// when the context was built from them.
+  const PreferenceRegion& region() const;
+
+  /// The §III-B score mapper SV(·) for region(). Cached.
+  const ScoreMapper& mapper() const;
+
+  /// Every instance mapped by mapper(), in instance-id order. Computed once
+  /// and shared by all tree-traversal solvers on this context.
+  const std::vector<MappedInstance>& mapped_instances() const;
+
+  /// Kd-tree over the original instance points (weights = probabilities),
+  /// query-independent. Cached; used by the DUAL half-space probes.
+  const KdTree& instance_kdtree() const;
+
+  /// STR-bulk-loaded R-tree over the original instance points with the given
+  /// fan-out. Cached per fan-out value (rebuilt only when it changes).
+  const RTree& instance_rtree(int fanout) const;
+
+  /// True iff every object has exactly one instance (the IIP regime).
+  bool single_instance_objects() const;
+
+  /// Instrumentation of the most recent ArspSolver::Solve on this context.
+  const SolverStats& last_stats() const { return stats_; }
+  SolverStats* mutable_stats() { return &stats_; }
+
+ private:
+  // Accumulates lazy-preprocessing wall time into stats_.setup_millis.
+  class SetupTimer;
+
+  const UncertainDataset* dataset_;
+  std::optional<WeightRatioConstraints> wr_;
+  mutable std::optional<PreferenceRegion> region_;
+  mutable std::optional<ScoreMapper> mapper_;
+  mutable std::optional<std::vector<MappedInstance>> mapped_;
+  mutable std::optional<KdTree> kdtree_;
+  mutable std::optional<RTree> rtree_;
+  mutable int rtree_fanout_ = -1;
+  mutable std::optional<bool> single_instance_;
+  mutable int setup_depth_ = 0;
+  mutable SolverStats stats_;
+};
+
+/// Global name → factory registry. Algorithm translation units self-register
+/// at static-initialization time through ARSP_REGISTER_SOLVER; solver.cc
+/// anchors the built-in units so they survive static-archive linking.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ArspSolver>()>;
+
+  /// Registers a factory under `name` (lookup is case-insensitive; the last
+  /// registration of a name wins). Returns true so it can seed a static.
+  static bool Register(const std::string& name, Factory factory);
+
+  /// Creates the named solver, or NotFound listing the registered names.
+  static StatusOr<std::unique_ptr<ArspSolver>> Create(const std::string& name);
+
+  /// Create + Configure in one step.
+  static StatusOr<std::unique_ptr<ArspSolver>> Create(
+      const std::string& name, const SolverOptions& options);
+
+  /// Sorted canonical names of every registered solver.
+  static std::vector<std::string> Names();
+};
+
+/// Self-registration helper: expands to a static registrar evaluated before
+/// main(). Use at namespace scope in the solver's translation unit.
+#define ARSP_REGISTER_SOLVER(ident, name, ...)                       \
+  static const bool arsp_solver_registered_##ident =                 \
+      ::arsp::SolverRegistry::Register((name), __VA_ARGS__)
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_SOLVER_H_

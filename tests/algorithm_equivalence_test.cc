@@ -4,7 +4,10 @@
 // probabilities. LOOP (validated against ENUM in enum_loop_test) acts as the
 // reference; KDTT, KDTT+, QDTT+, B&B, and DUAL are compared against it over
 // a parameterized sweep of dimensionality, distribution, constraint family,
-// instance counts, ϕ, and tie-heavy grid data.
+// instance counts, ϕ, and tie-heavy grid data. The RegistrySweep tests then
+// iterate SolverRegistry::Names() so any solver registered later is held to
+// the same standard automatically: agree with ENUM, or reject the context
+// with a clean FailedPrecondition.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +17,7 @@
 #include "src/core/kdtt_algorithm.h"
 #include "src/core/loop_algorithm.h"
 #include "src/core/qdtt_algorithm.h"
+#include "src/core/solver.h"
 #include "tests/test_util.h"
 
 namespace arsp {
@@ -157,6 +161,73 @@ TEST(EquivalenceEdgeCases, ResultSizeConsistentAcrossAlgorithms) {
   EXPECT_EQ(reference, CountNonZero(ComputeArspKdtt(dataset, region)));
   EXPECT_EQ(reference, CountNonZero(ComputeArspQdtt(dataset, region)));
   EXPECT_EQ(reference, CountNonZero(ComputeArspBnb(dataset, region)));
+}
+
+// ---------------------------------------------------------------------------
+// Registry sweep: every solver the registry knows about — including ones a
+// future PR adds — must either agree with ENUM or refuse the context with a
+// clean FailedPrecondition. One ExecutionContext is shared per case, so the
+// sweep also exercises preprocessing reuse across solvers.
+
+void SweepRegistryAgainstEnum(const UncertainDataset& dataset,
+                              ExecutionContext& context) {
+  ASSERT_LE(dataset.NumPossibleWorlds(), 2e7) << "dataset too big for ENUM";
+  auto enum_solver = SolverRegistry::Create("enum");
+  ASSERT_TRUE(enum_solver.ok());
+  auto reference = (*enum_solver)->Solve(context);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (const std::string& name : SolverRegistry::Names()) {
+    auto solver = SolverRegistry::Create(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    const Status applicable = (*solver)->ValidateContext(context);
+    auto result = (*solver)->Solve(context);
+    if (!applicable.ok()) {
+      // Inapplicable solvers must fail cleanly, never compute garbage.
+      EXPECT_FALSE(result.ok()) << name;
+      EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+          << name << ": " << result.status().ToString();
+      continue;
+    }
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_LT(MaxAbsDiff(*reference, *result), 1e-8) << name;
+    EXPECT_EQ(context.last_stats().solver, name);
+  }
+}
+
+TEST(RegistrySweep, WeightRatioConstraints) {
+  for (uint64_t seed = 300; seed < 305; ++seed) {
+    SCOPED_TRACE(seed);
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const UncertainDataset dataset = RandomDataset(7, 3, dim, 0.4, seed);
+    ExecutionContext context(dataset, RandomWr(dim, seed));
+    SweepRegistryAgainstEnum(dataset, context);
+  }
+}
+
+TEST(RegistrySweep, WeightRatioSingleInstanceAllSolversApply) {
+  // d = 2 with single-instance objects: the regime where even DUAL-2D-MS
+  // participates, so every registered solver is compared against ENUM.
+  for (uint64_t seed = 400; seed < 403; ++seed) {
+    SCOPED_TRACE(seed);
+    const UncertainDataset dataset = RandomDataset(10, 1, 2, 0.5, seed);
+    ExecutionContext context(dataset, RandomWr(2, seed));
+    auto dual2d = SolverRegistry::Create("dual-2d-ms");
+    ASSERT_TRUE(dual2d.ok());
+    EXPECT_TRUE((*dual2d)->ValidateContext(context).ok());
+    SweepRegistryAgainstEnum(dataset, context);
+  }
+}
+
+TEST(RegistrySweep, WeakRankingConstraints) {
+  for (uint64_t seed = 500; seed < 505; ++seed) {
+    SCOPED_TRACE(seed);
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const UncertainDataset dataset =
+        RandomDataset(7, 3, dim, 0.4, seed, seed % 2 == 0);
+    ExecutionContext context(dataset, WrRegion(dim, dim - 1));
+    SweepRegistryAgainstEnum(dataset, context);
+  }
 }
 
 }  // namespace

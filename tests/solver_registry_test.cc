@@ -1,0 +1,235 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Unit tests for the solver abstraction itself: registry lookup, capability
+// flag rejection (a solver handed a context it cannot serve must return a
+// clean Status, never compute garbage), the typed option bag, preprocessing
+// reuse through ExecutionContext, instrumentation, and the compatibility of
+// the legacy free functions with their registry counterparts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/bnb_algorithm.h"
+#include "src/core/solver.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::RandomWr;
+using testing_util::WrRegion;
+
+TEST(SolverRegistry, NamesCoverAllEightFamilies) {
+  const std::vector<std::string> names = SolverRegistry::Names();
+  for (const char* expected :
+       {"enum", "loop", "bnb", "kdtt", "kdtt+", "qdtt+", "mwtt", "dual",
+        "dual-2d-ms"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, UnknownNameIsNotFoundAndListsAlternatives) {
+  auto solver = SolverRegistry::Create("kdtt++");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(solver.status().message().find("kdtt+"), std::string::npos);
+}
+
+TEST(SolverRegistry, LookupIsCaseInsensitive) {
+  auto solver = SolverRegistry::Create("KDTT+");
+  ASSERT_TRUE(solver.ok());
+  EXPECT_STREQ((*solver)->name(), "kdtt+");
+}
+
+TEST(SolverRegistry, DisplayNamesMatchThePaper) {
+  const std::pair<const char*, const char*> expected[] = {
+      {"loop", "LOOP"},   {"kdtt", "KDTT"}, {"kdtt+", "KDTT+"},
+      {"qdtt+", "QDTT+"}, {"bnb", "B&B"},   {"dual", "DUAL"},
+      {"mwtt", "MWTT"},   {"enum", "ENUM"}, {"dual-2d-ms", "DUAL-2D-MS"}};
+  for (const auto& [name, display] : expected) {
+    auto solver = SolverRegistry::Create(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    EXPECT_STREQ((*solver)->display_name(), display);
+  }
+}
+
+// ---------------------------------------------------------------- capability
+// flag rejection
+
+TEST(Capabilities, DualOnGeneralRegionFailsCleanly) {
+  const UncertainDataset dataset = RandomDataset(10, 2, 3, 0.0, 1);
+  ExecutionContext context(dataset, WrRegion(3, 2));
+  auto dual = SolverRegistry::Create("dual");
+  ASSERT_TRUE(dual.ok());
+  auto result = (*dual)->Solve(context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("weight-ratio"),
+            std::string::npos);
+}
+
+TEST(Capabilities, Dual2dMsRejectsHigherDimensions) {
+  const UncertainDataset dataset = RandomDataset(10, 1, 3, 0.0, 2);
+  ExecutionContext context(dataset, RandomWr(3, 2));
+  auto solver = SolverRegistry::Create("dual-2d-ms");
+  ASSERT_TRUE(solver.ok());
+  auto result = (*solver)->Solve(context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Capabilities, Dual2dMsRejectsMultiInstanceObjects) {
+  const UncertainDataset dataset = RandomDataset(10, 3, 2, 0.0, 3);
+  ExecutionContext context(dataset, RandomWr(2, 3));
+  auto solver = SolverRegistry::Create("dual-2d-ms");
+  ASSERT_TRUE(solver.ok());
+  auto result = (*solver)->Solve(context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Capabilities, GeneralSolversAcceptWeightRatioContexts) {
+  // A weight-ratio context serves general-F solvers through the lazily
+  // derived preference region.
+  const UncertainDataset dataset = RandomDataset(10, 2, 2, 0.0, 4);
+  ExecutionContext context(dataset, RandomWr(2, 4));
+  for (const char* name : {"kdtt+", "loop", "bnb"}) {
+    auto solver = SolverRegistry::Create(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    EXPECT_TRUE((*solver)->Solve(context).ok()) << name;
+  }
+}
+
+// ------------------------------------------------------------------- options
+
+TEST(Options, UnknownKeyIsRejected) {
+  auto solver = SolverRegistry::Create(
+      "kdtt+", SolverOptions().SetInt("fanout", 8));
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(solver.status().message().find("fanout"), std::string::npos);
+}
+
+TEST(Options, TypeMismatchIsRejected) {
+  auto solver = SolverRegistry::Create(
+      "mwtt", SolverOptions().SetString("fanout", "eight"));
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Options, OutOfRangeValueIsRejected) {
+  auto solver =
+      SolverRegistry::Create("mwtt", SolverOptions().SetInt("fanout", 1));
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Options, ConfiguredOptionsChangeBehaviour) {
+  const UncertainDataset dataset = RandomDataset(30, 3, 3, 0.0, 5);
+  const PreferenceRegion region = WrRegion(3, 2);
+  ExecutionContext context(dataset, region);
+
+  auto narrow = SolverRegistry::Create(
+      "mwtt", SolverOptions().SetInt("fanout", 2));
+  auto wide = SolverRegistry::Create(
+      "mwtt", SolverOptions().SetInt("fanout", 32));
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  auto narrow_result = (*narrow)->Solve(context);
+  const int64_t narrow_nodes = context.last_stats().nodes_visited;
+  auto wide_result = (*wide)->Solve(context);
+  const int64_t wide_nodes = context.last_stats().nodes_visited;
+  ASSERT_TRUE(narrow_result.ok());
+  ASSERT_TRUE(wide_result.ok());
+  EXPECT_LT(MaxAbsDiff(*narrow_result, *wide_result), 1e-10);
+  EXPECT_NE(narrow_nodes, wide_nodes);  // fan-out changes the tree shape
+}
+
+TEST(Options, ParseKeyValueInfersTypes) {
+  SolverOptions options;
+  ASSERT_TRUE(options.ParseKeyValue("fanout=8").ok());
+  ASSERT_TRUE(options.ParseKeyValue("pruning=false").ok());
+  ASSERT_TRUE(options.ParseKeyValue("ratio=1.5").ok());
+  ASSERT_TRUE(options.ParseKeyValue("mode=fused").ok());
+  EXPECT_FALSE(options.ParseKeyValue("no-equals-sign").ok());
+  // Overflowing numbers are rejected, not silently clamped.
+  EXPECT_FALSE(options.ParseKeyValue("n=99999999999999999999").ok());
+  EXPECT_FALSE(options.ParseKeyValue("x=1e999").ok());
+  EXPECT_EQ(options.IntOr("fanout", 0).value(), 8);
+  EXPECT_FALSE(options.BoolOr("pruning", true).value());
+  EXPECT_DOUBLE_EQ(options.DoubleOr("ratio", 0.0).value(), 1.5);
+  EXPECT_EQ(options.StringOr("mode", "").value(), "fused");
+  // Ints widen to double, but not the reverse.
+  EXPECT_DOUBLE_EQ(options.DoubleOr("fanout", 0.0).value(), 8.0);
+  EXPECT_FALSE(options.IntOr("ratio", 0).ok());
+}
+
+// ------------------------------------------------- context reuse and stats
+
+TEST(ExecutionContextTest, PreprocessingIsComputedOnceAndShared) {
+  const UncertainDataset dataset = RandomDataset(20, 3, 3, 0.0, 6);
+  ExecutionContext context(dataset, WrRegion(3, 2));
+  const std::vector<MappedInstance>* mapped = &context.mapped_instances();
+  EXPECT_EQ(mapped, &context.mapped_instances());
+  EXPECT_EQ(static_cast<int>(mapped->size()), dataset.num_instances());
+  EXPECT_EQ(&context.instance_kdtree(), &context.instance_kdtree());
+
+  // A second solver on the same context pays zero setup: everything lazy
+  // was already computed by the first.
+  auto first = SolverRegistry::Create("kdtt+");
+  auto second = SolverRegistry::Create("qdtt+");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE((*first)->Solve(context).ok());
+  ASSERT_TRUE((*second)->Solve(context).ok());
+  EXPECT_EQ(context.last_stats().solver, "qdtt+");
+  EXPECT_EQ(context.last_stats().setup_millis, 0.0);
+}
+
+TEST(ExecutionContextTest, StatsMirrorResultCounters) {
+  const UncertainDataset dataset = RandomDataset(20, 3, 3, 0.0, 7);
+  ExecutionContext context(dataset, WrRegion(3, 2));
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  auto result = (*solver)->Solve(context);
+  ASSERT_TRUE(result.ok());
+  const SolverStats& stats = context.last_stats();
+  EXPECT_EQ(stats.solver, "kdtt+");
+  EXPECT_EQ(stats.dominance_tests, result->dominance_tests);
+  EXPECT_EQ(stats.nodes_visited, result->nodes_visited);
+  EXPECT_GT(stats.nodes_visited, 0);
+  EXPECT_GE(stats.solve_millis, stats.setup_millis);
+  EXPECT_NE(stats.ToString().find("solver=kdtt+"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, WeightRatioAccessorRequiresWrContext) {
+  const UncertainDataset dataset = RandomDataset(5, 1, 2, 0.0, 8);
+  ExecutionContext wr_context(dataset, RandomWr(2, 8));
+  EXPECT_TRUE(wr_context.has_weight_ratios());
+  EXPECT_EQ(wr_context.weight_ratios().dim(), 2);
+  EXPECT_EQ(wr_context.region().dim(), 2);  // derived lazily
+
+  ExecutionContext region_context(dataset, WrRegion(2, 1));
+  EXPECT_FALSE(region_context.has_weight_ratios());
+}
+
+// ----------------------------------------------------------- compat shims
+
+TEST(CompatShims, FreeFunctionsMatchRegistrySolvers) {
+  const UncertainDataset dataset = RandomDataset(25, 3, 3, 0.3, 9);
+  const PreferenceRegion region = WrRegion(3, 2);
+  ExecutionContext context(dataset, region);
+  auto solver = SolverRegistry::Create("bnb");
+  ASSERT_TRUE(solver.ok());
+  auto via_registry = (*solver)->Solve(context);
+  ASSERT_TRUE(via_registry.ok());
+  EXPECT_LT(MaxAbsDiff(ComputeArspBnb(dataset, region), *via_registry),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace arsp

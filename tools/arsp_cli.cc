@@ -3,29 +3,29 @@
 // arsp_cli — run ARSP queries on CSV datasets from the command line.
 //
 // Usage:
+//   arsp_cli --algo list                              (enumerate solvers)
 //   arsp_cli --input data.csv [--header]
 //            --constraints wr:0.5,2.0[,l2,h2,...]   (weight ratios), or
 //            --constraints rank:c                   (weak ranking ω1≥...≥ωc+1)
-//            [--algo kdtt+|kdtt|qdtt+|bnb|loop|dual]
+//            [--algo NAME] [--opt key=value ...] [--stats]
 //            [--topk K] [--threshold P]
 //            [--instances out_instances.csv] [--objects out_objects.csv]
+//
+// Algorithms come from the SolverRegistry — `--algo list` prints every
+// registered solver with its capabilities; there is no hard-coded whitelist.
 //
 // CSV input format: object,prob,attr1,...,attrD (see src/io/csv.h). Lower
 // attribute values are preferred; negate "higher is better" columns.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "src/common/stopwatch.h"
-#include "src/core/bnb_algorithm.h"
-#include "src/core/dual_algorithm.h"
-#include "src/core/kdtt_algorithm.h"
-#include "src/core/loop_algorithm.h"
-#include "src/core/qdtt_algorithm.h"
 #include "src/core/queries.h"
+#include "src/core/solver.h"
 #include "src/io/csv.h"
 #include "src/prefs/constraint_generators.h"
 #include "src/prefs/preference_region.h"
@@ -38,16 +38,19 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: arsp_cli --input data.csv --constraints wr:l1,h1[,...]|rank:c\n"
-      "                [--header] [--algo kdtt+|kdtt|qdtt+|bnb|loop|dual]\n"
-      "                [--topk K] [--threshold P]\n"
-      "                [--instances out.csv] [--objects out.csv]\n");
+      "                [--header] [--algo NAME|list] [--opt key=value ...]\n"
+      "                [--stats] [--topk K] [--threshold P]\n"
+      "                [--instances out.csv] [--objects out.csv]\n"
+      "run `arsp_cli --algo list` to enumerate the available solvers\n");
 }
 
 struct Args {
   std::string input;
   std::string constraints;
   std::string algo = "kdtt+";
+  std::vector<std::string> opts;
   bool header = false;
+  bool stats = false;
   int topk = 10;
   std::optional<double> threshold;
   std::string instances_out;
@@ -73,8 +76,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->algo = v;
+    } else if (flag == "--opt") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->opts.push_back(v);
     } else if (flag == "--header") {
       args->header = true;
+    } else if (flag == "--stats") {
+      args->stats = true;
     } else if (flag == "--topk") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -96,6 +105,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->algo == "list") return true;  // no input needed
   return !args->input.empty() && !args->constraints.empty();
 }
 
@@ -121,6 +131,27 @@ std::optional<std::vector<std::pair<double, double>>> ParseWrSpec(
   return ranges;
 }
 
+// --algo list: one line per registered solver, straight from the registry.
+int ListSolvers() {
+  std::printf("registered solvers:\n");
+  for (const std::string& name : SolverRegistry::Names()) {
+    auto solver = SolverRegistry::Create(name);
+    if (!solver.ok()) continue;
+    std::string caps;
+    const uint32_t c = (*solver)->capabilities();
+    if (c & kCapRequiresWeightRatios) caps += " [wr-only]";
+    if (c & kCapRequires2d) caps += " [2d-only]";
+    if (c & kCapRequiresSingleInstanceObjects) caps += " [single-instance]";
+    if (c & kCapQuadraticTime) caps += " [quadratic]";
+    if (c & kCapExponentialTime) caps += " [exponential]";
+    if (c & kCapExponentialInVertices) caps += " [vertex-exponential]";
+    std::printf("  %-12s %-12s %s%s\n", name.c_str(),
+                (*solver)->display_name(), (*solver)->description(),
+                caps.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +160,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (args.algo == "list") return ListSolvers();
 
   std::vector<std::string> names;
   auto dataset = LoadUncertainDatasetCsv(args.input, args.header, &names);
@@ -141,9 +173,10 @@ int main(int argc, char** argv) {
               dataset->num_objects(), dataset->num_instances(),
               dataset->dim());
 
-  // Build the preference region from the constraint spec.
-  std::optional<WeightRatioConstraints> wr;
-  std::optional<PreferenceRegion> region;
+  // Build the execution context from the constraint spec: weight-ratio
+  // contexts keep the ratios (DUAL-family solvers need them) and derive the
+  // preference region lazily; rank contexts carry the region directly.
+  std::optional<ExecutionContext> context;
   if (args.constraints.rfind("wr:", 0) == 0) {
     auto ranges = ParseWrSpec(args.constraints.substr(3));
     if (!ranges) {
@@ -156,13 +189,12 @@ int main(int argc, char** argv) {
                    dataset->dim() - 1, dataset->dim(), ranges->size());
       return 2;
     }
-    auto built = WeightRatioConstraints::Create(*ranges);
-    if (!built.ok()) {
-      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    auto wr = WeightRatioConstraints::Create(*ranges);
+    if (!wr.ok()) {
+      std::fprintf(stderr, "%s\n", wr.status().ToString().c_str());
       return 2;
     }
-    wr = std::move(built).value();
-    region = PreferenceRegion::FromWeightRatios(*wr);
+    context.emplace(*dataset, std::move(*wr));
   } else if (args.constraints.rfind("rank:", 0) == 0) {
     const int c = std::atoi(args.constraints.c_str() + 5);
     if (c < 0 || c > dataset->dim() - 1) {
@@ -170,48 +202,48 @@ int main(int argc, char** argv) {
                    dataset->dim() - 1);
       return 2;
     }
-    auto built = PreferenceRegion::FromLinearConstraints(
+    auto region = PreferenceRegion::FromLinearConstraints(
         MakeWeakRankingConstraints(dataset->dim(), c));
-    if (!built.ok()) {
-      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    if (!region.ok()) {
+      std::fprintf(stderr, "%s\n", region.status().ToString().c_str());
       return 2;
     }
-    region = std::move(built).value();
+    context.emplace(*dataset, std::move(*region));
   } else {
     std::fprintf(stderr, "constraints must start with 'wr:' or 'rank:'\n");
     return 2;
   }
-  std::printf("preference region: %d vertices\n", region->num_vertices());
 
-  // Run the requested algorithm.
-  Stopwatch sw;
-  ArspResult result;
-  if (args.algo == "kdtt+") {
-    result = ComputeArspKdtt(*dataset, *region, {.integrated = true});
-  } else if (args.algo == "kdtt") {
-    result = ComputeArspKdtt(*dataset, *region, {.integrated = false});
-  } else if (args.algo == "qdtt+") {
-    result = ComputeArspQdtt(*dataset, *region);
-  } else if (args.algo == "bnb") {
-    result = ComputeArspBnb(*dataset, *region);
-  } else if (args.algo == "loop") {
-    result = ComputeArspLoop(*dataset, *region);
-  } else if (args.algo == "dual") {
-    if (!wr) {
-      std::fprintf(stderr, "--algo dual requires wr: constraints\n");
+  // Create + configure the solver through the registry.
+  SolverOptions options;
+  for (const std::string& opt : args.opts) {
+    const Status st = options.ParseKeyValue(opt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 2;
     }
-    result = ComputeArspDual(*dataset, *wr);
-  } else {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", args.algo.c_str());
+  }
+  auto solver = SolverRegistry::Create(args.algo, options);
+  if (!solver.ok()) {
+    std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
     return 2;
   }
+
+  auto result = (*solver)->Solve(*context);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const SolverStats& stats = context->last_stats();
   std::printf("computed ARSP in %.2f ms (%s); result size %d\n",
-              sw.ElapsedMillis(), args.algo.c_str(), CountNonZero(result));
+              stats.solve_millis, (*solver)->display_name(),
+              CountNonZero(*result));
+  if (args.stats) std::printf("%s\n", stats.ToString().c_str());
 
   // Report.
   if (args.threshold) {
-    const auto above = ObjectsAboveThreshold(result, *dataset, *args.threshold);
+    const auto above =
+        ObjectsAboveThreshold(*result, *dataset, *args.threshold);
     std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
                 above.size());
     for (const auto& [object, prob] : above) {
@@ -221,7 +253,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\ntop-%d objects by Pr_rsky:\n", args.topk);
     for (const auto& [object, prob] :
-         TopKObjects(result, *dataset, args.topk)) {
+         TopKObjects(*result, *dataset, args.topk)) {
       std::printf("  %-20s %.4f\n",
                   names[static_cast<size_t>(object)].c_str(), prob);
     }
@@ -229,7 +261,7 @@ int main(int argc, char** argv) {
 
   if (!args.instances_out.empty()) {
     const Status st = WriteTextFile(
-        args.instances_out, FormatArspResultCsv(result, *dataset, &names));
+        args.instances_out, FormatArspResultCsv(*result, *dataset, &names));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
@@ -239,7 +271,7 @@ int main(int argc, char** argv) {
   }
   if (!args.objects_out.empty()) {
     const Status st = WriteTextFile(
-        args.objects_out, FormatObjectResultCsv(result, *dataset, &names));
+        args.objects_out, FormatObjectResultCsv(*result, *dataset, &names));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
