@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/core/arsp_result.h"
+#include "src/core/engine.h"
 #include "src/core/solver.h"
 #include "src/prefs/preference_region.h"
 #include "src/prefs/weight_ratio.h"
@@ -41,8 +42,13 @@ std::string AlgoName(const std::string& algo);
 /// algorithms.
 uint32_t AlgoCaps(const std::string& algo);
 
-/// Runs a registered solver on the dataset. `wr` is required for solvers
-/// with kCapRequiresWeightRatios and ignored otherwise.
+/// The shared ArspEngine every benchmark driver routes through.
+ArspEngine& SharedEngine();
+
+/// Runs a registered solver on the dataset through SharedEngine. `wr` is
+/// required for solvers with kCapRequiresWeightRatios and ignored
+/// otherwise. Result caching and context pooling are disabled so each call
+/// pays (and measures) preprocessing + solve, like a cold query.
 ArspResult RunAlgo(const std::string& algo, const UncertainDataset& dataset,
                    const PreferenceRegion& region,
                    const WeightRatioConstraints* wr = nullptr);

@@ -1,15 +1,24 @@
 // Copyright 2026 The ARSP Authors.
 //
 // Quickstart: build a small uncertain dataset, describe the user's
-// preferences as linear constraints on scoring weights, and compute the
-// rskyline probability of every instance and object.
+// preferences as weight-ratio constraints, and query it through ArspEngine —
+// the session-level API that owns contexts, the result cache, and solver
+// selection. The whole engine round trip is:
+//
+//   ArspEngine engine;
+//   DatasetHandle data = engine.AddDataset(std::move(dataset));
+//   QueryRequest request;
+//   request.dataset = data;
+//   request.constraints = ConstraintSpec::WeightRatios(wr);
+//   request.solver = "auto";                     // or any registry name
+//   request.derived.kind = DerivedKind::kTopKObjects;
+//   StatusOr<QueryResponse> response = engine.Solve(request);
 //
 //   $ ./example_quickstart
 
 #include <cstdio>
 
-#include "src/core/solver.h"
-#include "src/prefs/preference_region.h"
+#include "src/core/engine.h"
 #include "src/prefs/weight_ratio.h"
 #include "src/uncertain/uncertain_dataset.h"
 
@@ -37,36 +46,50 @@ int main() {
   // more than twice as much as the other: 0.5 <= ω1/ω2 <= 2.
   const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
 
-  // An ExecutionContext owns the per-query preprocessing; any registered
-  // solver can run against it ("kdtt+" is the paper's default — swap in
-  // "bnb", "loop", "dual", ... without touching anything else).
-  ExecutionContext context(*dataset, wr);
-  std::printf("preference region has %d vertices\n",
-              context.region().num_vertices());
-  auto solver = SolverRegistry::Create("kdtt+");
-  if (!solver.ok()) {
-    std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
-    return 1;
-  }
-  auto solved = (*solver)->Solve(context);
-  if (!solved.ok()) {
-    std::fprintf(stderr, "%s\n", solved.status().ToString().c_str());
-    return 1;
-  }
-  const ArspResult& result = *solved;
+  // The engine owns the dataset, pools preprocessing contexts, caches
+  // results, and resolves "auto" to a concrete solver from capability
+  // flags and data shape (swap in "kdtt+", "bnb", "loop", ... explicitly
+  // without touching anything else).
+  ArspEngine engine;
+  const DatasetHandle data = engine.AddDataset(std::move(*dataset));
 
+  QueryRequest request;
+  request.dataset = data;
+  request.constraints = ConstraintSpec::WeightRatios(wr);
+  request.solver = "auto";
+  request.derived.kind = DerivedKind::kTopKObjects;
+  request.derived.k = -1;  // rank every object
+
+  auto response = engine.Solve(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const ArspResult& result = *response->result;
+  std::printf("solved with %s in %.2f ms\n", response->solver.c_str(),
+              response->stats.solve_millis);
+
+  const auto dataset_view = engine.dataset(data);
   std::printf("\nper-instance rskyline probabilities:\n");
-  for (const Instance& inst : dataset->instances()) {
+  for (const Instance& inst : dataset_view->instances()) {
     std::printf("  T%d %-12s p=%.3f  Pr_rsky=%.4f\n", inst.object_id + 1,
                 inst.point.ToString().c_str(), inst.prob,
                 result.instance_probs[static_cast<size_t>(inst.instance_id)]);
   }
 
   std::printf("\nobjects ranked by rskyline probability:\n");
-  for (const auto& [object, prob] : TopKObjects(result, *dataset, -1)) {
+  for (const auto& [object, prob] : response->ranked) {
     std::printf("  T%d  Pr_rsky=%.4f\n", object + 1, prob);
   }
   std::printf("\nARSP size (instances with non-zero probability): %d of %d\n",
-              CountNonZero(result), dataset->num_instances());
+              CountNonZero(result), dataset_view->num_instances());
+
+  // Re-issuing the same request hits the engine's result cache: no solver
+  // runs, the shared ArspResult is returned directly.
+  auto again = engine.Solve(request);
+  if (again.ok()) {
+    std::printf("\nsecond identical query: cache_hit=%s\n",
+                again->cache_hit ? "true" : "false");
+  }
   return 0;
 }

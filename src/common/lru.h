@@ -1,0 +1,27 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Tick-based least-recently-used eviction for bounded map caches. Shared by
+// ExecutionContext's per-fanout R-tree cache and ArspEngine's context pool
+// so their eviction policy cannot drift apart.
+
+#ifndef ARSP_COMMON_LRU_H_
+#define ARSP_COMMON_LRU_H_
+
+#include <algorithm>
+
+namespace arsp {
+
+/// Erases the entry with the smallest `second.last_used` tick. The map must
+/// be non-empty and its mapped type must expose a `last_used` field that
+/// callers bump (from a monotonic counter) on every checkout.
+template <typename Map>
+void EvictLeastRecentlyUsed(Map& map) {
+  map.erase(std::min_element(map.begin(), map.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.second.last_used < b.second.last_used;
+                             }));
+}
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_LRU_H_

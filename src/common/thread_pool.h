@@ -1,0 +1,48 @@
+// Copyright 2026 The ARSP Authors.
+//
+// A fixed-size worker pool with a FIFO task queue. ArspEngine fans
+// SolveBatch requests across it; anything else that needs background work
+// (future service frontend, parallel benchmarks) can share the abstraction.
+
+#ifndef ARSP_COMMON_THREAD_POOL_H_
+#define ARSP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arsp {
+
+/// Fixed pool of worker threads draining a FIFO queue of tasks. Tasks must
+/// not throw; completion signalling (latches, futures) is the submitter's
+/// responsibility. The destructor drains already-queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_THREAD_POOL_H_

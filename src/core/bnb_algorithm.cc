@@ -62,8 +62,11 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
 
   // The bulk-loaded R-tree over the *original* space is query-independent
   // and shared through the context; SV is computed on the fly only for
-  // instances that survive pruning.
-  const RTree& data_tree = context.instance_rtree(options.rtree_fanout);
+  // instances that survive pruning. The shared_ptr pins the tree for this
+  // run even if the context's per-fanout cache evicts it.
+  const std::shared_ptr<const RTree> data_tree_ptr =
+      context.instance_rtree(options.rtree_fanout);
+  const RTree& data_tree = *data_tree_ptr;
 
   std::vector<ObjectState> objects(static_cast<size_t>(m));
   std::vector<Point> pruning_set;  // |P| ≤ m (Theorem 4)

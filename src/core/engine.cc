@@ -1,0 +1,486 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <latch>
+#include <sstream>
+#include <thread>
+
+#include "src/common/lru.h"
+#include "src/core/queries.h"
+#include "src/prefs/constraint_generators.h"
+
+namespace arsp {
+
+namespace {
+
+// --------------------------------------------------------------- "auto"
+
+/// Meta-solver registered as "auto": resolves a concrete solver through
+/// AutoSelectSolverName and delegates. ArspEngine resolves "auto" itself
+/// (so cache keys and responses carry the concrete name); this entry gives
+/// raw SolverRegistry users the identical policy, including options — the
+/// bag is held here and validated against the resolved solver at Solve
+/// time, exactly like the engine path.
+class AutoSolver : public ArspSolver {
+ public:
+  const char* name() const override { return "auto"; }
+  const char* display_name() const override { return "AUTO"; }
+  const char* description() const override {
+    return "picks a concrete solver from capability flags and data shape "
+           "(KDTT+ default, DUAL for weight ratios; paper §V)";
+  }
+
+  Status Configure(const SolverOptions& options) override {
+    options_ = options;
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    auto solver =
+        SolverRegistry::Create(AutoSelectSolverName(context), options_);
+    if (!solver.ok()) return solver.status();
+    return (*solver)->Solve(context);
+  }
+
+ private:
+  SolverOptions options_;
+};
+
+ARSP_REGISTER_SOLVER(auto_select, "auto",
+                     [] { return std::make_unique<AutoSolver>(); });
+
+// DUAL-2D-MS builds a quadratically sized angular index; "auto" only
+// considers it below this instance count.
+constexpr int kAutoDual2dMaxInstances = 2048;
+// Below this instance count the quadratic LOOP scan beats tree setup.
+constexpr int kAutoLoopMaxInstances = 64;
+
+}  // namespace
+
+namespace internal {
+// Link anchor so static-archive linking keeps this translation unit (and
+// the "auto" registration) in every binary that touches the registry.
+void LinkAutoSolver() {}
+}  // namespace internal
+
+std::string AutoSelectSolverName(const ExecutionContext& context) {
+  const UncertainDataset& dataset = context.dataset();
+  const int n = dataset.num_instances();
+  // Candidates in preference order per the paper's §V guidance; the first
+  // one whose capability flags accept the context wins, so the policy can
+  // never hand out an inapplicable solver.
+  std::vector<std::string> candidates;
+  if (context.has_weight_ratios()) {
+    if (dataset.dim() == 2 && n <= kAutoDual2dMaxInstances) {
+      candidates.push_back("dual-2d-ms");  // §V-D: IIP niche
+    }
+    candidates.push_back("dual");  // §V: DUAL wins under weight ratios
+  }
+  if (n <= kAutoLoopMaxInstances) candidates.push_back("loop");
+  candidates.push_back("kdtt+");  // §V: the general-purpose default
+  for (const std::string& name : candidates) {
+    auto solver = SolverRegistry::Create(name);
+    if (solver.ok() && (*solver)->ValidateContext(context).ok()) return name;
+  }
+  return "kdtt+";
+}
+
+// ---------------------------------------------------------- ConstraintSpec
+
+std::string ConstraintSpec::CacheKey() const {
+  std::ostringstream os;
+  os.precision(17);
+  if (has_weight_ratios()) {
+    os << "wr:";
+    for (const auto& [lo, hi] : weight_ratios().ranges()) {
+      os << lo << ',' << hi << ';';
+    }
+  } else if (valid()) {
+    const PreferenceRegion& r = region();
+    os << "region:" << r.dim() << ':';
+    for (const Point& v : r.vertices()) {
+      for (double c : v.coords()) os << c << ',';
+      os << ';';
+    }
+  }
+  return os.str();
+}
+
+StatusOr<ConstraintSpec> ParseConstraintSpec(const std::string& spec,
+                                             int dim) {
+  if (spec.rfind("wr:", 0) == 0) {
+    std::vector<double> values;
+    std::string token;
+    bool malformed = false;
+    for (size_t i = 3; i <= spec.size(); ++i) {
+      if (i == spec.size() || spec[i] == ',') {
+        // Empty ("wr:0.5,,2.0") and non-numeric ("wr:1x,2") tokens are
+        // typos, not values to coerce.
+        char* end = nullptr;
+        const double value =
+            token.empty() ? 0.0 : std::strtod(token.c_str(), &end);
+        if (token.empty() || end != token.c_str() + token.size()) {
+          malformed = true;
+        } else {
+          values.push_back(value);
+        }
+        token.clear();
+      } else {
+        token += spec[i];
+      }
+    }
+    if (malformed || values.empty() || values.size() % 2 != 0) {
+      return Status::InvalidArgument("bad weight-ratio spec '" + spec +
+                                     "': need pairs l1,h1[,l2,h2,...]");
+    }
+    if (static_cast<int>(values.size() / 2) + 1 != dim) {
+      return Status::InvalidArgument(
+          "need " + std::to_string(dim - 1) + " ratio ranges for d=" +
+          std::to_string(dim) + " data (got " +
+          std::to_string(values.size() / 2) + ")");
+    }
+    std::vector<std::pair<double, double>> ranges;
+    for (size_t i = 0; i < values.size(); i += 2) {
+      ranges.emplace_back(values[i], values[i + 1]);
+    }
+    auto wr = WeightRatioConstraints::Create(std::move(ranges));
+    if (!wr.ok()) return wr.status();
+    return ConstraintSpec::WeightRatios(std::move(*wr));
+  }
+  if (spec.rfind("rank:", 0) == 0) {
+    char* end = nullptr;
+    const long c = std::strtol(spec.c_str() + 5, &end, 10);
+    if (end == spec.c_str() + 5 || *end != '\0' || c < 0 || c > dim - 1) {
+      return Status::InvalidArgument(
+          "rank constraint count must be an integer in [0, " +
+          std::to_string(dim - 1) + "] (got '" + spec.substr(5) + "')");
+    }
+    auto region = PreferenceRegion::FromLinearConstraints(
+        MakeWeakRankingConstraints(dim, static_cast<int>(c)));
+    if (!region.ok()) return region.status();
+    return ConstraintSpec::Region(std::move(*region));
+  }
+  return Status::InvalidArgument("constraint spec '" + spec +
+                                 "' must start with 'wr:' or 'rank:'");
+}
+
+// --------------------------------------------------------------- engine
+
+ArspEngine::ArspEngine(EngineOptions options) : options_(options) {}
+
+ArspEngine::~ArspEngine() = default;
+
+DatasetHandle ArspEngine::AddDataset(
+    std::shared_ptr<const UncertainDataset> dataset) {
+  ARSP_CHECK_MSG(dataset != nullptr, "AddDataset: null dataset");
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_dataset_id_++;
+  datasets_.emplace(id, std::move(dataset));
+  return DatasetHandle{id};
+}
+
+DatasetHandle ArspEngine::AddDataset(UncertainDataset dataset) {
+  return AddDataset(
+      std::make_shared<const UncertainDataset>(std::move(dataset)));
+}
+
+std::shared_ptr<const UncertainDataset> ArspEngine::dataset(
+    DatasetHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = datasets_.find(handle.id);
+  if (it == datasets_.end()) return nullptr;
+  return it->second;
+}
+
+Status ArspEngine::DropDataset(DatasetHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (datasets_.erase(handle.id) == 0) {
+    return Status::NotFound("unknown dataset handle " +
+                            std::to_string(handle.id));
+  }
+  for (auto it = contexts_.begin(); it != contexts_.end();) {
+    if (it->first.first == handle.id) {
+      it = contexts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = auto_memo_.begin(); it != auto_memo_.end();) {
+    if (it->first.first == handle.id) {
+      it = auto_memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResponse> ArspEngine::Solve(const QueryRequest& request) {
+  return SolveImpl(request);
+}
+
+StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
+  if (!request.constraints.valid()) {
+    return Status::InvalidArgument("QueryRequest has no constraints");
+  }
+  if (request.derived.kind == DerivedKind::kCountControlled &&
+      request.derived.max_objects < 1) {
+    return Status::InvalidArgument("count-controlled query needs "
+                                   "max_objects >= 1");
+  }
+
+  const bool cacheable =
+      request.use_cache && options_.result_cache_capacity > 0;
+
+  // Dataset lookup + context pool (short critical section). Key
+  // serialization is skipped entirely for pool-less, cache-bypassing
+  // requests (the benchmark path) — nothing would read the keys.
+  std::shared_ptr<const UncertainDataset> dataset;
+  std::shared_ptr<ExecutionContext> context;
+  const std::string constraint_key =
+      request.pool_context || cacheable ? request.constraints.CacheKey()
+                                        : std::string();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = datasets_.find(request.dataset.id);
+    if (it == datasets_.end()) {
+      return Status::NotFound("unknown dataset handle " +
+                              std::to_string(request.dataset.id));
+    }
+    dataset = it->second;
+    if (request.pool_context) {
+      const auto key = std::make_pair(request.dataset.id, constraint_key);
+      const auto pooled = contexts_.find(key);
+      if (pooled != contexts_.end()) {
+        pooled->second.last_used = ++pool_tick_;
+        context = pooled->second.context;
+      }
+    }
+  }
+  // Solver names are normalized up front: registry lookup is
+  // case-insensitive and cache keys must agree with it ("AUTO"/"KDTT+"
+  // alias "auto"/"kdtt+").
+  std::string solver_name = SolverRegistry::Normalize(request.solver);
+  bool is_auto = solver_name == "auto" || solver_name.empty();
+
+  // Memoized "auto" resolution: the choice is a pure function of dataset
+  // shape + constraints, so a remembered name lets a cached auto query
+  // take the context-free fast path below. (constraint_key is only built
+  // for pooled/cacheable requests — the bench path never memoizes.)
+  if (is_auto && (request.pool_context || cacheable)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = auto_memo_.find(
+        std::make_pair(request.dataset.id, constraint_key));
+    if (it != auto_memo_.end()) {
+      solver_name = it->second;
+      is_auto = false;
+    }
+  }
+
+  QueryResponse response;
+  std::string cache_key;
+  // One cache lookup per request: counts a hit or a miss and fills the
+  // response on a hit.
+  const auto lookup_cache = [&]() {
+    // The handle id is the dataset's fingerprint: handles are never reused
+    // across the engine's lifetime and the dataset behind one is immutable
+    // (shared_ptr<const>), so the id is collision-proof where a content
+    // hash would only be collision-resistant.
+    cache_key = std::to_string(request.dataset.id) + '|' + constraint_key +
+                '|' + solver_name + '|' + request.options.CacheKey();
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_index_.find(cache_key);
+    if (it == cache_index_.end()) {
+      ++cache_misses_;
+      return;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+    ++cache_hits_;
+    response.result = it->second->second.result;
+    response.solver = it->second->second.solver;
+    response.stats = it->second->second.stats;
+    response.cache_hit = true;
+  };
+
+  // An explicit solver's cache key needs no context: look up first, so pure
+  // cache hits skip context construction and pool churn entirely. "auto"
+  // resolves against a (transient) context, so its lookup happens after
+  // construction — but pooling is deferred to the miss path for both, so
+  // cache hits never evict warm contexts from the bounded pool.
+  if (cacheable && !is_auto) lookup_cache();
+
+  if (!response.cache_hit) {
+    if (context == nullptr) {
+      context = request.constraints.has_weight_ratios()
+                    ? std::make_shared<ExecutionContext>(
+                          *dataset, request.constraints.weight_ratios())
+                    : std::make_shared<ExecutionContext>(
+                          *dataset, request.constraints.region());
+    }
+    if (is_auto) {
+      // Resolve before the (deferred) cache lookup so an auto request and
+      // an explicit request for the same concrete solver share one entry.
+      solver_name = AutoSelectSolverName(*context);
+      if (request.pool_context || cacheable) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (auto_memo_.size() >= 4096) auto_memo_.clear();  // crude bound
+        auto_memo_[std::make_pair(request.dataset.id, constraint_key)] =
+            solver_name;
+      }
+      if (cacheable) lookup_cache();
+    }
+  }
+
+  if (!response.cache_hit) {
+    if (request.pool_context) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Pool only if the dataset was not concurrently dropped (a context
+      // pooled under a dead id would be unreachable forever). Another
+      // thread may have pooled the same key meanwhile; keep the first so
+      // concurrent callers converge on one context (re-pooling an already
+      // pooled context converges on itself).
+      if (datasets_.count(request.dataset.id) > 0) {
+        const auto it = contexts_
+                            .emplace(std::make_pair(request.dataset.id,
+                                                    constraint_key),
+                                     PooledContext{context, 0})
+                            .first;
+        it->second.last_used = ++pool_tick_;
+        context = it->second.context;
+        // Bound the pool: evict the least-recently-used context beyond
+        // the cap (shared ownership keeps in-flight solves on it safe).
+        const size_t capacity =
+            std::max<size_t>(1, options_.context_pool_capacity);
+        while (contexts_.size() > capacity) {
+          EvictLeastRecentlyUsed(contexts_);
+        }
+      }
+    }
+    response.solver = solver_name;
+    auto solver = SolverRegistry::Create(solver_name, request.options);
+    if (!solver.ok()) return solver.status();
+    SolverStats stats;
+    StatusOr<ArspResult> result = (*solver)->Solve(*context, &stats);
+    if (!result.ok()) return result.status();
+    // Created non-const (then viewed as const) so TakeResult can move the
+    // payload out of a uniquely owned response.
+    response.result = std::make_shared<ArspResult>(std::move(*result));
+    response.stats = stats;
+    if (cacheable) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_index_.find(cache_key);
+      if (it == cache_index_.end()) {
+        lru_.emplace_front(
+            cache_key,
+            CacheEntry{response.result, response.solver, response.stats});
+        cache_index_[cache_key] = lru_.begin();
+        while (lru_.size() > options_.result_cache_capacity) {
+          cache_index_.erase(lru_.back().first);
+          lru_.pop_back();
+        }
+      }
+    }
+  }
+
+  // Derived retrievals — cheap post-processing of the full result (§I).
+  const ArspResult& result = *response.result;
+  switch (request.derived.kind) {
+    case DerivedKind::kNone:
+      break;
+    case DerivedKind::kTopKObjects:
+      response.ranked = TopKObjects(result, *dataset, request.derived.k);
+      break;
+    case DerivedKind::kTopKInstances:
+      response.ranked = TopKInstances(result, request.derived.k);
+      break;
+    case DerivedKind::kObjectsAboveThreshold:
+      response.ranked =
+          ObjectsAboveThreshold(result, *dataset, request.derived.threshold);
+      break;
+    case DerivedKind::kCountControlled: {
+      // One full object ranking serves both answers (semantics identical to
+      // ThresholdForObjectCount + ObjectsAboveThreshold, asserted in
+      // tests/engine_test.cc).
+      std::vector<std::pair<int, double>> ranked =
+          TopKObjects(result, *dataset, -1);
+      const size_t cut = std::min(
+          ranked.size(), static_cast<size_t>(request.derived.max_objects));
+      response.count_threshold = cut == 0 ? 0.0 : ranked[cut - 1].second;
+      while (!ranked.empty() &&
+             ranked.back().second < response.count_threshold) {
+        ranked.pop_back();
+      }
+      response.ranked = std::move(ranked);
+      break;
+    }
+  }
+  return response;
+}
+
+std::vector<StatusOr<QueryResponse>> ArspEngine::SolveBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<StatusOr<QueryResponse>> results(
+      requests.size(), Status::Internal("request not executed"));
+  if (requests.empty()) return results;
+  if (requests.size() == 1) {
+    results[0] = Solve(requests[0]);
+    return results;
+  }
+
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ == nullptr) {
+      int threads = options_.num_threads;
+      if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+      }
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    pool = pool_.get();
+  }
+
+  std::latch done(static_cast<ptrdiff_t>(requests.size()));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    pool->Submit([this, &requests, &results, &done, i] {
+      results[i] = Solve(requests[i]);
+      done.count_down();
+    });
+  }
+  done.wait();
+  return results;
+}
+
+ArspResult ArspEngine::TakeResult(QueryResponse&& response) {
+  std::shared_ptr<const ArspResult> shared = std::move(response.result);
+  ARSP_CHECK_MSG(shared != nullptr, "TakeResult: response has no result");
+  if (shared.use_count() == 1) {
+    // Safe: SolveImpl allocates every payload as a non-const ArspResult,
+    // and unique ownership means no other reader exists.
+    return std::move(const_cast<ArspResult&>(*shared));
+  }
+  return *shared;
+}
+
+ArspEngine::CacheStats ArspEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CacheStats{cache_hits_, cache_misses_, lru_.size()};
+}
+
+void ArspEngine::ClearResultCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  cache_index_.clear();
+}
+
+size_t ArspEngine::pooled_contexts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contexts_.size();
+}
+
+}  // namespace arsp

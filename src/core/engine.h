@@ -1,0 +1,272 @@
+// Copyright 2026 The ARSP Authors.
+//
+// ArspEngine — the session-level query API over the solver layer. The
+// paper's point in computing *all* rskyline probabilities (§I) is that every
+// derived retrieval (top-k, p-threshold in the sense of Pei et al. [10],
+// count-controlled results) becomes cheap post-processing; the engine makes
+// that operational for long-lived callers:
+//
+//  * typed QueryRequest / QueryResponse instead of hand-assembled
+//    ExecutionContext + SolverRegistry + queries.h plumbing per driver;
+//  * a context pool keyed by (dataset, constraint fingerprint), so repeated
+//    queries against the same dataset/constraints reuse preprocessing;
+//  * an LRU result cache keyed by (dataset fingerprint — the handle id,
+//    which uniquely and immutably identifies a registered dataset —
+//    constraints, solver, options) in front of ArspSolver::Solve;
+//  * SolveBatch fanning requests across a fixed thread pool (pooled
+//    contexts are safe to share — ExecutionContext lazy-init is locked);
+//  * "auto" solver selection from capability flags and data shape,
+//    following the paper's §V guidance (KDTT+ default, DUAL for weight
+//    ratios). "auto" is also a registry entry, so raw SolverRegistry users
+//    and `arsp_cli --algo auto` get the same policy.
+//
+// The engine is the designated backend for the ROADMAP's service frontend:
+// a daemon would hold one ArspEngine and translate wire requests into
+// QueryRequests.
+
+#ifndef ARSP_CORE_ENGINE_H_
+#define ARSP_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/arsp_result.h"
+#include "src/core/solver.h"
+#include "src/prefs/preference_region.h"
+#include "src/prefs/weight_ratio.h"
+#include "src/uncertain/uncertain_dataset.h"
+
+namespace arsp {
+
+/// Handle to a dataset registered with an ArspEngine.
+struct DatasetHandle {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// The constraint family of a query: either weight ratio constraints (§IV)
+/// or a general preference region (§III). Weight-ratio specs serve both the
+/// DUAL family (which reads the ratios) and general-F solvers (the region is
+/// derived lazily inside the ExecutionContext).
+class ConstraintSpec {
+ public:
+  /// An empty (invalid) spec; Solve rejects requests carrying one.
+  ConstraintSpec() = default;
+
+  static ConstraintSpec Region(PreferenceRegion region) {
+    ConstraintSpec spec;
+    spec.spec_ = std::move(region);
+    return spec;
+  }
+  static ConstraintSpec WeightRatios(WeightRatioConstraints wr) {
+    ConstraintSpec spec;
+    spec.spec_ = std::move(wr);
+    return spec;
+  }
+
+  bool valid() const { return spec_.index() != 0; }
+  bool has_weight_ratios() const { return spec_.index() == 2; }
+  const PreferenceRegion& region() const {
+    return std::get<PreferenceRegion>(spec_);
+  }
+  const WeightRatioConstraints& weight_ratios() const {
+    return std::get<WeightRatioConstraints>(spec_);
+  }
+
+  /// Exact textual encoding of the constraints (family tag + every bound or
+  /// vertex coordinate at full precision). Equal keys ⇔ equal constraints;
+  /// used for context pooling and result caching.
+  std::string CacheKey() const;
+
+ private:
+  std::variant<std::monostate, PreferenceRegion, WeightRatioConstraints>
+      spec_;
+};
+
+/// Parses the CLI/service textual constraint syntax into a spec:
+///   "wr:l1,h1[,l2,h2,...]"  — weight ratio ranges (needs dim-1 ranges)
+///   "rank:c"                — weak ranking ω1 ≥ ... ≥ ωc+1
+/// `dim` is the dataset dimensionality the spec must match.
+StatusOr<ConstraintSpec> ParseConstraintSpec(const std::string& spec,
+                                             int dim);
+
+/// Which derived retrieval to compute from the full ARSP result.
+enum class DerivedKind {
+  kNone,                   ///< full ARSP only
+  kTopKObjects,            ///< k objects by descending Pr_rsky
+  kTopKInstances,          ///< k instances by descending Pr_rsky
+  kObjectsAboveThreshold,  ///< p-threshold query lifted to rskylines
+  /// The probability of the max_objects-th ranked object, as a result-size
+  /// control knob; probability ties at that rank can extend the returned
+  /// set past max_objects (the threshold is a lower bound under ties).
+  kCountControlled,
+};
+
+/// Derived-query spec carried by a QueryRequest.
+struct DerivedSpec {
+  DerivedKind kind = DerivedKind::kNone;
+  int k = 10;              ///< for kTopK*; negative = all
+  double threshold = 0.5;  ///< for kObjectsAboveThreshold
+  int max_objects = 10;    ///< for kCountControlled; must be ≥ 1
+};
+
+/// One query against the engine.
+struct QueryRequest {
+  DatasetHandle dataset;
+  ConstraintSpec constraints;
+  /// Registry name, or "auto" to let the engine pick per §V guidance.
+  std::string solver = "auto";
+  SolverOptions options;
+  DerivedSpec derived;
+  /// Serve from / store into the result cache.
+  bool use_cache = true;
+  /// Reuse a pooled ExecutionContext. Benchmarks that must pay (and
+  /// measure) preprocessing per call set this to false for a private,
+  /// discarded context.
+  bool pool_context = true;
+};
+
+/// Answer to a QueryRequest. The full result is shared (it may also live in
+/// the cache); derived answers are materialized per request.
+struct QueryResponse {
+  std::shared_ptr<const ArspResult> result;
+  /// Resolved concrete solver (never "auto").
+  std::string solver;
+  /// Stats of the run that produced `result`; for cache hits, the stats of
+  /// the original solve.
+  SolverStats stats;
+  bool cache_hit = false;
+  /// (id, probability) pairs for kTopKObjects / kTopKInstances /
+  /// kObjectsAboveThreshold / kCountControlled (the objects at or above
+  /// `count_threshold` — ties can push the count past max_objects),
+  /// descending by probability.
+  std::vector<std::pair<int, double>> ranked;
+  /// For kCountControlled: the max_objects-th ranked object's probability.
+  double count_threshold = 0.0;
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Max entries in the LRU result cache; 0 disables result caching.
+  size_t result_cache_capacity = 256;
+  /// Max pooled ExecutionContexts; least-recently-used contexts beyond the
+  /// cap are evicted (in-flight solves keep theirs alive via shared
+  /// ownership). Contexts hold dataset-sized artifacts, so a long-lived
+  /// service serving many distinct constraints needs this bound. Must be
+  /// ≥ 1.
+  size_t context_pool_capacity = 64;
+  /// SolveBatch worker threads; 0 = hardware concurrency. The pool is
+  /// created lazily on the first SolveBatch.
+  int num_threads = 0;
+};
+
+/// Long-lived query engine owning datasets, pooled contexts, the result
+/// cache, and the batch thread pool. All public methods are thread-safe.
+class ArspEngine {
+ public:
+  explicit ArspEngine(EngineOptions options = {});
+  ~ArspEngine();
+
+  ArspEngine(const ArspEngine&) = delete;
+  ArspEngine& operator=(const ArspEngine&) = delete;
+
+  /// Registers a dataset; the engine shares ownership. Callers wrapping a
+  /// longer-lived dataset in a no-op deleter must keep it alive until
+  /// DropDataset.
+  DatasetHandle AddDataset(std::shared_ptr<const UncertainDataset> dataset);
+  /// Convenience: takes ownership of a dataset by value.
+  DatasetHandle AddDataset(UncertainDataset dataset);
+
+  /// The dataset behind a handle (shared ownership, so the reference stays
+  /// valid across a concurrent DropDataset), or nullptr for an unknown or
+  /// already-dropped handle — the same recoverable contract as Solve's
+  /// NotFound.
+  std::shared_ptr<const UncertainDataset> dataset(DatasetHandle handle) const;
+
+  /// Unregisters a dataset and evicts its pooled contexts. Its cached
+  /// results stay until LRU eviction but can no longer be hit (handles are
+  /// never reused).
+  Status DropDataset(DatasetHandle handle);
+
+  /// Executes one request: context pool → result cache → solver → derived
+  /// queries.
+  StatusOr<QueryResponse> Solve(const QueryRequest& request);
+
+  /// Executes requests concurrently on the engine's thread pool; the i-th
+  /// outcome corresponds to requests[i]. Equivalent to calling Solve on
+  /// each request serially (asserted by tests/engine_test.cc).
+  std::vector<StatusOr<QueryResponse>> SolveBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// Moves the full result out of a response that uniquely owns it (the
+  /// use_cache=false case), avoiding a copy in hot callers like benchmark
+  /// loops; falls back to a copy when the payload is shared (cache hits).
+  /// Lives on the engine because it relies on the engine's allocation
+  /// invariant (payloads are created non-const). Aborts if the response
+  /// carries no result.
+  static ArspResult TakeResult(QueryResponse&& response);
+
+  /// Result-cache instrumentation.
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    size_t entries = 0;
+  };
+  CacheStats cache_stats() const;
+  void ClearResultCache();
+
+  /// Number of pooled ExecutionContexts currently alive.
+  size_t pooled_contexts() const;
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const ArspResult> result;
+    std::string solver;
+    SolverStats stats;
+  };
+  using LruList = std::list<std::pair<std::string, CacheEntry>>;
+
+  struct PooledContext {
+    std::shared_ptr<ExecutionContext> context;
+    uint64_t last_used = 0;  ///< tick of the most recent checkout
+  };
+
+  StatusOr<QueryResponse> SolveImpl(const QueryRequest& request);
+
+  EngineOptions options_;
+  mutable std::mutex mu_;
+  int next_dataset_id_ = 0;
+  uint64_t pool_tick_ = 0;
+  std::map<int, std::shared_ptr<const UncertainDataset>> datasets_;
+  std::map<std::pair<int, std::string>, PooledContext> contexts_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, LruList::iterator> cache_index_;
+  /// (dataset id, constraint key) → resolved "auto" solver name, so cached
+  /// auto queries skip context construction. Entries are pure recomputable
+  /// functions of dataset shape + constraints; the map is cleared wholesale
+  /// when it outgrows its bound.
+  std::map<std::pair<int, std::string>, std::string> auto_memo_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazily created; guarded by mu_
+};
+
+/// The solver name the "auto" policy picks for this context: DUAL-2D-MS in
+/// its small-2d-IIP niche, DUAL under weight ratios, LOOP for tiny inputs
+/// where tree setup dominates, KDTT+ otherwise — restricted to solvers
+/// whose capability flags accept the context (§V guidance).
+std::string AutoSelectSolverName(const ExecutionContext& context);
+
+}  // namespace arsp
+
+#endif  // ARSP_CORE_ENGINE_H_

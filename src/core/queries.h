@@ -33,9 +33,11 @@ std::vector<std::pair<int, double>> InstancesAboveThreshold(
 std::vector<std::pair<int, double>> TopKInstances(const ArspResult& result,
                                                   int k);
 
-/// The smallest probability threshold that yields at most `max_objects`
-/// objects — i.e. the probability of the (max_objects)-th ranked object.
-/// Gives users "controllable output size" without re-running the query.
+/// The probability of the (max_objects)-th ranked object — the threshold
+/// that targets a result of `max_objects` objects. Probability ties at that
+/// rank extend the thresholded result past `max_objects` (the control is a
+/// lower bound under ties). Gives users "controllable output size" without
+/// re-running the query.
 double ThresholdForObjectCount(const ArspResult& result,
                                const UncertainDataset& dataset,
                                int max_objects);

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/common/lru.h"
 #include "src/common/stopwatch.h"
 
 namespace arsp {
@@ -25,6 +26,7 @@ void LinkMwttSolver();
 void LinkBnbSolver();
 void LinkDualSolver();
 void LinkDual2dMsSolver();
+void LinkAutoSolver();
 }  // namespace internal
 
 namespace {
@@ -38,14 +40,7 @@ void EnsureBuiltinsLinked() {
   internal::LinkBnbSolver();
   internal::LinkDualSolver();
   internal::LinkDual2dMsSolver();
-}
-
-std::string Lowered(const std::string& name) {
-  std::string out = name;
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return out;
+  internal::LinkAutoSolver();
 }
 
 std::map<std::string, SolverRegistry::Factory>& RegistryMap() {
@@ -212,10 +207,40 @@ Status SolverOptions::ParseKeyValue(const std::string& spec) {
   return Status::OK();
 }
 
+std::string SolverOptions::CacheKey() const {
+  std::ostringstream os;
+  os.precision(17);
+  // Keys and string values are length-prefixed so delimiter characters in
+  // them cannot make two distinct bags render identically.
+  for (const auto& [key, value] : values_) {
+    os << key.size() << ':' << key << '=' << TypeName(value) << ':';
+    switch (value.index()) {
+      case 0:
+        os << (std::get<bool>(value) ? "true" : "false");
+        break;
+      case 1:
+        os << std::get<int64_t>(value);
+        break;
+      case 2:
+        os << std::get<double>(value);
+        break;
+      default: {
+        const std::string& s = std::get<std::string>(value);
+        os << s.size() << ':' << s;
+        break;
+      }
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
 // -------------------------------------------------------------- context
 
 // Lazy accessors nest (mapped_instances() -> mapper() -> region()); only the
 // outermost timer records, so a shared wall-clock span is counted once.
+// Instances only live inside accessor bodies that hold mu_, which makes the
+// depth counter and the accumulated total safe under concurrency.
 class ExecutionContext::SetupTimer {
  public:
   explicit SetupTimer(const ExecutionContext* context)
@@ -224,7 +249,7 @@ class ExecutionContext::SetupTimer {
   }
   ~SetupTimer() {
     --context_->setup_depth_;
-    if (outermost_) context_->stats_.setup_millis += sw_.ElapsedMillis();
+    if (outermost_) context_->total_setup_millis_ += sw_.ElapsedMillis();
   }
 
  private:
@@ -253,6 +278,7 @@ const WeightRatioConstraints& ExecutionContext::weight_ratios() const {
 }
 
 const PreferenceRegion& ExecutionContext::region() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!region_.has_value()) {
     SetupTimer timer(this);
     region_ = PreferenceRegion::FromWeightRatios(weight_ratios());
@@ -261,6 +287,7 @@ const PreferenceRegion& ExecutionContext::region() const {
 }
 
 const ScoreMapper& ExecutionContext::mapper() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!mapper_.has_value()) {
     SetupTimer timer(this);
     mapper_.emplace(region());
@@ -270,6 +297,7 @@ const ScoreMapper& ExecutionContext::mapper() const {
 
 const std::vector<MappedInstance>& ExecutionContext::mapped_instances()
     const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!mapped_.has_value()) {
     SetupTimer timer(this);
     const ScoreMapper& map = mapper();
@@ -285,6 +313,7 @@ const std::vector<MappedInstance>& ExecutionContext::mapped_instances()
 }
 
 const KdTree& ExecutionContext::instance_kdtree() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!kdtree_.has_value()) {
     SetupTimer timer(this);
     std::vector<KdItem> items;
@@ -297,22 +326,32 @@ const KdTree& ExecutionContext::instance_kdtree() const {
   return *kdtree_;
 }
 
-const RTree& ExecutionContext::instance_rtree(int fanout) const {
-  if (!rtree_.has_value() || rtree_fanout_ != fanout) {
-    SetupTimer timer(this);
-    std::vector<RTree::LeafEntry> entries;
-    entries.reserve(static_cast<size_t>(dataset_->num_instances()));
-    for (const Instance& inst : dataset_->instances()) {
-      entries.push_back(
-          RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
-    }
-    rtree_ = RTree::BulkLoad(dataset_->dim(), std::move(entries), fanout);
-    rtree_fanout_ = fanout;
+std::shared_ptr<const RTree> ExecutionContext::instance_rtree(
+    int fanout) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const auto it = rtrees_.find(fanout);
+  if (it != rtrees_.end()) {
+    it->second.last_used = ++rtree_tick_;
+    return it->second.tree;
   }
-  return *rtree_;
+  SetupTimer timer(this);
+  std::vector<RTree::LeafEntry> entries;
+  entries.reserve(static_cast<size_t>(dataset_->num_instances()));
+  for (const Instance& inst : dataset_->instances()) {
+    entries.push_back(
+        RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
+  }
+  auto tree = std::make_shared<const RTree>(
+      RTree::BulkLoad(dataset_->dim(), std::move(entries), fanout));
+  // Bound the cache: drop the least-recently-used fan-out first (in-flight
+  // users of an evicted tree keep it alive through their shared_ptr).
+  if (rtrees_.size() >= kMaxCachedRtrees) EvictLeastRecentlyUsed(rtrees_);
+  rtrees_.emplace(fanout, CachedRtree{tree, ++rtree_tick_});
+  return tree;
 }
 
 bool ExecutionContext::single_instance_objects() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!single_instance_.has_value()) {
     bool single = true;
     for (int j = 0; j < dataset_->num_objects() && single; ++j) {
@@ -321,6 +360,21 @@ bool ExecutionContext::single_instance_objects() const {
     single_instance_ = single;
   }
   return *single_instance_;
+}
+
+double ExecutionContext::total_setup_millis() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return total_setup_millis_;
+}
+
+SolverStats ExecutionContext::last_stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return stats_;
+}
+
+void ExecutionContext::set_last_stats(const SolverStats& stats) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  stats_ = stats;
 }
 
 // --------------------------------------------------------------- solver
@@ -347,28 +401,43 @@ Status ArspSolver::ValidateContext(const ExecutionContext& context) const {
   return Status::OK();
 }
 
-StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context) {
+StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context,
+                                       SolverStats* stats_out) {
   ARSP_RETURN_IF_ERROR(ValidateContext(context));
-  SolverStats& stats = *context.mutable_stats();
-  stats = SolverStats{};
+  // Per-run stats start from zero: a pooled context reused across queries
+  // must never report cumulative counters. setup_millis is what this run
+  // paid, measured as the growth of the context's monotonic setup total.
+  SolverStats stats;
   stats.solver = name();
+  const double setup_before = context.total_setup_millis();
   Stopwatch sw;
   StatusOr<ArspResult> result = SolveImpl(context);
   if (!result.ok()) return result;
   stats.solve_millis = sw.ElapsedMillis();
+  stats.setup_millis = context.total_setup_millis() - setup_before;
   stats.dominance_tests = result->dominance_tests;
   stats.nodes_visited = result->nodes_visited;
   stats.nodes_pruned = result->nodes_pruned;
   stats.index_probes = result->index_probes;
+  context.set_last_stats(stats);
+  if (stats_out != nullptr) *stats_out = stats;
   return result;
 }
 
 // ------------------------------------------------------------- registry
 
+std::string SolverRegistry::Normalize(const std::string& name) {
+  std::string out = name;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
 bool SolverRegistry::Register(const std::string& name, Factory factory) {
   ARSP_CHECK_MSG(static_cast<bool>(factory), "null solver factory for '%s'",
                  name.c_str());
-  RegistryMap()[Lowered(name)] = std::move(factory);
+  RegistryMap()[Normalize(name)] = std::move(factory);
   return true;
 }
 
@@ -376,7 +445,7 @@ StatusOr<std::unique_ptr<ArspSolver>> SolverRegistry::Create(
     const std::string& name) {
   EnsureBuiltinsLinked();
   const auto& map = RegistryMap();
-  const auto it = map.find(Lowered(name));
+  const auto it = map.find(Normalize(name));
   if (it == map.end()) {
     std::string msg = "unknown solver '" + name + "'; registered:";
     for (const auto& [registered, factory] : map) msg += " " + registered;

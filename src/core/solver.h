@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <variant>
@@ -122,6 +123,11 @@ class SolverOptions {
   /// (true/false), int64, double, or fall back to string.
   Status ParseKeyValue(const std::string& spec);
 
+  /// Deterministic rendering of the full bag ("key=type:value;..."), used as
+  /// a component of ArspEngine result-cache keys. Equal bags produce equal
+  /// strings and vice versa.
+  std::string CacheKey() const;
+
  private:
   std::map<std::string, Value> values_;
 };
@@ -156,8 +162,17 @@ class ArspSolver {
   Status ValidateContext(const ExecutionContext& context) const;
 
   /// Validates, runs the algorithm, and records SolverStats (wall time via
-  /// Stopwatch plus the ArspResult counters) into the context.
-  StatusOr<ArspResult> Solve(ExecutionContext& context);
+  /// Stopwatch plus the ArspResult counters) into the context. Stats are
+  /// built fresh for every run — a reused (pooled) context never accumulates
+  /// counters across queries. If `stats_out` is non-null it receives this
+  /// run's stats, which is race-free even when several threads solve against
+  /// one shared context (last_stats() then only reports some latest run).
+  /// Caveat: setup_millis is the growth of the context's setup total during
+  /// the run, so when concurrent runs first-touch one context, setup paid by
+  /// one thread can be attributed to every overlapping run (their sum can
+  /// exceed wall setup time); counters other than setup_millis are exact.
+  StatusOr<ArspResult> Solve(ExecutionContext& context,
+                             SolverStats* stats_out = nullptr);
 
  protected:
   /// The algorithm body. Preprocessing comes from the context; anything the
@@ -168,6 +183,11 @@ class ArspSolver {
 /// Once-per-query state shared across solvers: the dataset, the constraint
 /// family, and lazily computed (then cached) preprocessing artifacts. The
 /// dataset must outlive the context; constraints are copied in.
+///
+/// Lazy initialization is thread-safe: accessors serialize on an internal
+/// (recursive — they nest) mutex, and every artifact is immutable once
+/// built, so ArspEngine can run many solvers against one pooled context
+/// concurrently; threads only contend during first touch.
 class ExecutionContext {
  public:
   /// Context for a general preference region (weak ranking, interactive, or
@@ -205,30 +225,54 @@ class ExecutionContext {
   const KdTree& instance_kdtree() const;
 
   /// STR-bulk-loaded R-tree over the original instance points with the given
-  /// fan-out. Cached per fan-out value (rebuilt only when it changes).
-  const RTree& instance_rtree(int fanout) const;
+  /// fan-out. Cached per fan-out value, so callers alternating fan-outs
+  /// (ablation benches, mixed batch queries) never rebuild. The cache holds
+  /// at most kMaxCachedRtrees trees (long-lived pooled contexts must not
+  /// grow one dataset-sized tree per distinct fan-out ever requested);
+  /// shared ownership keeps a caller's tree valid across eviction.
+  std::shared_ptr<const RTree> instance_rtree(int fanout) const;
+
+  /// Bound on distinct fan-outs cached by instance_rtree.
+  static constexpr size_t kMaxCachedRtrees = 8;
 
   /// True iff every object has exactly one instance (the IIP regime).
   bool single_instance_objects() const;
 
-  /// Instrumentation of the most recent ArspSolver::Solve on this context.
-  const SolverStats& last_stats() const { return stats_; }
-  SolverStats* mutable_stats() { return &stats_; }
+  /// Total lazy-preprocessing wall time paid on this context so far, in
+  /// milliseconds. Monotonic; ArspSolver::Solve diffs it around a run to
+  /// attribute the setup that run triggered.
+  double total_setup_millis() const;
+
+  /// Instrumentation of the most recent ArspSolver::Solve on this context
+  /// (a snapshot — under concurrent solves, some latest run's stats).
+  SolverStats last_stats() const;
+
+  /// Publishes a finished run's stats (called by ArspSolver::Solve).
+  void set_last_stats(const SolverStats& stats);
 
  private:
-  // Accumulates lazy-preprocessing wall time into stats_.setup_millis.
+  // Accumulates lazy-preprocessing wall time into total_setup_millis_.
   class SetupTimer;
 
   const UncertainDataset* dataset_;
   std::optional<WeightRatioConstraints> wr_;
+  // mu_ guards every mutable member below. Recursive because the lazy
+  // accessors nest (mapped_instances() -> mapper() -> region()).
+  mutable std::recursive_mutex mu_;
   mutable std::optional<PreferenceRegion> region_;
   mutable std::optional<ScoreMapper> mapper_;
   mutable std::optional<std::vector<MappedInstance>> mapped_;
   mutable std::optional<KdTree> kdtree_;
-  mutable std::optional<RTree> rtree_;
-  mutable int rtree_fanout_ = -1;
+  struct CachedRtree {
+    std::shared_ptr<const RTree> tree;
+    uint64_t last_used = 0;  ///< tick of the most recent request
+  };
+
+  mutable std::map<int, CachedRtree> rtrees_;  // keyed by fan-out
+  mutable uint64_t rtree_tick_ = 0;
   mutable std::optional<bool> single_instance_;
   mutable int setup_depth_ = 0;
+  mutable double total_setup_millis_ = 0.0;
   mutable SolverStats stats_;
 };
 
@@ -238,6 +282,11 @@ class ExecutionContext {
 class SolverRegistry {
  public:
   using Factory = std::function<std::unique_ptr<ArspSolver>()>;
+
+  /// Canonical (lower-case) form of a solver name — the single definition
+  /// of the registry's case-insensitivity, shared by everything that must
+  /// agree with lookup (engine cache keys, CLI dispatch).
+  static std::string Normalize(const std::string& name);
 
   /// Registers a factory under `name` (lookup is case-insensitive; the last
   /// registration of a name wins). Returns true so it can seed a static.

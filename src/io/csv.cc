@@ -33,14 +33,14 @@ bool ParseDouble(const std::string& text, double* out) {
   return *end == '\0';
 }
 
+}  // namespace
+
 std::string Trim(const std::string& s) {
   size_t b = s.find_first_not_of(" \t\r");
   size_t e = s.find_last_not_of(" \t\r");
   if (b == std::string::npos) return "";
   return s.substr(b, e - b + 1);
 }
-
-}  // namespace
 
 StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
     const std::string& text, bool header,

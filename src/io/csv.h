@@ -53,6 +53,10 @@ std::string FormatObjectResultCsv(
 /// Writes text to a file.
 Status WriteTextFile(const std::string& path, const std::string& text);
 
+/// Strips leading/trailing spaces, tabs, and carriage returns — the
+/// whitespace convention shared by CSV parsing and CLI batch files.
+std::string Trim(const std::string& s);
+
 }  // namespace arsp
 
 #endif  // ARSP_IO_CSV_H_

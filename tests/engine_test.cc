@@ -1,0 +1,452 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Tests for the ArspEngine session API: request validation, result-cache
+// correctness (a cached answer must be bit-identical to a fresh solve),
+// batch-vs-serial equivalence, "auto" solver selection respecting
+// capability flags, context pooling, and concurrent SolveBatch against
+// shared pooled contexts (lazy-init is exercised from many threads — the
+// CI "tsan" job runs this binary under ThreadSanitizer).
+
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/queries.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::Example1Dataset;
+using testing_util::Example1Wr;
+using testing_util::RandomDataset;
+using testing_util::RandomWr;
+using testing_util::WrRegion;
+
+QueryRequest WrRequest(DatasetHandle handle, int dim, uint64_t seed,
+                       const std::string& solver = "auto") {
+  QueryRequest request;
+  request.dataset = handle;
+  request.constraints = ConstraintSpec::WeightRatios(RandomWr(dim, seed));
+  request.solver = solver;
+  return request;
+}
+
+TEST(ArspEngineTest, SolveRejectsBadRequests) {
+  ArspEngine engine;
+  QueryRequest request;  // no dataset, no constraints
+  request.constraints = ConstraintSpec::WeightRatios(Example1Wr());
+  auto no_dataset = engine.Solve(request);
+  ASSERT_FALSE(no_dataset.ok());
+  EXPECT_EQ(no_dataset.status().code(), StatusCode::kNotFound);
+
+  const DatasetHandle handle = engine.AddDataset(Example1Dataset());
+  QueryRequest no_constraints;
+  no_constraints.dataset = handle;
+  auto missing = engine.Solve(no_constraints);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+
+  QueryRequest bad_derived = WrRequest(handle, 2, 7);
+  bad_derived.derived.kind = DerivedKind::kCountControlled;
+  bad_derived.derived.max_objects = 0;
+  auto derived = engine.Solve(bad_derived);
+  ASSERT_FALSE(derived.ok());
+  EXPECT_EQ(derived.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArspEngineTest, CachedResultIsIdenticalToFreshSolve) {
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(25, 3, 3, 0.3, 11));
+
+  const QueryRequest request = WrRequest(handle, 3, 11, "kdtt+");
+  auto first = engine.Solve(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  auto second = engine.Solve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // The cached answer is the same shared result object.
+  EXPECT_EQ(second->result.get(), first->result.get());
+  EXPECT_EQ(second->solver, "kdtt+");
+
+  // And it matches a fresh, cache-bypassing solve exactly.
+  QueryRequest fresh = request;
+  fresh.use_cache = false;
+  fresh.pool_context = false;
+  auto uncached = engine.Solve(fresh);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_FALSE(uncached->cache_hit);
+  EXPECT_EQ(MaxAbsDiff(*uncached->result, *first->result), 0.0);
+
+  const ArspEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);  // the bypassing request never touched it
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ArspEngineTest, CacheDiscriminatesSolverOptionsAndConstraints) {
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(20, 3, 3, 0.0, 12));
+
+  ASSERT_TRUE(engine.Solve(WrRequest(handle, 3, 12, "kdtt+")).ok());
+  // Different solver, options, or constraints: all misses.
+  auto other_solver = engine.Solve(WrRequest(handle, 3, 12, "bnb"));
+  ASSERT_TRUE(other_solver.ok());
+  EXPECT_FALSE(other_solver->cache_hit);
+
+  QueryRequest with_options = WrRequest(handle, 3, 12, "mwtt");
+  with_options.options.SetInt("fanout", 4);
+  auto a = engine.Solve(with_options);
+  with_options.options.SetInt("fanout", 8);
+  auto b = engine.Solve(with_options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->cache_hit);
+
+  auto other_constraints = engine.Solve(WrRequest(handle, 3, 99, "kdtt+"));
+  ASSERT_TRUE(other_constraints.ok());
+  EXPECT_FALSE(other_constraints->cache_hit);
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+}
+
+TEST(ArspEngineTest, LruEvictsLeastRecentlyUsed) {
+  EngineOptions options;
+  options.result_cache_capacity = 2;
+  ArspEngine engine(options);
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(10, 2, 2, 0.0, 13));
+
+  const QueryRequest r1 = WrRequest(handle, 2, 1, "loop");
+  const QueryRequest r2 = WrRequest(handle, 2, 2, "loop");
+  const QueryRequest r3 = WrRequest(handle, 2, 3, "loop");
+  ASSERT_TRUE(engine.Solve(r1).ok());
+  ASSERT_TRUE(engine.Solve(r2).ok());
+  ASSERT_TRUE(engine.Solve(r1).ok());  // refresh r1; r2 is now LRU
+  ASSERT_TRUE(engine.Solve(r3).ok());  // evicts r2
+  EXPECT_TRUE(engine.Solve(r1)->cache_hit);
+  EXPECT_FALSE(engine.Solve(r2)->cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+}
+
+TEST(ArspEngineTest, ContextPoolReusesPreprocessing) {
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(20, 3, 3, 0.0, 14));
+
+  QueryRequest request = WrRequest(handle, 3, 14, "kdtt+");
+  request.use_cache = false;
+  auto first = engine.Solve(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->stats.setup_millis, 0.0);
+  EXPECT_EQ(engine.pooled_contexts(), 1u);
+
+  // Same constraints, different solver: same pooled context, zero setup.
+  request.solver = "qdtt+";
+  auto second = engine.Solve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.setup_millis, 0.0);
+  EXPECT_EQ(engine.pooled_contexts(), 1u);
+
+  ASSERT_TRUE(engine.DropDataset(handle).ok());
+  EXPECT_EQ(engine.pooled_contexts(), 0u);
+  EXPECT_FALSE(engine.Solve(request).ok());
+  EXPECT_FALSE(engine.DropDataset(handle).ok());
+}
+
+TEST(ArspEngineTest, ContextPoolEvictsLeastRecentlyUsedBeyondCap) {
+  EngineOptions options;
+  options.context_pool_capacity = 2;
+  ArspEngine engine(options);
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(10, 2, 2, 0.0, 26));
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    QueryRequest request = WrRequest(handle, 2, seed, "loop");
+    request.use_cache = false;
+    ASSERT_TRUE(engine.Solve(request).ok());
+    EXPECT_LE(engine.pooled_contexts(), 2u);
+  }
+  EXPECT_EQ(engine.pooled_contexts(), 2u);
+}
+
+TEST(ArspEngineTest, DatasetAccessorReturnsNullForUnknownHandles) {
+  ArspEngine engine;
+  EXPECT_EQ(engine.dataset(DatasetHandle{}), nullptr);
+  const DatasetHandle handle = engine.AddDataset(Example1Dataset());
+  ASSERT_NE(engine.dataset(handle), nullptr);
+  EXPECT_EQ(engine.dataset(handle)->num_objects(), 4);
+  ASSERT_TRUE(engine.DropDataset(handle).ok());
+  EXPECT_EQ(engine.dataset(handle), nullptr);
+}
+
+TEST(ArspEngineTest, BatchMatchesSerialOnMixedRequests) {
+  ArspEngine engine;
+  const UncertainDataset small = RandomDataset(12, 2, 2, 0.3, 15);
+  const UncertainDataset medium = RandomDataset(30, 3, 3, 0.2, 16);
+  const DatasetHandle h_small = engine.AddDataset(small);
+  const DatasetHandle h_medium = engine.AddDataset(medium);
+
+  // Mixed families, solvers, and derived queries.
+  std::vector<QueryRequest> requests;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    QueryRequest wr2 = WrRequest(h_small, 2, seed, "auto");
+    wr2.derived.kind = DerivedKind::kTopKObjects;
+    wr2.derived.k = 5;
+    requests.push_back(wr2);
+
+    QueryRequest wr3 = WrRequest(h_medium, 3, seed,
+                                 seed % 2 == 0 ? "kdtt+" : "bnb");
+    wr3.derived.kind = DerivedKind::kCountControlled;
+    wr3.derived.max_objects = 4;
+    requests.push_back(wr3);
+
+    QueryRequest rank;
+    rank.dataset = h_medium;
+    rank.constraints = ConstraintSpec::Region(WrRegion(3, 2));
+    rank.solver = "loop";
+    rank.derived.kind = DerivedKind::kObjectsAboveThreshold;
+    rank.derived.threshold = 0.3;
+    requests.push_back(rank);
+  }
+  // Serial reference on a separate engine so batch caching cannot help.
+  ArspEngine serial_engine;
+  const DatasetHandle s_small = serial_engine.AddDataset(small);
+  const DatasetHandle s_medium = serial_engine.AddDataset(medium);
+  std::vector<QueryRequest> serial_requests = requests;
+  for (QueryRequest& r : serial_requests) {
+    r.dataset = r.dataset.id == h_small.id ? s_small : s_medium;
+  }
+
+  const auto batch = engine.SolveBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status().ToString();
+    const auto serial = serial_engine.Solve(serial_requests[i]);
+    ASSERT_TRUE(serial.ok()) << i;
+    EXPECT_EQ(MaxAbsDiff(*batch[i]->result, *serial->result), 0.0) << i;
+    EXPECT_EQ(batch[i]->ranked, serial->ranked) << i;
+    EXPECT_EQ(batch[i]->count_threshold, serial->count_threshold) << i;
+    EXPECT_EQ(batch[i]->solver, serial->solver) << i;
+  }
+}
+
+TEST(ArspEngineTest, ConcurrentBatchSharesOnePooledContext) {
+  // Many concurrent requests against the same (dataset, constraints) pair:
+  // every thread races on the shared context's lazy preprocessing. The
+  // pattern is the TSan target for the locked lazy-init.
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(25, 3, 3, 0.3, 17));
+  const char* solvers[] = {"loop", "kdtt", "kdtt+", "qdtt+", "bnb", "mwtt"};
+  std::vector<QueryRequest> requests;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* solver : solvers) {
+      QueryRequest request = WrRequest(handle, 3, 17, solver);
+      request.use_cache = round % 2 == 0;
+      requests.push_back(request);
+    }
+  }
+  const auto outcomes = engine.SolveBatch(requests);
+  ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].status().ToString();
+  const ArspResult& reference = *outcomes[0]->result;
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok())
+        << i << ": " << outcomes[i].status().ToString();
+    EXPECT_LT(MaxAbsDiff(reference, *outcomes[i]->result), 1e-8) << i;
+  }
+  EXPECT_EQ(engine.pooled_contexts(), 1u);
+}
+
+TEST(ArspEngineTest, BatchReportsPerRequestErrors) {
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(10, 2, 3, 0.0, 18));
+  std::vector<QueryRequest> requests;
+  requests.push_back(WrRequest(handle, 3, 18, "kdtt+"));
+  // dual-2d-ms needs d=2 single-instance data: clean FailedPrecondition.
+  requests.push_back(WrRequest(handle, 3, 18, "dual-2d-ms"));
+  requests.push_back(WrRequest(DatasetHandle{1234}, 3, 18));
+  const auto outcomes = engine.SolveBatch(requests);
+  EXPECT_TRUE(outcomes[0].ok());
+  ASSERT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_FALSE(outcomes[2].ok());
+  EXPECT_EQ(outcomes[2].status().code(), StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- auto selection
+
+TEST(AutoSelection, RespectsCapabilityFlags) {
+  // General preference region: the DUAL family is inapplicable, so "auto"
+  // must never hand it out regardless of shape.
+  const UncertainDataset d2 = RandomDataset(10, 1, 2, 0.0, 19);
+  ExecutionContext general(d2, WrRegion(2, 1));
+  const std::string general_choice = AutoSelectSolverName(general);
+  auto general_solver = SolverRegistry::Create(general_choice);
+  ASSERT_TRUE(general_solver.ok());
+  EXPECT_TRUE((*general_solver)->ValidateContext(general).ok());
+  EXPECT_EQ((*general_solver)->capabilities() & kCapRequiresWeightRatios,
+            0u);
+
+  // Weight ratios at d=3: DUAL applies, DUAL-2D-MS must not be chosen.
+  const UncertainDataset d3 = RandomDataset(40, 3, 3, 0.0, 20);
+  ExecutionContext wr3(d3, RandomWr(3, 20));
+  EXPECT_EQ(AutoSelectSolverName(wr3), "dual");
+
+  // Weight ratios at d=2 with multi-instance objects: DUAL-2D-MS's
+  // single-instance capability flag disqualifies it; DUAL steps in.
+  const UncertainDataset multi2 = RandomDataset(40, 3, 2, 0.0, 21);
+  ExecutionContext wr2multi(multi2, RandomWr(2, 21));
+  EXPECT_EQ(AutoSelectSolverName(wr2multi), "dual");
+
+  // The DUAL-2D-MS niche: d=2, single-instance, small n.
+  const UncertainDataset single2 = RandomDataset(40, 1, 2, 0.5, 22);
+  ExecutionContext wr2single(single2, RandomWr(2, 22));
+  EXPECT_EQ(AutoSelectSolverName(wr2single), "dual-2d-ms");
+}
+
+TEST(AutoSelection, EngineResolvesAutoToConcreteSolverAndMatchesIt) {
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(30, 3, 3, 0.2, 23));
+  auto auto_resp = engine.Solve(WrRequest(handle, 3, 23, "auto"));
+  ASSERT_TRUE(auto_resp.ok());
+  EXPECT_EQ(auto_resp->solver, "dual");
+  // An explicit request for the resolved solver shares the cache entry.
+  auto explicit_resp = engine.Solve(WrRequest(handle, 3, 23, "dual"));
+  ASSERT_TRUE(explicit_resp.ok());
+  EXPECT_TRUE(explicit_resp->cache_hit);
+  EXPECT_EQ(explicit_resp->result.get(), auto_resp->result.get());
+}
+
+TEST(AutoSelection, SolverNamesAreCaseInsensitive) {
+  // The registry lowercases lookups; engine-side resolution and cache keys
+  // must agree, so "AUTO" resolves like "auto" and shares its entries.
+  ArspEngine engine;
+  const DatasetHandle handle =
+      engine.AddDataset(RandomDataset(20, 3, 3, 0.0, 27));
+  auto upper = engine.Solve(WrRequest(handle, 3, 27, "AUTO"));
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->solver, "dual");
+  auto lower = engine.Solve(WrRequest(handle, 3, 27, "Dual"));
+  ASSERT_TRUE(lower.ok());
+  EXPECT_TRUE(lower->cache_hit);
+  EXPECT_EQ(lower->result.get(), upper->result.get());
+}
+
+TEST(AutoSelection, RegistryAutoEntryDelegates) {
+  const UncertainDataset dataset = RandomDataset(20, 3, 3, 0.0, 24);
+  ExecutionContext context(dataset, RandomWr(3, 24));
+  auto auto_solver = SolverRegistry::Create("auto");
+  ASSERT_TRUE(auto_solver.ok());
+  auto via_auto = (*auto_solver)->Solve(context);
+  ASSERT_TRUE(via_auto.ok());
+  auto dual = SolverRegistry::Create("dual");
+  ASSERT_TRUE(dual.ok());
+  auto via_dual = (*dual)->Solve(context);
+  ASSERT_TRUE(via_dual.ok());
+  EXPECT_EQ(MaxAbsDiff(*via_auto, *via_dual), 0.0);
+}
+
+TEST(AutoSelection, RegistryAutoEntryForwardsOptions) {
+  // Options given to the registry "auto" entry reach the resolved solver —
+  // the same behavior as the engine path. Here auto resolves to DUAL-2D-MS
+  // (d=2, single-instance, small n), which accepts max_memory_bytes.
+  const UncertainDataset dataset = RandomDataset(15, 1, 2, 0.0, 29);
+  ExecutionContext context(dataset, RandomWr(2, 29));
+  ASSERT_EQ(AutoSelectSolverName(context), "dual-2d-ms");
+  auto good = SolverRegistry::Create(
+      "auto", SolverOptions().SetInt("max_memory_bytes", 1 << 20));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE((*good)->Solve(context).ok());
+  // Unknown options are validated against the resolved solver at Solve
+  // time (resolution needs the context, so Configure cannot check them).
+  auto bad = SolverRegistry::Create(
+      "auto", SolverOptions().SetInt("not_an_option", 1));
+  ASSERT_TRUE(bad.ok());
+  auto result = (*bad)->Solve(context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ derived specs
+
+TEST(ArspEngineTest, DerivedQueriesMatchQueriesH) {
+  ArspEngine engine;
+  const UncertainDataset dataset = RandomDataset(30, 3, 3, 0.2, 25);
+  const DatasetHandle handle = engine.AddDataset(dataset);
+
+  QueryRequest request = WrRequest(handle, 3, 25, "kdtt+");
+  request.derived.kind = DerivedKind::kTopKInstances;
+  request.derived.k = 7;
+  auto top_instances = engine.Solve(request);
+  ASSERT_TRUE(top_instances.ok());
+  EXPECT_EQ(top_instances->ranked,
+            TopKInstances(*top_instances->result, 7));
+
+  request.derived.kind = DerivedKind::kObjectsAboveThreshold;
+  request.derived.threshold = 0.25;
+  auto above = engine.Solve(request);
+  ASSERT_TRUE(above.ok());
+  EXPECT_TRUE(above->cache_hit);  // derived spec is not part of the key
+  EXPECT_EQ(above->ranked,
+            ObjectsAboveThreshold(*above->result, dataset, 0.25));
+
+  request.derived.kind = DerivedKind::kCountControlled;
+  request.derived.max_objects = 5;
+  auto controlled = engine.Solve(request);
+  ASSERT_TRUE(controlled.ok());
+  EXPECT_EQ(controlled->count_threshold,
+            ThresholdForObjectCount(*controlled->result, dataset, 5));
+  EXPECT_EQ(controlled->ranked,
+            ObjectsAboveThreshold(*controlled->result, dataset,
+                                  controlled->count_threshold));
+  EXPECT_GE(controlled->ranked.size(), 5u);  // ties only ever extend
+}
+
+// ------------------------------------------------------------ spec parsing
+
+TEST(ParseConstraintSpecTest, ParsesWeightRatiosAndRank) {
+  auto wr = ParseConstraintSpec("wr:0.5,2.0", 2);
+  ASSERT_TRUE(wr.ok());
+  EXPECT_TRUE(wr->has_weight_ratios());
+  EXPECT_DOUBLE_EQ(wr->weight_ratios().lo(0), 0.5);
+  EXPECT_DOUBLE_EQ(wr->weight_ratios().hi(0), 2.0);
+
+  auto rank = ParseConstraintSpec("rank:2", 3);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_FALSE(rank->has_weight_ratios());
+  EXPECT_EQ(rank->region().dim(), 3);
+
+  EXPECT_FALSE(ParseConstraintSpec("wr:0.5", 2).ok());       // odd values
+  EXPECT_FALSE(ParseConstraintSpec("wr:0.5,2.0", 3).ok());   // wrong arity
+  EXPECT_FALSE(ParseConstraintSpec("wr:0.5,,2.0", 2).ok());  // empty token
+  EXPECT_FALSE(ParseConstraintSpec("wr:0.5,2.0,", 2).ok());  // trailing comma
+  EXPECT_FALSE(ParseConstraintSpec("wr:", 2).ok());          // no values
+  EXPECT_FALSE(ParseConstraintSpec("wr:1x,2.0", 2).ok());    // non-numeric
+  EXPECT_FALSE(ParseConstraintSpec("rank:5", 3).ok());       // out of range
+  EXPECT_FALSE(ParseConstraintSpec("rank:two", 3).ok());     // non-numeric
+  EXPECT_FALSE(ParseConstraintSpec("rank:", 3).ok());        // empty count
+  EXPECT_FALSE(ParseConstraintSpec("linear:1,2", 2).ok());   // unknown family
+}
+
+TEST(ParseConstraintSpecTest, CacheKeysDiscriminate) {
+  const auto a = ParseConstraintSpec("wr:0.5,2.0", 2);
+  const auto b = ParseConstraintSpec("wr:0.5,2.5", 2);
+  const auto c = ParseConstraintSpec("rank:1", 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->CacheKey(), b->CacheKey());
+  EXPECT_NE(a->CacheKey(), c->CacheKey());
+  EXPECT_EQ(a->CacheKey(), ParseConstraintSpec("wr:0.5,2.0", 2)->CacheKey());
+  EXPECT_TRUE(ConstraintSpec().CacheKey().empty());
+}
+
+}  // namespace
+}  // namespace arsp

@@ -58,6 +58,48 @@ TEST(QueriesTest, ThresholdForObjectCount) {
   EXPECT_DOUBLE_EQ(ThresholdForObjectCount(result, dataset, 4), 0.05);
 }
 
+TEST(QueriesTest, TopKInstancesEdgeCases) {
+  const ArspResult result = FixedResult();
+  // k <= 0: zero asks for nothing; negative means "all" (mirroring
+  // TopKObjects' k = -1 convention).
+  EXPECT_TRUE(TopKInstances(result, 0).empty());
+  EXPECT_EQ(TopKInstances(result, -1).size(), 4u);
+  // k > n: everything, never an out-of-range access.
+  const auto all = TopKInstances(result, 100);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().first, 0);
+  EXPECT_EQ(all.back().first, 3);
+}
+
+TEST(QueriesTest, ThresholdForObjectCountTiesAndLargeCounts) {
+  const UncertainDataset dataset = FourObjects();
+  ArspResult result;
+  result.instance_probs = {0.7, 0.4, 0.4, 0.1};  // objects 1 and 2 tie
+  // max_objects = 2 lands on the tied probability; querying at that
+  // threshold returns all tied objects (3, not 2) — controllable size is a
+  // lower bound under ties.
+  const double tie = ThresholdForObjectCount(result, dataset, 2);
+  EXPECT_DOUBLE_EQ(tie, 0.4);
+  EXPECT_EQ(ObjectsAboveThreshold(result, dataset, tie).size(), 3u);
+  // max_objects >= object count: the weakest object's probability.
+  EXPECT_DOUBLE_EQ(ThresholdForObjectCount(result, dataset, 4), 0.1);
+  EXPECT_DOUBLE_EQ(ThresholdForObjectCount(result, dataset, 100), 0.1);
+}
+
+TEST(QueriesTest, EmptyResultInputs) {
+  const ArspResult empty;  // no instances at all
+  EXPECT_TRUE(TopKInstances(empty, 5).empty());
+  EXPECT_TRUE(InstancesAboveThreshold(empty, 0.0).empty());
+  // An all-zero result: every derived query degrades gracefully.
+  UncertainDatasetBuilder builder(1);
+  builder.AddSingleton(Point{1.0}, 1.0);
+  const UncertainDataset one = std::move(builder.Build()).value();
+  ArspResult zeros;
+  zeros.instance_probs = {0.0};
+  EXPECT_TRUE(ObjectsAboveThreshold(zeros, one, 0.5).empty());
+  EXPECT_DOUBLE_EQ(ThresholdForObjectCount(zeros, one, 1), 0.0);
+}
+
 TEST(QueriesTest, ConsistentWithFullRanking) {
   const UncertainDataset dataset = RandomDataset(30, 4, 3, 0.2, 5);
   const PreferenceRegion region = WrRegion(3, 2);

@@ -168,6 +168,21 @@ TEST(Options, ParseKeyValueInfersTypes) {
   EXPECT_FALSE(options.IntOr("ratio", 0).ok());
 }
 
+TEST(Options, CacheKeyIsInjective) {
+  // Delimiter characters inside string values must not let two distinct
+  // bags render the same cache key (they are length-prefixed).
+  SolverOptions smuggled;
+  smuggled.SetString("a", "x;b=bool:true");
+  SolverOptions split;
+  split.SetString("a", "x");
+  split.SetBool("b", true);
+  EXPECT_NE(smuggled.CacheKey(), split.CacheKey());
+  SolverOptions same;
+  same.SetString("a", "x;b=bool:true");
+  EXPECT_EQ(smuggled.CacheKey(), same.CacheKey());
+  EXPECT_TRUE(SolverOptions().CacheKey().empty());
+}
+
 // ------------------------------------------------- context reuse and stats
 
 TEST(ExecutionContextTest, PreprocessingIsComputedOnceAndShared) {
@@ -204,6 +219,51 @@ TEST(ExecutionContextTest, StatsMirrorResultCounters) {
   EXPECT_GT(stats.nodes_visited, 0);
   EXPECT_GE(stats.solve_millis, stats.setup_millis);
   EXPECT_NE(stats.ToString().find("solver=kdtt+"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, RtreeIsCachedPerFanout) {
+  // Regression: a single cached slot used to rebuild the R-tree on every
+  // fan-out alternation; now each fan-out keeps its own tree (up to the
+  // kMaxCachedRtrees bound, evicting safely via shared ownership).
+  const UncertainDataset dataset = RandomDataset(20, 3, 2, 0.0, 60);
+  ExecutionContext context(dataset, WrRegion(2, 1));
+  const auto narrow = context.instance_rtree(4);
+  const auto wide = context.instance_rtree(32);
+  EXPECT_NE(narrow.get(), wide.get());
+  // Alternating fan-outs returns the identical trees — no rebuilds.
+  EXPECT_EQ(context.instance_rtree(4).get(), narrow.get());
+  EXPECT_EQ(context.instance_rtree(32).get(), wide.get());
+  EXPECT_EQ(context.instance_rtree(4).get(), narrow.get());
+  EXPECT_EQ(narrow->size(), dataset.num_instances());
+  EXPECT_EQ(wide->size(), dataset.num_instances());
+  // Flooding with distinct fan-outs stays bounded, and a previously handed
+  // out tree survives eviction through its shared_ptr.
+  const int flood =  // RTree requires fan-out >= 4
+      4 + 2 * static_cast<int>(ExecutionContext::kMaxCachedRtrees);
+  for (int fanout = 4; fanout < flood; ++fanout) {
+    EXPECT_EQ(context.instance_rtree(fanout)->size(),
+              dataset.num_instances());
+  }
+  EXPECT_EQ(narrow->size(), dataset.num_instances());  // still alive
+}
+
+TEST(ExecutionContextTest, StatsAreFreshPerRunOnReusedContext) {
+  // A pooled context serves many queries; each run's stats must start from
+  // zero instead of accumulating counters across runs.
+  const UncertainDataset dataset = RandomDataset(25, 3, 3, 0.2, 61);
+  ExecutionContext context(dataset, WrRegion(3, 2));
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  SolverStats first;
+  SolverStats second;
+  ASSERT_TRUE((*solver)->Solve(context, &first).ok());
+  ASSERT_TRUE((*solver)->Solve(context, &second).ok());
+  EXPECT_GT(first.nodes_visited, 0);
+  EXPECT_EQ(first.nodes_visited, second.nodes_visited);  // not doubled
+  EXPECT_EQ(first.dominance_tests, second.dominance_tests);
+  EXPECT_GT(first.setup_millis, 0.0);   // this run built the mapping
+  EXPECT_EQ(second.setup_millis, 0.0);  // everything already cached
+  EXPECT_EQ(context.last_stats().nodes_visited, second.nodes_visited);
 }
 
 TEST(ExecutionContextTest, WeightRatioAccessorRequiresWrContext) {

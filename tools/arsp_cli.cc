@@ -7,28 +7,33 @@
 //   arsp_cli --input data.csv [--header]
 //            --constraints wr:0.5,2.0[,l2,h2,...]   (weight ratios), or
 //            --constraints rank:c                   (weak ranking ω1≥...≥ωc+1)
-//            [--algo NAME] [--opt key=value ...] [--stats]
+//            [--batch specs.txt]    (one constraint spec per line, solved
+//                                    concurrently through the engine)
+//            [--repeat N]           (re-issue the request list N times; the
+//                                    engine's result cache serves repeats)
+//            [--algo NAME|auto] [--opt key=value ...] [--stats]
 //            [--topk K] [--threshold P]
 //            [--instances out_instances.csv] [--objects out_objects.csv]
 //
+// The CLI is a thin shell over ArspEngine (src/core/engine.h): requests go
+// through the engine's context pool, result cache, and batch executor.
 // Algorithms come from the SolverRegistry — `--algo list` prints every
-// registered solver with its capabilities; there is no hard-coded whitelist.
+// registered solver with its capabilities; `--algo auto` (the default) lets
+// the engine pick per the paper's §V guidance.
 //
 // CSV input format: object,prob,attr1,...,attrD (see src/io/csv.h). Lower
 // attribute values are preferred; negate "higher is better" columns.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "src/core/queries.h"
-#include "src/core/solver.h"
+#include "src/core/engine.h"
 #include "src/io/csv.h"
-#include "src/prefs/constraint_generators.h"
-#include "src/prefs/preference_region.h"
 
 namespace {
 
@@ -38,8 +43,9 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: arsp_cli --input data.csv --constraints wr:l1,h1[,...]|rank:c\n"
-      "                [--header] [--algo NAME|list] [--opt key=value ...]\n"
-      "                [--stats] [--topk K] [--threshold P]\n"
+      "                [--header] [--algo NAME|auto|list] [--opt k=v ...]\n"
+      "                [--batch specs.txt] [--repeat N] [--stats]\n"
+      "                [--topk K] [--threshold P]\n"
       "                [--instances out.csv] [--objects out.csv]\n"
       "run `arsp_cli --algo list` to enumerate the available solvers\n");
 }
@@ -47,10 +53,12 @@ void PrintUsage() {
 struct Args {
   std::string input;
   std::string constraints;
-  std::string algo = "kdtt+";
+  std::string batch_file;
+  std::string algo = "auto";
   std::vector<std::string> opts;
   bool header = false;
   bool stats = false;
+  int repeat = 1;
   int topk = 10;
   std::optional<double> threshold;
   std::string instances_out;
@@ -72,6 +80,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->constraints = v;
+    } else if (flag == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->batch_file = v;
     } else if (flag == "--algo") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -84,6 +96,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->header = true;
     } else if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->repeat = std::atoi(v);
+      if (args->repeat < 1) return false;
     } else if (flag == "--topk") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -105,30 +122,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  // Solver names are case-insensitive everywhere (registry and engine);
+  // normalize once so the "list"/"auto" handling agrees.
+  args->algo = SolverRegistry::Normalize(args->algo);
   if (args->algo == "list") return true;  // no input needed
-  return !args->input.empty() && !args->constraints.empty();
-}
-
-// Parses "wr:0.5,2.0,..." into weight ratio ranges.
-std::optional<std::vector<std::pair<double, double>>> ParseWrSpec(
-    const std::string& spec) {
-  std::vector<double> values;
-  std::string token;
-  for (char c : spec) {
-    if (c == ',') {
-      values.push_back(std::atof(token.c_str()));
-      token.clear();
-    } else {
-      token += c;
-    }
-  }
-  if (!token.empty()) values.push_back(std::atof(token.c_str()));
-  if (values.empty() || values.size() % 2 != 0) return std::nullopt;
-  std::vector<std::pair<double, double>> ranges;
-  for (size_t i = 0; i < values.size(); i += 2) {
-    ranges.emplace_back(values[i], values[i + 1]);
-  }
-  return ranges;
+  return !args->input.empty() &&
+         (!args->constraints.empty() || !args->batch_file.empty());
 }
 
 // --algo list: one line per registered solver, straight from the registry.
@@ -152,6 +151,19 @@ int ListSolvers() {
   return 0;
 }
 
+// One line per response: wall time, resolved solver, cache reuse, size.
+void PrintResponseLine(const std::string& label, const QueryResponse& resp) {
+  std::printf("%scomputed ARSP in %.2f ms (%s%s); result size %d\n",
+              label.c_str(), resp.stats.solve_millis, resp.solver.c_str(),
+              resp.cache_hit ? ", cache hit" : "",
+              CountNonZero(*resp.result));
+}
+
+void PrintStatsLine(const QueryResponse& resp) {
+  std::printf("%s cache_hit=%s\n", resp.stats.ToString().c_str(),
+              resp.cache_hit ? "true" : "false");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,58 +175,50 @@ int main(int argc, char** argv) {
   if (args.algo == "list") return ListSolvers();
 
   std::vector<std::string> names;
-  auto dataset = LoadUncertainDatasetCsv(args.input, args.header, &names);
-  if (!dataset.ok()) {
+  auto loaded = LoadUncertainDatasetCsv(args.input, args.header, &names);
+  if (!loaded.ok()) {
     std::fprintf(stderr, "error loading %s: %s\n", args.input.c_str(),
-                 dataset.status().ToString().c_str());
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const auto dataset =
+      std::make_shared<const UncertainDataset>(std::move(*loaded));
   std::printf("loaded %d objects / %d instances, d = %d\n",
               dataset->num_objects(), dataset->num_instances(),
               dataset->dim());
 
-  // Build the execution context from the constraint spec: weight-ratio
-  // contexts keep the ratios (DUAL-family solvers need them) and derive the
-  // preference region lazily; rank contexts carry the region directly.
-  std::optional<ExecutionContext> context;
-  if (args.constraints.rfind("wr:", 0) == 0) {
-    auto ranges = ParseWrSpec(args.constraints.substr(3));
-    if (!ranges) {
-      std::fprintf(stderr, "bad weight-ratio spec '%s'\n",
-                   args.constraints.c_str());
-      return 2;
+  // Collect constraint specs: --constraints and/or every non-comment line
+  // of the --batch file.
+  std::vector<std::string> spec_strings;
+  if (!args.constraints.empty()) spec_strings.push_back(args.constraints);
+  if (!args.batch_file.empty()) {
+    std::ifstream in(args.batch_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read batch file %s\n",
+                   args.batch_file.c_str());
+      return 1;
     }
-    if (static_cast<int>(ranges->size()) + 1 != dataset->dim()) {
-      std::fprintf(stderr, "need %d ratio ranges for d=%d data (got %zu)\n",
-                   dataset->dim() - 1, dataset->dim(), ranges->size());
-      return 2;
+    std::string line;
+    while (std::getline(in, line)) {
+      line = Trim(line);
+      if (line.empty() || line[0] == '#') continue;
+      spec_strings.push_back(line);
     }
-    auto wr = WeightRatioConstraints::Create(*ranges);
-    if (!wr.ok()) {
-      std::fprintf(stderr, "%s\n", wr.status().ToString().c_str());
-      return 2;
+    if (spec_strings.empty()) {
+      std::fprintf(stderr, "batch file %s has no constraint specs\n",
+                   args.batch_file.c_str());
+      return 1;
     }
-    context.emplace(*dataset, std::move(*wr));
-  } else if (args.constraints.rfind("rank:", 0) == 0) {
-    const int c = std::atoi(args.constraints.c_str() + 5);
-    if (c < 0 || c > dataset->dim() - 1) {
-      std::fprintf(stderr, "rank constraint count must be in [0, %d]\n",
-                   dataset->dim() - 1);
-      return 2;
-    }
-    auto region = PreferenceRegion::FromLinearConstraints(
-        MakeWeakRankingConstraints(dataset->dim(), c));
-    if (!region.ok()) {
-      std::fprintf(stderr, "%s\n", region.status().ToString().c_str());
-      return 2;
-    }
-    context.emplace(*dataset, std::move(*region));
-  } else {
-    std::fprintf(stderr, "constraints must start with 'wr:' or 'rank:'\n");
+  }
+  if (spec_strings.size() > 1 &&
+      (!args.instances_out.empty() || !args.objects_out.empty())) {
+    std::fprintf(stderr,
+                 "--instances/--objects write one result and need a single "
+                 "constraint spec (got %zu)\n",
+                 spec_strings.size());
     return 2;
   }
 
-  // Create + configure the solver through the registry.
   SolverOptions options;
   for (const std::string& opt : args.opts) {
     const Status st = options.ParseKeyValue(opt);
@@ -223,45 +227,84 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  auto solver = SolverRegistry::Create(args.algo, options);
-  if (!solver.ok()) {
-    std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
-    return 2;
-  }
-
-  auto result = (*solver)->Solve(*context);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  const SolverStats& stats = context->last_stats();
-  std::printf("computed ARSP in %.2f ms (%s); result size %d\n",
-              stats.solve_millis, (*solver)->display_name(),
-              CountNonZero(*result));
-  if (args.stats) std::printf("%s\n", stats.ToString().c_str());
-
-  // Report.
-  if (args.threshold) {
-    const auto above =
-        ObjectsAboveThreshold(*result, *dataset, *args.threshold);
-    std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
-                above.size());
-    for (const auto& [object, prob] : above) {
-      std::printf("  %-20s %.4f\n",
-                  names[static_cast<size_t>(object)].c_str(), prob);
-    }
-  } else {
-    std::printf("\ntop-%d objects by Pr_rsky:\n", args.topk);
-    for (const auto& [object, prob] :
-         TopKObjects(*result, *dataset, args.topk)) {
-      std::printf("  %-20s %.4f\n",
-                  names[static_cast<size_t>(object)].c_str(), prob);
+  // Unknown solver names and rejected options are usage errors (exit 2),
+  // caught before any solving starts. "auto" resolves per request, so its
+  // options can only be validated against the concrete solver later.
+  if (args.algo != "auto") {
+    auto solver = SolverRegistry::Create(args.algo, options);
+    if (!solver.ok()) {
+      std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
+      return 2;
     }
   }
 
+  // Assemble one request per constraint spec; the engine owns dataset,
+  // context pool, cache, and solver resolution from here on.
+  ArspEngine engine;
+  const DatasetHandle handle = engine.AddDataset(dataset);
+  std::vector<QueryRequest> requests;
+  for (const std::string& spec : spec_strings) {
+    auto constraints = ParseConstraintSpec(spec, dataset->dim());
+    if (!constraints.ok()) {
+      std::fprintf(stderr, "%s\n", constraints.status().ToString().c_str());
+      return 2;
+    }
+    QueryRequest request;
+    request.dataset = handle;
+    request.constraints = std::move(*constraints);
+    request.solver = args.algo;
+    request.options = options;
+    if (args.threshold) {
+      request.derived.kind = DerivedKind::kObjectsAboveThreshold;
+      request.derived.threshold = *args.threshold;
+    } else {
+      request.derived.kind = DerivedKind::kTopKObjects;
+      request.derived.k = args.topk;
+    }
+    requests.push_back(std::move(request));
+  }
+
+  // Solve — repeats re-issue the whole request list, so runs past the first
+  // are served by the engine's result cache (visible via --stats).
+  std::vector<StatusOr<QueryResponse>> outcomes;
+  for (int round = 0; round < args.repeat; ++round) {
+    if (args.repeat > 1) std::printf("-- run %d/%d\n", round + 1, args.repeat);
+    outcomes = engine.SolveBatch(requests);  // size-1 batches run serially
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const std::string label =
+          requests.size() > 1 ? "[" + spec_strings[i] + "] " : "";
+      if (!outcomes[i].ok()) {
+        std::fprintf(stderr, "%s%s\n", label.c_str(),
+                     outcomes[i].status().ToString().c_str());
+        return 1;
+      }
+      PrintResponseLine(label, *outcomes[i]);
+      if (args.stats) PrintStatsLine(*outcomes[i]);
+    }
+  }
+
+  // Report the derived rankings of the final round.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const QueryResponse& resp = *outcomes[i];
+    if (requests.size() > 1) {
+      std::printf("\n[%s]", spec_strings[i].c_str());
+    }
+    if (args.threshold) {
+      std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
+                  resp.ranked.size());
+    } else {
+      std::printf("\ntop-%d objects by Pr_rsky:\n", args.topk);
+    }
+    for (const auto& [object, prob] : resp.ranked) {
+      std::printf("  %-20s %.4f\n", names[static_cast<size_t>(object)].c_str(),
+                  prob);
+    }
+  }
+
+  const ArspResult& result = *outcomes[0]->result;
   if (!args.instances_out.empty()) {
     const Status st = WriteTextFile(
-        args.instances_out, FormatArspResultCsv(*result, *dataset, &names));
+        args.instances_out, FormatArspResultCsv(result, *dataset, &names));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
@@ -271,7 +314,7 @@ int main(int argc, char** argv) {
   }
   if (!args.objects_out.empty()) {
     const Status st = WriteTextFile(
-        args.objects_out, FormatObjectResultCsv(*result, *dataset, &names));
+        args.objects_out, FormatObjectResultCsv(result, *dataset, &names));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
