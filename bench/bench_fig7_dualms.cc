@@ -35,20 +35,28 @@ const UncertainDataset& IipFull() {
 }
 
 // Shared per-m% preprocessing so the build cost is paid once per subset and
-// reported as a counter.
+// reported as a counter. Prefixes are zero-copy DatasetViews over the full
+// dataset — only the quadratic angular index itself is materialized.
 struct PreparedIndex {
-  UncertainDataset subset;
+  DatasetView subset;
   std::unique_ptr<Dual2dMs> index;
   double preprocess_seconds = 0.0;
 };
+
+DatasetView PrefixView(int pct) {
+  auto view = DatasetView::Create(
+      IipFull(),
+      ViewSpec::Prefix(std::max(1, IipFull().num_objects() * pct / 100)));
+  ARSP_CHECK_MSG(view.ok(), "%s", view.status().ToString().c_str());
+  return std::move(view).value();
+}
 
 PreparedIndex* Prepare(int pct) {
   static std::map<int, std::unique_ptr<PreparedIndex>> cache;
   auto it = cache.find(pct);
   if (it != cache.end()) return it->second.get();
   auto prepared = std::make_unique<PreparedIndex>();
-  prepared->subset = TakeObjects(
-      IipFull(), std::max(1, IipFull().num_objects() * pct / 100));
+  prepared->subset = PrefixView(pct);
   Stopwatch sw;
   auto built = Dual2dMs::Build(prepared->subset);
   ARSP_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
@@ -73,19 +81,23 @@ void BM_DualMsQuery(benchmark::State& state, int pct) {
 }
 
 void BM_KdttPlusQuery(benchmark::State& state, int pct) {
-  const UncertainDataset subset = TakeObjects(
+  const DatasetHandle handle = bench_util::SharedPrefixHandle(
       IipFull(), std::max(1, IipFull().num_objects() * pct / 100));
   const auto wr = WeightRatioConstraints::Create({{0.5, 2.0}}).value();
   const PreferenceRegion region = PreferenceRegion::FromWeightRatios(wr);
   int arsp_size = 0;
   for (auto _ : state) {
-    // Fresh context per iteration: KDTT+ pays its SV(·) mapping every
-    // query, exactly the cost DUAL-MS amortizes into preprocessing.
-    const ArspResult result = bench_util::RunAlgo("kdtt+", subset, region, &wr);
+    // The engine-held view path: KDTT+'s SV(·) mapping is a zero-copy
+    // window over the base context's one full mapping, so what remains per
+    // query is the traversal — the honest counterpart of DUAL-MS's
+    // amortized-preprocessing queries.
+    const ArspResult result =
+        bench_util::RunAlgoOnHandle("kdtt+", handle, region, &wr);
     arsp_size = CountNonZero(result);
     benchmark::DoNotOptimize(arsp_size);
   }
-  state.counters["n"] = subset.num_instances();
+  state.counters["n"] =
+      bench_util::SharedEngine().view(handle).num_instances();
   state.counters["arsp_size"] = arsp_size;
 }
 

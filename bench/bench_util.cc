@@ -77,6 +77,54 @@ ArspResult RunAlgo(const std::string& algo, const UncertainDataset& dataset,
   return ArspEngine::TakeResult(std::move(*response));
 }
 
+DatasetHandle SharedHandle(const UncertainDataset& full) {
+  // Benchmarks pass function-local statics, so the address identifies the
+  // dataset for the process lifetime; handles are never dropped.
+  static auto* handles = new std::map<const UncertainDataset*, DatasetHandle>();
+  const auto it = handles->find(&full);
+  if (it != handles->end()) return it->second;
+  const DatasetHandle handle = SharedEngine().AddDataset(
+      std::shared_ptr<const UncertainDataset>(&full,
+                                              [](const UncertainDataset*) {}));
+  return handles->emplace(&full, handle).first->second;
+}
+
+DatasetHandle SharedPrefixHandle(const UncertainDataset& full, int count) {
+  static auto* views =
+      new std::map<std::pair<const UncertainDataset*, int>, DatasetHandle>();
+  const auto key = std::make_pair(&full, count);
+  const auto it = views->find(key);
+  if (it != views->end()) return it->second;
+  StatusOr<DatasetHandle> handle =
+      SharedEngine().AddView(SharedHandle(full), ViewSpec::Prefix(count));
+  ARSP_CHECK_MSG(handle.ok(), "%s", handle.status().ToString().c_str());
+  return views->emplace(key, *handle).first->second;
+}
+
+ArspResult RunAlgoOnHandle(const std::string& algo, DatasetHandle handle,
+                           const PreferenceRegion& region,
+                           const WeightRatioConstraints* wr) {
+  ArspEngine& engine = SharedEngine();
+  QueryRequest request;
+  request.dataset = handle;
+  if (AlgoCaps(algo) & kCapRequiresWeightRatios) {
+    ARSP_CHECK_MSG(wr != nullptr, "%s requires weight ratio constraints",
+                   algo.c_str());
+    request.constraints = ConstraintSpec::WeightRatios(*wr);
+  } else {
+    request.constraints = ConstraintSpec::Region(region);
+  }
+  request.solver = algo;
+  // The warm view path: pooled contexts (views derive from the base's, so
+  // a sweep shares one set of full indexes) but no result cache — every
+  // iteration still runs the solver.
+  request.use_cache = false;
+  request.pool_context = true;
+  StatusOr<QueryResponse> response = engine.Solve(request);
+  ARSP_CHECK_MSG(response.ok(), "%s", response.status().ToString().c_str());
+  return ArspEngine::TakeResult(std::move(*response));
+}
+
 double Scale() {
   static const double scale = [] {
     const char* env = std::getenv("ARSP_BENCH_SCALE");

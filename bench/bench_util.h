@@ -53,6 +53,24 @@ ArspResult RunAlgo(const std::string& algo, const UncertainDataset& dataset,
                    const PreferenceRegion& region,
                    const WeightRatioConstraints* wr = nullptr);
 
+/// Registers `full` with SharedEngine (once per distinct dataset address —
+/// callers pass function-local statics) and returns its handle.
+DatasetHandle SharedHandle(const UncertainDataset& full);
+
+/// Engine-held prefix view over `full` exposing its first `count` objects;
+/// memoized per (dataset, count), so an m% sweep registers each view once.
+DatasetHandle SharedPrefixHandle(const UncertainDataset& full, int count);
+
+/// Runs a registered solver against an engine handle (dataset or view).
+/// Context pooling is ON and result caching OFF: iterations measure the
+/// warm view path — zero-copy score spans and shared indexes derived from
+/// the base context — which is the point of the Fig. 6 m% sweeps. The
+/// first call on a base pays the one full build; every prefix view after
+/// it is delta work only.
+ArspResult RunAlgoOnHandle(const std::string& algo, DatasetHandle handle,
+                           const PreferenceRegion& region,
+                           const WeightRatioConstraints* wr = nullptr);
+
 /// Creates a configured solver or aborts — benchmark setup is trusted code.
 std::unique_ptr<ArspSolver> MustCreate(const std::string& algo,
                                        const SolverOptions& options = {});

@@ -7,6 +7,11 @@
 
 namespace arsp {
 
+int ThreadPool::DefaultConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? kFallbackConcurrency : static_cast<int>(hw);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
   threads_.reserve(static_cast<size_t>(count));

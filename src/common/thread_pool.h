@@ -25,6 +25,15 @@ class ThreadPool {
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
+  /// The worker count to use when the caller wants "one per core":
+  /// std::thread::hardware_concurrency(), except that the standard allows
+  /// it to return 0 when the platform cannot tell — then this falls back to
+  /// kFallbackConcurrency instead of silently creating a 0 → 1-thread pool.
+  static int DefaultConcurrency();
+
+  /// Fallback worker count when hardware concurrency is unknown (≥ 1).
+  static constexpr int kFallbackConcurrency = 2;
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

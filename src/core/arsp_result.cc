@@ -19,11 +19,16 @@ int CountNonZero(const ArspResult& result, double eps) {
 
 std::vector<double> ObjectProbabilities(const ArspResult& result,
                                         const UncertainDataset& dataset) {
+  return ObjectProbabilities(result, DatasetView(dataset));
+}
+
+std::vector<double> ObjectProbabilities(const ArspResult& result,
+                                        const DatasetView& view) {
   ARSP_CHECK(static_cast<int>(result.instance_probs.size()) ==
-             dataset.num_instances());
-  std::vector<double> out(static_cast<size_t>(dataset.num_objects()), 0.0);
-  for (int i = 0; i < dataset.num_instances(); ++i) {
-    out[static_cast<size_t>(dataset.instance(i).object_id)] +=
+             view.num_instances());
+  std::vector<double> out(static_cast<size_t>(view.num_objects()), 0.0);
+  for (int i = 0; i < view.num_instances(); ++i) {
+    out[static_cast<size_t>(view.object_of(i))] +=
         result.instance_probs[static_cast<size_t>(i)];
   }
   return out;
@@ -31,11 +36,16 @@ std::vector<double> ObjectProbabilities(const ArspResult& result,
 
 std::vector<std::pair<int, double>> TopKObjects(
     const ArspResult& result, const UncertainDataset& dataset, int k) {
-  std::vector<double> probs = ObjectProbabilities(result, dataset);
+  return TopKObjects(result, DatasetView(dataset), k);
+}
+
+std::vector<std::pair<int, double>> TopKObjects(
+    const ArspResult& result, const DatasetView& view, int k) {
+  std::vector<double> probs = ObjectProbabilities(result, view);
   std::vector<std::pair<int, double>> ranked;
   ranked.reserve(probs.size());
-  for (int j = 0; j < dataset.num_objects(); ++j) {
-    ranked.emplace_back(j, probs[static_cast<size_t>(j)]);
+  for (int j = 0; j < view.num_objects(); ++j) {
+    ranked.emplace_back(view.base_object_id(j), probs[static_cast<size_t>(j)]);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {

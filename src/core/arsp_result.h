@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/uncertain/dataset_view.h"
 #include "src/uncertain/uncertain_dataset.h"
 
 namespace arsp {
@@ -44,10 +45,21 @@ int CountNonZero(const ArspResult& result, double eps = 0.0);
 std::vector<double> ObjectProbabilities(const ArspResult& result,
                                         const UncertainDataset& dataset);
 
+/// View variant: `result` is indexed by view-local instance ids; the output
+/// is in view-local object order.
+std::vector<double> ObjectProbabilities(const ArspResult& result,
+                                        const DatasetView& view);
+
 /// Objects sorted by descending rskyline probability, truncated to k;
 /// pairs of (object id, probability). Ties break on object id.
 std::vector<std::pair<int, double>> TopKObjects(
     const ArspResult& result, const UncertainDataset& dataset, int k);
+
+/// View variant: returned pairs carry *base* object ids (callers map them
+/// to names/metadata of the base dataset), ties break on base id. For full
+/// views this is identical to the dataset overload.
+std::vector<std::pair<int, double>> TopKObjects(
+    const ArspResult& result, const DatasetView& view, int k);
 
 /// Max absolute difference between two results (test/benchmark helper).
 double MaxAbsDiff(const ArspResult& a, const ArspResult& b);

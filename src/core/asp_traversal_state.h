@@ -18,6 +18,8 @@
 
 #include "src/common/macros.h"
 #include "src/core/arsp_result.h"
+#include "src/geometry/point.h"
+#include "src/prefs/score_mapper.h"
 
 namespace arsp {
 namespace internal {
@@ -99,6 +101,94 @@ class AspTraversalState {
   double beta_ = 1.0;
   int chi_ = 0;
 };
+
+// Helpers shared by the kd/quad/multi-way ASP runners, which all walk the
+// same SoA score storage (ScoreSpan; row index == local instance id) with
+// an `order` permutation. One definition here keeps the three traversals'
+// corner computation, candidate filtering, and terminal emission in
+// lockstep — a change to any of these rules is a change to all solvers.
+
+/// Tight [pmin, pmax] corners of rows order[begin..end) (end > begin).
+inline void ComputeScoreCorners(const ScoreSpan& scores,
+                                const std::vector<int>& order, int begin,
+                                int end, std::vector<double>* pmin,
+                                std::vector<double>* pmax) {
+  const int dim = scores.dim;
+  const double* first = scores.row(order[static_cast<size_t>(begin)]);
+  pmin->assign(first, first + dim);
+  pmax->assign(first, first + dim);
+  for (int i = begin + 1; i < end; ++i) {
+    const double* p = scores.row(order[static_cast<size_t>(i)]);
+    for (int k = 0; k < dim; ++k) {
+      if (p[k] < (*pmin)[static_cast<size_t>(k)]) {
+        (*pmin)[static_cast<size_t>(k)] = p[k];
+      }
+      if (p[k] > (*pmax)[static_cast<size_t>(k)]) {
+        (*pmax)[static_cast<size_t>(k)] = p[k];
+      }
+    }
+  }
+}
+
+/// Moves candidates into D (σ) when they dominate pmin, keeps them in
+/// `kept` when they dominate pmax; everything else is discarded for this
+/// subtree. Counts one dominance test per candidate into `result`.
+inline void FilterAspCandidates(const ScoreSpan& scores,
+                                const std::vector<int>& parent_candidates,
+                                const double* pmin, const double* pmax,
+                                AspTraversalState* state,
+                                std::vector<int>* kept,
+                                std::vector<AspTraversalState::Change>*
+                                    undo_log,
+                                ArspResult* result) {
+  for (int cid : parent_candidates) {
+    const double* row = scores.row(cid);
+    ++result->dominance_tests;
+    if (DominatesWeak(row, pmin, scores.dim)) {
+      state->Add(scores.object(cid), scores.prob(cid), undo_log);
+    } else if (DominatesWeak(row, pmax, scores.dim)) {
+      kept->push_back(cid);
+    }
+  }
+}
+
+/// Terminal handling shared by every traversal mode; returns true when the
+/// subtree [begin, end) of `order` is fully resolved (leaf emitted or
+/// pruned):
+///   χ ≥ 2        — two foreign full dominators: everything is zero;
+///   χ = 1        — only instances coinciding with pmin (where σ is exact)
+///                  can survive (see DESIGN.md);
+///   pmin == pmax — true leaf; σ is exact for every (coincident) instance.
+inline bool HandleAspTerminal(const ScoreSpan& scores,
+                              const std::vector<int>& order, int begin,
+                              int end, const double* pmin, const double* pmax,
+                              const AspTraversalState& state,
+                              ArspResult* result) {
+  if (state.chi() >= 2) {
+    ++result->nodes_pruned;
+    return true;
+  }
+  if (state.chi() == 1) {
+    for (int i = begin; i < end; ++i) {
+      const int id = order[static_cast<size_t>(i)];
+      if (CoordsEqual(scores.row(id), pmin, scores.dim)) {
+        result->instance_probs[static_cast<size_t>(id)] =
+            state.LeafProbability(scores.object(id), scores.prob(id));
+      }
+    }
+    ++result->nodes_pruned;
+    return true;
+  }
+  if (CoordsEqual(pmin, pmax, scores.dim)) {
+    for (int i = begin; i < end; ++i) {
+      const int id = order[static_cast<size_t>(i)];
+      result->instance_probs[static_cast<size_t>(id)] =
+          state.LeafProbability(scores.object(id), scores.prob(id));
+    }
+    return true;
+  }
+  return false;
+}
 
 }  // namespace internal
 }  // namespace arsp

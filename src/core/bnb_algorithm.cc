@@ -44,10 +44,10 @@ bool PrunedBy(const Point& mapped, const std::vector<Point>& pruning_set) {
 }
 
 ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
-  const UncertainDataset& dataset = context.dataset();
+  const DatasetView& view = context.view();
   ArspResult result;
-  const int n = dataset.num_instances();
-  const int m = dataset.num_objects();
+  const int n = view.num_instances();
+  const int m = view.num_objects();
   result.instance_probs.assign(static_cast<size_t>(n), 0.0);
   if (n == 0) return result;
 
@@ -56,17 +56,24 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
   const Point& omega = context.region().vertices().front();
 
   // Lower corner of the mapped space: scores are monotone in every
-  // coordinate (ω ≥ 0), so the score of the dataset's min corner bounds
+  // coordinate (ω ≥ 0), so the score of the view's min corner bounds
   // every instance's score from below. Used as the window-query origin.
-  const Point mapped_origin = mapper.Map(dataset.bounds().min_corner());
+  const Point mapped_origin = mapper.Map(view.bounds().min_corner());
 
   // The bulk-loaded R-tree over the *original* space is query-independent
   // and shared through the context; SV is computed on the fly only for
   // instances that survive pruning. The shared_ptr pins the tree for this
-  // run even if the context's per-fanout cache evicts it.
+  // run even if the context's per-fanout cache evicts it. For a derived
+  // view the tree is the parent's full-coverage one (entry ids are base
+  // instance ids): leaf hits translate through LocalInstanceOf, and
+  // subtrees whose min_id() is past the view's id_bound() are all delta
+  // data — skipped without descent (the prefix-reuse path). Node MBRs of a
+  // shared tree are supersets of the view's true boxes, which only makes
+  // the best-first keys and pruning conservative, never wrong.
   const std::shared_ptr<const RTree> data_tree_ptr =
       context.instance_rtree(options.rtree_fanout);
   const RTree& data_tree = *data_tree_ptr;
+  const int id_bound = view.id_bound();
 
   std::vector<ObjectState> objects(static_cast<size_t>(m));
   std::vector<Point> pruning_set;  // |P| ≤ m (Theorem 4)
@@ -105,20 +112,22 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
         }
         if (node->is_leaf()) {
           for (const RTree::LeafEntry& leaf : node->entries()) {
+            const int local = view.LocalInstanceOf(leaf.id);
+            if (local < 0) continue;  // outside the view (shared tree)
             heap.push(
-                HeapEntry{Score(omega, leaf.point), nullptr, leaf.id});
+                HeapEntry{Score(omega, leaf.point), nullptr, local});
           }
         } else {
           for (const auto& child : node->children()) {
+            if (child->min_id() >= id_bound) continue;  // all-delta subtree
             heap.push(HeapEntry{Score(omega, child->mbr().min_corner()),
                                 child.get(), -1});
           }
         }
         continue;
       }
-      // Instance entry.
-      const Instance& inst = dataset.instance(entry.instance_id);
-      Point mapped = mapper.Map(inst.point);
+      // Instance entry (local id).
+      Point mapped = mapper.Map(view.point(entry.instance_id));
       if (options.enable_pruning && PrunedBy(mapped, pruning_set)) {
         ++result.nodes_pruned;
         continue;  // Pr_rsky = 0; Theorem 3 allows discarding it entirely.
@@ -135,7 +144,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     // Phase 1: window queries against the aggregated R-trees (all strictly
     // earlier instances with non-zero probability are indexed there).
     for (BatchItem& item : batch) {
-      const int own = dataset.instance(item.instance_id).object_id;
+      const int own = view.object_of(item.instance_id);
       // Guard against sub-ulp inversions of the origin bound.
       Point window_lo = mapped_origin;
       for (int k = 0; k < mapped_dim; ++k) {
@@ -156,24 +165,24 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     // their mapped points weakly dominate; count that mass symmetrically
     // before anything is inserted.
     for (const BatchItem& s : batch) {
-      const Instance& s_inst = dataset.instance(s.instance_id);
+      const int s_object = view.object_of(s.instance_id);
+      const double s_prob = view.prob(s.instance_id);
       for (BatchItem& t : batch) {
         if (&s == &t) continue;
-        const Instance& t_inst = dataset.instance(t.instance_id);
-        if (s_inst.object_id == t_inst.object_id) continue;
+        if (s_object == view.object_of(t.instance_id)) continue;
         ++result.dominance_tests;
         if (DominatesWeak(s.mapped, t.mapped)) {
-          t.sigma[static_cast<size_t>(s_inst.object_id)] += s_inst.prob;
+          t.sigma[static_cast<size_t>(s_object)] += s_prob;
         }
       }
     }
 
     // Compute probabilities and decide survival.
     for (BatchItem& item : batch) {
-      const Instance& inst = dataset.instance(item.instance_id);
-      double prob = inst.prob;
+      const int own_object = view.object_of(item.instance_id);
+      double prob = view.prob(item.instance_id);
       for (int j = 0; j < m && !item.zeroed; ++j) {
-        if (j == inst.object_id) continue;
+        if (j == own_object) continue;
         const double sum = item.sigma[static_cast<size_t>(j)];
         if (sum <= 0.0) continue;
         if (sum >= 1.0 - kProbabilityEps) {
@@ -196,8 +205,9 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     // later instance needing their mass is itself pruned by the same P
     // entry (transitivity through the full object's max corner).
     for (BatchItem& item : batch) {
-      const Instance& inst = dataset.instance(item.instance_id);
-      ObjectState& obj = objects[static_cast<size_t>(inst.object_id)];
+      const int own_object = view.object_of(item.instance_id);
+      const double own_prob = view.prob(item.instance_id);
+      ObjectState& obj = objects[static_cast<size_t>(own_object)];
       if (obj.tree == nullptr) {
         obj.tree = std::make_unique<RTree>(mapped_dim, options.rtree_fanout);
         obj.max_corner = item.mapped;
@@ -208,8 +218,8 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
           }
         }
       }
-      obj.tree->Insert(item.mapped, inst.prob, item.instance_id);
-      obj.cum_prob += inst.prob;
+      obj.tree->Insert(item.mapped, own_prob, item.instance_id);
+      obj.cum_prob += own_prob;
       if (options.enable_pruning && !obj.in_pruning_set &&
           obj.cum_prob >= 1.0 - kProbabilityEps) {
         obj.in_pruning_set = true;

@@ -39,39 +39,41 @@ size_t Dual2dMs::EstimateMemoryBytes(int num_instances) {
 
 StatusOr<Dual2dMs> Dual2dMs::Build(const UncertainDataset& dataset,
                                    size_t max_memory_bytes) {
-  if (dataset.dim() != 2) {
+  return Build(DatasetView(dataset), max_memory_bytes);
+}
+
+StatusOr<Dual2dMs> Dual2dMs::Build(const DatasetView& view,
+                                   size_t max_memory_bytes) {
+  if (view.dim() != 2) {
     return Status::InvalidArgument("Dual2dMs requires a 2-dimensional dataset");
   }
-  for (int j = 0; j < dataset.num_objects(); ++j) {
-    if (dataset.object_size(j) != 1) {
-      return Status::Unimplemented(
-          "Dual2dMs supports single-instance objects only (the paper's IIP "
-          "setting); multi-instance objects break prefix-product composition");
-    }
+  if (!view.single_instance_objects()) {
+    return Status::Unimplemented(
+        "Dual2dMs supports single-instance objects only (the paper's IIP "
+        "setting); multi-instance objects break prefix-product composition");
   }
-  if (EstimateMemoryBytes(dataset.num_instances()) > max_memory_bytes) {
+  if (EstimateMemoryBytes(view.num_instances()) > max_memory_bytes) {
     return Status::FailedPrecondition(
         "Dual2dMs quadratic index would exceed the memory budget; "
         "subsample the dataset (the paper hits the same wall, Fig. 7b)");
   }
 
-  const int n = dataset.num_instances();
+  const int n = view.num_instances();
   std::vector<PerInstance> table(static_cast<size_t>(n));
 
   std::vector<std::pair<double, double>> angled;  // (angle, prob)
   for (int ti = 0; ti < n; ++ti) {
-    const Instance& t = dataset.instance(ti);
+    const Point& t_point = view.point(ti);
     angled.clear();
     angled.reserve(static_cast<size_t>(n - 1));
     for (int si = 0; si < n; ++si) {
       if (si == ti) continue;  // single-instance objects: skip own object
-      const Instance& s = dataset.instance(si);
-      angled.emplace_back(AngleAround(t.point, s.point), s.prob);
+      angled.emplace_back(AngleAround(t_point, view.point(si)), view.prob(si));
     }
     std::sort(angled.begin(), angled.end());
 
     PerInstance& row = table[static_cast<size_t>(ti)];
-    row.prob = t.prob;
+    row.prob = view.prob(ti);
     row.angles.reserve(angled.size());
     row.prefix_logs.reserve(angled.size() + 1);
     row.prefix_zeros.reserve(angled.size() + 1);
@@ -163,7 +165,7 @@ class Dual2dMsSolver : public ArspSolver {
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
     StatusOr<Dual2dMs> index =
-        Dual2dMs::Build(context.dataset(), max_memory_bytes_);
+        Dual2dMs::Build(context.view(), max_memory_bytes_);
     if (!index.ok()) return index.status();
     const WeightRatioConstraints& wr = context.weight_ratios();
     return index->Query(wr.lo(0), wr.hi(0));

@@ -27,6 +27,7 @@
 
 #include "src/common/status.h"
 #include "src/core/arsp_result.h"
+#include "src/uncertain/dataset_view.h"
 #include "src/uncertain/uncertain_dataset.h"
 
 namespace arsp {
@@ -38,6 +39,11 @@ class Dual2dMs {
   /// Builds the structure. Requires dim == 2 and single-instance objects;
   /// refuses datasets whose quadratic index would exceed `max_memory_bytes`.
   static StatusOr<Dual2dMs> Build(const UncertainDataset& dataset,
+                                  size_t max_memory_bytes = size_t{6} << 30);
+
+  /// View variant (the Fig. 7b m% sweeps build per-prefix structures
+  /// without materializing the prefix); result rows are view-local ids.
+  static StatusOr<Dual2dMs> Build(const DatasetView& view,
                                   size_t max_memory_bytes = size_t{6} << 30);
 
   /// Estimated index size for an n-instance dataset, in bytes.

@@ -27,58 +27,69 @@ int RegionCode(const Point& s, const Point& t, int d) {
 }
 
 ArspResult RunDual(ExecutionContext& context) {
-  const UncertainDataset& dataset = context.dataset();
+  const DatasetView& view = context.view();
   const WeightRatioConstraints& wr = context.weight_ratios();
   const int d = wr.dim();
-  const int n = dataset.num_instances();
-  const int m = dataset.num_objects();
+  const int n = view.num_instances();
+  const int m = view.num_objects();
 
   ArspResult result;
   result.instance_probs.assign(static_cast<size_t>(n), 0.0);
   if (n == 0) return result;
 
-  // Kd-tree over the original points, shared through the context.
+  // Kd-tree over the original points, shared through the context. For a
+  // derived view this is the parent's full-coverage tree (item ids are base
+  // instance ids): probes filter hits through LocalInstanceOf and pass the
+  // view's id_bound so all-delta subtrees are pruned without descent —
+  // the prefix-reuse path that makes m% sweeps pay one tree build total.
   const KdTree& tree = context.instance_kdtree();
   const Mbr& bounds = tree.root_mbr();
+  const int id_bound = view.id_bound();
 
   std::vector<double> sigma(static_cast<size_t>(m), 0.0);
   std::vector<int> touched;
 
-  for (const Instance& t : dataset.instances()) {
+  for (int ti = 0; ti < n; ++ti) {
+    const Point& t_point = view.point(ti);
+    const int t_object = view.object_of(ti);
     touched.clear();
     for (int k = 0; k < (1 << (d - 1)); ++k) {
-      // Orthant box of region k, clipped to the data bounds. Boxes of
-      // adjacent regions share their boundary; the exact region-code check
-      // in the visitor prevents double counting at s[i] == t[i].
+      // Orthant box of region k, clipped to the indexed bounds (a superset
+      // of the view's — exact, just looser clipping). Boxes of adjacent
+      // regions share their boundary; the exact region-code check in the
+      // visitor prevents double counting at s[i] == t[i].
       Point lo = bounds.min_corner();
       Point hi = bounds.max_corner();
       bool feasible = true;
       for (int i = 0; i < d - 1 && feasible; ++i) {
         if ((k >> i) & 1) {
-          lo[i] = t.point[i];
-          feasible = t.point[i] <= hi[i];
+          lo[i] = t_point[i];
+          feasible = t_point[i] <= hi[i];
         } else {
-          hi[i] = t.point[i];
-          feasible = lo[i] <= t.point[i];
+          hi[i] = t_point[i];
+          feasible = lo[i] <= t_point[i];
         }
       }
       if (!feasible) continue;
       const Mbr box(lo, hi);
-      const Hyperplane plane = MakeRegionHyperplane(t.point, k, wr);
+      const Hyperplane plane = MakeRegionHyperplane(t_point, k, wr);
 
       ++result.index_probes;
-      tree.ForEachInBoxBelow(box, plane, kBelowEps, [&](const KdItem& item) {
-        const Instance& s = dataset.instance(item.id);
-        if (s.object_id == t.object_id) return;
-        if (RegionCode(s.point, t.point, d) != k) return;
-        ++result.dominance_tests;
-        double& bucket = sigma[static_cast<size_t>(s.object_id)];
-        if (bucket == 0.0) touched.push_back(s.object_id);
-        bucket += s.prob;
-      });
+      tree.ForEachInBoxBelow(
+          box, plane, kBelowEps, id_bound, [&](const KdItem& item) {
+            const int si = view.LocalInstanceOf(item.id);
+            if (si < 0) return;  // outside the view (shared tree)
+            const int s_object = view.object_of(si);
+            if (s_object == t_object) return;
+            if (RegionCode(item.point, t_point, d) != k) return;
+            ++result.dominance_tests;
+            double& bucket = sigma[static_cast<size_t>(s_object)];
+            if (bucket == 0.0) touched.push_back(s_object);
+            bucket += item.weight;
+          });
     }
 
-    double prob = t.prob;
+    double prob = view.prob(ti);
     for (int j : touched) {
       const double sum = sigma[static_cast<size_t>(j)];
       if (sum >= 1.0 - kProbabilityEps) {
@@ -87,7 +98,7 @@ ArspResult RunDual(ExecutionContext& context) {
       }
       prob *= (1.0 - sum);
     }
-    result.instance_probs[static_cast<size_t>(t.instance_id)] = prob;
+    result.instance_probs[static_cast<size_t>(ti)] = prob;
     for (int j : touched) sigma[static_cast<size_t>(j)] = 0.0;
   }
   return result;

@@ -69,14 +69,14 @@ void LinkAutoSolver() {}
 }  // namespace internal
 
 std::string AutoSelectSolverName(const ExecutionContext& context) {
-  const UncertainDataset& dataset = context.dataset();
-  const int n = dataset.num_instances();
+  const DatasetView& view = context.view();
+  const int n = view.num_instances();
   // Candidates in preference order per the paper's §V guidance; the first
   // one whose capability flags accept the context wins, so the policy can
   // never hand out an inapplicable solver.
   std::vector<std::string> candidates;
   if (context.has_weight_ratios()) {
-    if (dataset.dim() == 2 && n <= kAutoDual2dMaxInstances) {
+    if (view.dim() == 2 && n <= kAutoDual2dMaxInstances) {
       candidates.push_back("dual-2d-ms");  // §V-D: IIP niche
     }
     candidates.push_back("dual");  // §V: DUAL wins under weight ratios
@@ -178,9 +178,11 @@ ArspEngine::~ArspEngine() = default;
 DatasetHandle ArspEngine::AddDataset(
     std::shared_ptr<const UncertainDataset> dataset) {
   ARSP_CHECK_MSG(dataset != nullptr, "AddDataset: null dataset");
+  DatasetView view{dataset};  // full view, shares ownership
   std::lock_guard<std::mutex> lock(mu_);
   const int id = next_dataset_id_++;
-  datasets_.emplace(id, std::move(dataset));
+  datasets_.emplace(id,
+                    DatasetEntry{std::move(dataset), std::move(view), id});
   return DatasetHandle{id};
 }
 
@@ -189,32 +191,77 @@ DatasetHandle ArspEngine::AddDataset(UncertainDataset dataset) {
       std::make_shared<const UncertainDataset>(std::move(dataset)));
 }
 
+StatusOr<DatasetHandle> ArspEngine::AddView(DatasetHandle base,
+                                            ViewSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = datasets_.find(base.id);
+  if (it == datasets_.end()) {
+    return Status::NotFound("unknown dataset handle " +
+                            std::to_string(base.id));
+  }
+  if (it->second.base_id != base.id) {
+    return Status::InvalidArgument(
+        "AddView over view handle " + std::to_string(base.id) +
+        " — register views against the base dataset (handle " +
+        std::to_string(it->second.base_id) + ") instead");
+  }
+  auto view = DatasetView::Create(it->second.dataset, std::move(spec));
+  if (!view.ok()) return view.status();
+  const int id = next_dataset_id_++;
+  datasets_.emplace(
+      id, DatasetEntry{it->second.dataset, std::move(*view), base.id});
+  return DatasetHandle{id};
+}
+
 std::shared_ptr<const UncertainDataset> ArspEngine::dataset(
     DatasetHandle handle) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = datasets_.find(handle.id);
   if (it == datasets_.end()) return nullptr;
-  return it->second;
+  return it->second.dataset;
+}
+
+DatasetView ArspEngine::view(DatasetHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = datasets_.find(handle.id);
+  if (it == datasets_.end()) return DatasetView();
+  return it->second.view;
 }
 
 Status ArspEngine::DropDataset(DatasetHandle handle) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (datasets_.erase(handle.id) == 0) {
+  const auto it = datasets_.find(handle.id);
+  if (it == datasets_.end()) {
     return Status::NotFound("unknown dataset handle " +
                             std::to_string(handle.id));
   }
-  for (auto it = contexts_.begin(); it != contexts_.end();) {
-    if (it->first.first == handle.id) {
-      it = contexts_.erase(it);
-    } else {
-      ++it;
+  const bool is_base = it->second.base_id == handle.id;
+  // Dropping a base cascades to its views: a view's data plane hangs off
+  // the base's pooled contexts, and keeping orphan views alive would pin
+  // the dataset payload the caller asked to release.
+  std::vector<int> dropped;
+  if (is_base) {
+    for (const auto& [id, entry] : datasets_) {
+      if (entry.base_id == handle.id) dropped.push_back(id);
     }
+  } else {
+    dropped.push_back(handle.id);
   }
-  for (auto it = auto_memo_.begin(); it != auto_memo_.end();) {
-    if (it->first.first == handle.id) {
-      it = auto_memo_.erase(it);
-    } else {
-      ++it;
+  for (int id : dropped) {
+    datasets_.erase(id);
+    for (auto ctx = contexts_.begin(); ctx != contexts_.end();) {
+      if (ctx->first.first == id) {
+        ctx = contexts_.erase(ctx);
+      } else {
+        ++ctx;
+      }
+    }
+    for (auto memo = auto_memo_.begin(); memo != auto_memo_.end();) {
+      if (memo->first.first == id) {
+        memo = auto_memo_.erase(memo);
+      } else {
+        ++memo;
+      }
     }
   }
   return Status::OK();
@@ -240,7 +287,9 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   // Dataset lookup + context pool (short critical section). Key
   // serialization is skipped entirely for pool-less, cache-bypassing
   // requests (the benchmark path) — nothing would read the keys.
-  std::shared_ptr<const UncertainDataset> dataset;
+  std::shared_ptr<const UncertainDataset> dataset;  // keep-alive
+  DatasetView view;
+  int base_id = -1;
   std::shared_ptr<ExecutionContext> context;
   const std::string constraint_key =
       request.pool_context || cacheable ? request.constraints.CacheKey()
@@ -252,7 +301,9 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
       return Status::NotFound("unknown dataset handle " +
                               std::to_string(request.dataset.id));
     }
-    dataset = it->second;
+    dataset = it->second.dataset;
+    view = it->second.view;
+    base_id = it->second.base_id;
     if (request.pool_context) {
       const auto key = std::make_pair(request.dataset.id, constraint_key);
       const auto pooled = contexts_.find(key);
@@ -316,11 +367,23 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
 
   if (!response.cache_hit) {
     if (context == nullptr) {
-      context = request.constraints.has_weight_ratios()
-                    ? std::make_shared<ExecutionContext>(
-                          *dataset, request.constraints.weight_ratios())
-                    : std::make_shared<ExecutionContext>(
-                          *dataset, request.constraints.region());
+      if (base_id != request.dataset.id && request.pool_context) {
+        // View handle with pooling (any spec — a Full-spec view must not
+        // rebuild either): derive from the base dataset's pooled context
+        // so the whole sweep of views over one base shares a single set
+        // of full indexes and one SoA score mapping.
+        std::shared_ptr<ExecutionContext> parent = FindOrCreatePooledContext(
+            base_id, constraint_key, request.constraints, dataset);
+        context = ExecutionContext::Derive(std::move(parent), view);
+      } else {
+        // Full view, or a cold (pool-less) request: a standalone context
+        // that builds only over its own view.
+        context = request.constraints.has_weight_ratios()
+                      ? std::make_shared<ExecutionContext>(
+                            view, request.constraints.weight_ratios())
+                      : std::make_shared<ExecutionContext>(
+                            view, request.constraints.region());
+      }
     }
     if (is_auto) {
       // Resolve before the (deferred) cache lookup so an auto request and
@@ -388,26 +451,28 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   }
 
   // Derived retrievals — cheap post-processing of the full result (§I).
+  // Object rankings go through the view (ids in the output are base object
+  // ids, so callers can map them to names regardless of the window).
   const ArspResult& result = *response.result;
   switch (request.derived.kind) {
     case DerivedKind::kNone:
       break;
     case DerivedKind::kTopKObjects:
-      response.ranked = TopKObjects(result, *dataset, request.derived.k);
+      response.ranked = TopKObjects(result, view, request.derived.k);
       break;
     case DerivedKind::kTopKInstances:
       response.ranked = TopKInstances(result, request.derived.k);
       break;
     case DerivedKind::kObjectsAboveThreshold:
       response.ranked =
-          ObjectsAboveThreshold(result, *dataset, request.derived.threshold);
+          ObjectsAboveThreshold(result, view, request.derived.threshold);
       break;
     case DerivedKind::kCountControlled: {
       // One full object ranking serves both answers (semantics identical to
       // ThresholdForObjectCount + ObjectsAboveThreshold, asserted in
       // tests/engine_test.cc).
       std::vector<std::pair<int, double>> ranked =
-          TopKObjects(result, *dataset, -1);
+          TopKObjects(result, view, -1);
       const size_t cut = std::min(
           ranked.size(), static_cast<size_t>(request.derived.max_objects));
       response.count_threshold = cut == 0 ? 0.0 : ranked[cut - 1].second;
@@ -420,6 +485,47 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     }
   }
   return response;
+}
+
+std::shared_ptr<ExecutionContext> ArspEngine::FindOrCreatePooledContext(
+    int base_id, const std::string& constraint_key,
+    const ConstraintSpec& constraints,
+    const std::shared_ptr<const UncertainDataset>& base_dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pool_key = std::make_pair(base_id, constraint_key);
+  const auto pooled = contexts_.find(pool_key);
+  if (pooled != contexts_.end()) {
+    pooled->second.last_used = ++pool_tick_;
+    return pooled->second.context;
+  }
+  DatasetView base_view(base_dataset);  // full view, shares ownership
+  auto context =
+      constraints.has_weight_ratios()
+          ? std::make_shared<ExecutionContext>(std::move(base_view),
+                                               constraints.weight_ratios())
+          : std::make_shared<ExecutionContext>(std::move(base_view),
+                                               constraints.region());
+  // Pool only while the base is still registered (a context pooled under a
+  // dead id would be unreachable forever).
+  if (datasets_.count(base_id) > 0) {
+    contexts_.emplace(pool_key, PooledContext{context, ++pool_tick_});
+    const size_t capacity = std::max<size_t>(1, options_.context_pool_capacity);
+    while (contexts_.size() > capacity) {
+      EvictLeastRecentlyUsed(contexts_);
+    }
+  }
+  return context;
+}
+
+ExecutionContext::IndexBuildStats ArspEngine::index_stats(
+    DatasetHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExecutionContext::IndexBuildStats total;
+  for (const auto& [key, pooled] : contexts_) {
+    if (key.first != handle.id) continue;
+    total += pooled.context->index_build_stats();
+  }
+  return total;
 }
 
 std::vector<StatusOr<QueryResponse>> ArspEngine::SolveBatch(
@@ -438,7 +544,9 @@ std::vector<StatusOr<QueryResponse>> ArspEngine::SolveBatch(
     if (pool_ == nullptr) {
       int threads = options_.num_threads;
       if (threads <= 0) {
-        threads = static_cast<int>(std::thread::hardware_concurrency());
+        // DefaultConcurrency handles hardware_concurrency() == 0 (allowed
+        // by the standard), where the old code degraded to a 1-thread pool.
+        threads = ThreadPool::DefaultConcurrency();
       }
       pool_ = std::make_unique<ThreadPool>(threads);
     }

@@ -11,14 +11,20 @@
 //  * a context pool keyed by (dataset, constraint fingerprint), so repeated
 //    queries against the same dataset/constraints reuse preprocessing;
 //  * an LRU result cache keyed by (dataset fingerprint — the handle id,
-//    which uniquely and immutably identifies a registered dataset —
+//    which uniquely and immutably identifies a registered dataset or view —
 //    constraints, solver, options) in front of ArspSolver::Solve;
 //  * SolveBatch fanning requests across a fixed thread pool (pooled
 //    contexts are safe to share — ExecutionContext lazy-init is locked);
 //  * "auto" solver selection from capability flags and data shape,
 //    following the paper's §V guidance (KDTT+ default, DUAL for weight
 //    ratios). "auto" is also a registry entry, so raw SolverRegistry users
-//    and `arsp_cli --algo auto` get the same policy.
+//    and `arsp_cli --algo auto` get the same policy;
+//  * AddView(handle, spec) — zero-copy DatasetView windows (full / m%
+//    prefix / arbitrary object subset) registered as first-class query
+//    targets. Pooled view queries derive their ExecutionContext from the
+//    base dataset's pooled context, inheriting its indexes and score
+//    storage, so a Fig. 6-style m% sweep pays exactly one full kd-/R-tree
+//    build plus per-step delta work (asserted via index_stats()).
 //
 // The engine is the designated backend for the ROADMAP's service frontend:
 // a daemon would hold one ArspEngine and translate wire requests into
@@ -44,11 +50,12 @@
 #include "src/core/solver.h"
 #include "src/prefs/preference_region.h"
 #include "src/prefs/weight_ratio.h"
+#include "src/uncertain/dataset_view.h"
 #include "src/uncertain/uncertain_dataset.h"
 
 namespace arsp {
 
-/// Handle to a dataset registered with an ArspEngine.
+/// Handle to a dataset or dataset view registered with an ArspEngine.
 struct DatasetHandle {
   int id = -1;
   bool valid() const { return id >= 0; }
@@ -187,13 +194,28 @@ class ArspEngine {
   /// Convenience: takes ownership of a dataset by value.
   DatasetHandle AddDataset(UncertainDataset dataset);
 
-  /// The dataset behind a handle (shared ownership, so the reference stays
-  /// valid across a concurrent DropDataset), or nullptr for an unknown or
-  /// already-dropped handle — the same recoverable contract as Solve's
-  /// NotFound.
+  /// Registers a zero-copy view over a registered *base* dataset as a
+  /// first-class query target: the returned handle works everywhere a
+  /// dataset handle does (Solve, SolveBatch, derived queries — ranked
+  /// results carry base object ids). The view shares the base's instance
+  /// payloads; pooled queries against it derive their context from the
+  /// base's pooled context, reusing its indexes and score storage.
+  /// InvalidArgument for a view-of-a-view (compose specs against the base
+  /// instead); NotFound for unknown handles.
+  StatusOr<DatasetHandle> AddView(DatasetHandle base, ViewSpec spec);
+
+  /// The base dataset behind a handle (for view handles, the base; shared
+  /// ownership, so the reference stays valid across a concurrent
+  /// DropDataset), or nullptr for an unknown or already-dropped handle —
+  /// the same recoverable contract as Solve's NotFound.
   std::shared_ptr<const UncertainDataset> dataset(DatasetHandle handle) const;
 
-  /// Unregisters a dataset and evicts its pooled contexts. Its cached
+  /// The view a handle queries (full for plain datasets); an invalid view
+  /// for unknown handles.
+  DatasetView view(DatasetHandle handle) const;
+
+  /// Unregisters a dataset or view and evicts its pooled contexts; dropping
+  /// a base dataset also drops every view registered over it. Cached
   /// results stay until LRU eviction but can no longer be hit (handles are
   /// never reused).
   Status DropDataset(DatasetHandle handle);
@@ -228,6 +250,11 @@ class ArspEngine {
   /// Number of pooled ExecutionContexts currently alive.
   size_t pooled_contexts() const;
 
+  /// Aggregated ExecutionContext::IndexBuildStats over the pooled contexts
+  /// of one handle. Sweep tests sum this across a base handle and its views
+  /// to assert "one full index build, delta work per view".
+  ExecutionContext::IndexBuildStats index_stats(DatasetHandle handle) const;
+
  private:
   struct CacheEntry {
     std::shared_ptr<const ArspResult> result;
@@ -241,13 +268,31 @@ class ArspEngine {
     uint64_t last_used = 0;  ///< tick of the most recent checkout
   };
 
+  /// A registered query target: the base dataset payload plus the window
+  /// over it (full for plain datasets). base_id == the entry's own id for
+  /// base datasets, the base handle's id for views.
+  struct DatasetEntry {
+    std::shared_ptr<const UncertainDataset> dataset;
+    DatasetView view;
+    int base_id = -1;
+  };
+
   StatusOr<QueryResponse> SolveImpl(const QueryRequest& request);
+
+  /// Pooled full-view context for (base_id, constraint_key), creating (and
+  /// capacity-evicting) one when absent. If the base entry was concurrently
+  /// dropped the fresh context is returned unpooled (correct, just not
+  /// reusable).
+  std::shared_ptr<ExecutionContext> FindOrCreatePooledContext(
+      int base_id, const std::string& constraint_key,
+      const ConstraintSpec& constraints,
+      const std::shared_ptr<const UncertainDataset>& base_dataset);
 
   EngineOptions options_;
   mutable std::mutex mu_;
   int next_dataset_id_ = 0;
   uint64_t pool_tick_ = 0;
-  std::map<int, std::shared_ptr<const UncertainDataset>> datasets_;
+  std::map<int, DatasetEntry> datasets_;
   std::map<std::pair<int, std::string>, PooledContext> contexts_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::string, LruList::iterator> cache_index_;

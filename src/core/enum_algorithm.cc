@@ -12,30 +12,29 @@ namespace arsp {
 
 namespace {
 
-ArspResult RunEnum(const UncertainDataset& dataset,
-                   const PreferenceRegion& region, double max_worlds) {
+ArspResult RunEnum(const DatasetView& view, const PreferenceRegion& region,
+                   double max_worlds) {
   ArspResult result;
   result.instance_probs.assign(
-      static_cast<size_t>(dataset.num_instances()), 0.0);
+      static_cast<size_t>(view.num_instances()), 0.0);
   const std::vector<Point>& vertices = region.vertices();
 
   ForEachPossibleWorld(
-      dataset,
+      view,
       [&](const PossibleWorld& world) {
         // An instance is in the world's rskyline iff no other present
         // instance F-dominates it.
-        for (int j = 0; j < dataset.num_objects(); ++j) {
+        for (int j = 0; j < view.num_objects(); ++j) {
           const int tid = world.choice[static_cast<size_t>(j)];
           if (tid < 0) continue;
-          const Point& t = dataset.instance(tid).point;
+          const Point& t = view.point(tid);
           bool dominated = false;
-          for (int l = 0; l < dataset.num_objects() && !dominated; ++l) {
+          for (int l = 0; l < view.num_objects() && !dominated; ++l) {
             if (l == j) continue;
             const int sid = world.choice[static_cast<size_t>(l)];
             if (sid < 0) continue;
             ++result.dominance_tests;
-            dominated = FDominatesVertex(dataset.instance(sid).point, t,
-                                         vertices);
+            dominated = FDominatesVertex(view.point(sid), t, vertices);
           }
           if (!dominated) {
             result.instance_probs[static_cast<size_t>(tid)] += world.prob;
@@ -69,7 +68,7 @@ class EnumSolver : public ArspSolver {
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
-    return RunEnum(context.dataset(), context.region(), max_worlds_);
+    return RunEnum(context.view(), context.region(), max_worlds_);
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <vector>
 
 #include "src/core/asp_traversal_state.h"
 #include "src/core/solver.h"
@@ -16,12 +17,16 @@ namespace {
 
 using internal::AspTraversalState;
 
+// Runs over the context's SoA score storage (ScoreSpan): rows are local
+// instance ids, object ids are view-local. The hot candidate loops touch
+// only the three dense arrays (coords, probs, objects) — no Instance or
+// Point indirection.
 class KdAspRunner {
  public:
-  KdAspRunner(const std::vector<MappedInstance>& mapped, int num_objects,
-              ArspResult* result)
-      : mapped_(mapped),
-        order_(mapped_.size()),
+  KdAspRunner(ScoreSpan scores, int num_objects, ArspResult* result)
+      : scores_(scores),
+        dim_(scores.dim),
+        order_(static_cast<size_t>(scores.n)),
         state_(num_objects),
         result_(result) {
     std::iota(order_.begin(), order_.end(), 0);
@@ -29,15 +34,15 @@ class KdAspRunner {
 
   // KDTT+: construction fused with traversal.
   void RunIntegrated() {
-    if (mapped_.empty()) return;
+    if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    RecurseIntegrated(0, static_cast<int>(mapped_.size()), candidates);
+    RecurseIntegrated(0, scores_.n, candidates);
   }
 
   // KDTT: build the full kd-tree, then pre-order traverse it.
   void RunPrebuilt() {
-    if (mapped_.empty()) return;
-    const int root = Build(0, static_cast<int>(mapped_.size()));
+    if (scores_.n == 0) return;
+    const int root = Build(0, scores_.n);
     std::vector<int> candidates(order_);
     Traverse(root, candidates);
   }
@@ -46,28 +51,13 @@ class KdAspRunner {
   struct Node {
     int begin, end;
     int left = -1, right = -1;
-    Point pmin, pmax;
+    std::vector<double> pmin, pmax;
   };
 
-  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
-    const int dim = mapped_.front().point.dim();
-    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
-                .point;
-    *pmax = *pmin;
-    for (int i = begin + 1; i < end; ++i) {
-      const Point& p =
-          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
-      for (int k = 0; k < dim; ++k) {
-        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
-        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
-      }
-    }
-  }
-
-  int WidestDim(const Point& pmin, const Point& pmax) const {
+  int WidestDim(const double* pmin, const double* pmax) const {
     int dim = 0;
     double widest = -1.0;
-    for (int k = 0; k < pmin.dim(); ++k) {
+    for (int k = 0; k < dim_; ++k) {
       const double extent = pmax[k] - pmin[k];
       if (extent > widest) {
         widest = extent;
@@ -80,80 +70,27 @@ class KdAspRunner {
   void PartitionRange(int begin, int end, int mid, int split_dim) {
     std::nth_element(order_.begin() + begin, order_.begin() + mid,
                      order_.begin() + end, [this, split_dim](int a, int b) {
-                       return mapped_[static_cast<size_t>(a)].point[split_dim] <
-                              mapped_[static_cast<size_t>(b)].point[split_dim];
+                       return scores_.row(a)[split_dim] <
+                              scores_.row(b)[split_dim];
                      });
-  }
-
-  // Moves candidates into D (σ) when they dominate pmin, keeps them when
-  // they dominate pmax; everything else is discarded for this subtree.
-  void ProcessCandidates(const Point& pmin, const Point& pmax,
-                         const std::vector<int>& parent_candidates,
-                         std::vector<int>* kept,
-                         std::vector<AspTraversalState::Change>* undo_log) {
-    for (int cid : parent_candidates) {
-      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
-      ++result_->dominance_tests;
-      if (DominatesWeak(mi.point, pmin)) {
-        state_.Add(mi.object, mi.prob, undo_log);
-      } else if (DominatesWeak(mi.point, pmax)) {
-        kept->push_back(cid);
-      }
-    }
-  }
-
-  // Terminal handling shared by both traversal modes. Returns true when the
-  // subtree is fully resolved (leaf emitted or pruned).
-  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
-                      int end) {
-    if (state_.chi() >= 2) {
-      // At least two distinct objects fully dominate pmin: every instance in
-      // the subtree has at least one foreign full dominator — all zero.
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (state_.chi() == 1) {
-      // One object's whole mass dominates pmin. Its own instances can still
-      // survive, but (see DESIGN.md) they must coincide with pmin exactly,
-      // where the accumulated σ is exact — emit them, prune the rest.
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        if (mi.point == pmin) {
-          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-              state_.LeafProbability(mi.object, mi.prob);
-        }
-      }
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (pmin == pmax) {
-      // True leaf (single instance, or several coincident instances whose
-      // mutual dominance is already inside σ).
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-            state_.LeafProbability(mi.object, mi.prob);
-      }
-      return true;
-    }
-    return false;
   }
 
   void RecurseIntegrated(int begin, int end,
                          const std::vector<int>& parent_candidates) {
     ++result_->nodes_visited;
-    Point pmin, pmax;
-    ComputeCorners(begin, end, &pmin, &pmax);
+    std::vector<double> pmin, pmax;
+    internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
 
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
-    ProcessCandidates(pmin, pmax, parent_candidates, &kept, &undo_log);
+    internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
+                                  pmax.data(), &state_, &kept, &undo_log,
+                                  result_);
 
-    if (!HandleTerminal(pmin, pmax, begin, end)) {
+    if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
+                                     pmax.data(), state_, result_)) {
       const int mid = begin + (end - begin) / 2;
-      PartitionRange(begin, end, mid, WidestDim(pmin, pmax));
+      PartitionRange(begin, end, mid, WidestDim(pmin.data(), pmax.data()));
       RecurseIntegrated(begin, mid, kept);
       RecurseIntegrated(mid, end, kept);
     }
@@ -165,13 +102,13 @@ class KdAspRunner {
     nodes_.emplace_back();
     nodes_.back().begin = begin;
     nodes_.back().end = end;
-    Point pmin, pmax;
-    ComputeCorners(begin, end, &pmin, &pmax);
+    std::vector<double> pmin, pmax;
+    internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
     nodes_[static_cast<size_t>(node_id)].pmin = pmin;
     nodes_[static_cast<size_t>(node_id)].pmax = pmax;
-    if (end - begin > 1 && !(pmin == pmax)) {
+    if (end - begin > 1 && !CoordsEqual(pmin.data(), pmax.data(), dim_)) {
       const int mid = begin + (end - begin) / 2;
-      PartitionRange(begin, end, mid, WidestDim(pmin, pmax));
+      PartitionRange(begin, end, mid, WidestDim(pmin.data(), pmax.data()));
       const int left = Build(begin, mid);
       const int right = Build(mid, end);
       nodes_[static_cast<size_t>(node_id)].left = left;
@@ -186,10 +123,13 @@ class KdAspRunner {
 
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
-    ProcessCandidates(node.pmin, node.pmax, parent_candidates, &kept,
-                      &undo_log);
+    internal::FilterAspCandidates(scores_, parent_candidates,
+                                  node.pmin.data(), node.pmax.data(), &state_,
+                                  &kept, &undo_log, result_);
 
-    if (!HandleTerminal(node.pmin, node.pmax, node.begin, node.end)) {
+    if (!internal::HandleAspTerminal(scores_, order_, node.begin, node.end,
+                                     node.pmin.data(), node.pmax.data(),
+                                     state_, result_)) {
       ARSP_DCHECK(node.left >= 0 && node.right >= 0);
       Traverse(node.left, kept);
       Traverse(node.right, kept);
@@ -197,7 +137,8 @@ class KdAspRunner {
     state_.Undo(undo_log);
   }
 
-  const std::vector<MappedInstance>& mapped_;
+  const ScoreSpan scores_;
+  const int dim_;
   std::vector<int> order_;
   std::vector<Node> nodes_;
   AspTraversalState state_;
@@ -225,12 +166,12 @@ class KdttSolver : public ArspSolver {
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    const DatasetView& view = context.view();
     ArspResult result;
     result.instance_probs.assign(
-        static_cast<size_t>(context.dataset().num_instances()), 0.0);
-    if (context.dataset().num_instances() == 0) return result;
-    KdAspRunner runner(context.mapped_instances(),
-                       context.dataset().num_objects(), &result);
+        static_cast<size_t>(view.num_instances()), 0.0);
+    if (view.num_instances() == 0) return result;
+    KdAspRunner runner(context.scores(), view.num_objects(), &result);
     if (integrated_) {
       runner.RunIntegrated();
     } else {

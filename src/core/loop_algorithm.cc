@@ -13,10 +13,9 @@ namespace arsp {
 
 namespace {
 
-ArspResult RunLoop(const UncertainDataset& dataset,
-                   const PreferenceRegion& region) {
-  const int n = dataset.num_instances();
-  const int m = dataset.num_objects();
+ArspResult RunLoop(const DatasetView& view, const PreferenceRegion& region) {
+  const int n = view.num_instances();
+  const int m = view.num_objects();
   ArspResult result;
   result.instance_probs.assign(static_cast<size_t>(n), 0.0);
   if (n == 0) return result;
@@ -31,7 +30,7 @@ ArspResult RunLoop(const UncertainDataset& dataset,
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> keys(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    keys[static_cast<size_t>(i)] = Score(omega, dataset.instance(i).point);
+    keys[static_cast<size_t>(i)] = Score(omega, view.point(i));
   }
   std::sort(order.begin(), order.end(), [&keys](int a, int b) {
     return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
@@ -55,24 +54,25 @@ ArspResult RunLoop(const UncertainDataset& dataset,
 
     for (int pos = group_begin; pos < group_end; ++pos) {
       const int tid = order[static_cast<size_t>(pos)];
-      const Instance& t = dataset.instance(tid);
+      const Point& t_point = view.point(tid);
+      const int t_object = view.object_of(tid);
       touched.clear();
       // Candidate dominators: everything strictly before the group plus the
       // other members of the group.
       for (int prev = 0; prev < group_end; ++prev) {
         if (prev == pos) continue;
         const int sid = order[static_cast<size_t>(prev)];
-        const Instance& s = dataset.instance(sid);
-        if (s.object_id == t.object_id) continue;
+        const int s_object = view.object_of(sid);
+        if (s_object == t_object) continue;
         ++result.dominance_tests;
-        if (FDominatesVertex(s.point, t.point, vertices)) {
-          if (sigma[static_cast<size_t>(s.object_id)] == 0.0) {
-            touched.push_back(s.object_id);
+        if (FDominatesVertex(view.point(sid), t_point, vertices)) {
+          if (sigma[static_cast<size_t>(s_object)] == 0.0) {
+            touched.push_back(s_object);
           }
-          sigma[static_cast<size_t>(s.object_id)] += s.prob;
+          sigma[static_cast<size_t>(s_object)] += view.prob(sid);
         }
       }
-      double prob = t.prob;
+      double prob = view.prob(tid);
       for (int j : touched) {
         const double sum = sigma[static_cast<size_t>(j)];
         if (sum >= 1.0 - kProbabilityEps) {
@@ -100,7 +100,7 @@ class LoopSolver : public ArspSolver {
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
-    return RunLoop(context.dataset(), context.region());
+    return RunLoop(context.view(), context.region());
   }
 };
 

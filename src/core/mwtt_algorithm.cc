@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <vector>
 
 #include "src/core/asp_traversal_state.h"
 #include "src/core/solver.h"
@@ -16,12 +17,15 @@ namespace {
 
 using internal::AspTraversalState;
 
+// Runs over the context's SoA score storage; see KdAspRunner for the
+// conventions (row index == local instance id, view-local object ids).
 class MultiWayAspRunner {
  public:
-  MultiWayAspRunner(const std::vector<MappedInstance>& mapped,
-                    int num_objects, int fanout, ArspResult* result)
-      : mapped_(mapped),
-        order_(mapped_.size()),
+  MultiWayAspRunner(ScoreSpan scores, int num_objects, int fanout,
+                    ArspResult* result)
+      : scores_(scores),
+        dim_(scores.dim),
+        order_(static_cast<size_t>(scores.n)),
         fanout_(fanout),
         state_(num_objects),
         result_(result) {
@@ -30,90 +34,41 @@ class MultiWayAspRunner {
   }
 
   void Run() {
-    if (mapped_.empty()) return;
+    if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    Recurse(0, static_cast<int>(mapped_.size()), candidates);
+    Recurse(0, scores_.n, candidates);
   }
 
  private:
-  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
-    const int dim = mapped_.front().point.dim();
-    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
-                .point;
-    *pmax = *pmin;
-    for (int i = begin + 1; i < end; ++i) {
-      const Point& p =
-          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
-      for (int k = 0; k < dim; ++k) {
-        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
-        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
-      }
-    }
-  }
-
-  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
-                      int end) {
-    if (state_.chi() >= 2) {
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (state_.chi() == 1) {
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        if (mi.point == pmin) {
-          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-              state_.LeafProbability(mi.object, mi.prob);
-        }
-      }
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (pmin == pmax) {
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-            state_.LeafProbability(mi.object, mi.prob);
-      }
-      return true;
-    }
-    return false;
-  }
-
   void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
     ++result_->nodes_visited;
-    Point pmin, pmax;
-    ComputeCorners(begin, end, &pmin, &pmax);
+    std::vector<double> pmin, pmax;
+    internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
 
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
-    for (int cid : parent_candidates) {
-      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
-      ++result_->dominance_tests;
-      if (DominatesWeak(mi.point, pmin)) {
-        state_.Add(mi.object, mi.prob, &undo_log);
-      } else if (DominatesWeak(mi.point, pmax)) {
-        kept.push_back(cid);
-      }
-    }
+    internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
+                                  pmax.data(), &state_, &kept, &undo_log,
+                                  result_);
 
-    if (!HandleTerminal(pmin, pmax, begin, end)) {
+    if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
+                                     pmax.data(), state_, result_)) {
       // Sort the range along the widest dimension and recurse on `fanout`
       // equal slabs (1-D STR slicing). Slabs inherit small extents on the
       // split dimension, improving min-corner dominance tests.
       int split_dim = 0;
       double widest = -1.0;
-      for (int k = 0; k < pmin.dim(); ++k) {
-        if (pmax[k] - pmin[k] > widest) {
-          widest = pmax[k] - pmin[k];
+      for (int k = 0; k < dim_; ++k) {
+        if (pmax[static_cast<size_t>(k)] - pmin[static_cast<size_t>(k)] >
+            widest) {
+          widest = pmax[static_cast<size_t>(k)] - pmin[static_cast<size_t>(k)];
           split_dim = k;
         }
       }
       std::sort(order_.begin() + begin, order_.begin() + end,
                 [this, split_dim](int a, int b) {
-                  return mapped_[static_cast<size_t>(a)].point[split_dim] <
-                         mapped_[static_cast<size_t>(b)].point[split_dim];
+                  return scores_.row(a)[split_dim] <
+                         scores_.row(b)[split_dim];
                 });
       const int total = end - begin;
       const int slab = std::max(1, (total + fanout_ - 1) / fanout_);
@@ -124,7 +79,8 @@ class MultiWayAspRunner {
     state_.Undo(undo_log);
   }
 
-  const std::vector<MappedInstance>& mapped_;
+  const ScoreSpan scores_;
+  const int dim_;
   std::vector<int> order_;
   const int fanout_;
   AspTraversalState state_;
@@ -156,12 +112,12 @@ class MwttSolver : public ArspSolver {
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    const DatasetView& view = context.view();
     ArspResult result;
     result.instance_probs.assign(
-        static_cast<size_t>(context.dataset().num_instances()), 0.0);
-    if (context.dataset().num_instances() == 0) return result;
-    MultiWayAspRunner runner(context.mapped_instances(),
-                             context.dataset().num_objects(), fanout_,
+        static_cast<size_t>(view.num_instances()), 0.0);
+    if (view.num_instances() == 0) return result;
+    MultiWayAspRunner runner(context.scores(), view.num_objects(), fanout_,
                              &result);
     runner.Run();
     return result;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <vector>
 
 #include "src/core/asp_traversal_state.h"
 #include "src/core/solver.h"
@@ -17,125 +18,71 @@ namespace {
 
 using internal::AspTraversalState;
 
+// Runs over the context's SoA score storage; see KdAspRunner for the
+// conventions (row index == local instance id, view-local object ids).
 class QuadAspRunner {
  public:
-  QuadAspRunner(const std::vector<MappedInstance>& mapped, int num_objects,
-                ArspResult* result)
-      : mapped_(mapped),
-        order_(mapped_.size()),
+  QuadAspRunner(ScoreSpan scores, int num_objects, ArspResult* result)
+      : scores_(scores),
+        dim_(scores.dim),
+        order_(static_cast<size_t>(scores.n)),
         state_(num_objects),
         result_(result) {
-    ARSP_CHECK_MSG(mapped_.empty() || mapped_.front().point.dim() <= 63,
+    ARSP_CHECK_MSG(scores_.n == 0 || dim_ <= 63,
                    "QDTT+ quadrant codes support at most 63 mapped "
                    "dimensions; use KDTT+ or B&B for larger vertex sets");
     std::iota(order_.begin(), order_.end(), 0);
   }
 
   void Run() {
-    if (mapped_.empty()) return;
+    if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    Recurse(0, static_cast<int>(mapped_.size()), candidates);
+    Recurse(0, scores_.n, candidates);
   }
 
  private:
-  void ComputeCorners(int begin, int end, Point* pmin, Point* pmax) const {
-    const int dim = mapped_.front().point.dim();
-    *pmin = mapped_[static_cast<size_t>(order_[static_cast<size_t>(begin)])]
-                .point;
-    *pmax = *pmin;
-    for (int i = begin + 1; i < end; ++i) {
-      const Point& p =
-          mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])].point;
-      for (int k = 0; k < dim; ++k) {
-        if (p[k] < (*pmin)[k]) (*pmin)[k] = p[k];
-        if (p[k] > (*pmax)[k]) (*pmax)[k] = p[k];
-      }
-    }
-  }
-
-  uint64_t QuadrantCode(const Point& p, const Point& center) const {
+  uint64_t QuadrantCode(const double* p, const double* center) const {
     uint64_t code = 0;
-    for (int k = 0; k < p.dim(); ++k) {
+    for (int k = 0; k < dim_; ++k) {
       code = (code << 1) | (p[k] > center[k] ? 1u : 0u);
     }
     return code;
   }
 
-  bool HandleTerminal(const Point& pmin, const Point& pmax, int begin,
-                      int end) {
-    if (state_.chi() >= 2) {
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (state_.chi() == 1) {
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        if (mi.point == pmin) {
-          result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-              state_.LeafProbability(mi.object, mi.prob);
-        }
-      }
-      ++result_->nodes_pruned;
-      return true;
-    }
-    if (pmin == pmax) {
-      for (int i = begin; i < end; ++i) {
-        const MappedInstance& mi =
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
-        result_->instance_probs[static_cast<size_t>(mi.instance_id)] =
-            state_.LeafProbability(mi.object, mi.prob);
-      }
-      return true;
-    }
-    return false;
-  }
-
   void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
     ++result_->nodes_visited;
-    Point pmin, pmax;
-    ComputeCorners(begin, end, &pmin, &pmax);
+    std::vector<double> pmin, pmax;
+    internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
 
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
-    for (int cid : parent_candidates) {
-      const MappedInstance& mi = mapped_[static_cast<size_t>(cid)];
-      ++result_->dominance_tests;
-      if (DominatesWeak(mi.point, pmin)) {
-        state_.Add(mi.object, mi.prob, &undo_log);
-      } else if (DominatesWeak(mi.point, pmax)) {
-        kept.push_back(cid);
-      }
-    }
+    internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
+                                  pmax.data(), &state_, &kept, &undo_log,
+                                  result_);
 
-    if (!HandleTerminal(pmin, pmax, begin, end)) {
+    if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
+                                     pmax.data(), state_, result_)) {
       // Partition the range into quadrants around the box center by sorting
       // on the quadrant code; only non-empty quadrants recurse (no 2^{d'}
       // allocation, though the fan-out still hurts in high dimensions).
-      Point center(pmin.dim());
-      for (int k = 0; k < pmin.dim(); ++k) {
-        center[k] = 0.5 * (pmin[k] + pmax[k]);
+      std::vector<double> center(static_cast<size_t>(dim_));
+      for (int k = 0; k < dim_; ++k) {
+        center[static_cast<size_t>(k)] =
+            0.5 * (pmin[static_cast<size_t>(k)] + pmax[static_cast<size_t>(k)]);
       }
       std::sort(order_.begin() + begin, order_.begin() + end,
                 [this, &center](int a, int b) {
-                  return QuadrantCode(mapped_[static_cast<size_t>(a)].point,
-                                      center) <
-                         QuadrantCode(mapped_[static_cast<size_t>(b)].point,
-                                      center);
+                  return QuadrantCode(scores_.row(a), center.data()) <
+                         QuadrantCode(scores_.row(b), center.data());
                 });
       int chunk = begin;
       while (chunk < end) {
         const uint64_t code = QuadrantCode(
-            mapped_[static_cast<size_t>(order_[static_cast<size_t>(chunk)])]
-                .point,
-            center);
+            scores_.row(order_[static_cast<size_t>(chunk)]), center.data());
         int chunk_end = chunk + 1;
         while (chunk_end < end &&
-               QuadrantCode(
-                   mapped_[static_cast<size_t>(
-                               order_[static_cast<size_t>(chunk_end)])]
-                       .point,
-                   center) == code) {
+               QuadrantCode(scores_.row(order_[static_cast<size_t>(chunk_end)]),
+                            center.data()) == code) {
           ++chunk_end;
         }
         Recurse(chunk, chunk_end, kept);
@@ -145,7 +92,8 @@ class QuadAspRunner {
     state_.Undo(undo_log);
   }
 
-  const std::vector<MappedInstance>& mapped_;
+  const ScoreSpan scores_;
+  const int dim_;
   std::vector<int> order_;
   AspTraversalState state_;
   ArspResult* result_;
@@ -163,12 +111,12 @@ class QdttSolver : public ArspSolver {
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
+    const DatasetView& view = context.view();
     ArspResult result;
     result.instance_probs.assign(
-        static_cast<size_t>(context.dataset().num_instances()), 0.0);
-    if (context.dataset().num_instances() == 0) return result;
-    QuadAspRunner runner(context.mapped_instances(),
-                         context.dataset().num_objects(), &result);
+        static_cast<size_t>(view.num_instances()), 0.0);
+    if (view.num_instances() == 0) return result;
+    QuadAspRunner runner(context.scores(), view.num_objects(), &result);
     runner.Run();
     return result;
   }

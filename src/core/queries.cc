@@ -9,8 +9,12 @@ namespace arsp {
 std::vector<std::pair<int, double>> ObjectsAboveThreshold(
     const ArspResult& result, const UncertainDataset& dataset,
     double threshold) {
-  std::vector<std::pair<int, double>> ranked =
-      TopKObjects(result, dataset, -1);
+  return ObjectsAboveThreshold(result, DatasetView(dataset), threshold);
+}
+
+std::vector<std::pair<int, double>> ObjectsAboveThreshold(
+    const ArspResult& result, const DatasetView& view, double threshold) {
+  std::vector<std::pair<int, double>> ranked = TopKObjects(result, view, -1);
   auto cut = std::find_if(ranked.begin(), ranked.end(),
                           [threshold](const std::pair<int, double>& e) {
                             return e.second < threshold;
@@ -47,9 +51,14 @@ std::vector<std::pair<int, double>> TopKInstances(const ArspResult& result,
 double ThresholdForObjectCount(const ArspResult& result,
                                const UncertainDataset& dataset,
                                int max_objects) {
+  return ThresholdForObjectCount(result, DatasetView(dataset), max_objects);
+}
+
+double ThresholdForObjectCount(const ArspResult& result,
+                               const DatasetView& view, int max_objects) {
   ARSP_CHECK(max_objects >= 1);
   const std::vector<std::pair<int, double>> ranked =
-      TopKObjects(result, dataset, max_objects);
+      TopKObjects(result, view, max_objects);
   if (ranked.empty()) return 0.0;
   return ranked.back().second;
 }

@@ -24,6 +24,10 @@ std::vector<std::pair<int, double>> ObjectsAboveThreshold(
     const ArspResult& result, const UncertainDataset& dataset,
     double threshold);
 
+/// View variant; pairs carry base object ids (see TopKObjects).
+std::vector<std::pair<int, double>> ObjectsAboveThreshold(
+    const ArspResult& result, const DatasetView& view, double threshold);
+
 /// Instances whose rskyline probability is at least `threshold`, sorted by
 /// descending probability. Pairs of (instance id, probability).
 std::vector<std::pair<int, double>> InstancesAboveThreshold(
@@ -41,6 +45,10 @@ std::vector<std::pair<int, double>> TopKInstances(const ArspResult& result,
 double ThresholdForObjectCount(const ArspResult& result,
                                const UncertainDataset& dataset,
                                int max_objects);
+
+/// View variant of ThresholdForObjectCount.
+double ThresholdForObjectCount(const ArspResult& result,
+                               const DatasetView& view, int max_objects);
 
 }  // namespace arsp
 

@@ -237,7 +237,7 @@ std::string SolverOptions::CacheKey() const {
 
 // -------------------------------------------------------------- context
 
-// Lazy accessors nest (mapped_instances() -> mapper() -> region()); only the
+// Lazy accessors nest (scores() -> mapper() -> region()); only the
 // outermost timer records, so a shared wall-clock span is counted once.
 // Instances only live inside accessor bodies that hold mu_, which makes the
 // depth counter and the accumulated total safe under concurrency.
@@ -260,15 +260,54 @@ class ExecutionContext::SetupTimer {
 
 ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
                                    PreferenceRegion region)
-    : dataset_(&dataset), region_(std::move(region)) {}
+    : ExecutionContext(DatasetView(dataset), std::move(region)) {}
+
+ExecutionContext::ExecutionContext(DatasetView view, PreferenceRegion region)
+    : view_(std::move(view)), region_(std::move(region)) {
+  ARSP_CHECK_MSG(view_.valid(), "ExecutionContext over an invalid view");
+}
 
 ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
                                    WeightRatioConstraints wr)
-    : dataset_(&dataset), wr_(std::move(wr)) {
-  ARSP_CHECK_MSG(dataset.num_instances() == 0 || dataset.dim() == wr_->dim(),
+    : ExecutionContext(DatasetView(dataset), std::move(wr)) {}
+
+ExecutionContext::ExecutionContext(DatasetView view, WeightRatioConstraints wr)
+    : view_(std::move(view)), wr_(std::move(wr)) {
+  ARSP_CHECK_MSG(view_.valid(), "ExecutionContext over an invalid view");
+  ARSP_CHECK_MSG(view_.num_instances() == 0 || view_.dim() == wr_->dim(),
                  "weight ratio constraints are for dimension %d but the "
                  "dataset has dimension %d",
-                 wr_->dim(), dataset.dim());
+                 wr_->dim(), view_.dim());
+}
+
+ExecutionContext::ExecutionContext(
+    std::shared_ptr<const ExecutionContext> parent, DatasetView view)
+    : view_(std::move(view)), wr_(parent->wr_), parent_(std::move(parent)) {}
+
+std::shared_ptr<ExecutionContext> ExecutionContext::Derive(
+    std::shared_ptr<const ExecutionContext> parent, DatasetView view) {
+  ARSP_CHECK_MSG(parent != nullptr, "Derive: null parent context");
+  ARSP_CHECK_MSG(view.valid(), "Derive: invalid view");
+  const DatasetView& parent_view = parent->view();
+  ARSP_CHECK_MSG(&view.base() == &parent_view.base(),
+                 "Derive: view windows a different base dataset than the "
+                 "parent context");
+  // Containment: every child instance must be visible through the parent
+  // (cheap for the prefix ⊆ prefix case that dominates in practice).
+  if (!parent_view.is_full()) {
+    if (view.is_prefix() && parent_view.is_prefix()) {
+      ARSP_CHECK_MSG(view.num_instances() <= parent_view.num_instances(),
+                     "Derive: prefix view extends past the parent's prefix");
+    } else {
+      for (int i = 0; i < view.num_instances(); ++i) {
+        ARSP_CHECK_MSG(
+            parent_view.LocalInstanceOf(view.base_instance_id(i)) >= 0,
+            "Derive: view instance %d is outside the parent's view", i);
+      }
+    }
+  }
+  return std::shared_ptr<ExecutionContext>(
+      new ExecutionContext(std::move(parent), std::move(view)));
 }
 
 const WeightRatioConstraints& ExecutionContext::weight_ratios() const {
@@ -279,70 +318,96 @@ const WeightRatioConstraints& ExecutionContext::weight_ratios() const {
 
 const PreferenceRegion& ExecutionContext::region() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!region_.has_value()) {
-    SetupTimer timer(this);
-    region_ = PreferenceRegion::FromWeightRatios(weight_ratios());
+  if (region_ptr_ == nullptr) {
+    if (region_.has_value()) {
+      region_ptr_ = &*region_;
+    } else if (parent_ != nullptr) {
+      SetupTimer timer(this);  // charges parent work this call triggers
+      region_ptr_ = &parent_->region();
+    } else {
+      SetupTimer timer(this);
+      region_ = PreferenceRegion::FromWeightRatios(weight_ratios());
+      region_ptr_ = &*region_;
+    }
   }
-  return *region_;
+  return *region_ptr_;
 }
 
 const ScoreMapper& ExecutionContext::mapper() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!mapper_.has_value()) {
-    SetupTimer timer(this);
-    mapper_.emplace(region());
+  if (mapper_ptr_ == nullptr) {
+    if (parent_ != nullptr) {
+      SetupTimer timer(this);
+      mapper_ptr_ = &parent_->mapper();
+    } else {
+      SetupTimer timer(this);
+      mapper_.emplace(region());
+      mapper_ptr_ = &*mapper_;
+    }
   }
-  return *mapper_;
+  return *mapper_ptr_;
 }
 
-const std::vector<MappedInstance>& ExecutionContext::mapped_instances()
-    const {
+ScoreSpan ExecutionContext::scores() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!mapped_.has_value()) {
-    SetupTimer timer(this);
-    const ScoreMapper& map = mapper();
-    std::vector<MappedInstance> mapped;
-    mapped.reserve(static_cast<size_t>(dataset_->num_instances()));
-    for (const Instance& inst : dataset_->instances()) {
-      mapped.push_back(MappedInstance{map.Map(inst.point), inst.prob,
-                                      inst.object_id, inst.instance_id});
+  if (span_ready_) return span_;
+  SetupTimer timer(this);
+  if (parent_ != nullptr && view_.is_prefix() &&
+      parent_->view().is_prefix()) {
+    // Prefix-of-prefix: local ids agree, so the parent's buffer truncated
+    // to this view's instance count IS this view's buffer. Zero copies.
+    span_ = parent_->scores().Prefix(view_.num_instances());
+    ++index_stats_.score_reuses;
+  } else {
+    if (parent_ != nullptr) {
+      // Subset: gather the parent's already-mapped rows (memcpy per row
+      // beats redoing d'·d multiplications); the parent span itself may be
+      // zero-copy storage higher up the derivation chain.
+      scores_ = parent_->scores().Gather(parent_->view(), view_);
+      ++index_stats_.score_reuses;
+    } else {
+      scores_ = mapper().MapView(view_);
+      ++index_stats_.score_maps;
     }
-    mapped_ = std::move(mapped);
+    span_ = ScoreSpan::Of(*scores_);
   }
-  return *mapped_;
+  span_ready_ = true;
+  return span_;
 }
 
 const KdTree& ExecutionContext::instance_kdtree() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!kdtree_.has_value()) {
+  if (kdtree_ptr_ == nullptr) {
     SetupTimer timer(this);
-    std::vector<KdItem> items;
-    items.reserve(static_cast<size_t>(dataset_->num_instances()));
-    for (const Instance& inst : dataset_->instances()) {
-      items.push_back(KdItem{inst.point, inst.instance_id, inst.prob});
+    if (parent_ != nullptr) {
+      kdtree_ptr_ = &parent_->instance_kdtree();
+      ++index_stats_.parent_index_hits;
+    } else {
+      kdtree_.emplace(KdTree::FromView(view_));
+      kdtree_ptr_ = &*kdtree_;
+      ++index_stats_.kdtree_builds;
     }
-    kdtree_.emplace(std::move(items));
   }
-  return *kdtree_;
+  return *kdtree_ptr_;
 }
 
 std::shared_ptr<const RTree> ExecutionContext::instance_rtree(
     int fanout) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (parent_ != nullptr) {
+    SetupTimer timer(this);
+    ++index_stats_.parent_index_hits;
+    return parent_->instance_rtree(fanout);
+  }
   const auto it = rtrees_.find(fanout);
   if (it != rtrees_.end()) {
     it->second.last_used = ++rtree_tick_;
     return it->second.tree;
   }
   SetupTimer timer(this);
-  std::vector<RTree::LeafEntry> entries;
-  entries.reserve(static_cast<size_t>(dataset_->num_instances()));
-  for (const Instance& inst : dataset_->instances()) {
-    entries.push_back(
-        RTree::LeafEntry{inst.point, inst.prob, inst.instance_id});
-  }
   auto tree = std::make_shared<const RTree>(
-      RTree::BulkLoad(dataset_->dim(), std::move(entries), fanout));
+      RTree::BulkLoadFromView(view_, fanout));
+  ++index_stats_.rtree_builds;
   // Bound the cache: drop the least-recently-used fan-out first (in-flight
   // users of an evicted tree keep it alive through their shared_ptr).
   if (rtrees_.size() >= kMaxCachedRtrees) EvictLeastRecentlyUsed(rtrees_);
@@ -353,13 +418,14 @@ std::shared_ptr<const RTree> ExecutionContext::instance_rtree(
 bool ExecutionContext::single_instance_objects() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!single_instance_.has_value()) {
-    bool single = true;
-    for (int j = 0; j < dataset_->num_objects() && single; ++j) {
-      single = dataset_->object_size(j) == 1;
-    }
-    single_instance_ = single;
+    single_instance_ = view_.single_instance_objects();
   }
   return *single_instance_;
+}
+
+ExecutionContext::IndexBuildStats ExecutionContext::index_build_stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return index_stats_;
 }
 
 double ExecutionContext::total_setup_millis() const {

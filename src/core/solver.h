@@ -11,9 +11,12 @@
 //                        so drivers never hand-roll string dispatch.
 //  * ExecutionContext  — owns the once-per-query preprocessing every solver
 //                        would otherwise recompute: the §III-B score-space
-//                        mapping SV(·), the mapped instance set, query-
-//                        independent index structures over the original
-//                        points, and the instrumentation of the last run.
+//                        mapping SV(·), the SoA score storage the traversal
+//                        solvers iterate, query-independent index structures
+//                        over the original points, and the instrumentation
+//                        of the last run. Contexts target a DatasetView and
+//                        can be Derived from a parent context, inheriting
+//                        its artifacts (the zero-copy data plane).
 //
 // Adding a solver: subclass ArspSolver in the algorithm's .cc file, register
 // it with ARSP_REGISTER_SOLVER, and (for solvers built into libarsp) add a
@@ -40,19 +43,10 @@
 #include "src/prefs/preference_region.h"
 #include "src/prefs/score_mapper.h"
 #include "src/prefs/weight_ratio.h"
+#include "src/uncertain/dataset_view.h"
 #include "src/uncertain/uncertain_dataset.h"
 
 namespace arsp {
-
-/// An instance mapped into the d'-dimensional score space SV(·) (§III-B),
-/// where F-dominance is coordinate dominance (Theorem 2). Shared by every
-/// tree-traversal solver through ExecutionContext::mapped_instances().
-struct MappedInstance {
-  Point point;
-  double prob;
-  int object;
-  int instance_id;
-};
 
 /// Capability flags: what a solver needs from the query, and cost classes
 /// that let harnesses budget runtime without naming algorithms.
@@ -180,67 +174,133 @@ class ArspSolver {
   virtual StatusOr<ArspResult> SolveImpl(ExecutionContext& context) = 0;
 };
 
-/// Once-per-query state shared across solvers: the dataset, the constraint
+/// Once-per-query state shared across solvers: a DatasetView (the query
+/// target — a whole dataset or a zero-copy window of one), the constraint
 /// family, and lazily computed (then cached) preprocessing artifacts. The
-/// dataset must outlive the context; constraints are copied in.
+/// view's base dataset must outlive the context (or be owned by the view);
+/// constraints are copied in.
+///
+/// Contexts form a derivation tree: Derive(parent, view) builds a child
+/// context over a sub-view that inherits every view-independent artifact
+/// from its parent — the preference region, the SV(·) mapper, and the
+/// full-coverage kd-/R-trees (probed with the child view's id filter) — and
+/// reuses the parent's SoA score storage where the numbering allows it
+/// (zero-copy span truncation for prefix views, row gather for subsets).
+/// An m% sweep derived from one base context therefore performs exactly one
+/// full index build; index_build_stats() exposes the counters tests assert
+/// this with.
 ///
 /// Lazy initialization is thread-safe: accessors serialize on an internal
 /// (recursive — they nest) mutex, and every artifact is immutable once
 /// built, so ArspEngine can run many solvers against one pooled context
-/// concurrently; threads only contend during first touch.
+/// concurrently; threads only contend during first touch. Child contexts
+/// lock themselves, then (on first touch) their parent — never the reverse,
+/// so the hierarchy cannot deadlock.
 class ExecutionContext {
  public:
   /// Context for a general preference region (weak ranking, interactive, or
   /// custom vertex sets).
   ExecutionContext(const UncertainDataset& dataset, PreferenceRegion region);
+  ExecutionContext(DatasetView view, PreferenceRegion region);
 
   /// Context for weight ratio constraints. General-F solvers derive the
   /// preference region lazily through region(); DUAL-family solvers read the
   /// ratios directly.
   ExecutionContext(const UncertainDataset& dataset,
                    WeightRatioConstraints wr);
+  ExecutionContext(DatasetView view, WeightRatioConstraints wr);
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
-  const UncertainDataset& dataset() const { return *dataset_; }
+  /// Child context over `view` with the parent's constraints. `view` must
+  /// window the same base dataset and be contained in the parent's view
+  /// (checked). The child shares the parent's constraint artifacts and
+  /// index structures instead of rebuilding them.
+  static std::shared_ptr<ExecutionContext> Derive(
+      std::shared_ptr<const ExecutionContext> parent, DatasetView view);
+
+  /// The base dataset behind the view.
+  const UncertainDataset& dataset() const { return view_.base(); }
+
+  /// The query target. Solvers read instances exclusively through this
+  /// (local ids) or through scores().
+  const DatasetView& view() const { return view_; }
+
+  /// The parent this context was derived from, or nullptr.
+  const ExecutionContext* parent() const { return parent_.get(); }
 
   bool has_weight_ratios() const { return wr_.has_value(); }
   /// The weight ratio constraints; only valid when has_weight_ratios().
   const WeightRatioConstraints& weight_ratios() const;
 
   /// The preference region Ω; derived from the weight ratios on first use
-  /// when the context was built from them.
+  /// when the context was built from them. Shared with the parent when
+  /// derived.
   const PreferenceRegion& region() const;
 
-  /// The §III-B score mapper SV(·) for region(). Cached.
+  /// The §III-B score mapper SV(·) for region(). Cached; shared with the
+  /// parent when derived.
   const ScoreMapper& mapper() const;
 
-  /// Every instance mapped by mapper(), in instance-id order. Computed once
-  /// and shared by all tree-traversal solvers on this context.
-  const std::vector<MappedInstance>& mapped_instances() const;
+  /// SoA score storage of the view's instances (row i = local instance i,
+  /// local object ids): what every tree-traversal solver iterates. Prefix
+  /// views derived from a parent return a truncated window over the
+  /// parent's buffer — zero copies; subset views gather rows from a parent
+  /// buffer that already exists, else map their own rows.
+  ScoreSpan scores() const;
 
-  /// Kd-tree over the original instance points (weights = probabilities),
-  /// query-independent. Cached; used by the DUAL half-space probes.
+  /// Kd-tree over the view's original instance points (weights =
+  /// probabilities, ids = base instance ids), query-independent; used by
+  /// the DUAL half-space probes. Derived contexts return the parent's tree
+  /// (full coverage — callers filter by view().LocalInstanceOf and prune by
+  /// view().id_bound()); root contexts build from their view once.
   const KdTree& instance_kdtree() const;
 
-  /// STR-bulk-loaded R-tree over the original instance points with the given
-  /// fan-out. Cached per fan-out value, so callers alternating fan-outs
-  /// (ablation benches, mixed batch queries) never rebuild. The cache holds
-  /// at most kMaxCachedRtrees trees (long-lived pooled contexts must not
-  /// grow one dataset-sized tree per distinct fan-out ever requested);
-  /// shared ownership keeps a caller's tree valid across eviction.
+  /// STR-bulk-loaded R-tree over the view's original instance points (ids =
+  /// base instance ids) with the given fan-out; same sharing rules as
+  /// instance_kdtree. Cached per fan-out value, so callers alternating
+  /// fan-outs (ablation benches, mixed batch queries) never rebuild. The
+  /// cache holds at most kMaxCachedRtrees trees (long-lived pooled contexts
+  /// must not grow one dataset-sized tree per distinct fan-out ever
+  /// requested); shared ownership keeps a caller's tree valid across
+  /// eviction.
   std::shared_ptr<const RTree> instance_rtree(int fanout) const;
 
   /// Bound on distinct fan-outs cached by instance_rtree.
   static constexpr size_t kMaxCachedRtrees = 8;
 
-  /// True iff every object has exactly one instance (the IIP regime).
+  /// True iff every object in the view has exactly one instance (the IIP
+  /// regime).
   bool single_instance_objects() const;
+
+  /// Data-plane instrumentation: what this context built itself versus
+  /// served through its parent. A sweep of derived views over one base
+  /// context must show exactly one full kd/R build in the whole tree.
+  struct IndexBuildStats {
+    int64_t kdtree_builds = 0;   ///< kd-trees this context built
+    int64_t rtree_builds = 0;    ///< R-trees this context bulk-loaded
+    int64_t score_maps = 0;      ///< SoA buffers filled by dot-product runs
+    int64_t score_reuses = 0;    ///< spans served from the parent's buffer
+    int64_t parent_index_hits = 0;  ///< index requests served by the parent
+
+    /// Field-wise accumulation — the one place that must know every
+    /// counter, so aggregators (engine, CLI, tests) cannot drift.
+    IndexBuildStats& operator+=(const IndexBuildStats& other) {
+      kdtree_builds += other.kdtree_builds;
+      rtree_builds += other.rtree_builds;
+      score_maps += other.score_maps;
+      score_reuses += other.score_reuses;
+      parent_index_hits += other.parent_index_hits;
+      return *this;
+    }
+  };
+  IndexBuildStats index_build_stats() const;
 
   /// Total lazy-preprocessing wall time paid on this context so far, in
   /// milliseconds. Monotonic; ArspSolver::Solve diffs it around a run to
-  /// attribute the setup that run triggered.
+  /// attribute the setup that run triggered. Parent work triggered through
+  /// a derived context is charged to the derived context's total too.
   double total_setup_millis() const;
 
   /// Instrumentation of the most recent ArspSolver::Solve on this context
@@ -254,15 +314,24 @@ class ExecutionContext {
   // Accumulates lazy-preprocessing wall time into total_setup_millis_.
   class SetupTimer;
 
-  const UncertainDataset* dataset_;
+  ExecutionContext(std::shared_ptr<const ExecutionContext> parent,
+                   DatasetView view);
+
+  DatasetView view_;
   std::optional<WeightRatioConstraints> wr_;
+  std::shared_ptr<const ExecutionContext> parent_;  // nullptr for roots
   // mu_ guards every mutable member below. Recursive because the lazy
-  // accessors nest (mapped_instances() -> mapper() -> region()).
+  // accessors nest (scores() -> mapper() -> region()).
   mutable std::recursive_mutex mu_;
   mutable std::optional<PreferenceRegion> region_;
   mutable std::optional<ScoreMapper> mapper_;
-  mutable std::optional<std::vector<MappedInstance>> mapped_;
+  mutable const PreferenceRegion* region_ptr_ = nullptr;  // own or parent's
+  mutable const ScoreMapper* mapper_ptr_ = nullptr;       // own or parent's
+  mutable std::optional<ScoreBuffer> scores_;  // owned storage, when any
+  mutable ScoreSpan span_;                     // handed to solvers
+  mutable bool span_ready_ = false;
   mutable std::optional<KdTree> kdtree_;
+  mutable const KdTree* kdtree_ptr_ = nullptr;  // own or parent's
   struct CachedRtree {
     std::shared_ptr<const RTree> tree;
     uint64_t last_used = 0;  ///< tick of the most recent request
@@ -271,6 +340,7 @@ class ExecutionContext {
   mutable std::map<int, CachedRtree> rtrees_;  // keyed by fan-out
   mutable uint64_t rtree_tick_ = 0;
   mutable std::optional<bool> single_instance_;
+  mutable IndexBuildStats index_stats_;
   mutable int setup_depth_ = 0;
   mutable double total_setup_millis_ = 0.0;
   mutable SolverStats stats_;

@@ -72,6 +72,23 @@ class Point {
 /// distinct instances does not require strict inequality in any coordinate.
 bool DominatesWeak(const Point& a, const Point& b);
 
+/// Raw-row variant of DominatesWeak for structure-of-arrays storage
+/// (ScoreSpan rows): a ⪯ b over `dim` contiguous coordinates.
+inline bool DominatesWeak(const double* a, const double* b, int dim) {
+  for (int i = 0; i < dim; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+/// Exact coordinate equality over `dim` contiguous coordinates.
+inline bool CoordsEqual(const double* a, const double* b, int dim) {
+  for (int i = 0; i < dim; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
 /// Returns true iff a ⪯ b and a != b (a dominates b in the classic skyline
 /// sense: no worse anywhere, strictly better somewhere).
 bool DominatesStrict(const Point& a, const Point& b);

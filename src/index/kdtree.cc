@@ -4,7 +4,19 @@
 
 #include <algorithm>
 
+#include "src/uncertain/dataset_view.h"
+
 namespace arsp {
+
+KdTree KdTree::FromView(const DatasetView& view, int leaf_size) {
+  std::vector<KdItem> items;
+  items.reserve(static_cast<size_t>(view.num_instances()));
+  for (int i = 0; i < view.num_instances(); ++i) {
+    items.push_back(KdItem{view.point(i), view.base_instance_id(i),
+                           view.prob(i)});
+  }
+  return KdTree(std::move(items), leaf_size);
+}
 
 KdTree::KdTree(std::vector<KdItem> items, int leaf_size)
     : dim_(items.empty() ? 0 : items.front().point.dim()),
@@ -27,12 +39,15 @@ int KdTree::Build(int begin, int end, int leaf_size) {
     node.end = end;
     Mbr box = Mbr::Empty(dim_);
     double sum = 0.0;
+    int min_id = kNoIdBound;
     for (int i = begin; i < end; ++i) {
       box.Extend(items_[static_cast<size_t>(i)].point);
       sum += items_[static_cast<size_t>(i)].weight;
+      min_id = std::min(min_id, items_[static_cast<size_t>(i)].id);
     }
     node.mbr = box;
     node.weight_sum = sum;
+    node.min_id = min_id;
   }
   if (end - begin <= leaf_size) return node_idx;
 

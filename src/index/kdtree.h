@@ -12,6 +12,7 @@
 #ifndef ARSP_INDEX_KDTREE_H_
 #define ARSP_INDEX_KDTREE_H_
 
+#include <utility>
 #include <vector>
 
 #include "src/geometry/hyperplane.h"
@@ -19,6 +20,8 @@
 #include "src/geometry/point.h"
 
 namespace arsp {
+
+class DatasetView;
 
 /// A point with an integer payload id and a weight (existence probability
 /// for uncertain instances; 1.0 for certain data).
@@ -29,11 +32,23 @@ struct KdItem {
 };
 
 /// Immutable kd-tree with subtree weight aggregation.
+///
+/// Prefix reuse: every node tracks the minimum item id in its subtree, and
+/// the reporting probes accept an `id_bound` that skips items with
+/// id >= bound — subtrees consisting entirely of such items are pruned
+/// wholesale. A tree built over a full dataset (ids = base instance ids)
+/// therefore serves every object-prefix DatasetView exactly, with no
+/// per-prefix rebuild: the prefix's id_bound() is the bound.
 class KdTree {
  public:
   /// Builds the tree over `items` (may be empty). `leaf_size` bounds the
   /// bucket size at leaves.
   explicit KdTree(std::vector<KdItem> items, int leaf_size = 16);
+
+  /// Builds over the instances of a DatasetView; item ids are *base*
+  /// instance ids (so view.LocalInstanceOf translates probe hits uniformly
+  /// whether the tree was built from this view or shared from the base).
+  static KdTree FromView(const DatasetView& view, int leaf_size = 16);
 
   int size() const { return static_cast<int>(items_.size()); }
   int dim() const { return dim_; }
@@ -56,8 +71,16 @@ class KdTree {
   template <typename Fn>
   void ForEachInBoxBelow(const Mbr& box, const Hyperplane& hp, double eps,
                          Fn&& fn) const {
+    ForEachInBoxBelow(box, hp, eps, kNoIdBound, std::forward<Fn>(fn));
+  }
+
+  /// Prefix-reuse variant: items with id >= id_bound are skipped, and
+  /// subtrees whose minimum id is >= id_bound are pruned without descent.
+  template <typename Fn>
+  void ForEachInBoxBelow(const Mbr& box, const Hyperplane& hp, double eps,
+                         int id_bound, Fn&& fn) const {
     if (nodes_.empty()) return;
-    VisitBoxBelow<Fn>(0, box, hp, eps, fn);
+    VisitBoxBelow<Fn>(0, box, hp, eps, id_bound, fn);
   }
 
   /// True iff some point with id != exclude_id lies inside `box` and below
@@ -66,6 +89,8 @@ class KdTree {
                         int exclude_id) const;
 
  private:
+  static constexpr int kNoIdBound = 2147483647;  // INT_MAX
+
   struct Node {
     Mbr mbr;
     double weight_sum = 0.0;
@@ -73,6 +98,7 @@ class KdTree {
     int right = -1;
     int begin = 0;    // item range [begin, end) for leaves
     int end = 0;
+    int min_id = 0;   // minimum item id in the subtree (prefix pruning)
     bool is_leaf() const { return left < 0; }
   };
 
@@ -99,21 +125,23 @@ class KdTree {
 
   template <typename Fn>
   void VisitBoxBelow(int node_idx, const Mbr& box, const Hyperplane& hp,
-                     double eps, Fn& fn) const {
+                     double eps, int id_bound, Fn& fn) const {
     const Node& node = nodes_[static_cast<size_t>(node_idx)];
+    if (node.min_id >= id_bound) return;  // subtree is all out-of-prefix
     if (!box.Intersects(node.mbr)) return;
     if (MinSignedDistance(node.mbr, hp) > eps) return;  // fully above
     if (node.is_leaf()) {
       for (int i = node.begin; i < node.end; ++i) {
         const KdItem& item = items_[static_cast<size_t>(i)];
+        if (item.id >= id_bound) continue;
         if (box.Contains(item.point) && hp.SignedDistance(item.point) <= eps) {
           fn(item);
         }
       }
       return;
     }
-    VisitBoxBelow(node.left, box, hp, eps, fn);
-    VisitBoxBelow(node.right, box, hp, eps, fn);
+    VisitBoxBelow(node.left, box, hp, eps, id_bound, fn);
+    VisitBoxBelow(node.right, box, hp, eps, id_bound, fn);
   }
 
   bool ExistsRec(int node_idx, const Mbr& box, const Hyperplane& hp,

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/uncertain/dataset_view.h"
+
 namespace arsp {
 
 RTree::RTree(int dim, int max_entries) : dim_(dim), max_entries_(max_entries) {
@@ -22,19 +24,23 @@ void RTree::RecomputeNode(Node* node) {
                                                : node->entries_.front()
                                                      .point.dim()));
   double sum = 0.0;
+  int min_id = 2147483647;  // INT_MAX
   if (node->is_leaf()) {
     for (const LeafEntry& e : node->entries_) {
       box.Extend(e.point);
       sum += e.weight;
+      min_id = std::min(min_id, e.id);
     }
   } else {
     for (const auto& child : node->children_) {
       box.Extend(child->mbr_);
       sum += child->weight_sum_;
+      min_id = std::min(min_id, child->min_id_);
     }
   }
   node->mbr_ = box;
   node->weight_sum_ = sum;
+  node->min_id_ = min_id;
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +89,16 @@ RTree RTree::BulkLoad(int dim, std::vector<LeafEntry> entries,
         tree.BuildStr(&entries, 0, static_cast<int>(entries.size()), 0);
   }
   return tree;
+}
+
+RTree RTree::BulkLoadFromView(const DatasetView& view, int max_entries) {
+  std::vector<LeafEntry> entries;
+  entries.reserve(static_cast<size_t>(view.num_instances()));
+  for (int i = 0; i < view.num_instances(); ++i) {
+    entries.push_back(
+        LeafEntry{view.point(i), view.prob(i), view.base_instance_id(i)});
+  }
+  return BulkLoad(view.dim(), std::move(entries), max_entries);
 }
 
 // ---------------------------------------------------------------------------

@@ -17,8 +17,15 @@
 
 namespace arsp {
 
+class DatasetView;
+
 /// Dynamic R-tree (quadratic-split insertion, STR bulk load) storing points
-/// with an id and a weight; internal nodes cache subtree weight sums.
+/// with an id and a weight; internal nodes cache subtree weight sums and the
+/// minimum entry id of their subtree. The min-id aggregate is the prefix-
+/// reuse hook: a traversal serving an object-prefix DatasetView skips any
+/// subtree with min_id() >= the view's id_bound() — the whole subtree is
+/// delta data the prefix has not reached — so one bulk load over the full
+/// dataset serves every prefix without rebuilding.
 class RTree {
  public:
   /// A point stored at a leaf.
@@ -35,6 +42,9 @@ class RTree {
     bool is_leaf() const { return children_.empty(); }
     const Mbr& mbr() const { return mbr_; }
     double weight_sum() const { return weight_sum_; }
+    /// Minimum entry id in the subtree (INT_MAX for an empty node); lets
+    /// prefix-view traversals prune all-delta subtrees without descent.
+    int min_id() const { return min_id_; }
     const std::vector<std::unique_ptr<Node>>& children() const {
       return children_;
     }
@@ -44,6 +54,7 @@ class RTree {
     friend class RTree;
     Mbr mbr_;
     double weight_sum_ = 0.0;
+    int min_id_ = 2147483647;                      // INT_MAX
     std::vector<std::unique_ptr<Node>> children_;  // internal nodes
     std::vector<LeafEntry> entries_;               // leaf nodes
   };
@@ -55,6 +66,11 @@ class RTree {
   /// insertion for static data.
   static RTree BulkLoad(int dim, std::vector<LeafEntry> entries,
                         int max_entries = 16);
+
+  /// Bulk load over the instances of a DatasetView; entry ids are *base*
+  /// instance ids, matching the id convention of shared full-dataset trees
+  /// (probe hits translate through view.LocalInstanceOf either way).
+  static RTree BulkLoadFromView(const DatasetView& view, int max_entries = 16);
 
   int dim() const { return dim_; }
   int size() const { return size_; }

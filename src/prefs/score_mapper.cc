@@ -1,5 +1,46 @@
 // Copyright 2026 The ARSP Authors.
-//
-// ScoreMapper is header-only; this translation unit anchors the target.
 
 #include "src/prefs/score_mapper.h"
+
+#include <cstring>
+
+namespace arsp {
+
+ScoreBuffer ScoreSpan::Gather(const DatasetView& source_view,
+                              const DatasetView& view) const {
+  ScoreBuffer out;
+  out.dim = dim;
+  const int count = view.num_instances();
+  out.coords.resize(static_cast<size_t>(count) * static_cast<size_t>(dim));
+  out.probs.resize(static_cast<size_t>(count));
+  out.objects.resize(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int source = source_view.LocalInstanceOf(view.base_instance_id(i));
+    ARSP_CHECK_MSG(source >= 0 && source < n,
+                   "Gather: view instance %d is outside the source span", i);
+    std::memcpy(out.coords.data() +
+                    static_cast<size_t>(i) * static_cast<size_t>(dim),
+                row(source), sizeof(double) * static_cast<size_t>(dim));
+    out.probs[static_cast<size_t>(i)] = prob(source);
+    out.objects[static_cast<size_t>(i)] = view.object_of(i);
+  }
+  return out;
+}
+
+ScoreBuffer ScoreMapper::MapView(const DatasetView& view) const {
+  ScoreBuffer out;
+  out.dim = mapped_dim();
+  const int n = view.num_instances();
+  out.coords.resize(static_cast<size_t>(n) * static_cast<size_t>(out.dim));
+  out.probs.resize(static_cast<size_t>(n));
+  out.objects.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    MapInto(view.point(i), out.coords.data() + static_cast<size_t>(i) *
+                                                   static_cast<size_t>(out.dim));
+    out.probs[static_cast<size_t>(i)] = view.prob(i);
+    out.objects[static_cast<size_t>(i)] = view.object_of(i);
+  }
+  return out;
+}
+
+}  // namespace arsp

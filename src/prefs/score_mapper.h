@@ -4,6 +4,15 @@
 // tree-traversal algorithms (§III-B): by Theorem 2, t ≺F s in the original
 // space iff SV(t) ⪯ SV(s) (coordinate dominance) in the mapped space, which
 // turns ARSP into the classic ASP problem in d' dimensions.
+//
+// Mapped scores are stored structure-of-arrays (ScoreBuffer): one contiguous
+// coordinate array (row-major, d' doubles per instance), one probability
+// array, one local-object-id array. The §III–§IV hot loops touch exactly
+// these three streams, so SoA keeps them dense instead of striding over
+// vector-of-struct Instance records. Solvers consume a ScoreSpan — a
+// non-owning window — which is how a prefix DatasetView shares its parent's
+// buffer with zero copies (the first n rows of the full buffer *are* the
+// prefix's buffer, local ids included).
 
 #ifndef ARSP_PREFS_SCORE_MAPPER_H_
 #define ARSP_PREFS_SCORE_MAPPER_H_
@@ -12,8 +21,61 @@
 
 #include "src/geometry/point.h"
 #include "src/prefs/preference_region.h"
+#include "src/uncertain/dataset_view.h"
 
 namespace arsp {
+
+/// Owned structure-of-arrays score storage for one DatasetView, in local
+/// instance order (row index == local instance id).
+struct ScoreBuffer {
+  int dim = 0;                 ///< mapped dimensionality d'
+  std::vector<double> coords;  ///< size() * dim, row-major
+  std::vector<double> probs;   ///< instance probabilities
+  std::vector<int> objects;    ///< local object ids
+
+  int size() const { return static_cast<int>(probs.size()); }
+  const double* row(int i) const {
+    return coords.data() + static_cast<size_t>(i) * static_cast<size_t>(dim);
+  }
+};
+
+/// Non-owning window over score storage — what solvers iterate. Plain
+/// pointers so a span can alias either its context's own buffer or a parent
+/// context's (zero-copy prefix reuse).
+struct ScoreSpan {
+  const double* coords = nullptr;
+  const double* probs = nullptr;
+  const int* objects = nullptr;
+  int n = 0;
+  int dim = 0;
+
+  const double* row(int i) const {
+    return coords + static_cast<size_t>(i) * static_cast<size_t>(dim);
+  }
+  double prob(int i) const { return probs[static_cast<size_t>(i)]; }
+  int object(int i) const { return objects[static_cast<size_t>(i)]; }
+
+  static ScoreSpan Of(const ScoreBuffer& buffer) {
+    return ScoreSpan{buffer.coords.data(), buffer.probs.data(),
+                     buffer.objects.data(), buffer.size(), buffer.dim};
+  }
+
+  /// The window truncated to its first `count` rows. Exact for prefix views
+  /// over the span's view: local ids below `count` are unaffected.
+  ScoreSpan Prefix(int count) const {
+    ScoreSpan out = *this;
+    out.n = count;
+    return out;
+  }
+
+  /// Compacts rows of this span (scores of `source_view`, addressed by its
+  /// local ids) down to `view`'s instances, remapping object ids to
+  /// view-local ones. `view` must be contained in `source_view`. Used by
+  /// derived subset contexts to reuse an already-mapped parent buffer
+  /// (memcpy per row) instead of redoing dot products.
+  ScoreBuffer Gather(const DatasetView& source_view,
+                     const DatasetView& view) const;
+};
 
 /// Maps points from the d-dimensional data space to the d'-dimensional
 /// score space spanned by the preference region's vertices.
@@ -27,14 +89,21 @@ class ScoreMapper {
   /// Mapped dimensionality d' = |V|.
   int mapped_dim() const { return static_cast<int>(vertices_->size()); }
 
-  /// SV(t): the i-th output coordinate is the score of t under vertex ω_i.
-  Point Map(const Point& t) const {
+  /// SV(t) written into `out` (d' doubles) — the SoA row form. Map() and
+  /// MapView() are defined in terms of this, so AoS and SoA scores are
+  /// bit-identical.
+  void MapInto(const Point& t, double* out) const {
     const std::vector<Point>& v = *vertices_;
-    Point out(mapped_dim());
     for (int i = 0; i < mapped_dim(); ++i) {
       out[i] = v[static_cast<size_t>(i)].Dot(t);
     }
-    return out;
+  }
+
+  /// SV(t): the i-th output coordinate is the score of t under vertex ω_i.
+  Point Map(const Point& t) const {
+    std::vector<double> out(static_cast<size_t>(mapped_dim()));
+    MapInto(t, out.data());
+    return Point(std::move(out));
   }
 
   /// Maps a batch of points.
@@ -44,6 +113,10 @@ class ScoreMapper {
     for (const Point& p : points) out.push_back(Map(p));
     return out;
   }
+
+  /// Maps every instance of `view` into a SoA buffer (local instance order,
+  /// local object ids).
+  ScoreBuffer MapView(const DatasetView& view) const;
 
  private:
   const std::vector<Point>* vertices_;

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/common/rng.h"
+#include "src/uncertain/dataset_view.h"
 
 namespace arsp {
 
@@ -260,20 +261,11 @@ std::vector<Point> AggregateByMean(const UncertainDataset& dataset) {
 
 UncertainDataset TakeObjects(const UncertainDataset& dataset, int count) {
   ARSP_CHECK(count >= 1 && count <= dataset.num_objects());
-  UncertainDatasetBuilder builder(dataset.dim());
-  for (int j = 0; j < count; ++j) {
-    const auto [begin, end] = dataset.object_range(j);
-    std::vector<Point> points;
-    std::vector<double> probs;
-    for (int i = begin; i < end; ++i) {
-      points.push_back(dataset.instance(i).point);
-      probs.push_back(dataset.instance(i).prob);
-    }
-    builder.AddObject(std::move(points), std::move(probs));
-  }
-  auto out = builder.Build();
-  ARSP_CHECK(out.ok());
-  return std::move(out).value();
+  // The explicit-copy path: a materialized prefix view. Query paths that
+  // only need to *read* the prefix should use DatasetView directly.
+  return DatasetView::Create(dataset, ViewSpec::Prefix(count))
+      .value()
+      .Materialize();
 }
 
 }  // namespace arsp

@@ -8,26 +8,25 @@ namespace {
 
 constexpr double kProbEps = 1e-9;
 
-void Recurse(const UncertainDataset& dataset, int object_id,
-             PossibleWorld* world,
+void Recurse(const DatasetView& view, int object_id, PossibleWorld* world,
              const std::function<void(const PossibleWorld&)>& fn) {
-  if (object_id == dataset.num_objects()) {
+  if (object_id == view.num_objects()) {
     fn(*world);
     return;
   }
-  const auto [begin, end] = dataset.object_range(object_id);
+  const auto [begin, end] = view.object_range(object_id);
   const double saved_prob = world->prob;
 
   for (int i = begin; i < end; ++i) {
     world->choice[static_cast<size_t>(object_id)] = i;
-    world->prob = saved_prob * dataset.instance(i).prob;
-    Recurse(dataset, object_id + 1, world, fn);
+    world->prob = saved_prob * view.prob(i);
+    Recurse(view, object_id + 1, world, fn);
   }
-  const double absent = 1.0 - dataset.object_prob(object_id);
+  const double absent = 1.0 - view.object_prob(object_id);
   if (absent > kProbEps) {
     world->choice[static_cast<size_t>(object_id)] = -1;
     world->prob = saved_prob * absent;
-    Recurse(dataset, object_id + 1, world, fn);
+    Recurse(view, object_id + 1, world, fn);
   }
   world->prob = saved_prob;
 }
@@ -37,13 +36,19 @@ void Recurse(const UncertainDataset& dataset, int object_id,
 void ForEachPossibleWorld(const UncertainDataset& dataset,
                           const std::function<void(const PossibleWorld&)>& fn,
                           double max_worlds) {
-  ARSP_CHECK_MSG(dataset.NumPossibleWorlds() <= max_worlds,
+  ForEachPossibleWorld(DatasetView(dataset), fn, max_worlds);
+}
+
+void ForEachPossibleWorld(const DatasetView& view,
+                          const std::function<void(const PossibleWorld&)>& fn,
+                          double max_worlds) {
+  ARSP_CHECK_MSG(view.NumPossibleWorlds() <= max_worlds,
                  "possible-world enumeration over %g worlds exceeds limit %g",
-                 dataset.NumPossibleWorlds(), max_worlds);
+                 view.NumPossibleWorlds(), max_worlds);
   PossibleWorld world;
-  world.choice.assign(static_cast<size_t>(dataset.num_objects()), -1);
+  world.choice.assign(static_cast<size_t>(view.num_objects()), -1);
   world.prob = 1.0;
-  Recurse(dataset, 0, &world, fn);
+  Recurse(view, 0, &world, fn);
 }
 
 double WorldProbability(const UncertainDataset& dataset,

@@ -11,12 +11,14 @@
 #include <functional>
 #include <vector>
 
+#include "src/uncertain/dataset_view.h"
 #include "src/uncertain/uncertain_dataset.h"
 
 namespace arsp {
 
-/// One possible world: `choice[j]` is the global instance id the j-th object
-/// materialized as, or -1 when the object is absent.
+/// One possible world: `choice[j]` is the instance id the j-th object
+/// materialized as, or -1 when the object is absent. Ids are local to the
+/// dataset or view being enumerated (identical for full views).
 struct PossibleWorld {
   std::vector<int> choice;
   double prob = 1.0;
@@ -26,6 +28,12 @@ struct PossibleWorld {
 /// (Eq. 1). Aborts if the world count exceeds `max_worlds` — this is a
 /// ground-truth tool for small datasets only.
 void ForEachPossibleWorld(const UncertainDataset& dataset,
+                          const std::function<void(const PossibleWorld&)>& fn,
+                          double max_worlds = 2e7);
+
+/// View variant: enumerates the worlds of the view's objects; choices are
+/// view-local instance ids.
+void ForEachPossibleWorld(const DatasetView& view,
                           const std::function<void(const PossibleWorld&)>& fn,
                           double max_worlds = 2e7);
 

@@ -188,9 +188,9 @@ TEST(Options, CacheKeyIsInjective) {
 TEST(ExecutionContextTest, PreprocessingIsComputedOnceAndShared) {
   const UncertainDataset dataset = RandomDataset(20, 3, 3, 0.0, 6);
   ExecutionContext context(dataset, WrRegion(3, 2));
-  const std::vector<MappedInstance>* mapped = &context.mapped_instances();
-  EXPECT_EQ(mapped, &context.mapped_instances());
-  EXPECT_EQ(static_cast<int>(mapped->size()), dataset.num_instances());
+  const ScoreSpan scores = context.scores();
+  EXPECT_EQ(scores.coords, context.scores().coords);  // same storage
+  EXPECT_EQ(scores.n, dataset.num_instances());
   EXPECT_EQ(&context.instance_kdtree(), &context.instance_kdtree());
 
   // A second solver on the same context pays zero setup: everything lazy

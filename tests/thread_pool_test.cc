@@ -1,0 +1,72 @@
+// Copyright 2026 The ARSP Authors.
+//
+// ThreadPool unit tests, including the hardware_concurrency()==0 fallback:
+// the standard allows std::thread::hardware_concurrency() to return 0 when
+// the platform cannot tell, and DefaultConcurrency must clamp that to a
+// sane worker count (≥ 1) instead of letting callers build a degenerate
+// pool by accident.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+
+namespace arsp {
+namespace {
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsAlwaysPositive) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1);
+  // When the platform reports a count, DefaultConcurrency passes it
+  // through; when it reports 0, the fallback (≥ 1) is used. Either way the
+  // result can never be smaller than both candidates.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(ThreadPool::DefaultConcurrency(), static_cast<int>(hw));
+  } else {
+    EXPECT_EQ(ThreadPool::DefaultConcurrency(),
+              ThreadPool::kFallbackConcurrency);
+  }
+  static_assert(ThreadPool::kFallbackConcurrency >= 1,
+                "fallback must give at least one worker");
+}
+
+TEST(ThreadPoolTest, NonPositiveRequestsClampToOneWorker) {
+  // The 0 that a hardware_concurrency()-derived value used to smuggle in.
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-8);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(ThreadPool::DefaultConcurrency());
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultConcurrency());
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  std::latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 32);
+}
+
+}  // namespace
+}  // namespace arsp

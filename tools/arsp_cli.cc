@@ -11,6 +11,11 @@
 //                                    concurrently through the engine)
 //            [--repeat N]           (re-issue the request list N times; the
 //                                    engine's result cache serves repeats)
+//            [--subset m%[,m%...]]  (run the query per object-prefix view —
+//                                    the paper's Fig. 6 m% sweep — and print
+//                                    a per-subset stats table; views derive
+//                                    their contexts from the base dataset's,
+//                                    so the sweep pays one full index build)
 //            [--algo NAME|auto] [--opt key=value ...] [--stats]
 //            [--topk K] [--threshold P]
 //            [--instances out_instances.csv] [--objects out_objects.csv]
@@ -24,7 +29,9 @@
 // CSV input format: object,prob,attr1,...,attrD (see src/io/csv.h). Lower
 // attribute values are preferred; negate "higher is better" columns.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -45,7 +52,7 @@ void PrintUsage() {
       "usage: arsp_cli --input data.csv --constraints wr:l1,h1[,...]|rank:c\n"
       "                [--header] [--algo NAME|auto|list] [--opt k=v ...]\n"
       "                [--batch specs.txt] [--repeat N] [--stats]\n"
-      "                [--topk K] [--threshold P]\n"
+      "                [--subset m%%[,m%%...]] [--topk K] [--threshold P]\n"
       "                [--instances out.csv] [--objects out.csv]\n"
       "run `arsp_cli --algo list` to enumerate the available solvers\n");
 }
@@ -59,7 +66,9 @@ struct Args {
   bool header = false;
   bool stats = false;
   int repeat = 1;
-  int topk = 10;
+  std::optional<int> topk;  ///< explicit --topk; kDefaultTopk otherwise
+  std::vector<int> subset_pcts;
+  static constexpr int kDefaultTopk = 10;
   std::optional<double> threshold;
   std::string instances_out;
   std::string objects_out;
@@ -101,6 +110,29 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       args->repeat = std::atoi(v);
       if (args->repeat < 1) return false;
+    } else if (flag == "--subset") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      // Comma-separated percentages, '%' suffix optional: "20,40%,100".
+      std::string token;
+      const std::string spec = v;
+      for (size_t p = 0; p <= spec.size(); ++p) {
+        if (p == spec.size() || spec[p] == ',') {
+          if (!token.empty() && token.back() == '%') token.pop_back();
+          char* end = nullptr;
+          const long pct = std::strtol(token.c_str(), &end, 10);
+          if (token.empty() || end != token.c_str() + token.size() ||
+              pct < 1 || pct > 100) {
+            std::fprintf(stderr, "bad --subset percentage '%s'\n",
+                         token.c_str());
+            return false;
+          }
+          args->subset_pcts.push_back(static_cast<int>(pct));
+          token.clear();
+        } else {
+          token += spec[p];
+        }
+      }
     } else if (flag == "--topk") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -242,6 +274,77 @@ int main(int argc, char** argv) {
   // context pool, cache, and solver resolution from here on.
   ArspEngine engine;
   const DatasetHandle handle = engine.AddDataset(dataset);
+
+  // --subset: the Fig. 6 m% sweep over engine-held prefix views. Each view
+  // is a zero-copy window; pooled contexts derive from the base dataset's,
+  // so the whole sweep performs one full index build (reported below).
+  if (!args.subset_pcts.empty()) {
+    // Reject flags the sweep cannot honor, loudly — silently dropping a
+    // --topk/--threshold/--repeat the user typed would misreport what ran.
+    if (spec_strings.size() != 1 || !args.instances_out.empty() ||
+        !args.objects_out.empty() || args.topk.has_value() ||
+        args.threshold.has_value() || args.repeat != 1) {
+      std::fprintf(stderr,
+                   "--subset needs exactly one constraint spec and is "
+                   "incompatible with --topk/--threshold/--repeat/"
+                   "--instances/--objects (it prints a per-prefix stats "
+                   "table instead)\n");
+      return 2;
+    }
+    auto constraints = ParseConstraintSpec(spec_strings[0], dataset->dim());
+    if (!constraints.ok()) {
+      std::fprintf(stderr, "%s\n", constraints.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("\nsubset sweep (%s, algo %s):\n", spec_strings[0].c_str(),
+                args.algo.c_str());
+    std::printf("  %5s %9s %10s %-12s %9s %9s %7s\n", "m%", "objects",
+                "instances", "solver", "setup_ms", "solve_ms", "size");
+    std::vector<DatasetHandle> view_handles;
+    for (int pct : args.subset_pcts) {
+      const int count =
+          std::max(1, dataset->num_objects() * pct / 100);
+      auto view_handle = engine.AddView(handle, ViewSpec::Prefix(count));
+      if (!view_handle.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     view_handle.status().ToString().c_str());
+        return 1;
+      }
+      view_handles.push_back(*view_handle);
+      QueryRequest request;
+      request.dataset = *view_handle;
+      request.constraints = *constraints;
+      request.solver = args.algo;
+      request.options = options;
+      auto response = engine.Solve(request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      const DatasetView view = engine.view(*view_handle);
+      std::printf("  %4d%% %9d %10d %-12s %9.2f %9.2f %7d\n", pct,
+                  view.num_objects(), view.num_instances(),
+                  response->solver.c_str(), response->stats.setup_millis,
+                  response->stats.solve_millis,
+                  CountNonZero(*response->result));
+    }
+    // One full build on the base context + per-view delta work is the
+    // data-plane invariant; the counters make it visible (and are what
+    // tests/engine_view_test.cc asserts).
+    ExecutionContext::IndexBuildStats total = engine.index_stats(handle);
+    for (const DatasetHandle& vh : view_handles) {
+      total += engine.index_stats(vh);
+    }
+    std::printf(
+        "index work across sweep: kd_builds=%lld rtree_builds=%lld "
+        "score_maps=%lld score_reuses=%lld parent_index_hits=%lld\n",
+        static_cast<long long>(total.kdtree_builds),
+        static_cast<long long>(total.rtree_builds),
+        static_cast<long long>(total.score_maps),
+        static_cast<long long>(total.score_reuses),
+        static_cast<long long>(total.parent_index_hits));
+    return 0;
+  }
   std::vector<QueryRequest> requests;
   for (const std::string& spec : spec_strings) {
     auto constraints = ParseConstraintSpec(spec, dataset->dim());
@@ -259,7 +362,7 @@ int main(int argc, char** argv) {
       request.derived.threshold = *args.threshold;
     } else {
       request.derived.kind = DerivedKind::kTopKObjects;
-      request.derived.k = args.topk;
+      request.derived.k = args.topk.value_or(Args::kDefaultTopk);
     }
     requests.push_back(std::move(request));
   }
@@ -293,7 +396,8 @@ int main(int argc, char** argv) {
       std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
                   resp.ranked.size());
     } else {
-      std::printf("\ntop-%d objects by Pr_rsky:\n", args.topk);
+      std::printf("\ntop-%d objects by Pr_rsky:\n",
+                  args.topk.value_or(Args::kDefaultTopk));
     }
     for (const auto& [object, prob] : resp.ranked) {
       std::printf("  %-20s %.4f\n", names[static_cast<size_t>(object)].c_str(),
