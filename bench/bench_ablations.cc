@@ -192,6 +192,51 @@ void BM_BnbFanout(benchmark::State& state) {
 BENCHMARK(BM_BnbFanout)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// ---- Goal pushdown ablation: bound-based pruning vs post-hoc slicing. -------
+// The same derived query (top-10 objects, or objects with Pr_rsky >= 0.5)
+// on the Fig. 6 NBA-like config, answered by KDTT+ through the engine with
+// goal pushdown on vs off. Context pooling is on and result caching off, so
+// iterations measure the warm solve the goal actually changes.
+void BM_GoalPushdown(benchmark::State& state) {
+  const bool pushdown = state.range(0) == 1;
+  const bool threshold_goal = state.range(1) == 1;
+  static const UncertainDataset& dataset = *new UncertainDataset(
+      GenerateNbaLike(bench_util::ScaledM(250), 4, 1003, nullptr));
+  QueryRequest request;
+  request.dataset = bench_util::SharedHandle(dataset);
+  request.constraints = ConstraintSpec::Region(MakeWrRegion(4, 3));
+  request.solver = "kdtt+";
+  request.use_cache = false;
+  request.allow_pushdown = pushdown;
+  if (threshold_goal) {
+    request.derived.kind = DerivedKind::kObjectsAboveThreshold;
+    request.derived.threshold = 0.5;
+  } else {
+    request.derived.kind = DerivedKind::kTopKObjects;
+    request.derived.k = 10;
+  }
+  int64_t refinements = 0;
+  int64_t objects_pruned = 0;
+  for (auto _ : state) {
+    auto response = bench_util::SharedEngine().Solve(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    refinements = response->stats.bound_refinements;
+    objects_pruned = response->stats.objects_pruned;
+    benchmark::DoNotOptimize(response->ranked);
+  }
+  state.counters["bound_refinements"] = static_cast<double>(refinements);
+  state.counters["objects_pruned"] = static_cast<double>(objects_pruned);
+  state.counters["n"] = dataset.num_instances();
+  state.SetLabel(std::string(threshold_goal ? "threshold>=0.5" : "top-10") +
+                 (pushdown ? " / pushdown" : " / post-hoc"));
+}
+BENCHMARK(BM_GoalPushdown)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 // ---- OV hardness wall: the Theorem-1 reduction instances. -------------------
 void BM_OvReductionScaling(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -10,6 +10,9 @@
 namespace arsp {
 
 int CountNonZero(const ArspResult& result, double eps) {
+  ARSP_CHECK_MSG(result.is_complete(),
+                 "CountNonZero needs a complete result; this one was pruned "
+                 "for a goal");
   int count = 0;
   for (double p : result.instance_probs) {
     if (p > eps) ++count;
@@ -24,6 +27,9 @@ std::vector<double> ObjectProbabilities(const ArspResult& result,
 
 std::vector<double> ObjectProbabilities(const ArspResult& result,
                                         const DatasetView& view) {
+  ARSP_CHECK_MSG(result.is_complete(),
+                 "ObjectProbabilities needs a complete result; partial "
+                 "(goal-pruned) results answer through AnswerGoal");
   ARSP_CHECK(static_cast<int>(result.instance_probs.size()) ==
              view.num_instances());
   std::vector<double> out(static_cast<size_t>(view.num_objects()), 0.0);

@@ -18,6 +18,7 @@
 
 #include "src/common/macros.h"
 #include "src/core/arsp_result.h"
+#include "src/core/solver.h"
 #include "src/geometry/point.h"
 #include "src/prefs/score_mapper.h"
 
@@ -105,8 +106,47 @@ class AspTraversalState {
 // Helpers shared by the kd/quad/multi-way ASP runners, which all walk the
 // same SoA score storage (ScoreSpan; row index == local instance id) with
 // an `order` permutation. One definition here keeps the three traversals'
-// corner computation, candidate filtering, and terminal emission in
-// lockstep — a change to any of these rules is a change to all solvers.
+// corner computation, candidate filtering, terminal emission, and goal
+// gating in lockstep — a change to any of these rules is a change to all
+// solvers.
+
+/// Goal-pushdown gate shared by the recursive traversals: asked once per
+/// node, it stops the whole solve when the goal is met (recording the
+/// early-exit depth) and skips subtrees whose instances all belong to
+/// decided objects. Skipping is sound because a subtree's σ updates are
+/// local to it (undone on unwind) — they can never change another
+/// instance's value. Constructed with a null pruner (full goal), every
+/// call is a no-op.
+class GoalGate {
+ public:
+  GoalGate(GoalPruner* pruner, ArspResult* result)
+      : pruner_(pruner), result_(result) {}
+
+  /// The pruner terminal handlers should report resolutions to (nullptr
+  /// when the goal is full).
+  GoalPruner* pruner() const { return pruner_; }
+
+  /// True when rows order[begin..end) at `depth` need not be visited.
+  bool Skip(const std::vector<int>& order, int begin, int end, int depth) {
+    if (pruner_ == nullptr) return false;
+    if (stopped_) return true;
+    if (pruner_->GoalMet()) {
+      stopped_ = true;
+      result_->early_exit_depth = depth;
+      return true;
+    }
+    if (pruner_->AllDecided(order.data() + begin, end - begin)) {
+      ++result_->nodes_pruned;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  GoalPruner* pruner_;
+  ArspResult* result_;
+  bool stopped_ = false;  // global goal-met early exit fired
+};
 
 /// Tight [pmin, pmax] corners of rows order[begin..end) (end > begin).
 inline void ComputeScoreCorners(const ScoreSpan& scores,
@@ -159,22 +199,32 @@ inline void FilterAspCandidates(const ScoreSpan& scores,
 ///   χ = 1        — only instances coinciding with pmin (where σ is exact)
 ///                  can survive (see DESIGN.md);
 ///   pmin == pmax — true leaf; σ is exact for every (coincident) instance.
+/// A terminal determines the exact probability of *every* instance in the
+/// range (zeros included), so it is also the goal-pushdown resolution
+/// point: when `pruner` is non-null each instance is reported to it once.
 inline bool HandleAspTerminal(const ScoreSpan& scores,
                               const std::vector<int>& order, int begin,
                               int end, const double* pmin, const double* pmax,
                               const AspTraversalState& state,
-                              ArspResult* result) {
+                              ArspResult* result, GoalPruner* pruner) {
   if (state.chi() >= 2) {
+    if (pruner != nullptr) {
+      for (int i = begin; i < end; ++i) {
+        pruner->Resolve(order[static_cast<size_t>(i)], 0.0);
+      }
+    }
     ++result->nodes_pruned;
     return true;
   }
   if (state.chi() == 1) {
     for (int i = begin; i < end; ++i) {
       const int id = order[static_cast<size_t>(i)];
+      double prob = 0.0;
       if (CoordsEqual(scores.row(id), pmin, scores.dim)) {
-        result->instance_probs[static_cast<size_t>(id)] =
-            state.LeafProbability(scores.object(id), scores.prob(id));
+        prob = state.LeafProbability(scores.object(id), scores.prob(id));
+        result->instance_probs[static_cast<size_t>(id)] = prob;
       }
+      if (pruner != nullptr) pruner->Resolve(id, prob);
     }
     ++result->nodes_pruned;
     return true;
@@ -182,8 +232,10 @@ inline bool HandleAspTerminal(const ScoreSpan& scores,
   if (CoordsEqual(pmin, pmax, scores.dim)) {
     for (int i = begin; i < end; ++i) {
       const int id = order[static_cast<size_t>(i)];
-      result->instance_probs[static_cast<size_t>(id)] =
+      const double prob =
           state.LeafProbability(scores.object(id), scores.prob(id));
+      result->instance_probs[static_cast<size_t>(id)] = prob;
+      if (pruner != nullptr) pruner->Resolve(id, prob);
     }
     return true;
   }

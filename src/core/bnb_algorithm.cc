@@ -43,6 +43,26 @@ bool PrunedBy(const Point& mapped, const std::vector<Point>& pruning_set) {
   return false;
 }
 
+// A Theorem-3 node prune proves Pr_rsky = 0 for every instance under the
+// node; with goal pushdown active those zeros are bound resolutions, so the
+// subtree is walked once to report them (all-delta subtrees and ids outside
+// the view are not the view's instances and are skipped like everywhere
+// else).
+void ResolveSubtreeZero(const RTree::Node* node, const DatasetView& view,
+                        int id_bound, GoalPruner* pruner) {
+  if (node->is_leaf()) {
+    for (const RTree::LeafEntry& leaf : node->entries()) {
+      const int local = view.LocalInstanceOf(leaf.id);
+      if (local >= 0) pruner->Resolve(local, 0.0);
+    }
+    return;
+  }
+  for (const auto& child : node->children()) {
+    if (child->min_id() >= id_bound) continue;
+    ResolveSubtreeZero(child.get(), view, id_bound, pruner);
+  }
+}
+
 ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
   const DatasetView& view = context.view();
   ArspResult result;
@@ -54,6 +74,10 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
   const ScoreMapper& mapper = context.mapper();
   const int mapped_dim = mapper.mapped_dim();
   const Point& omega = context.region().vertices().front();
+
+  GoalPruner goal_pruner(context.goal(), view);
+  GoalPruner* pruner = goal_pruner.active() ? &goal_pruner : nullptr;
+  int64_t rounds = 0;
 
   // Lower corner of the mapped space: scores are monotone in every
   // coordinate (ω ≥ 0), so the score of the view's min corner bounds
@@ -88,10 +112,25 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     Point mapped;
     std::vector<double> sigma;  // per-object dominating mass
     bool zeroed = false;
+    /// Goal pushdown: the instance's object is already decided, so its own
+    /// probability is not needed. Phase 1/2 evaluation of it is skipped and
+    /// it stays unresolved; only its mass (phases 2-out and 3) matters.
+    bool skip_eval = false;
   };
   std::vector<BatchItem> batch;
 
   while (!heap.empty()) {
+    // Goal pushdown: once every object is decided, nothing left in the
+    // heap can change the answer (inserted mass is only ever needed to
+    // evaluate *later* instances, and none need evaluating). Checked at
+    // round start so that decisions made by prune-only rounds — Theorem-3
+    // node walks and P-pruned instances resolve zeros without producing a
+    // batch — still stop the solve.
+    if (pruner != nullptr && pruner->GoalMet()) {
+      result.early_exit_depth = rounds;
+      break;
+    }
+    ++rounds;
     const double key = heap.top().key;
     batch.clear();
 
@@ -108,6 +147,9 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
         if (options.enable_pruning &&
             PrunedBy(mapper.Map(node->mbr().min_corner()), pruning_set)) {
           ++result.nodes_pruned;
+          if (pruner != nullptr) {
+            ResolveSubtreeZero(node, view, id_bound, pruner);
+          }
           continue;
         }
         if (node->is_leaf()) {
@@ -130,12 +172,15 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
       Point mapped = mapper.Map(view.point(entry.instance_id));
       if (options.enable_pruning && PrunedBy(mapped, pruning_set)) {
         ++result.nodes_pruned;
+        if (pruner != nullptr) pruner->Resolve(entry.instance_id, 0.0);
         continue;  // Pr_rsky = 0; Theorem 3 allows discarding it entirely.
       }
       BatchItem item;
       item.instance_id = entry.instance_id;
       item.mapped = std::move(mapped);
-      item.sigma.assign(static_cast<size_t>(m), 0.0);
+      item.skip_eval = pruner != nullptr &&
+                       pruner->ObjectDecided(view.object_of(entry.instance_id));
+      if (!item.skip_eval) item.sigma.assign(static_cast<size_t>(m), 0.0);
       batch.push_back(std::move(item));
     }
 
@@ -143,7 +188,10 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
 
     // Phase 1: window queries against the aggregated R-trees (all strictly
     // earlier instances with non-zero probability are indexed there).
+    // Decided objects' items skip this — the window queries only ever feed
+    // the item's own probability, which the goal no longer needs.
     for (BatchItem& item : batch) {
+      if (item.skip_eval) continue;
       const int own = view.object_of(item.instance_id);
       // Guard against sub-ulp inversions of the origin bound.
       Point window_lo = mapped_origin;
@@ -169,6 +217,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
       const double s_prob = view.prob(s.instance_id);
       for (BatchItem& t : batch) {
         if (&s == &t) continue;
+        if (t.skip_eval) continue;  // t's sigma is never read
         if (s_object == view.object_of(t.instance_id)) continue;
         ++result.dominance_tests;
         if (DominatesWeak(s.mapped, t.mapped)) {
@@ -179,6 +228,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
 
     // Compute probabilities and decide survival.
     for (BatchItem& item : batch) {
+      if (item.skip_eval) continue;  // stays unresolved; object is decided
       const int own_object = view.object_of(item.instance_id);
       double prob = view.prob(item.instance_id);
       for (int j = 0; j < m && !item.zeroed; ++j) {
@@ -191,8 +241,12 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
           prob *= (1.0 - sum);
         }
       }
-      if (item.zeroed) continue;  // probability stays 0
+      if (item.zeroed) {
+        if (pruner != nullptr) pruner->Resolve(item.instance_id, 0.0);
+        continue;  // probability stays 0
+      }
       result.instance_probs[static_cast<size_t>(item.instance_id)] = prob;
+      if (pruner != nullptr) pruner->Resolve(item.instance_id, prob);
     }
 
     // Phase 3: insert batch instances into their object's aggregated R-tree
@@ -227,6 +281,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
       }
     }
   }
+  goal_pruner.Finish(&result);
   return result;
 }
 
@@ -240,6 +295,7 @@ class BnbSolver : public ArspSolver {
     return "best-first branch-and-bound over an R-tree (Algorithm 2); "
            "options pruning=bool, rtree_fanout=N";
   }
+  uint32_t capabilities() const override { return kCapGoalPushdown; }
 
   Status Configure(const SolverOptions& options) override {
     ARSP_RETURN_IF_ERROR(options.ExpectOnly({"pruning", "rtree_fanout"}));

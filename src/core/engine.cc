@@ -60,6 +60,26 @@ constexpr int kAutoDual2dMaxInstances = 2048;
 // Below this instance count the quadratic LOOP scan beats tree setup.
 constexpr int kAutoLoopMaxInstances = 64;
 
+// The QueryGoal a derived request pushes into the solver layer. Instance-
+// level retrievals stay full: goal pushdown tracks per-*object* bounds.
+QueryGoal GoalForDerived(const DerivedSpec& derived) {
+  switch (derived.kind) {
+    case DerivedKind::kNone:
+    case DerivedKind::kTopKInstances:
+      return QueryGoal::Full();
+    case DerivedKind::kTopKObjects:
+      // Negative k means "rank all objects" — full work by definition, so
+      // it maps to the full goal (and AnswerGoal's full slicing). k == 0
+      // stays a top-k goal: its answer is empty, not everything.
+      return derived.k < 0 ? QueryGoal::Full() : QueryGoal::TopK(derived.k);
+    case DerivedKind::kObjectsAboveThreshold:
+      return QueryGoal::Threshold(derived.threshold);
+    case DerivedKind::kCountControlled:
+      return QueryGoal::CountControlled(derived.max_objects);
+  }
+  return QueryGoal::Full();
+}
+
 }  // namespace
 
 namespace internal {
@@ -333,10 +353,26 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     }
   }
 
+  // Goal pushdown applies when the derived request maps to a non-full goal
+  // and the resolved solver advertises the capability. The capability bit
+  // is read from the solver instance the miss path creates anyway — cache
+  // lookups need only `want_pushdown`, because a goal-key entry can exist
+  // only if a capable solver stored it (probing the key for a capless
+  // solver is a guaranteed, harmless miss).
+  const QueryGoal goal = GoalForDerived(request.derived);
+  const bool want_pushdown = request.allow_pushdown && !goal.is_full();
+  bool pushdown = false;  // decided at solve time from solver capabilities
+
   QueryResponse response;
   std::string cache_key;
+  std::string goal_cache_key;
   // One cache lookup per request: counts a hit or a miss and fills the
-  // response on a hit.
+  // response on a hit. Key structure: `cache_key` identifies the *full*
+  // answer of (dataset, constraints, solver, options) — only complete
+  // results are ever stored under it, so it can serve any goal by post-hoc
+  // slicing (subsumption). Goal-pruned partial results live under
+  // `goal_cache_key` = cache_key + the goal, and are consulted only by
+  // pushdown requests for that exact goal.
   const auto lookup_cache = [&]() {
     // The handle id is the dataset's fingerprint: handles are never reused
     // across the engine's lifetime and the dataset behind one is immutable
@@ -344,18 +380,37 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     // hash would only be collision-resistant.
     cache_key = std::to_string(request.dataset.id) + '|' + constraint_key +
                 '|' + solver_name + '|' + request.options.CacheKey();
+    goal_cache_key = want_pushdown
+                         ? cache_key + "|goal=" + goal.CacheKey()
+                         : std::string();
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = cache_index_.find(cache_key);
-    if (it == cache_index_.end()) {
-      ++cache_misses_;
-      return;
+    const auto try_key = [&](const std::string& key, bool want_complete) {
+      const auto it = cache_index_.find(key);
+      if (it == cache_index_.end()) return false;
+      const CacheEntry& entry = it->second->second;
+      ARSP_CHECK_MSG(!want_complete || entry.complete,
+                     "result cache invariant broken: partial entry under a "
+                     "full key");
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      response.result = entry.result;
+      response.solver = entry.solver;
+      response.stats = entry.stats;
+      response.cache_hit = true;
+      response.pushdown = entry.pushdown;
+      return true;
+    };
+    bool hit =
+        want_pushdown && try_key(goal_cache_key, /*want_complete=*/false);
+    if (!hit) {
+      hit = try_key(cache_key, /*want_complete=*/true);
+      // Serving a goal from a cached full result is the post-hoc path.
+      if (hit) response.pushdown = false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
-    ++cache_hits_;
-    response.result = it->second->second.result;
-    response.solver = it->second->second.solver;
-    response.stats = it->second->second.stats;
-    response.cache_hit = true;
+    if (hit) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+    }
   };
 
   // An explicit solver's cache key needs no context: look up first, so pure
@@ -427,21 +482,39 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     response.solver = solver_name;
     auto solver = SolverRegistry::Create(solver_name, request.options);
     if (!solver.ok()) return solver.status();
+    pushdown = want_pushdown &&
+               ((*solver)->capabilities() & kCapGoalPushdown) != 0;
+    // Goal pushdown runs on a goal-scoped child context derived over the
+    // *same* view: every artifact (score span included) is shared, pooled
+    // contexts stay goal-free (and therefore reusable across concurrent
+    // mixed-goal queries), and Derive propagates goals through the view
+    // plane — a sweep's per-prefix contexts prune per prefix.
+    std::shared_ptr<ExecutionContext> solve_context = context;
+    if (pushdown) {
+      solve_context = ExecutionContext::Derive(context, view, goal);
+    }
     SolverStats stats;
-    StatusOr<ArspResult> result = (*solver)->Solve(*context, &stats);
+    StatusOr<ArspResult> result = (*solver)->Solve(*solve_context, &stats);
     if (!result.ok()) return result.status();
     // Created non-const (then viewed as const) so TakeResult can move the
     // payload out of a uniquely owned response.
     response.result = std::make_shared<ArspResult>(std::move(*result));
     response.stats = stats;
+    response.pushdown = pushdown;
     if (cacheable) {
+      // Completeness decides the key: a complete result (every full solve,
+      // plus pushdown runs that ended up resolving everything) is the
+      // universal answer and goes under the full key; a partial result
+      // answers only its goal and goes under the goal key.
+      const bool complete = response.result->is_complete();
+      const std::string& store_key = complete ? cache_key : goal_cache_key;
       std::lock_guard<std::mutex> lock(mu_);
-      const auto it = cache_index_.find(cache_key);
+      const auto it = cache_index_.find(store_key);
       if (it == cache_index_.end()) {
-        lru_.emplace_front(
-            cache_key,
-            CacheEntry{response.result, response.solver, response.stats});
-        cache_index_[cache_key] = lru_.begin();
+        lru_.emplace_front(store_key,
+                           CacheEntry{response.result, response.solver,
+                                      response.stats, complete, pushdown});
+        cache_index_[store_key] = lru_.begin();
         while (lru_.size() > options_.result_cache_capacity) {
           cache_index_.erase(lru_.back().first);
           lru_.pop_back();
@@ -450,39 +523,27 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     }
   }
 
-  // Derived retrievals — cheap post-processing of the full result (§I).
-  // Object rankings go through the view (ids in the output are base object
-  // ids, so callers can map them to names regardless of the window).
+  // Derived retrievals. Object-level goals go through AnswerGoal, which
+  // slices complete results post hoc (identical to the historical
+  // TopKObjects / ObjectsAboveThreshold / count-controlled recipes,
+  // asserted in tests/engine_test.cc) and assembles partial (goal-pruned)
+  // results from their exact object bounds. Ids in the output are base
+  // object ids, so callers can map them to names regardless of the window.
   const ArspResult& result = *response.result;
   switch (request.derived.kind) {
     case DerivedKind::kNone:
       break;
-    case DerivedKind::kTopKObjects:
-      response.ranked = TopKObjects(result, view, request.derived.k);
-      break;
     case DerivedKind::kTopKInstances:
       response.ranked = TopKInstances(result, request.derived.k);
       break;
+    case DerivedKind::kTopKObjects:
     case DerivedKind::kObjectsAboveThreshold:
+    case DerivedKind::kCountControlled:
+      // `goal` is the exact goal a pushdown solve was pruned for — the
+      // same value must reach AnswerGoal (CHECK-enforced on partials).
       response.ranked =
-          ObjectsAboveThreshold(result, view, request.derived.threshold);
+          AnswerGoal(result, view, goal, &response.count_threshold);
       break;
-    case DerivedKind::kCountControlled: {
-      // One full object ranking serves both answers (semantics identical to
-      // ThresholdForObjectCount + ObjectsAboveThreshold, asserted in
-      // tests/engine_test.cc).
-      std::vector<std::pair<int, double>> ranked =
-          TopKObjects(result, view, -1);
-      const size_t cut = std::min(
-          ranked.size(), static_cast<size_t>(request.derived.max_objects));
-      response.count_threshold = cut == 0 ? 0.0 : ranked[cut - 1].second;
-      while (!ranked.empty() &&
-             ranked.back().second < response.count_threshold) {
-        ranked.pop_back();
-      }
-      response.ranked = std::move(ranked);
-      break;
-    }
   }
   return response;
 }

@@ -24,7 +24,17 @@
 //    targets. Pooled view queries derive their ExecutionContext from the
 //    base dataset's pooled context, inheriting its indexes and score
 //    storage, so a Fig. 6-style m% sweep pays exactly one full kd-/R-tree
-//    build plus per-step delta work (asserted via index_stats()).
+//    build plus per-step delta work (asserted via index_stats());
+//  * goal pushdown — derived requests (top-k / threshold / count-
+//    controlled) are translated into a QueryGoal and pushed into the solver
+//    when the resolved solver advertises kCapGoalPushdown: the solve
+//    maintains per-object probability bounds, skips objects the goal has
+//    decided, and stops early, returning a *partial* result that answers
+//    exactly this goal (AnswerGoal). Post-hoc slicing of a full solve stays
+//    as the fallback (and as the oracle in tests). Cache rules: a cached
+//    full result serves any derived goal by slicing (subsumption), while a
+//    goal-pruned partial result is cached only under a goal-specific key —
+//    it is never returned for a full or different-goal request.
 //
 // The engine is the designated backend for the ROADMAP's service frontend:
 // a daemon would hold one ArspEngine and translate wire requests into
@@ -141,12 +151,26 @@ struct QueryRequest {
   /// measure) preprocessing per call set this to false for a private,
   /// discarded context.
   bool pool_context = true;
+  /// Push the derived query's goal into the solver when it advertises
+  /// kCapGoalPushdown (bound-based pruning + early termination; the
+  /// response's `result` is then partial). Set to false to force the
+  /// post-hoc path — full solve, then slicing — e.g. when the full
+  /// instance-probability vector is also needed, or in A/B ablations.
+  bool allow_pushdown = true;
 };
 
-/// Answer to a QueryRequest. The full result is shared (it may also live in
-/// the cache); derived answers are materialized per request.
+/// Answer to a QueryRequest. The result payload is shared (it may also
+/// live in the cache); derived answers are materialized per request.
 struct QueryResponse {
+  /// The solve's result. Complete — the full probability vector — unless
+  /// goal pushdown ran (`pushdown` true): then it may be partial (check
+  /// result->is_complete() before instance-level use; `ranked` and
+  /// `count_threshold` are always valid and identical to the post-hoc
+  /// answer).
   std::shared_ptr<const ArspResult> result;
+  /// True iff the solve executed with goal pushdown (false = post-hoc
+  /// slicing of a full result, the fallback path).
+  bool pushdown = false;
   /// Resolved concrete solver (never "auto").
   std::string solver;
   /// Stats of the run that produced `result`; for cache hits, the stats of
@@ -260,6 +284,12 @@ class ArspEngine {
     std::shared_ptr<const ArspResult> result;
     std::string solver;
     SolverStats stats;
+    /// Mirrors result->is_complete(). Partial entries are stored only under
+    /// goal-specific keys; this flag is the defensive cross-check that a
+    /// full-key lookup can never hand out a partial result.
+    bool complete = true;
+    /// True iff the entry was produced by a goal-pushdown solve.
+    bool pushdown = false;
   };
   using LruList = std::list<std::pair<std::string, CacheEntry>>;
 

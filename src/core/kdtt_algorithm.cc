@@ -23,12 +23,14 @@ using internal::AspTraversalState;
 // Point indirection.
 class KdAspRunner {
  public:
-  KdAspRunner(ScoreSpan scores, int num_objects, ArspResult* result)
+  KdAspRunner(ScoreSpan scores, int num_objects, ArspResult* result,
+              GoalPruner* pruner)
       : scores_(scores),
         dim_(scores.dim),
         order_(static_cast<size_t>(scores.n)),
         state_(num_objects),
-        result_(result) {
+        result_(result),
+        gate_(pruner, result) {
     std::iota(order_.begin(), order_.end(), 0);
   }
 
@@ -36,7 +38,7 @@ class KdAspRunner {
   void RunIntegrated() {
     if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    RecurseIntegrated(0, scores_.n, candidates);
+    RecurseIntegrated(0, scores_.n, candidates, 1);
   }
 
   // KDTT: build the full kd-tree, then pre-order traverse it.
@@ -44,7 +46,7 @@ class KdAspRunner {
     if (scores_.n == 0) return;
     const int root = Build(0, scores_.n);
     std::vector<int> candidates(order_);
-    Traverse(root, candidates);
+    Traverse(root, candidates, 1);
   }
 
  private:
@@ -76,7 +78,9 @@ class KdAspRunner {
   }
 
   void RecurseIntegrated(int begin, int end,
-                         const std::vector<int>& parent_candidates) {
+                         const std::vector<int>& parent_candidates,
+                         int depth) {
+    if (gate_.Skip(order_, begin, end, depth)) return;
     ++result_->nodes_visited;
     std::vector<double> pmin, pmax;
     internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
@@ -88,11 +92,12 @@ class KdAspRunner {
                                   result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
-                                     pmax.data(), state_, result_)) {
+                                     pmax.data(), state_, result_,
+                                     gate_.pruner())) {
       const int mid = begin + (end - begin) / 2;
       PartitionRange(begin, end, mid, WidestDim(pmin.data(), pmax.data()));
-      RecurseIntegrated(begin, mid, kept);
-      RecurseIntegrated(mid, end, kept);
+      RecurseIntegrated(begin, mid, kept, depth + 1);
+      RecurseIntegrated(mid, end, kept, depth + 1);
     }
     state_.Undo(undo_log);
   }
@@ -117,9 +122,11 @@ class KdAspRunner {
     return node_id;
   }
 
-  void Traverse(int node_id, const std::vector<int>& parent_candidates) {
-    ++result_->nodes_visited;
+  void Traverse(int node_id, const std::vector<int>& parent_candidates,
+                int depth) {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (gate_.Skip(order_, node.begin, node.end, depth)) return;
+    ++result_->nodes_visited;
 
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
@@ -129,10 +136,10 @@ class KdAspRunner {
 
     if (!internal::HandleAspTerminal(scores_, order_, node.begin, node.end,
                                      node.pmin.data(), node.pmax.data(),
-                                     state_, result_)) {
+                                     state_, result_, gate_.pruner())) {
       ARSP_DCHECK(node.left >= 0 && node.right >= 0);
-      Traverse(node.left, kept);
-      Traverse(node.right, kept);
+      Traverse(node.left, kept, depth + 1);
+      Traverse(node.right, kept, depth + 1);
     }
     state_.Undo(undo_log);
   }
@@ -143,6 +150,7 @@ class KdAspRunner {
   std::vector<Node> nodes_;
   AspTraversalState state_;
   ArspResult* result_;
+  internal::GoalGate gate_;
 };
 
 // Solver façade over both traversal modes; "kdtt+" fuses construction with
@@ -163,6 +171,7 @@ class KdttSolver : public ArspSolver {
                  "(Algorithm 1, the paper's default)"
                : "kd-tree traversal over a fully prebuilt tree";
   }
+  uint32_t capabilities() const override { return kCapGoalPushdown; }
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
@@ -171,12 +180,15 @@ class KdttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
-    KdAspRunner runner(context.scores(), view.num_objects(), &result);
+    GoalPruner pruner(context.goal(), view);
+    KdAspRunner runner(context.scores(), view.num_objects(), &result,
+                       pruner.active() ? &pruner : nullptr);
     if (integrated_) {
       runner.RunIntegrated();
     } else {
       runner.RunPrebuilt();
     }
+    pruner.Finish(&result);
     return result;
   }
 

@@ -22,13 +22,14 @@ using internal::AspTraversalState;
 class MultiWayAspRunner {
  public:
   MultiWayAspRunner(ScoreSpan scores, int num_objects, int fanout,
-                    ArspResult* result)
+                    ArspResult* result, GoalPruner* pruner)
       : scores_(scores),
         dim_(scores.dim),
         order_(static_cast<size_t>(scores.n)),
         fanout_(fanout),
         state_(num_objects),
-        result_(result) {
+        result_(result),
+        gate_(pruner, result) {
     ARSP_CHECK_MSG(fanout >= 2, "MWTT fanout must be >= 2 (got %d)", fanout);
     std::iota(order_.begin(), order_.end(), 0);
   }
@@ -36,11 +37,13 @@ class MultiWayAspRunner {
   void Run() {
     if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    Recurse(0, scores_.n, candidates);
+    Recurse(0, scores_.n, candidates, 1);
   }
 
  private:
-  void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
+  void Recurse(int begin, int end, const std::vector<int>& parent_candidates,
+               int depth) {
+    if (gate_.Skip(order_, begin, end, depth)) return;
     ++result_->nodes_visited;
     std::vector<double> pmin, pmax;
     internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
@@ -52,7 +55,8 @@ class MultiWayAspRunner {
                                   result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
-                                     pmax.data(), state_, result_)) {
+                                     pmax.data(), state_, result_,
+                                     gate_.pruner())) {
       // Sort the range along the widest dimension and recurse on `fanout`
       // equal slabs (1-D STR slicing). Slabs inherit small extents on the
       // split dimension, improving min-corner dominance tests.
@@ -73,7 +77,7 @@ class MultiWayAspRunner {
       const int total = end - begin;
       const int slab = std::max(1, (total + fanout_ - 1) / fanout_);
       for (int chunk = begin; chunk < end; chunk += slab) {
-        Recurse(chunk, std::min(end, chunk + slab), kept);
+        Recurse(chunk, std::min(end, chunk + slab), kept, depth + 1);
       }
     }
     state_.Undo(undo_log);
@@ -85,6 +89,7 @@ class MultiWayAspRunner {
   const int fanout_;
   AspTraversalState state_;
   ArspResult* result_;
+  internal::GoalGate gate_;
 };
 
 class MwttSolver : public ArspSolver {
@@ -97,6 +102,7 @@ class MwttSolver : public ArspSolver {
     return "multi-way tree traversal (equal slabs along the widest mapped "
            "dimension); option fanout=N";
   }
+  uint32_t capabilities() const override { return kCapGoalPushdown; }
 
   Status Configure(const SolverOptions& options) override {
     ARSP_RETURN_IF_ERROR(options.ExpectOnly({"fanout"}));
@@ -117,9 +123,11 @@ class MwttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
+    GoalPruner pruner(context.goal(), view);
     MultiWayAspRunner runner(context.scores(), view.num_objects(), fanout_,
-                             &result);
+                             &result, pruner.active() ? &pruner : nullptr);
     runner.Run();
+    pruner.Finish(&result);
     return result;
   }
 

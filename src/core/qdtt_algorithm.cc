@@ -22,12 +22,14 @@ using internal::AspTraversalState;
 // conventions (row index == local instance id, view-local object ids).
 class QuadAspRunner {
  public:
-  QuadAspRunner(ScoreSpan scores, int num_objects, ArspResult* result)
+  QuadAspRunner(ScoreSpan scores, int num_objects, ArspResult* result,
+                GoalPruner* pruner)
       : scores_(scores),
         dim_(scores.dim),
         order_(static_cast<size_t>(scores.n)),
         state_(num_objects),
-        result_(result) {
+        result_(result),
+        gate_(pruner, result) {
     ARSP_CHECK_MSG(scores_.n == 0 || dim_ <= 63,
                    "QDTT+ quadrant codes support at most 63 mapped "
                    "dimensions; use KDTT+ or B&B for larger vertex sets");
@@ -37,7 +39,7 @@ class QuadAspRunner {
   void Run() {
     if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    Recurse(0, scores_.n, candidates);
+    Recurse(0, scores_.n, candidates, 1);
   }
 
  private:
@@ -49,7 +51,9 @@ class QuadAspRunner {
     return code;
   }
 
-  void Recurse(int begin, int end, const std::vector<int>& parent_candidates) {
+  void Recurse(int begin, int end, const std::vector<int>& parent_candidates,
+               int depth) {
+    if (gate_.Skip(order_, begin, end, depth)) return;
     ++result_->nodes_visited;
     std::vector<double> pmin, pmax;
     internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
@@ -61,7 +65,8 @@ class QuadAspRunner {
                                   result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
-                                     pmax.data(), state_, result_)) {
+                                     pmax.data(), state_, result_,
+                                     gate_.pruner())) {
       // Partition the range into quadrants around the box center by sorting
       // on the quadrant code; only non-empty quadrants recurse (no 2^{d'}
       // allocation, though the fan-out still hurts in high dimensions).
@@ -85,7 +90,7 @@ class QuadAspRunner {
                             center.data()) == code) {
           ++chunk_end;
         }
-        Recurse(chunk, chunk_end, kept);
+        Recurse(chunk, chunk_end, kept, depth + 1);
         chunk = chunk_end;
       }
     }
@@ -97,6 +102,7 @@ class QuadAspRunner {
   std::vector<int> order_;
   AspTraversalState state_;
   ArspResult* result_;
+  internal::GoalGate gate_;
 };
 
 class QdttSolver : public ArspSolver {
@@ -107,7 +113,9 @@ class QdttSolver : public ArspSolver {
     return "quadtree traversal (2^d' quadrants per node), construction "
            "fused with pruning";
   }
-  uint32_t capabilities() const override { return kCapExponentialInVertices; }
+  uint32_t capabilities() const override {
+    return kCapExponentialInVertices | kCapGoalPushdown;
+  }
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
@@ -116,8 +124,11 @@ class QdttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
-    QuadAspRunner runner(context.scores(), view.num_objects(), &result);
+    GoalPruner pruner(context.goal(), view);
+    QuadAspRunner runner(context.scores(), view.num_objects(), &result,
+                         pruner.active() ? &pruner : nullptr);
     runner.Run();
+    pruner.Finish(&result);
     return result;
   }
 };

@@ -70,7 +70,10 @@ std::string SolverStats::ToString() const {
   os << "solver=" << solver << " setup_ms=" << setup_millis
      << " solve_ms=" << solve_millis << " dominance_tests=" << dominance_tests
      << " nodes_visited=" << nodes_visited << " nodes_pruned=" << nodes_pruned
-     << " index_probes=" << index_probes;
+     << " index_probes=" << index_probes
+     << " objects_pruned=" << objects_pruned
+     << " bound_refinements=" << bound_refinements
+     << " early_exit=" << early_exit_depth;
   return os.str();
 }
 
@@ -259,20 +262,22 @@ class ExecutionContext::SetupTimer {
 };
 
 ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
-                                   PreferenceRegion region)
-    : ExecutionContext(DatasetView(dataset), std::move(region)) {}
+                                   PreferenceRegion region, QueryGoal goal)
+    : ExecutionContext(DatasetView(dataset), std::move(region), goal) {}
 
-ExecutionContext::ExecutionContext(DatasetView view, PreferenceRegion region)
-    : view_(std::move(view)), region_(std::move(region)) {
+ExecutionContext::ExecutionContext(DatasetView view, PreferenceRegion region,
+                                   QueryGoal goal)
+    : view_(std::move(view)), goal_(goal), region_(std::move(region)) {
   ARSP_CHECK_MSG(view_.valid(), "ExecutionContext over an invalid view");
 }
 
 ExecutionContext::ExecutionContext(const UncertainDataset& dataset,
-                                   WeightRatioConstraints wr)
-    : ExecutionContext(DatasetView(dataset), std::move(wr)) {}
+                                   WeightRatioConstraints wr, QueryGoal goal)
+    : ExecutionContext(DatasetView(dataset), std::move(wr), goal) {}
 
-ExecutionContext::ExecutionContext(DatasetView view, WeightRatioConstraints wr)
-    : view_(std::move(view)), wr_(std::move(wr)) {
+ExecutionContext::ExecutionContext(DatasetView view, WeightRatioConstraints wr,
+                                   QueryGoal goal)
+    : view_(std::move(view)), goal_(goal), wr_(std::move(wr)) {
   ARSP_CHECK_MSG(view_.valid(), "ExecutionContext over an invalid view");
   ARSP_CHECK_MSG(view_.num_instances() == 0 || view_.dim() == wr_->dim(),
                  "weight ratio constraints are for dimension %d but the "
@@ -281,11 +286,23 @@ ExecutionContext::ExecutionContext(DatasetView view, WeightRatioConstraints wr)
 }
 
 ExecutionContext::ExecutionContext(
-    std::shared_ptr<const ExecutionContext> parent, DatasetView view)
-    : view_(std::move(view)), wr_(parent->wr_), parent_(std::move(parent)) {}
+    std::shared_ptr<const ExecutionContext> parent, DatasetView view,
+    QueryGoal goal)
+    : view_(std::move(view)),
+      goal_(goal),
+      wr_(parent->wr_),
+      parent_(std::move(parent)) {}
 
 std::shared_ptr<ExecutionContext> ExecutionContext::Derive(
     std::shared_ptr<const ExecutionContext> parent, DatasetView view) {
+  ARSP_CHECK_MSG(parent != nullptr, "Derive: null parent context");
+  const QueryGoal goal = parent->goal_;  // inherit
+  return Derive(std::move(parent), std::move(view), goal);
+}
+
+std::shared_ptr<ExecutionContext> ExecutionContext::Derive(
+    std::shared_ptr<const ExecutionContext> parent, DatasetView view,
+    QueryGoal goal) {
   ARSP_CHECK_MSG(parent != nullptr, "Derive: null parent context");
   ARSP_CHECK_MSG(view.valid(), "Derive: invalid view");
   const DatasetView& parent_view = parent->view();
@@ -293,8 +310,9 @@ std::shared_ptr<ExecutionContext> ExecutionContext::Derive(
                  "Derive: view windows a different base dataset than the "
                  "parent context");
   // Containment: every child instance must be visible through the parent
-  // (cheap for the prefix ⊆ prefix case that dominates in practice).
-  if (!parent_view.is_full()) {
+  // (O(1) for the identical-window goal children and the prefix ⊆ prefix
+  // case that dominate in practice).
+  if (!parent_view.is_full() && !view.SameRepAs(parent_view)) {
     if (view.is_prefix() && parent_view.is_prefix()) {
       ARSP_CHECK_MSG(view.num_instances() <= parent_view.num_instances(),
                      "Derive: prefix view extends past the parent's prefix");
@@ -307,7 +325,7 @@ std::shared_ptr<ExecutionContext> ExecutionContext::Derive(
     }
   }
   return std::shared_ptr<ExecutionContext>(
-      new ExecutionContext(std::move(parent), std::move(view)));
+      new ExecutionContext(std::move(parent), std::move(view), goal));
 }
 
 const WeightRatioConstraints& ExecutionContext::weight_ratios() const {
@@ -352,8 +370,12 @@ ScoreSpan ExecutionContext::scores() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (span_ready_) return span_;
   SetupTimer timer(this);
-  if (parent_ != nullptr && view_.is_prefix() &&
-      parent_->view().is_prefix()) {
+  if (parent_ != nullptr && view_.SameRepAs(parent_->view())) {
+    // Identical window (a goal-scoped child): the parent's span IS ours.
+    span_ = parent_->scores();
+    ++index_stats_.score_reuses;
+  } else if (parent_ != nullptr && view_.is_prefix() &&
+             parent_->view().is_prefix()) {
     // Prefix-of-prefix: local ids agree, so the parent's buffer truncated
     // to this view's instance count IS this view's buffer. Zero copies.
     span_ = parent_->scores().Prefix(view_.num_instances());
@@ -443,6 +465,179 @@ void ExecutionContext::set_last_stats(const SolverStats& stats) {
   stats_ = stats;
 }
 
+// ---------------------------------------------------------- goal pruner
+
+GoalPruner::GoalPruner(const QueryGoal& goal, const DatasetView& view)
+    : goal_(goal), view_(view) {
+  const int m = view_.valid() ? view_.num_objects() : 0;
+  switch (goal_.kind) {
+    case GoalKind::kFull:
+      return;  // inactive
+    case GoalKind::kTopK:
+      // k < 0 ("all") and k >= m need every object exact, and k == 0 has
+      // an empty answer — in all three nothing is decidable by bounds
+      // (and τ, the k-th largest lower bound, would be ill-defined for
+      // k == 0), so pushdown would only add overhead.
+      if (goal_.k <= 0 || goal_.k >= m) return;
+      break;
+    case GoalKind::kThreshold:
+      // Every object has Pr_rsky >= 0 >= p: nothing is excludable.
+      if (goal_.p <= 0.0) return;
+      break;
+  }
+  active_ = true;
+  num_instances_ = view_.num_instances();
+  objects_.resize(static_cast<size_t>(m));
+  for (int i = 0; i < num_instances_; ++i) {
+    ObjectState& o = objects_[static_cast<size_t>(view_.object_of(i))];
+    o.pending += view_.prob(i);
+    ++o.unresolved;
+  }
+  undecided_ = m;
+  for (int j = 0; j < m; ++j) {
+    ObjectState& o = objects_[static_cast<size_t>(j)];
+    if (o.unresolved == 0) {
+      // No instances in the view: vacuously exact (Pr = 0).
+      Decide(j, false);
+    } else if (goal_.kind == GoalKind::kThreshold && ExcludedNow(o)) {
+      // Total existence mass already below the threshold — excluded before
+      // the traversal touches a single instance. (Top-k starts with τ = 0,
+      // so it has no pre-traversal exclusions.)
+      Decide(j, true);
+    }
+  }
+  // τ sweeps are O(m); amortize one over a batch of resolutions.
+  refresh_interval_ = std::max<int64_t>(16, m / 8);
+}
+
+bool GoalPruner::ExcludedNow(const ObjectState& o) const {
+  // Strictly conservative cut: kProbabilityEps absorbs summation rounding
+  // in the bounds, so an object whose true probability ties the cut value
+  // is never excluded — it is refined to exactness and the boundary tie is
+  // settled on exact values, identically to post-hoc slicing.
+  const double cut = goal_.kind == GoalKind::kThreshold ? goal_.p : tau_;
+  return o.lower + o.pending < cut - kProbabilityEps;
+}
+
+void GoalPruner::Decide(int j, bool excluded) {
+  ObjectState& o = objects_[static_cast<size_t>(j)];
+  ARSP_DCHECK(!o.decided);
+  o.decided = true;
+  o.excluded = excluded;
+  --undecided_;
+  ++decided_count_;
+  if (excluded) {
+    ++objects_pruned_;
+  } else {
+    ++exact_since_refresh_;
+  }
+}
+
+void GoalPruner::Resolve(int i, double prob) {
+  if (!active_) return;
+  ++bound_refinements_;
+  ++resolved_;
+  const int j = view_.object_of(i);
+  ObjectState& o = objects_[static_cast<size_t>(j)];
+  ARSP_DCHECK(o.unresolved > 0);
+  o.lower += prob;
+  o.pending -= view_.prob(i);
+  if (o.pending < 0.0) o.pending = 0.0;  // clamp summation rounding
+  --o.unresolved;
+  ++since_refresh_;
+  if (o.decided) return;
+  if (o.unresolved == 0) {
+    Decide(j, false);  // exact
+  } else if (ExcludedNow(o)) {
+    // For top-k goals this tests against the last swept τ — stale but
+    // sound, since τ only grows.
+    Decide(j, true);
+  }
+}
+
+bool GoalPruner::AllDecided(const int* ids, int count) const {
+  if (!active_ || decided_count_ == 0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (!objects_[static_cast<size_t>(view_.object_of(ids[i]))].decided) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GoalPruner::RefreshTau() {
+  // τ = k-th largest lower bound over all objects; monotone in the
+  // resolutions, so recomputing can only raise it.
+  const size_t m = objects_.size();
+  tau_scratch_.clear();
+  tau_scratch_.reserve(m);
+  for (const ObjectState& o : objects_) tau_scratch_.push_back(o.lower);
+  const size_t kth = static_cast<size_t>(goal_.k - 1);
+  std::nth_element(tau_scratch_.begin(), tau_scratch_.begin() + kth,
+                   tau_scratch_.end(), std::greater<double>());
+  tau_ = std::max(tau_, tau_scratch_[kth]);
+  for (size_t j = 0; j < m; ++j) {
+    ObjectState& o = objects_[j];
+    if (!o.decided && ExcludedNow(o)) {
+      Decide(static_cast<int>(j), true);
+    }
+  }
+}
+
+bool GoalPruner::GoalMet() {
+  if (!active_) return false;
+  if (undecided_ == 0) return true;
+  // τ sweeps are O(m), so they are rationed: one per refresh_interval_
+  // resolutions (amortized O(1) per instance), plus one whenever an object
+  // turned exact since the last sweep — exact winners are what raise τ, and
+  // at most m such sweeps can ever happen.
+  if (goal_.kind == GoalKind::kTopK &&
+      (since_refresh_ >= refresh_interval_ || exact_since_refresh_ > 0)) {
+    since_refresh_ = 0;
+    exact_since_refresh_ = 0;
+    RefreshTau();
+  }
+  return undecided_ == 0;
+}
+
+void GoalPruner::Finish(ArspResult* result) const {
+  if (!active_) return;
+  result->goal = goal_;
+  result->complete = all_resolved();
+  result->objects_pruned = objects_pruned_;
+  result->bound_refinements = bound_refinements_;
+  const int m = static_cast<int>(objects_.size());
+  result->object_bounds.assign(static_cast<size_t>(m), ProbabilityBounds{});
+  result->object_decisions.assign(static_cast<size_t>(m),
+                                  ObjectDecision::kUndecided);
+  for (int j = 0; j < m; ++j) {
+    const ObjectState& o = objects_[static_cast<size_t>(j)];
+    ProbabilityBounds& b = result->object_bounds[static_cast<size_t>(j)];
+    if (o.unresolved == 0) {
+      // Exact: re-sum in ascending instance order — the accumulation order
+      // of ObjectProbabilities — so slicing this run's instance vector
+      // post hoc would give exactly this value.
+      const auto [begin, end] = view_.object_range(j);
+      double sum = 0.0;
+      for (int i = begin; i < end; ++i) {
+        sum += result->instance_probs[static_cast<size_t>(i)];
+      }
+      b.lower = sum;
+      b.upper = sum;
+      result->object_decisions[static_cast<size_t>(j)] =
+          ObjectDecision::kExact;
+    } else {
+      b.lower = o.lower;
+      b.upper = o.lower + o.pending;
+      if (o.decided) {
+        ARSP_DCHECK(o.excluded);
+        result->object_decisions[static_cast<size_t>(j)] =
+            ObjectDecision::kExcluded;
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------------- solver
 
 Status ArspSolver::ValidateContext(const ExecutionContext& context) const {
@@ -485,6 +680,9 @@ StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context,
   stats.nodes_visited = result->nodes_visited;
   stats.nodes_pruned = result->nodes_pruned;
   stats.index_probes = result->index_probes;
+  stats.objects_pruned = result->objects_pruned;
+  stats.bound_refinements = result->bound_refinements;
+  stats.early_exit_depth = result->early_exit_depth;
   context.set_last_stats(stats);
   if (stats_out != nullptr) *stats_out = stats;
   return result;

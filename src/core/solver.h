@@ -67,6 +67,13 @@ enum SolverCaps : uint32_t {
   /// Work grows exponentially with the mapped dimensionality d' = |V|
   /// (QDTT+'s 2^{d'} quadrant fan-out); harnesses cap the vertex count.
   kCapExponentialInVertices = 1u << 5,
+  /// Honors a non-full ExecutionContext::goal(): maintains per-object
+  /// probability bounds through a GoalPruner, skips objects the goal has
+  /// decided, stops early when the goal is met, and may return a partial
+  /// (is_complete() == false) ArspResult. Solvers without this flag ignore
+  /// the goal and return complete results — correct for any goal, just
+  /// without the savings.
+  kCapGoalPushdown = 1u << 6,
 };
 
 /// Uniform instrumentation for one Solve() run: wall time split into the
@@ -80,6 +87,10 @@ struct SolverStats {
   int64_t nodes_visited = 0;     ///< tree nodes expanded / constructed
   int64_t nodes_pruned = 0;      ///< subtrees pruned
   int64_t index_probes = 0;      ///< window / half-space index probes
+  /// Goal-pushdown counters (zero for full-goal runs; see GoalPruner).
+  int64_t objects_pruned = 0;     ///< objects decided out by bounds
+  int64_t bound_refinements = 0;  ///< per-object bound updates applied
+  int64_t early_exit_depth = 0;   ///< depth of the global goal-met stop
 
   /// One-line "k=v" rendering for logs and arsp_cli --stats.
   std::string ToString() const;
@@ -127,6 +138,102 @@ class SolverOptions {
 };
 
 class ExecutionContext;
+
+/// Shared per-run bookkeeping for goal pushdown, used by every solver that
+/// advertises kCapGoalPushdown. The traversal reports each instance's exact
+/// rskyline probability the moment it is determined (Resolve); the pruner
+/// maintains per-object bounds
+///   lower  = Σ resolved instance probabilities,
+///   upper  = lower + Σ existence probabilities of unresolved instances
+/// (an instance's rskyline probability never exceeds its existence
+/// probability), and decides objects against the goal:
+///   threshold p — excluded once upper < p − ε; exact once all instances
+///                 are resolved;
+///   top-k       — excluded once upper < τ − ε, where τ is the k-th largest
+///                 lower bound across objects (τ only grows, so a stale τ is
+///                 always safe); ε = kProbabilityEps absorbs summation
+///                 rounding, so an object near the cut is never excluded —
+///                 it is refined to exactness and boundary ties are settled
+///                 on exact values, exactly like post-hoc slicing.
+/// The traversal asks AllDecided() to skip subtrees whose instances all
+/// belong to decided objects, and GoalMet() to stop the whole solve once
+/// every object is decided. Decisions are monotone — an object never
+/// becomes undecided again — which is what makes both skips sound.
+///
+/// A pruner built from a full goal is inactive: every method is a cheap
+/// no-op and solvers pass nullptr into their hot loops instead.
+class GoalPruner {
+ public:
+  GoalPruner(const QueryGoal& goal, const DatasetView& view);
+
+  /// False for full goals (and for top-k goals that cannot prune, e.g.
+  /// k >= num_objects or k < 0 — every object must be exact anyway).
+  bool active() const { return active_; }
+
+  /// Records the exact rskyline probability of local instance `i`. Must be
+  /// called exactly once per evaluated instance (zeros included — a pruned
+  /// subtree's zeros are resolutions too).
+  void Resolve(int i, double prob);
+
+  /// Whether object `j`'s outcome is decided (exact or excluded). Solvers
+  /// use it to skip per-instance work whose only purpose is j's own
+  /// probability — never work that feeds *other* objects' probabilities.
+  bool ObjectDecided(int j) const {
+    return active_ && objects_[static_cast<size_t>(j)].decided;
+  }
+
+  /// True when every instance in `ids[0..count)` belongs to a decided
+  /// object — the subtree need not be visited at all.
+  bool AllDecided(const int* ids, int count) const;
+
+  /// True when every object is decided: the goal's answer is determined and
+  /// the solve can stop. May lazily re-evaluate top-k exclusions (τ sweep).
+  bool GoalMet();
+
+  /// True when every instance was resolved (the run degenerated to a full
+  /// solve); such a result is complete and answers any goal.
+  bool all_resolved() const { return resolved_ == num_instances_; }
+
+  int64_t objects_pruned() const { return objects_pruned_; }
+  int64_t bound_refinements() const { return bound_refinements_; }
+
+  /// Exports goal, bounds, decisions, completeness, and counters into the
+  /// result. Exact objects' bounds are recomputed as instance-order sums
+  /// over result->instance_probs — the same accumulation order as
+  /// ObjectProbabilities — so the only divergence from post-hoc slicing of
+  /// a full solve is the traversals' sub-ulp β drift across skipped
+  /// subtrees (see AnswerGoal). No-op when inactive.
+  void Finish(ArspResult* result) const;
+
+ private:
+  struct ObjectState {
+    double lower = 0.0;    ///< Σ resolved rskyline probabilities
+    double pending = 0.0;  ///< Σ unresolved existence probabilities
+    int unresolved = 0;    ///< #instances not yet resolved
+    bool decided = false;
+    bool excluded = false;
+  };
+
+  bool ExcludedNow(const ObjectState& o) const;
+  void Decide(int j, bool excluded);
+  void RefreshTau();
+
+  QueryGoal goal_;
+  DatasetView view_;
+  bool active_ = false;
+  int num_instances_ = 0;
+  std::vector<ObjectState> objects_;
+  int undecided_ = 0;
+  int decided_count_ = 0;
+  int64_t resolved_ = 0;
+  int64_t objects_pruned_ = 0;
+  int64_t bound_refinements_ = 0;
+  double tau_ = 0.0;            ///< k-th largest lower bound (top-k goals)
+  int64_t since_refresh_ = 0;   ///< resolutions since the last τ sweep
+  int64_t exact_since_refresh_ = 0;  ///< objects turned exact since then
+  int64_t refresh_interval_ = 0;
+  std::vector<double> tau_scratch_;
+};
 
 /// Interface every ARSP algorithm implements. Solvers are cheap to construct
 /// and carry only configuration; all per-query state lives in the
@@ -199,16 +306,21 @@ class ArspSolver {
 class ExecutionContext {
  public:
   /// Context for a general preference region (weak ranking, interactive, or
-  /// custom vertex sets).
-  ExecutionContext(const UncertainDataset& dataset, PreferenceRegion region);
-  ExecutionContext(DatasetView view, PreferenceRegion region);
+  /// custom vertex sets). `goal` is the execution goal kCapGoalPushdown
+  /// solvers honor (full = classic ARSP); it is immutable, so a context can
+  /// be shared across threads regardless of goal.
+  ExecutionContext(const UncertainDataset& dataset, PreferenceRegion region,
+                   QueryGoal goal = {});
+  ExecutionContext(DatasetView view, PreferenceRegion region,
+                   QueryGoal goal = {});
 
   /// Context for weight ratio constraints. General-F solvers derive the
   /// preference region lazily through region(); DUAL-family solvers read the
   /// ratios directly.
-  ExecutionContext(const UncertainDataset& dataset,
-                   WeightRatioConstraints wr);
-  ExecutionContext(DatasetView view, WeightRatioConstraints wr);
+  ExecutionContext(const UncertainDataset& dataset, WeightRatioConstraints wr,
+                   QueryGoal goal = {});
+  ExecutionContext(DatasetView view, WeightRatioConstraints wr,
+                   QueryGoal goal = {});
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
@@ -216,9 +328,19 @@ class ExecutionContext {
   /// Child context over `view` with the parent's constraints. `view` must
   /// window the same base dataset and be contained in the parent's view
   /// (checked). The child shares the parent's constraint artifacts and
-  /// index structures instead of rebuilding them.
+  /// index structures instead of rebuilding them. The child inherits the
+  /// parent's goal; the overload below overrides it — ArspEngine derives a
+  /// goal-scoped child over the *same* view from a pooled (goal-free)
+  /// context, which costs nothing (every artifact, including the score
+  /// span, is shared) and keeps pooled contexts reusable across goals.
   static std::shared_ptr<ExecutionContext> Derive(
       std::shared_ptr<const ExecutionContext> parent, DatasetView view);
+  static std::shared_ptr<ExecutionContext> Derive(
+      std::shared_ptr<const ExecutionContext> parent, DatasetView view,
+      QueryGoal goal);
+
+  /// The execution goal; immutable for the context's lifetime.
+  const QueryGoal& goal() const { return goal_; }
 
   /// The base dataset behind the view.
   const UncertainDataset& dataset() const { return view_.base(); }
@@ -315,9 +437,10 @@ class ExecutionContext {
   class SetupTimer;
 
   ExecutionContext(std::shared_ptr<const ExecutionContext> parent,
-                   DatasetView view);
+                   DatasetView view, QueryGoal goal);
 
   DatasetView view_;
+  QueryGoal goal_;  // immutable after construction
   std::optional<WeightRatioConstraints> wr_;
   std::shared_ptr<const ExecutionContext> parent_;  // nullptr for roots
   // mu_ guards every mutable member below. Recursive because the lazy

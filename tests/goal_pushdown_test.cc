@@ -1,0 +1,270 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Goal pushdown mechanics: GoalPruner decision rules and activation gates,
+// partial-result invariants (is_complete / decided / bounds enclosure, and
+// the CHECK guards that keep partial results out of full-result helpers),
+// the SolverStats pruning counters, and the headline acceptance property —
+// on the Fig. 6 real-data config (NBA-like, d = 4, c = 3), a top-k (k ≤ 10)
+// and a p = 0.5 threshold query perform strictly fewer bound refinements /
+// exact instance evaluations than the full solve, for KDTT+ and MWTT (and
+// the other pushdown solvers along the way).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/queries.h"
+#include "src/core/solver.h"
+#include "src/uncertain/generators.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::WrRegion;
+
+// ------------------------------------------------------------- GoalPruner
+
+UncertainDataset TwoObjectDataset() {
+  // Object 0: two instances of mass 0.5 each. Object 1: four of 0.25.
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{0.1, 0.2}, Point{0.2, 0.1}}, {0.5, 0.5});
+  builder.AddObject({Point{0.5, 0.6}, Point{0.6, 0.5}, Point{0.7, 0.8},
+                     Point{0.8, 0.7}},
+                    {0.25, 0.25, 0.25, 0.25});
+  return std::move(builder.Build()).value();
+}
+
+TEST(GoalPrunerTest, InactiveWhenNothingCanBePruned) {
+  const UncertainDataset dataset = TwoObjectDataset();
+  const DatasetView view{dataset};
+  EXPECT_FALSE(GoalPruner(QueryGoal::Full(), view).active());
+  EXPECT_FALSE(GoalPruner(QueryGoal::TopK(-1), view).active());
+  // k == 0 (an empty answer — also what arsp_cli --topk garbage parses to)
+  // must deactivate, not feed τ sweeps an ill-defined "0-th largest".
+  EXPECT_FALSE(GoalPruner(QueryGoal::TopK(0), view).active());
+  EXPECT_FALSE(GoalPruner(QueryGoal::CountControlled(0), view).active());
+  EXPECT_FALSE(GoalPruner(QueryGoal::TopK(2), view).active());  // k == m
+  EXPECT_FALSE(GoalPruner(QueryGoal::TopK(99), view).active());
+  EXPECT_FALSE(GoalPruner(QueryGoal::Threshold(0.0), view).active());
+  EXPECT_FALSE(GoalPruner(QueryGoal::Threshold(-1.0), view).active());
+  EXPECT_TRUE(GoalPruner(QueryGoal::TopK(1), view).active());
+  EXPECT_TRUE(GoalPruner(QueryGoal::Threshold(0.5), view).active());
+}
+
+TEST(GoalPrunerTest, ThresholdDecidesByBounds) {
+  const UncertainDataset dataset = TwoObjectDataset();
+  const DatasetView view{dataset};
+  GoalPruner pruner(QueryGoal::Threshold(0.6), view);
+  ASSERT_TRUE(pruner.active());
+  EXPECT_FALSE(pruner.GoalMet());
+
+  // Object 1's upper bound starts at 1.0; after two zero resolutions it is
+  // 0.5 < 0.6 - eps: excluded with two instances still unresolved.
+  pruner.Resolve(2, 0.0);
+  EXPECT_FALSE(pruner.ObjectDecided(1));
+  pruner.Resolve(3, 0.0);
+  EXPECT_TRUE(pruner.ObjectDecided(1));
+  EXPECT_EQ(pruner.objects_pruned(), 1);
+
+  // Object 0 resolves fully (exact); the goal is then met with object 1's
+  // tail never evaluated.
+  pruner.Resolve(0, 0.5);
+  EXPECT_FALSE(pruner.GoalMet());
+  pruner.Resolve(1, 0.45);
+  EXPECT_TRUE(pruner.ObjectDecided(0));
+  EXPECT_TRUE(pruner.GoalMet());
+  EXPECT_FALSE(pruner.all_resolved());
+  EXPECT_EQ(pruner.bound_refinements(), 4);
+
+  const int skipped[] = {4, 5};
+  EXPECT_TRUE(pruner.AllDecided(skipped, 2));
+
+  ArspResult result;
+  result.instance_probs = {0.5, 0.45, 0.0, 0.0, 0.0, 0.0};
+  pruner.Finish(&result);
+  EXPECT_FALSE(result.is_complete());
+  EXPECT_EQ(result.goal, QueryGoal::Threshold(0.6));
+  ASSERT_EQ(result.object_bounds.size(), 2u);
+  EXPECT_EQ(result.object_decisions[0], ObjectDecision::kExact);
+  EXPECT_EQ(result.object_decisions[1], ObjectDecision::kExcluded);
+  EXPECT_DOUBLE_EQ(result.object_bounds[0].lower, 0.95);
+  EXPECT_DOUBLE_EQ(result.object_bounds[0].upper, 0.95);
+  EXPECT_DOUBLE_EQ(result.object_bounds[1].lower, 0.0);
+  EXPECT_DOUBLE_EQ(result.object_bounds[1].upper, 0.5);
+  EXPECT_TRUE(result.decided(0));
+  EXPECT_TRUE(result.decided(1));
+}
+
+TEST(GoalPrunerTest, ThresholdAboveTotalMassExcludesBeforeTraversal) {
+  // Every object's existence mass is below the threshold: all excluded at
+  // construction, the goal is met before a single instance is evaluated.
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{0.1, 0.2}}, {0.4});
+  builder.AddObject({Point{0.3, 0.4}, Point{0.4, 0.3}}, {0.2, 0.2});
+  const UncertainDataset dataset = std::move(builder.Build()).value();
+  const DatasetView view{dataset};
+  GoalPruner pruner(QueryGoal::Threshold(0.5), view);
+  ASSERT_TRUE(pruner.active());
+  EXPECT_TRUE(pruner.GoalMet());
+  EXPECT_EQ(pruner.objects_pruned(), 2);
+  EXPECT_EQ(pruner.bound_refinements(), 0);
+}
+
+TEST(GoalPrunerTest, TopKNeverExcludesWithinEpsOfTheCut) {
+  // Two objects exactly tied at the top: neither may be excluded by the
+  // other's lower bound — ties must resolve to exactness.
+  UncertainDatasetBuilder builder(2);
+  builder.AddObject({Point{0.1, 0.9}}, {0.8});
+  builder.AddObject({Point{0.9, 0.1}}, {0.8});
+  builder.AddObject({Point{0.5, 0.5}, Point{0.6, 0.6}}, {0.1, 0.1});
+  const UncertainDataset dataset = std::move(builder.Build()).value();
+  const DatasetView view{dataset};
+  GoalPruner pruner(QueryGoal::TopK(1), view);
+  ASSERT_TRUE(pruner.active());
+  pruner.Resolve(0, 0.8);
+  pruner.Resolve(1, 0.8);
+  // The newly exact winners trigger a τ sweep on the next GoalMet: object 2
+  // (upper 0.2 < τ = 0.8) is excluded, the tied object 1 must survive the
+  // sweep (it is exact, never excluded), and the goal is met.
+  EXPECT_TRUE(pruner.GoalMet());
+  EXPECT_TRUE(pruner.ObjectDecided(0));
+  EXPECT_TRUE(pruner.ObjectDecided(1));
+  EXPECT_TRUE(pruner.ObjectDecided(2));
+  EXPECT_EQ(pruner.objects_pruned(), 1);  // only object 2
+}
+
+// -------------------------------------------------- partial-result guards
+
+TEST(PartialResultGuards, FullResultHelpersRejectPartialResults) {
+  ArspResult partial;
+  partial.instance_probs = {0.5, 0.0};
+  partial.complete = false;
+  EXPECT_DEATH(CountNonZero(partial), "complete");
+  EXPECT_DEATH(InstancesAboveThreshold(partial, 0.5), "complete");
+  const UncertainDataset dataset = TwoObjectDataset();
+  ArspResult sized;
+  sized.instance_probs.assign(6, 0.0);
+  sized.complete = false;
+  EXPECT_DEATH(ObjectProbabilities(sized, dataset), "complete");
+  EXPECT_DEATH(TopKObjects(sized, dataset, 1), "complete");
+}
+
+TEST(PartialResultGuards, AnswerGoalRejectsMismatchedGoal) {
+  const UncertainDataset dataset = TwoObjectDataset();
+  ExecutionContext context(dataset, WrRegion(2, 1),
+                           QueryGoal::Threshold(0.6));
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  auto result = (*solver)->Solve(context);
+  ASSERT_TRUE(result.ok());
+  if (!result->is_complete()) {
+    EXPECT_DEATH(
+        AnswerGoal(*result, context.view(), QueryGoal::Threshold(0.9)),
+        "answers goal");
+  }
+}
+
+// -------------------------------------------------- bounds are enclosures
+
+TEST(GoalPushdown, PartialBoundsEncloseTheTrueProbabilities) {
+  const UncertainDataset dataset = RandomDataset(30, 4, 3, 0.3, 42);
+  const PreferenceRegion region = WrRegion(3, 2);
+  ExecutionContext full(dataset, region);
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  auto reference = (*solver)->Solve(full);
+  ASSERT_TRUE(reference.ok());
+  const std::vector<double> truth = ObjectProbabilities(*reference, dataset);
+
+  for (const QueryGoal& goal :
+       {QueryGoal::TopK(3), QueryGoal::Threshold(0.4)}) {
+    ExecutionContext context(dataset, region, goal);
+    auto result = (*solver)->Solve(context);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->object_bounds.size(), truth.size());
+    for (size_t j = 0; j < truth.size(); ++j) {
+      const ProbabilityBounds& b = result->object_bounds[j];
+      EXPECT_LE(b.lower, truth[j] + 1e-9) << j;
+      EXPECT_GE(b.upper, truth[j] - 1e-9) << j;
+      if (result->object_decisions[j] == ObjectDecision::kExact) {
+        EXPECT_EQ(b.lower, b.upper) << j;
+        EXPECT_NEAR(b.lower, truth[j], 1e-12) << j;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------- the acceptance criterion
+
+// The Fig. 6 real-data configuration the benches run: NBA-like data at
+// d = 4 with the c = 3 weak-ranking region (bench_fig6_real.cc).
+struct PushdownSavings {
+  SolverStats full;
+  SolverStats goal;
+  ArspResult goal_result;
+  std::vector<std::pair<int, double>> oracle;
+  std::vector<std::pair<int, double>> pushed;
+};
+
+PushdownSavings RunFig6Case(const std::string& name, const QueryGoal& goal) {
+  const UncertainDataset dataset = GenerateNbaLike(250, 4, 1003, nullptr);
+  const PreferenceRegion region = WrRegion(4, 3);
+  PushdownSavings out;
+  auto solver = SolverRegistry::Create(name).value();
+  ExecutionContext full(dataset, region);
+  const ArspResult reference = solver->Solve(full, &out.full).value();
+  ExecutionContext context(dataset, region, goal);
+  out.goal_result = solver->Solve(context, &out.goal).value();
+  out.oracle = AnswerGoal(reference, full.view(), goal);
+  out.pushed = AnswerGoal(out.goal_result, context.view(), goal);
+  return out;
+}
+
+TEST(GoalPushdown, Fig6RealConfigStrictSavings) {
+  const UncertainDataset probe = GenerateNbaLike(250, 4, 1003, nullptr);
+  const int64_t n = probe.num_instances();
+  for (const std::string& name : {std::string("kdtt+"), std::string("mwtt")}) {
+    for (const QueryGoal& goal :
+         {QueryGoal::TopK(10), QueryGoal::Threshold(0.5)}) {
+      SCOPED_TRACE(name + "/" + goal.ToString());
+      const PushdownSavings s = RunFig6Case(name, goal);
+      // The full solve evaluates every instance exactly; pushdown must do
+      // strictly less — fewer bound refinements than instances (some were
+      // never evaluated), objects decided out, and fewer visited nodes.
+      EXPECT_EQ(s.full.bound_refinements, 0);  // no pruner on full solves
+      EXPECT_LT(s.goal.bound_refinements, n);
+      EXPECT_GT(s.goal.bound_refinements, 0);
+      EXPECT_GT(s.goal.objects_pruned, 0);
+      EXPECT_LT(s.goal.nodes_visited, s.full.nodes_visited);
+      EXPECT_FALSE(s.goal_result.is_complete());
+      // And the answer is still the post-hoc answer.
+      ASSERT_EQ(s.oracle.size(), s.pushed.size());
+      for (size_t i = 0; i < s.oracle.size(); ++i) {
+        EXPECT_EQ(s.oracle[i].first, s.pushed[i].first) << i;
+        EXPECT_NEAR(s.oracle[i].second, s.pushed[i].second, 1e-12) << i;
+      }
+    }
+  }
+}
+
+TEST(GoalPushdown, StatsStringCarriesPruningCounters) {
+  const UncertainDataset dataset = GenerateNbaLike(60, 4, 1003, nullptr);
+  ExecutionContext context(dataset, WrRegion(4, 3),
+                           QueryGoal::Threshold(0.5));
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  SolverStats stats;
+  ASSERT_TRUE((*solver)->Solve(context, &stats).ok());
+  const std::string line = stats.ToString();
+  EXPECT_NE(line.find("objects_pruned="), std::string::npos);
+  EXPECT_NE(line.find("bound_refinements="), std::string::npos);
+  EXPECT_NE(line.find("early_exit="), std::string::npos);
+  EXPECT_GT(stats.objects_pruned, 0);
+}
+
+}  // namespace
+}  // namespace arsp

@@ -15,9 +15,16 @@
 //                                    the paper's Fig. 6 m% sweep — and print
 //                                    a per-subset stats table; views derive
 //                                    their contexts from the base dataset's,
-//                                    so the sweep pays one full index build)
+//                                    so the sweep pays one full index build.
+//                                    Combine with --topk/--threshold to make
+//                                    the sweep goal-aware: pushdown-capable
+//                                    solvers prune per prefix)
 //            [--algo NAME|auto] [--opt key=value ...] [--stats]
-//            [--topk K] [--threshold P]
+//            [--topk K] [--threshold P]   (derived-goal queries; pushed down
+//                                    into kCapGoalPushdown solvers as bound
+//                                    refinement with early termination,
+//                                    post-hoc slicing otherwise — the output
+//                                    reports which path ran)
 //            [--instances out_instances.csv] [--objects out_objects.csv]
 //
 // The CLI is a thin shell over ArspEngine (src/core/engine.h): requests go
@@ -176,6 +183,7 @@ int ListSolvers() {
     if (c & kCapQuadraticTime) caps += " [quadratic]";
     if (c & kCapExponentialTime) caps += " [exponential]";
     if (c & kCapExponentialInVertices) caps += " [vertex-exponential]";
+    if (c & kCapGoalPushdown) caps += " [goal-pushdown]";
     std::printf("  %-12s %-12s %s%s\n", name.c_str(),
                 (*solver)->display_name(), (*solver)->description(),
                 caps.c_str());
@@ -183,17 +191,28 @@ int ListSolvers() {
   return 0;
 }
 
-// One line per response: wall time, resolved solver, cache reuse, size.
+// One line per response: wall time, resolved solver, cache reuse, and the
+// result size — or, for goal-pruned partial results (no full instance
+// vector exists), the answer size plus the execution mode.
 void PrintResponseLine(const std::string& label, const QueryResponse& resp) {
-  std::printf("%scomputed ARSP in %.2f ms (%s%s); result size %d\n",
-              label.c_str(), resp.stats.solve_millis, resp.solver.c_str(),
-              resp.cache_hit ? ", cache hit" : "",
-              CountNonZero(*resp.result));
+  if (resp.result->is_complete()) {
+    std::printf("%scomputed ARSP in %.2f ms (%s%s); result size %d\n",
+                label.c_str(), resp.stats.solve_millis, resp.solver.c_str(),
+                resp.cache_hit ? ", cache hit" : "",
+                CountNonZero(*resp.result));
+  } else {
+    std::printf(
+        "%scomputed %s in %.2f ms (%s%s, goal pushdown); %zu objects\n",
+        label.c_str(), resp.result->goal.ToString().c_str(),
+        resp.stats.solve_millis, resp.solver.c_str(),
+        resp.cache_hit ? ", cache hit" : "", resp.ranked.size());
+  }
 }
 
 void PrintStatsLine(const QueryResponse& resp) {
-  std::printf("%s cache_hit=%s\n", resp.stats.ToString().c_str(),
-              resp.cache_hit ? "true" : "false");
+  std::printf("%s cache_hit=%s pushdown=%s\n", resp.stats.ToString().c_str(),
+              resp.cache_hit ? "true" : "false",
+              resp.pushdown ? "true" : "false");
 }
 
 }  // namespace
@@ -278,17 +297,19 @@ int main(int argc, char** argv) {
   // --subset: the Fig. 6 m% sweep over engine-held prefix views. Each view
   // is a zero-copy window; pooled contexts derive from the base dataset's,
   // so the whole sweep performs one full index build (reported below).
+  // --topk/--threshold turn the sweep's requests into goal queries: the
+  // per-prefix contexts propagate the goal, so a pushdown-capable solver
+  // prunes per prefix (the mode column reports pushdown vs post-hoc).
   if (!args.subset_pcts.empty()) {
     // Reject flags the sweep cannot honor, loudly — silently dropping a
-    // --topk/--threshold/--repeat the user typed would misreport what ran.
+    // --repeat/--instances/--objects the user typed would misreport what
+    // ran.
     if (spec_strings.size() != 1 || !args.instances_out.empty() ||
-        !args.objects_out.empty() || args.topk.has_value() ||
-        args.threshold.has_value() || args.repeat != 1) {
+        !args.objects_out.empty() || args.repeat != 1) {
       std::fprintf(stderr,
                    "--subset needs exactly one constraint spec and is "
-                   "incompatible with --topk/--threshold/--repeat/"
-                   "--instances/--objects (it prints a per-prefix stats "
-                   "table instead)\n");
+                   "incompatible with --repeat/--instances/--objects (it "
+                   "prints a per-prefix stats table instead)\n");
       return 2;
     }
     auto constraints = ParseConstraintSpec(spec_strings[0], dataset->dim());
@@ -296,10 +317,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", constraints.status().ToString().c_str());
       return 2;
     }
+    const bool derived_goal = args.topk.has_value() ||
+                              args.threshold.has_value();
     std::printf("\nsubset sweep (%s, algo %s):\n", spec_strings[0].c_str(),
                 args.algo.c_str());
-    std::printf("  %5s %9s %10s %-12s %9s %9s %7s\n", "m%", "objects",
-                "instances", "solver", "setup_ms", "solve_ms", "size");
+    std::printf("  %5s %9s %10s %-12s %9s %9s %7s %-9s\n", "m%", "objects",
+                "instances", "solver", "setup_ms", "solve_ms", "size",
+                "mode");
     std::vector<DatasetHandle> view_handles;
     for (int pct : args.subset_pcts) {
       const int count =
@@ -316,17 +340,37 @@ int main(int argc, char** argv) {
       request.constraints = *constraints;
       request.solver = args.algo;
       request.options = options;
+      if (args.threshold) {
+        request.derived.kind = DerivedKind::kObjectsAboveThreshold;
+        request.derived.threshold = *args.threshold;
+      } else if (args.topk) {
+        request.derived.kind = DerivedKind::kTopKObjects;
+        request.derived.k = *args.topk;
+      }
       auto response = engine.Solve(request);
       if (!response.ok()) {
         std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
         return 1;
       }
       const DatasetView view = engine.view(*view_handle);
-      std::printf("  %4d%% %9d %10d %-12s %9.2f %9.2f %7d\n", pct,
+      // Size: the full ARSP size when the result is complete, the ranked
+      // answer size for goal-pruned partial results.
+      const std::string size =
+          response->result->is_complete()
+              ? std::to_string(CountNonZero(*response->result))
+              : std::to_string(response->ranked.size()) + "*";
+      const char* mode = !derived_goal
+                             ? "full"
+                             : (response->pushdown ? "pushdown" : "post-hoc");
+      std::printf("  %4d%% %9d %10d %-12s %9.2f %9.2f %7s %-9s\n", pct,
                   view.num_objects(), view.num_instances(),
                   response->solver.c_str(), response->stats.setup_millis,
-                  response->stats.solve_millis,
-                  CountNonZero(*response->result));
+                  response->stats.solve_millis, size.c_str(), mode);
+      if (args.stats) PrintStatsLine(*response);
+    }
+    if (derived_goal) {
+      std::printf("  (* = goal answer size; the full vector was pruned "
+                  "away)\n");
     }
     // One full build on the base context + per-view delta work is the
     // data-plane invariant; the counters make it visible (and are what
@@ -364,6 +408,10 @@ int main(int argc, char** argv) {
       request.derived.kind = DerivedKind::kTopKObjects;
       request.derived.k = args.topk.value_or(Args::kDefaultTopk);
     }
+    // CSV outputs need the complete instance vector, which a goal-pruned
+    // partial result no longer carries: force the post-hoc path.
+    request.allow_pushdown =
+        args.instances_out.empty() && args.objects_out.empty();
     requests.push_back(std::move(request));
   }
 
@@ -392,12 +440,16 @@ int main(int argc, char** argv) {
     if (requests.size() > 1) {
       std::printf("\n[%s]", spec_strings[i].c_str());
     }
+    // Report which execution strategy answered the derived query — goal
+    // pushdown (bound-based pruning in the solver) or the post-hoc
+    // fallback (full solve, then slicing).
+    const char* mode = resp.pushdown ? "goal pushdown" : "post-hoc";
     if (args.threshold) {
-      std::printf("\nobjects with Pr_rsky >= %g (%zu):\n", *args.threshold,
-                  resp.ranked.size());
+      std::printf("\nobjects with Pr_rsky >= %g (%zu, via %s):\n",
+                  *args.threshold, resp.ranked.size(), mode);
     } else {
-      std::printf("\ntop-%d objects by Pr_rsky:\n",
-                  args.topk.value_or(Args::kDefaultTopk));
+      std::printf("\ntop-%d objects by Pr_rsky (via %s):\n",
+                  args.topk.value_or(Args::kDefaultTopk), mode);
     }
     for (const auto& [object, prob] : resp.ranked) {
       std::printf("  %-20s %.4f\n", names[static_cast<size_t>(object)].c_str(),
