@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/common/lru.h"
+#include "src/common/stopwatch.h"
 #include "src/core/queries.h"
 #include "src/prefs/constraint_generators.h"
 
@@ -191,7 +192,11 @@ StatusOr<ConstraintSpec> ParseConstraintSpec(const std::string& spec,
 
 // --------------------------------------------------------------- engine
 
-ArspEngine::ArspEngine(EngineOptions options) : options_(options) {}
+ArspEngine::ArspEngine(EngineOptions options) : options_(options) {
+  // Sized once here and never resized, so Solve may test emptiness without
+  // the lock (only the slots themselves are mutated, under mu_).
+  latency_ring_.resize(options_.latency_window, 0.0);
+}
 
 ArspEngine::~ArspEngine() = default;
 
@@ -288,7 +293,16 @@ Status ArspEngine::DropDataset(DatasetHandle handle) {
 }
 
 StatusOr<QueryResponse> ArspEngine::Solve(const QueryRequest& request) {
-  return SolveImpl(request);
+  Stopwatch watch;
+  StatusOr<QueryResponse> response = SolveImpl(request);
+  if (response.ok() && !latency_ring_.empty()) {
+    const double millis = watch.ElapsedMillis();
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_ring_[latency_next_] = millis;
+    latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+    ++latency_count_;
+  }
+  return response;
 }
 
 StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
@@ -634,6 +648,42 @@ ArspResult ArspEngine::TakeResult(QueryResponse&& response) {
     return std::move(const_cast<ArspResult&>(*shared));
   }
   return *shared;
+}
+
+std::string ArspEngine::LatencyStats::ToString() const {
+  std::ostringstream os;
+  os << "requests=" << count << " window=" << window << " min_ms=" << min_ms
+     << " mean_ms=" << mean_ms << " p50_ms=" << p50_ms
+     << " p95_ms=" << p95_ms;
+  return os.str();
+}
+
+ArspEngine::LatencyStats ArspEngine::latency_stats() const {
+  LatencyStats stats;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.count = latency_count_;
+    const size_t filled = std::min<size_t>(
+        static_cast<size_t>(latency_count_), latency_ring_.size());
+    window.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + static_cast<ptrdiff_t>(filled));
+  }
+  if (window.empty()) return stats;
+  stats.window = static_cast<int64_t>(window.size());
+  std::sort(window.begin(), window.end());
+  double sum = 0.0;
+  for (double v : window) sum += v;
+  stats.min_ms = window.front();
+  stats.mean_ms = sum / static_cast<double>(window.size());
+  // Nearest-rank percentiles over the retained window.
+  const auto rank = [&](double q) {
+    return window[static_cast<size_t>(
+        q * static_cast<double>(window.size() - 1) + 0.5)];
+  };
+  stats.p50_ms = rank(0.50);
+  stats.p95_ms = rank(0.95);
+  return stats;
 }
 
 ArspEngine::CacheStats ArspEngine::cache_stats() const {

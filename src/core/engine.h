@@ -199,6 +199,9 @@ struct EngineOptions {
   /// SolveBatch worker threads; 0 = hardware concurrency. The pool is
   /// created lazily on the first SolveBatch.
   int num_threads = 0;
+  /// Ring-buffer window for per-request latency percentiles (latency_stats);
+  /// 0 disables latency tracking.
+  size_t latency_window = 1024;
 };
 
 /// Long-lived query engine owning datasets, pooled contexts, the result
@@ -271,6 +274,27 @@ class ArspEngine {
   CacheStats cache_stats() const;
   void ClearResultCache();
 
+  /// Per-request latency distribution. `count` is the lifetime number of
+  /// successful Solve calls (SolveBatch entries included; failed requests
+  /// are not recorded — their sub-microsecond rejects would drag the
+  /// percentiles toward zero); min/mean/p50/p95 are computed over the most
+  /// recent `window` requests (the EngineOptions::latency_window ring, so a
+  /// long-lived service reports current behavior, not its lifetime
+  /// average). Percentiles use the nearest-rank method. All zero when
+  /// tracking is disabled or nothing has been recorded yet.
+  struct LatencyStats {
+    int64_t count = 0;    ///< lifetime requests recorded
+    int64_t window = 0;   ///< requests in the ring right now
+    double min_ms = 0.0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+
+    /// One-line "k=v" rendering for arsp_cli --stats and the daemon log.
+    std::string ToString() const;
+  };
+  LatencyStats latency_stats() const;
+
   /// Number of pooled ExecutionContexts currently alive.
   size_t pooled_contexts() const;
 
@@ -333,6 +357,11 @@ class ArspEngine {
   std::map<std::pair<int, std::string>, std::string> auto_memo_;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
+  /// Latency ring: the last latency_window request latencies (ms), written
+  /// round-robin at latency_next_. latency_count_ is the lifetime total.
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  int64_t latency_count_ = 0;
   std::unique_ptr<ThreadPool> pool_;  ///< lazily created; guarded by mu_
 };
 

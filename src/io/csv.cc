@@ -3,6 +3,7 @@
 #include "src/io/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,13 +23,16 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return fields;
 }
 
-// Strict double parse with leading/trailing whitespace tolerance.
+// Strict double parse with leading/trailing whitespace tolerance. Rejects
+// non-finite values: strtod happily parses "nan"/"inf", which would poison
+// every downstream comparison (dominance tests, tree bounds) — a malformed
+// file must fail at the parse boundary, not corrupt a running daemon.
 bool ParseDouble(const std::string& text, double* out) {
   const char* begin = text.c_str();
   char* end = nullptr;
   errno = 0;
   *out = std::strtod(begin, &end);
-  if (end == begin || errno == ERANGE) return false;
+  if (end == begin || errno == ERANGE || !std::isfinite(*out)) return false;
   while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
   return *end == '\0';
 }
@@ -56,6 +60,7 @@ StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
   std::vector<std::string> names;
   std::vector<std::vector<Point>> points;
   std::vector<std::vector<double>> probs;
+  std::vector<double> totals;  ///< running Σp per object, for line errors
 
   while (std::getline(stream, line)) {
     ++line_number;
@@ -82,10 +87,21 @@ StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
     }
 
     const std::string key = Trim(fields[0]);
+    if (key.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": empty object key");
+    }
     double prob = 0.0;
     if (!ParseDouble(fields[1], &prob)) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": bad probability '" + fields[1] + "'");
+    }
+    // Range checks live here, not only in UncertainDatasetBuilder, so the
+    // error names the offending line instead of an anonymous object index.
+    if (prob <= 0.0 || prob > 1.0) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": probability " +
+          fields[1] + " outside (0, 1]");
     }
     Point p(dim);
     for (int k = 0; k < dim; ++k) {
@@ -104,6 +120,17 @@ StatusOr<UncertainDataset> ParseUncertainDatasetCsv(
       names.push_back(key);
       points.emplace_back();
       probs.emplace_back();
+      totals.push_back(0.0);
+    }
+    // The builder re-validates Σp ≤ 1, but only this loop still knows which
+    // row crossed the bound — fail here with the line and the object key.
+    totals[static_cast<size_t>(it->second)] += prob;
+    if (totals[static_cast<size_t>(it->second)] > 1.0 + 1e-9) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": probabilities of '" +
+          key + "' sum to " +
+          std::to_string(totals[static_cast<size_t>(it->second)]) +
+          " (> 1)");
     }
     points[static_cast<size_t>(it->second)].push_back(std::move(p));
     probs[static_cast<size_t>(it->second)].push_back(prob);

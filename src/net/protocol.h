@@ -1,0 +1,365 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The arspd wire protocol: length-prefixed, versioned frames carrying typed
+// request/response messages between a thin client (arsp_cli --connect, or
+// any ArspClient user) and the long-lived daemon holding one ArspEngine.
+//
+// Frame layout (all integers little-endian, independent of host order):
+//
+//   +-------------+-------------+-----------+----------+-----------------+
+//   | u32 length  | u16 magic   | u8 version| u8 type  | payload bytes   |
+//   +-------------+-------------+-----------+----------+-----------------+
+//   length = number of payload bytes (magic/version/type excluded)
+//   magic  = kWireMagic, rejects non-arspd peers and stream desync
+//   version= kWireVersion; both sides reject frames from the future
+//   type   = MessageType
+//
+// Payloads are flat sequences of primitives encoded by WireWriter and
+// decoded by WireReader: u8/u32/u64/i32/f64, strings as u32 length + bytes,
+// vectors as u32 count + elements. WireReader is bounds-checked with a
+// sticky error, so a truncated or hostile payload can never read out of
+// range — decoding either succeeds completely or returns InvalidArgument.
+// Frames larger than kMaxPayloadBytes are rejected before any allocation
+// (the max-frame guard: a garbage length prefix must not OOM the daemon).
+//
+// Every message is a plain struct with EncodePayload()/DecodePayload(), so
+// the protocol is testable without sockets (tests/protocol_test.cc) and the
+// server/client share one serialization path. SendMessage/RecvFrame are the
+// blocking fd-level framing helpers both sides use.
+
+#ifndef ARSP_NET_PROTOCOL_H_
+#define ARSP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/solver.h"
+#include "src/uncertain/dataset_view.h"
+
+namespace arsp {
+namespace net {
+
+/// Frame magic ("AR" little-endian-ish constant); rejects stream desync and
+/// non-arspd peers at the first frame.
+inline constexpr uint16_t kWireMagic = 0xA75F;
+
+/// Protocol version; bumped on any incompatible message change. Both sides
+/// reject frames carrying a newer version than they speak.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Max payload bytes a peer will accept (the max-frame guard). Large enough
+/// for a multi-million-instance probability vector, small enough that a
+/// corrupt length prefix cannot OOM the process.
+inline constexpr uint32_t kMaxPayloadBytes = 256u * 1024u * 1024u;
+
+/// Wire message types. Requests and responses share one numbering space;
+/// responses start at 128.
+enum class MessageType : uint8_t {
+  // Client → server.
+  kPing = 1,          ///< liveness probe; empty payload
+  kLoadDataset = 2,   ///< LoadDatasetRequest
+  kAddView = 3,       ///< AddViewRequest
+  kQuery = 4,         ///< QueryRequestWire
+  kStats = 5,         ///< StatsRequest
+  kDrop = 6,          ///< DropRequest
+  kShutdown = 7,      ///< drain and stop the daemon; empty payload
+  // Server → client.
+  kOk = 128,          ///< generic success (ping, drop, shutdown)
+  kError = 129,       ///< ErrorResponse
+  kLoadResult = 130,  ///< LoadDatasetResponse
+  kViewResult = 131,  ///< AddViewResponse
+  kQueryResult = 132, ///< QueryResponseWire
+  kStatsResult = 133, ///< StatsResponse
+};
+
+/// Human-readable message-type name for logs and errors.
+const char* MessageTypeName(MessageType type);
+
+// ---------------------------------------------------------------- encoding
+
+/// Appends little-endian primitives to a growing byte buffer.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern, little-endian.
+  void F64(double v);
+  /// u32 byte length + raw bytes.
+  void Str(const std::string& s);
+  void F64Vec(const std::vector<double>& v);
+  void I32Vec(const std::vector<int>& v);
+  void StrVec(const std::vector<std::string>& v);
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader with a sticky error: after any
+/// failed read, every subsequent read returns zero values and status() is
+/// non-OK. Decoders therefore read unconditionally and check once at the
+/// end. Vector/string reads validate the element count against the bytes
+/// actually remaining before allocating, so a hostile length cannot OOM.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& bytes) : buf_(bytes) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  double F64();
+  std::string Str();
+  std::vector<double> F64Vec();
+  std::vector<int> I32Vec();
+  std::vector<std::string> StrVec();
+
+  /// OK iff every read so far stayed in bounds.
+  const Status& status() const { return status_; }
+  /// InvalidArgument unless the payload was consumed exactly and fully —
+  /// the per-message decode postcondition.
+  Status Finish() const;
+
+ private:
+  bool Need(size_t n);
+  void Fail(const std::string& what);
+
+  const std::string& buf_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+// ---------------------------------------------------------------- messages
+
+/// How a LOAD_DATASET payload names its data.
+enum class LoadSource : uint8_t {
+  kCsvText = 0,   ///< `payload` is CSV text shipped inline
+  kCsvFile = 1,   ///< `payload` is a path readable by the *server*
+  kGenerator = 2, ///< `payload` is a GenerateFromSpec spec ("iip:n=...")
+};
+
+/// Registers a dataset under a name. Loading an already-registered name is
+/// idempotent when the content fingerprint matches (the existing handle is
+/// returned, `reused` set); a mismatch is an error — names are immutable
+/// bindings, exactly like engine handles.
+struct LoadDatasetRequest {
+  std::string name;
+  LoadSource source = LoadSource::kCsvText;
+  std::string payload;
+  bool header = false;  ///< CSV sources: skip the first data line
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+struct LoadDatasetResponse {
+  std::string name;
+  int32_t num_objects = 0;
+  int32_t num_instances = 0;
+  int32_t dim = 0;
+  bool reused = false;  ///< an identical registration already existed
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Registers a named view over a named base dataset (first-class handle:
+/// queryable, droppable, with its own stats).
+struct AddViewRequest {
+  std::string base_name;
+  std::string view_name;
+  ViewSpec spec;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+struct AddViewResponse {
+  std::string name;
+  int32_t num_objects = 0;
+  int32_t num_instances = 0;
+  int32_t dim = 0;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Mirrors engine DerivedKind on the wire (u8).
+enum class WireDerivedKind : uint8_t {
+  kNone = 0,
+  kTopKObjects = 1,
+  kTopKInstances = 2,
+  kObjectsAboveThreshold = 3,
+  kCountControlled = 4,
+};
+
+/// One query against a named dataset or view — the wire form of the
+/// engine's QueryRequest: constraint spec + solver + goal + options.
+struct QueryRequestWire {
+  std::string dataset;          ///< registered dataset or view name
+  std::string constraint_spec;  ///< ParseConstraintSpec syntax
+  std::string solver = "auto";
+  std::vector<std::string> options;  ///< raw "key=value" pairs (CLI --opt)
+  WireDerivedKind derived_kind = WireDerivedKind::kNone;
+  int32_t k = 10;
+  double threshold = 0.5;
+  int32_t max_objects = 10;
+  bool use_cache = true;
+  bool allow_pushdown = true;
+  /// Ship the full instance-probability vector back (complete results
+  /// only); off by default — it is O(n) bytes.
+  bool include_instances = false;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Wire form of SolverStats; field-for-field.
+struct WireSolverStats {
+  std::string solver;
+  double setup_millis = 0.0;
+  double solve_millis = 0.0;
+  int64_t dominance_tests = 0;
+  int64_t nodes_visited = 0;
+  int64_t nodes_pruned = 0;
+  int64_t index_probes = 0;
+  int64_t objects_pruned = 0;
+  int64_t bound_refinements = 0;
+  int64_t early_exit_depth = 0;
+
+  static WireSolverStats From(const SolverStats& stats);
+  SolverStats ToSolverStats() const;
+  void Encode(WireWriter& w) const;
+  void Decode(WireReader& r);
+};
+
+/// One ranked answer entry: base object id, the server-side object name
+/// (CSV key or generator name; empty when unnamed), and Pr_rsky.
+struct RankedEntry {
+  int32_t object_id = 0;
+  std::string name;
+  double prob = 0.0;
+};
+
+struct QueryResponseWire {
+  std::string solver;       ///< resolved concrete solver
+  bool cache_hit = false;
+  bool pushdown = false;
+  bool complete = true;     ///< result->is_complete()
+  std::string goal;         ///< QueryGoal::ToString() of the served goal
+  /// CountNonZero for complete results; -1 for goal-pruned partials (no
+  /// full vector exists to count).
+  int32_t result_size = -1;
+  std::vector<RankedEntry> ranked;
+  double count_threshold = 0.0;
+  WireSolverStats stats;
+  /// Full per-instance probabilities; filled only when the request set
+  /// include_instances and the result is complete.
+  std::vector<double> instance_probs;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+struct StatsRequest {
+  /// Empty = engine-level stats only; a registered name additionally fills
+  /// the index-work counters for that dataset (bases aggregate their views).
+  std::string dataset;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// One registered dataset/view in a STATS listing.
+struct DatasetInfo {
+  std::string name;
+  int32_t num_objects = 0;
+  int32_t num_instances = 0;
+  int32_t dim = 0;
+  bool is_view = false;
+};
+
+struct StatsResponse {
+  // Engine result cache.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t pooled_contexts = 0;
+  // Engine per-request latency (ring-buffer window; see ArspEngine).
+  int64_t latency_count = 0;
+  int64_t latency_window = 0;
+  double latency_min_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  std::vector<DatasetInfo> datasets;
+  // Index-work counters of the requested dataset (present iff a name was
+  // given and known): ExecutionContext::IndexBuildStats field-for-field.
+  bool has_index_stats = false;
+  int64_t kdtree_builds = 0;
+  int64_t rtree_builds = 0;
+  int64_t score_maps = 0;
+  int64_t score_reuses = 0;
+  int64_t parent_index_hits = 0;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+struct DropRequest {
+  std::string name;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Error reply: the server-side Status, code and message, so the client can
+/// reconstruct an equivalent Status.
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  static ErrorResponse From(const Status& status);
+  Status ToStatus() const;
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+// ----------------------------------------------------------------- framing
+
+/// A received frame: type + raw payload (decode with the matching message).
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+/// Writes one complete frame to a blocking socket/pipe fd, looping over
+/// short writes. InvalidArgument if the payload exceeds kMaxPayloadBytes;
+/// Internal on write errors (EPIPE included — callers treat any error as a
+/// dead connection).
+Status SendFrame(int fd, MessageType type, const std::string& payload);
+
+/// Reads one complete frame from a blocking fd. Validates magic, version,
+/// and the max-frame guard before allocating the payload. A clean EOF
+/// before any header byte returns NotFound("connection closed") — the
+/// normal end of a connection; every other failure is InvalidArgument
+/// (protocol violation) or Internal (I/O error).
+StatusOr<Frame> RecvFrame(int fd);
+
+}  // namespace net
+}  // namespace arsp
+
+#endif  // ARSP_NET_PROTOCOL_H_

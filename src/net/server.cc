@@ -1,0 +1,716 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/core/queries.h"
+#include "src/io/csv.h"
+#include "src/uncertain/generators.h"
+
+namespace arsp {
+namespace net {
+
+namespace {
+
+// FNV-1a over the load request's identity. Used only for the idempotent-
+// reload check, where a collision would wrongly reuse a handle —
+// acceptable for a 64-bit hash over inputs the operator controls; names,
+// not hashes, are the real identity. CSV text and CSV file sources hash
+// identically (file content is read before hashing), so a path preload
+// and an inline re-load of the same bytes interoperate; only the
+// *interpretation* family (CSV vs generator spec) is mixed in, since the
+// same bytes mean different datasets across families.
+uint64_t Fingerprint(LoadSource source, bool header,
+                     const std::string& content) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  mix(source == LoadSource::kGenerator ? 1 : 0);
+  mix(header ? 1 : 0);
+  for (char c : content) mix(static_cast<uint8_t>(c));
+  return h;
+}
+
+DerivedKind ToDerivedKind(WireDerivedKind kind) {
+  switch (kind) {
+    case WireDerivedKind::kNone: return DerivedKind::kNone;
+    case WireDerivedKind::kTopKObjects: return DerivedKind::kTopKObjects;
+    case WireDerivedKind::kTopKInstances: return DerivedKind::kTopKInstances;
+    case WireDerivedKind::kObjectsAboveThreshold:
+      return DerivedKind::kObjectsAboveThreshold;
+    case WireDerivedKind::kCountControlled:
+      return DerivedKind::kCountControlled;
+  }
+  return DerivedKind::kNone;
+}
+
+}  // namespace
+
+ArspServer::ArspServer(ServerOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {}
+
+ArspServer::~ArspServer() {
+  Shutdown();
+  Wait();
+}
+
+Status ArspServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::FailedPrecondition("server already started");
+  }
+
+  // Resolve the bind address (numeric or hostname, IPv4).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* resolved = nullptr;
+  const std::string port_str = std::to_string(options_.port);
+  const int gai = ::getaddrinfo(options_.host.c_str(), port_str.c_str(),
+                                &hints, &resolved);
+  if (gai != 0) {
+    return Status::Internal("cannot resolve bind address '" + options_.host +
+                            "': " + gai_strerror(gai));
+  }
+
+  int fd = -1;
+  Status bind_status = Status::Internal("no usable address");
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      bind_status =
+          Status::Internal(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      bind_status = Status::OK();
+      break;
+    }
+    bind_status =
+        Status::Internal("bind " + options_.host + ":" + port_str + ": " +
+                         std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (!bind_status.ok()) return bind_status;
+
+  if (::listen(fd, 64) != 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listen_fd_ = fd;
+    port_ = ntohs(bound.sin_port);
+    started_ = true;
+    stopping_ = false;
+    const int workers = options_.num_workers > 0
+                            ? options_.num_workers
+                            : ThreadPool::DefaultConcurrency();
+    workers_ = std::make_unique<ThreadPool>(workers);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int ArspServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return port_;
+}
+
+bool ArspServer::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+int64_t ArspServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_served_;
+}
+
+void ArspServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  stopping_ = true;
+  // Live connections may be blocked in RecvFrame; a socket shutdown turns
+  // that into EOF and their handlers exit cleanly. The accept loop notices
+  // stopping_ on its next poll tick.
+  for (int fd : live_connections_) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void ArspServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  // Joins the handler threads; queued-but-unstarted connections were
+  // already unblocked (their sockets are shut down) and exit immediately.
+  workers_.reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ArspServer::AcceptLoop() {
+  for (;;) {
+    int listen_fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(conn);
+        return;
+      }
+      // Registered before the handler starts, so a Shutdown() between
+      // accept and handler startup still unblocks this connection.
+      live_connections_.insert(conn);
+      ++active_connections_;
+    }
+    workers_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void ArspServer::HandleConnection(int fd) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+    }
+    StatusOr<Frame> frame = RecvFrame(fd);
+    if (!frame.ok()) {
+      // Clean close, peer death, or a framing violation (bad magic /
+      // truncated frame / oversized frame): the stream cannot be trusted
+      // past this point, so the connection ends either way.
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++requests_served_;
+    }
+    MessageType reply_type = MessageType::kError;
+    std::string reply_payload;
+    const bool keep_open =
+        HandleRequest(*frame, &reply_type, &reply_payload);
+    if (reply_payload.size() > kMaxPayloadBytes) {
+      // A legitimate request can produce a response past the max-frame
+      // guard (include_instances on a huge dataset). SendFrame would
+      // reject it without writing, stranding the client in a read — turn
+      // it into an ERROR frame so the connection stays usable.
+      reply_type = MessageType::kError;
+      reply_payload =
+          ErrorResponse::From(
+              Status::InvalidArgument(
+                  "response exceeds the max-frame guard; retry without "
+                  "include_instances or query a smaller view"))
+              .EncodePayload();
+    }
+    const Status sent = SendFrame(fd, reply_type, reply_payload);
+    if (!keep_open) {
+      // SHUTDOWN: the acknowledgment must be on the wire before the drain
+      // shuts this very socket down, or the client sees a dead connection
+      // instead of an OK.
+      Shutdown();
+      break;
+    }
+    if (!sent.ok()) break;
+  }
+  // Untrack strictly before close: once the fd is closed the kernel may
+  // hand the same number to a new accept, and a late erase would untrack
+  // *that* connection — leaving Shutdown unable to unblock it (drain
+  // hang). Close inside the same critical section so the accept side
+  // cannot interleave a reuse between erase and close.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_connections_.erase(fd);
+    ::close(fd);
+    --active_connections_;
+    if (active_connections_ == 0) drained_cv_.notify_all();
+  }
+}
+
+bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
+                               std::string* reply_payload) {
+  // Encodes the outcome of one typed handler: the success message on OK,
+  // an ErrorResponse otherwise. Payload decode errors go the same route —
+  // the framing is intact, so the connection survives a malformed message.
+  const auto reply_error = [&](const Status& status) {
+    *reply_type = MessageType::kError;
+    *reply_payload = ErrorResponse::From(status).EncodePayload();
+  };
+
+  switch (frame.type) {
+    case MessageType::kPing: {
+      *reply_type = MessageType::kOk;
+      reply_payload->clear();
+      return true;
+    }
+    case MessageType::kShutdown: {
+      // The caller sends the acknowledgment and *then* initiates the drain
+      // (signal-only — joining happens in Wait()); triggering it here
+      // would shut this connection's socket down under the pending reply.
+      *reply_type = MessageType::kOk;
+      reply_payload->clear();
+      return false;
+    }
+    case MessageType::kLoadDataset: {
+      LoadDatasetRequest request;
+      const Status st = request.DecodePayload(frame.payload);
+      if (!st.ok()) {
+        reply_error(st);
+        return true;
+      }
+      auto response = HandleLoad(request);
+      if (!response.ok()) {
+        reply_error(response.status());
+        return true;
+      }
+      *reply_type = MessageType::kLoadResult;
+      *reply_payload = response->EncodePayload();
+      return true;
+    }
+    case MessageType::kAddView: {
+      AddViewRequest request;
+      const Status st = request.DecodePayload(frame.payload);
+      if (!st.ok()) {
+        reply_error(st);
+        return true;
+      }
+      auto response = HandleAddView(request);
+      if (!response.ok()) {
+        reply_error(response.status());
+        return true;
+      }
+      *reply_type = MessageType::kViewResult;
+      *reply_payload = response->EncodePayload();
+      return true;
+    }
+    case MessageType::kQuery: {
+      QueryRequestWire request;
+      const Status st = request.DecodePayload(frame.payload);
+      if (!st.ok()) {
+        reply_error(st);
+        return true;
+      }
+      auto response = HandleQuery(request);
+      if (!response.ok()) {
+        reply_error(response.status());
+        return true;
+      }
+      *reply_type = MessageType::kQueryResult;
+      *reply_payload = response->EncodePayload();
+      return true;
+    }
+    case MessageType::kStats: {
+      StatsRequest request;
+      const Status st = request.DecodePayload(frame.payload);
+      if (!st.ok()) {
+        reply_error(st);
+        return true;
+      }
+      auto response = HandleStats(request);
+      if (!response.ok()) {
+        reply_error(response.status());
+        return true;
+      }
+      *reply_type = MessageType::kStatsResult;
+      *reply_payload = response->EncodePayload();
+      return true;
+    }
+    case MessageType::kDrop: {
+      DropRequest request;
+      Status st = request.DecodePayload(frame.payload);
+      if (st.ok()) st = HandleDrop(request);
+      if (!st.ok()) {
+        reply_error(st);
+        return true;
+      }
+      *reply_type = MessageType::kOk;
+      reply_payload->clear();
+      return true;
+    }
+    default:
+      reply_error(Status::InvalidArgument(
+          std::string("unexpected message type ") +
+          MessageTypeName(frame.type)));
+      return true;
+  }
+}
+
+StatusOr<LoadDatasetResponse> ArspServer::HandleLoad(
+    const LoadDatasetRequest& request) {
+  if (request.name.empty()) {
+    return Status::InvalidArgument("LOAD_DATASET needs a non-empty name");
+  }
+
+  // Server-side file sources are read up front so the fingerprint covers
+  // content, not the path — a changed file under the same path must not be
+  // silently reused. Inline payloads are referenced, not copied (they can
+  // be hundreds of MB).
+  std::string file_content;
+  if (request.source == LoadSource::kCsvFile) {
+    std::ifstream file(request.payload);
+    if (!file) {
+      return Status::NotFound("cannot open '" + request.payload +
+                              "' on the server");
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    file_content = buffer.str();
+  }
+  const std::string& content = request.source == LoadSource::kCsvFile
+                                   ? file_content
+                                   : request.payload;
+  const uint64_t fingerprint =
+      Fingerprint(request.source, request.header, content);
+
+  // Idempotent re-load: same name + same content reuses the handle (this
+  // is what lets separate CLI invocations share one engine dataset and hit
+  // the result cache); same name + different content is refused.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = registry_.find(request.name);
+    if (it != registry_.end()) {
+      if (it->second.is_view || it->second.fingerprint != fingerprint) {
+        return Status::InvalidArgument(
+            "name '" + request.name +
+            "' is already bound to different content (DROP it first)");
+      }
+      LoadDatasetResponse response;
+      response.name = request.name;
+      response.num_objects = it->second.num_objects;
+      response.num_instances = it->second.num_instances;
+      response.dim = it->second.dim;
+      response.reused = true;
+      return response;
+    }
+  }
+
+  // Parse / generate outside the registry lock — loads can be slow.
+  auto names = std::make_shared<std::vector<std::string>>();
+  StatusOr<UncertainDataset> dataset =
+      request.source == LoadSource::kGenerator
+          ? GenerateFromSpec(content, names.get())
+          : ParseUncertainDatasetCsv(content, request.header, names.get());
+  if (!dataset.ok()) return dataset.status();
+
+  NamedEntry entry;
+  entry.num_objects = dataset->num_objects();
+  entry.num_instances = dataset->num_instances();
+  entry.dim = dataset->dim();
+  entry.fingerprint = fingerprint;
+  entry.names = std::move(names);
+  entry.handle = engine_.AddDataset(std::move(*dataset));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = registry_.emplace(request.name, entry);
+  if (!inserted) {
+    // A concurrent load of the same name won the race. Converge on the
+    // winner when the content matches; otherwise report the conflict.
+    engine_.DropDataset(entry.handle);
+    if (it->second.is_view || it->second.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "name '" + request.name +
+          "' is already bound to different content (DROP it first)");
+    }
+  }
+  LoadDatasetResponse response;
+  response.name = request.name;
+  response.num_objects = it->second.num_objects;
+  response.num_instances = it->second.num_instances;
+  response.dim = it->second.dim;
+  response.reused = !inserted;
+  return response;
+}
+
+StatusOr<AddViewResponse> ArspServer::HandleAddView(
+    const AddViewRequest& request) {
+  if (request.view_name.empty()) {
+    return Status::InvalidArgument("ADD_VIEW needs a non-empty view name");
+  }
+  DatasetHandle base_handle;
+  std::shared_ptr<const std::vector<std::string>> base_names;
+  // Specs are normalized (Subset sorts + dedups) before keying, so the
+  // idempotency comparison below cannot be defeated by input order.
+  const std::string spec_key =
+      request.spec.kind == ViewSpec::Kind::kSubset
+          ? ViewSpec::Subset(request.spec.objects).CacheKey()
+          : request.spec.CacheKey();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto base = registry_.find(request.base_name);
+    if (base == registry_.end()) {
+      return Status::NotFound("unknown dataset '" + request.base_name + "'");
+    }
+    if (base->second.is_view) {
+      return Status::InvalidArgument(
+          "'" + request.base_name +
+          "' is a view — register views against the base dataset");
+    }
+    const auto existing = registry_.find(request.view_name);
+    if (existing != registry_.end()) {
+      // Idempotent re-registration (same base, same window): separate CLI
+      // invocations repeating a sweep reuse the view — and therefore its
+      // derived context and cache entries — instead of erroring out.
+      if (existing->second.is_view &&
+          existing->second.base == request.base_name &&
+          existing->second.view_spec_key == spec_key) {
+        AddViewResponse response;
+        response.name = request.view_name;
+        response.num_objects = existing->second.num_objects;
+        response.num_instances = existing->second.num_instances;
+        response.dim = existing->second.dim;
+        return response;
+      }
+      return Status::InvalidArgument("name '" + request.view_name +
+                                     "' is already registered");
+    }
+    base_handle = base->second.handle;
+    base_names = base->second.names;
+  }
+
+  auto handle = engine_.AddView(base_handle, request.spec);
+  if (!handle.ok()) return handle.status();
+  const DatasetView view = engine_.view(*handle);
+
+  NamedEntry entry;
+  entry.handle = *handle;
+  entry.is_view = true;
+  entry.view_spec_key = spec_key;
+  entry.base = request.base_name;
+  entry.names = std::move(base_names);
+  entry.num_objects = view.num_objects();
+  entry.num_instances = view.num_instances();
+  entry.dim = view.dim();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto base = registry_.find(request.base_name);
+  if (base == registry_.end() ||
+      base->second.handle.id != base_handle.id) {
+    // The base was dropped (and possibly re-loaded under the same name)
+    // while the view was being built; the engine-side cascade already
+    // destroyed our view handle, so registering the name would bind it to
+    // a dead handle. The extra engine drop is a no-op in the
+    // already-cascaded case.
+    engine_.DropDataset(entry.handle);
+    return Status::NotFound("dataset '" + request.base_name +
+                            "' was dropped concurrently");
+  }
+  const auto [it, inserted] = registry_.emplace(request.view_name, entry);
+  if (!inserted) {
+    engine_.DropDataset(entry.handle);
+    return Status::InvalidArgument("name '" + request.view_name +
+                                   "' is already registered");
+  }
+  base->second.views.push_back(request.view_name);
+  AddViewResponse response;
+  response.name = request.view_name;
+  response.num_objects = entry.num_objects;
+  response.num_instances = entry.num_instances;
+  response.dim = entry.dim;
+  return response;
+}
+
+StatusOr<QueryResponseWire> ArspServer::HandleQuery(
+    const QueryRequestWire& request) {
+  DatasetHandle handle;
+  std::shared_ptr<const std::vector<std::string>> names;
+  int dim = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = registry_.find(request.dataset);
+    if (it == registry_.end()) {
+      return Status::NotFound("unknown dataset '" + request.dataset + "'");
+    }
+    handle = it->second.handle;
+    names = it->second.names;
+    dim = it->second.dim;
+  }
+
+  auto constraints = ParseConstraintSpec(request.constraint_spec, dim);
+  if (!constraints.ok()) return constraints.status();
+
+  QueryRequest query;
+  query.dataset = handle;
+  query.constraints = std::move(*constraints);
+  query.solver = request.solver;
+  for (const std::string& opt : request.options) {
+    ARSP_RETURN_IF_ERROR(query.options.ParseKeyValue(opt));
+  }
+  query.derived.kind = ToDerivedKind(request.derived_kind);
+  query.derived.k = request.k;
+  query.derived.threshold = request.threshold;
+  query.derived.max_objects = request.max_objects;
+  query.use_cache = request.use_cache;
+  query.allow_pushdown = request.allow_pushdown;
+
+  auto response = engine_.Solve(query);
+  if (!response.ok()) return response.status();
+
+  QueryResponseWire wire;
+  wire.solver = response->solver;
+  wire.cache_hit = response->cache_hit;
+  wire.pushdown = response->pushdown;
+  wire.complete = response->result->is_complete();
+  wire.goal = response->result->goal.ToString();
+  wire.result_size = wire.complete ? CountNonZero(*response->result) : -1;
+  wire.count_threshold = response->count_threshold;
+  wire.stats = WireSolverStats::From(response->stats);
+  wire.ranked.reserve(response->ranked.size());
+  // Instance-level rankings carry instance ids, which have no name; every
+  // object-level kind carries *base* object ids that index the base's
+  // name table regardless of the queried window.
+  const bool object_ids =
+      request.derived_kind != WireDerivedKind::kTopKInstances;
+  for (const auto& [id, prob] : response->ranked) {
+    RankedEntry entry;
+    entry.object_id = id;
+    if (object_ids && names != nullptr &&
+        id >= 0 && static_cast<size_t>(id) < names->size()) {
+      entry.name = (*names)[static_cast<size_t>(id)];
+    }
+    entry.prob = prob;
+    wire.ranked.push_back(std::move(entry));
+  }
+  if (request.include_instances && wire.complete) {
+    wire.instance_probs = response->result->instance_probs;
+  }
+  return wire;
+}
+
+StatusOr<StatsResponse> ArspServer::HandleStats(const StatsRequest& request) {
+  StatsResponse response;
+  const ArspEngine::CacheStats cache = engine_.cache_stats();
+  response.cache_hits = cache.hits;
+  response.cache_misses = cache.misses;
+  response.cache_entries = cache.entries;
+  response.pooled_contexts = engine_.pooled_contexts();
+  const ArspEngine::LatencyStats latency = engine_.latency_stats();
+  response.latency_count = latency.count;
+  response.latency_window = latency.window;
+  response.latency_min_ms = latency.min_ms;
+  response.latency_mean_ms = latency.mean_ms;
+  response.latency_p50_ms = latency.p50_ms;
+  response.latency_p95_ms = latency.p95_ms;
+
+  std::vector<DatasetHandle> index_handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response.datasets.reserve(registry_.size());
+    for (const auto& [name, entry] : registry_) {
+      DatasetInfo info;
+      info.name = name;
+      info.num_objects = entry.num_objects;
+      info.num_instances = entry.num_instances;
+      info.dim = entry.dim;
+      info.is_view = entry.is_view;
+      response.datasets.push_back(std::move(info));
+    }
+    if (!request.dataset.empty()) {
+      const auto it = registry_.find(request.dataset);
+      if (it == registry_.end()) {
+        return Status::NotFound("unknown dataset '" + request.dataset + "'");
+      }
+      // Index-work counters aggregate the name's own pooled contexts plus,
+      // for bases, every view registered over it — the same sum the local
+      // CLI sweep prints.
+      index_handles.push_back(it->second.handle);
+      for (const std::string& view_name : it->second.views) {
+        const auto view = registry_.find(view_name);
+        if (view != registry_.end()) {
+          index_handles.push_back(view->second.handle);
+        }
+      }
+    }
+  }
+  if (!index_handles.empty()) {
+    ExecutionContext::IndexBuildStats total;
+    for (const DatasetHandle& handle : index_handles) {
+      total += engine_.index_stats(handle);
+    }
+    response.has_index_stats = true;
+    response.kdtree_builds = total.kdtree_builds;
+    response.rtree_builds = total.rtree_builds;
+    response.score_maps = total.score_maps;
+    response.score_reuses = total.score_reuses;
+    response.parent_index_hits = total.parent_index_hits;
+  }
+  return response;
+}
+
+Status ArspServer::HandleDrop(const DropRequest& request) {
+  DatasetHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = registry_.find(request.name);
+    if (it == registry_.end()) {
+      return Status::NotFound("unknown dataset '" + request.name + "'");
+    }
+    handle = it->second.handle;
+    if (it->second.is_view) {
+      // Unlink from the base's view list.
+      const auto base = registry_.find(it->second.base);
+      if (base != registry_.end()) {
+        auto& views = base->second.views;
+        views.erase(std::remove(views.begin(), views.end(), request.name),
+                    views.end());
+      }
+      registry_.erase(it);
+    } else {
+      // The engine cascades a base drop to its views; the registry must
+      // agree or later queries would hit dangling handles.
+      for (const std::string& view_name : it->second.views) {
+        registry_.erase(view_name);
+      }
+      registry_.erase(it);
+    }
+  }
+  return engine_.DropDataset(handle);
+}
+
+}  // namespace net
+}  // namespace arsp

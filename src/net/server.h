@@ -1,0 +1,160 @@
+// Copyright 2026 The ARSP Authors.
+//
+// ArspServer — the long-lived query daemon behind arspd: a blocking TCP
+// server holding exactly one ArspEngine plus a *named* dataset registry, so
+// wire clients address datasets and views by name instead of by engine
+// handle. Every query a client sends goes through the same engine paths an
+// in-process caller uses — context pool, result cache, goal pushdown — which
+// is what makes the amortization of a resident service real: one index
+// build, many queries, across connections.
+//
+// Threading model (deliberately simple — blocking sockets, no event loop):
+//   * one accept thread polls the listening socket;
+//   * each accepted connection becomes one task on a fixed ThreadPool, whose
+//     handler loops RecvFrame → dispatch → SendFrame until the client
+//     disconnects. With W workers, at most W connections are served
+//     concurrently; further connections queue in accept order. Requests on
+//     one connection are strictly sequential (responses cannot interleave);
+//     concurrency across connections is the engine's own thread-safety.
+//   * Shutdown() (SIGINT in arspd, or a SHUTDOWN message) is a clean drain:
+//     stop accepting, shut down every live connection socket (which
+//     unblocks their reads), then Wait() joins the accept thread and the
+//     handler pool.
+//
+// Registry semantics:
+//   * LOAD_DATASET binds a name to content (inline CSV text, a server-side
+//     CSV path, or a GenerateFromSpec generator spec). Names are immutable
+//     bindings: re-loading a name with identical content (fingerprint
+//     match) idempotently returns the existing handle — the cross-
+//     connection amortization clients rely on — while different content is
+//     an InvalidArgument.
+//   * ADD_VIEW binds a view name to a ViewSpec over a base name; view
+//     handles are first-class query targets, and ranked answers carry
+//     *base* object ids + names regardless of the window.
+//   * DROP unbinds; dropping a base cascades to its views (mirroring
+//     ArspEngine::DropDataset).
+
+#ifndef ARSP_NET_SERVER_H_
+#define ARSP_NET_SERVER_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/net/protocol.h"
+
+namespace arsp {
+namespace net {
+
+struct ServerOptions {
+  /// Bind address. Defaults to loopback: arspd is a backend service; put a
+  /// real ingress in front of it before exposing it.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Connection-handler threads; 0 = ThreadPool::DefaultConcurrency().
+  int num_workers = 0;
+  /// Engine construction knobs (cache capacity, batch threads, ...).
+  EngineOptions engine;
+};
+
+/// The daemon's server object. Lifecycle: construct → Start() → (serve) →
+/// Shutdown() → Wait(). Start/Shutdown/Wait are safe to call from different
+/// threads; Shutdown is idempotent and callable from connection handlers
+/// (the SHUTDOWN message) — it only signals, Wait() does the joining.
+class ArspServer {
+ public:
+  explicit ArspServer(ServerOptions options = {});
+  ~ArspServer();
+
+  ArspServer(const ArspServer&) = delete;
+  ArspServer& operator=(const ArspServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Internal on bind/listen
+  /// failures (port in use, bad host).
+  Status Start();
+
+  /// The bound TCP port (the actual one when options.port was 0); -1 before
+  /// Start().
+  int port() const;
+
+  /// Initiates a clean drain: stop accepting, unblock every live
+  /// connection. Returns immediately; pair with Wait().
+  void Shutdown();
+
+  /// Blocks until the accept thread and every connection handler have
+  /// finished. Returns immediately if Start() was never called.
+  void Wait();
+
+  /// True once Shutdown() ran or a SHUTDOWN message was served — the
+  /// daemon's main loop polls this to know when to Wait().
+  bool shutdown_requested() const;
+
+  /// The engine behind the wire (tests assert cache/index behavior on it).
+  ArspEngine& engine() { return engine_; }
+
+  /// Number of requests served since Start (all message types).
+  int64_t requests_served() const;
+
+ private:
+  /// One registered name: the engine handle behind it plus everything the
+  /// wire layer needs to answer without re-deriving (names for ranked
+  /// output, shape for listings, the content fingerprint for idempotent
+  /// re-loads).
+  struct NamedEntry {
+    DatasetHandle handle;
+    uint64_t fingerprint = 0;
+    bool is_view = false;
+    std::string view_spec_key;     ///< ViewSpec::CacheKey (views only)
+    std::string base;              ///< base name (views only)
+    std::vector<std::string> views;  ///< view names over this base
+    /// Object names of the *base* dataset (ranked ids are base ids).
+    std::shared_ptr<const std::vector<std::string>> names;
+    int num_objects = 0;
+    int num_instances = 0;
+    int dim = 0;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  /// Dispatches one decoded frame; fills the reply (type + payload).
+  /// Returns false when the connection must close (SHUTDOWN).
+  bool HandleRequest(const Frame& frame, MessageType* reply_type,
+                     std::string* reply_payload);
+
+  StatusOr<LoadDatasetResponse> HandleLoad(const LoadDatasetRequest& request);
+  StatusOr<AddViewResponse> HandleAddView(const AddViewRequest& request);
+  StatusOr<QueryResponseWire> HandleQuery(const QueryRequestWire& request);
+  StatusOr<StatsResponse> HandleStats(const StatsRequest& request);
+  Status HandleDrop(const DropRequest& request);
+
+  ServerOptions options_;
+  ArspEngine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::map<std::string, NamedEntry> registry_;
+  std::set<int> live_connections_;
+  int active_connections_ = 0;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  bool started_ = false;
+  bool stopping_ = false;
+  int64_t requests_served_ = 0;
+
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+};
+
+}  // namespace net
+}  // namespace arsp
+
+#endif  // ARSP_NET_SERVER_H_

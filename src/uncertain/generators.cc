@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
 
 #include "src/common/rng.h"
 #include "src/uncertain/dataset_view.h"
@@ -267,5 +270,197 @@ UncertainDataset TakeObjects(const UncertainDataset& dataset, int count) {
       .value()
       .Materialize();
 }
+
+namespace {
+
+// "key=value,key=value" bag for generator specs. All values stay strings;
+// typed reads validate on use so error messages can name the key.
+class SpecParams {
+ public:
+  static StatusOr<SpecParams> Parse(const std::string& text) {
+    SpecParams params;
+    std::string token;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i < text.size() && text[i] != ',') {
+        token += text[i];
+        continue;
+      }
+      if (token.empty()) {
+        token.clear();
+        continue;  // tolerate "a=1,,b=2" and trailing commas
+      }
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+        return Status::InvalidArgument("generator spec token '" + token +
+                                       "' is not key=value");
+      }
+      params.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      token.clear();
+    }
+    return params;
+  }
+
+  StatusOr<int64_t> IntOr(const std::string& key, int64_t def) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    used_.insert(key);
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end != it->second.c_str() + it->second.size() || it->second.empty()) {
+      return Status::InvalidArgument("generator spec key '" + key +
+                                     "' needs an integer (got '" +
+                                     it->second + "')");
+    }
+    return static_cast<int64_t>(v);
+  }
+
+  StatusOr<double> DoubleOr(const std::string& key, double def) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    used_.insert(key);
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() + it->second.size() || it->second.empty()) {
+      return Status::InvalidArgument("generator spec key '" + key +
+                                     "' needs a number (got '" + it->second +
+                                     "')");
+    }
+    return v;
+  }
+
+  StatusOr<Distribution> DistOr(const std::string& key, Distribution def) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    used_.insert(key);
+    if (it->second == "IND") return Distribution::kIndependent;
+    if (it->second == "ANTI") return Distribution::kAntiCorrelated;
+    if (it->second == "CORR") return Distribution::kCorrelated;
+    return Status::InvalidArgument("generator spec key '" + key +
+                                   "' must be IND, ANTI, or CORR (got '" +
+                                   it->second + "')");
+  }
+
+  /// InvalidArgument naming the first key no typed read consumed — typos
+  /// fail instead of silently falling back to defaults.
+  Status ExpectAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) {
+        return Status::InvalidArgument("unknown generator spec key '" + key +
+                                       "'");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+// Pulls a value out of a StatusOr or propagates its error.
+#define ARSP_SPEC_ASSIGN(lhs, expr)            \
+  do {                                         \
+    auto _v = (expr);                          \
+    if (!_v.ok()) return _v.status();          \
+    lhs = *_v;                                 \
+  } while (0)
+
+void FillPlaceholderNames(int count, std::vector<std::string>* names) {
+  if (names == nullptr) return;
+  names->clear();
+  names->reserve(static_cast<size_t>(count));
+  for (int j = 0; j < count; ++j) names->push_back("obj-" + std::to_string(j));
+}
+
+// Upper bound on spec-controlled counts (objects, instances per object).
+// Values are narrowed to int below, so without a cap 2^32+5 would wrap to
+// 5 and silently generate the wrong dataset; the bound also keeps a wire
+// LOAD_DATASET from requesting an absurd allocation. strtoll overflow
+// saturates at LLONG_MAX and lands above the cap, so it is caught too.
+constexpr int64_t kMaxSpecCount = 100'000'000;
+
+}  // namespace
+
+StatusOr<UncertainDataset> GenerateFromSpec(const std::string& spec,
+                                            std::vector<std::string>* names) {
+  const size_t colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  auto params = SpecParams::Parse(
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1));
+  if (!params.ok()) return params.status();
+
+  if (family == "synthetic") {
+    SyntheticConfig config;
+    ARSP_SPEC_ASSIGN(config.num_objects, params->IntOr("m", config.num_objects));
+    ARSP_SPEC_ASSIGN(config.max_instances,
+                     params->IntOr("cnt", config.max_instances));
+    ARSP_SPEC_ASSIGN(config.dim, params->IntOr("d", config.dim));
+    ARSP_SPEC_ASSIGN(config.region_length,
+                     params->DoubleOr("l", config.region_length));
+    ARSP_SPEC_ASSIGN(config.phi, params->DoubleOr("phi", config.phi));
+    ARSP_SPEC_ASSIGN(config.distribution,
+                     params->DistOr("dist", config.distribution));
+    ARSP_SPEC_ASSIGN(config.seed, params->IntOr("seed", 42));
+    ARSP_RETURN_IF_ERROR(params->ExpectAllUsed());
+    if (config.num_objects < 1 || config.num_objects > kMaxSpecCount ||
+        config.max_instances < 1 || config.max_instances > kMaxSpecCount ||
+        config.dim < 1 || config.dim > 64 || config.phi < 0.0 ||
+        config.phi > 1.0) {
+      return Status::InvalidArgument(
+          "synthetic spec needs m>=1, cnt>=1, d in [1,64], phi in [0,1] "
+          "(counts capped at " + std::to_string(kMaxSpecCount) + ")");
+    }
+    UncertainDataset dataset = GenerateSynthetic(config);
+    FillPlaceholderNames(dataset.num_objects(), names);
+    return dataset;
+  }
+  if (family == "iip") {
+    int64_t n = 0, seed = 1;
+    ARSP_SPEC_ASSIGN(n, params->IntOr("n", 500));
+    ARSP_SPEC_ASSIGN(seed, params->IntOr("seed", 1));
+    ARSP_RETURN_IF_ERROR(params->ExpectAllUsed());
+    if (n < 1 || n > kMaxSpecCount) {
+      return Status::InvalidArgument("iip spec needs n in [1, " +
+                                     std::to_string(kMaxSpecCount) + "]");
+    }
+    UncertainDataset dataset = GenerateIipLike(
+        static_cast<int>(n), static_cast<uint64_t>(seed));
+    FillPlaceholderNames(dataset.num_objects(), names);
+    return dataset;
+  }
+  if (family == "car") {
+    int64_t m = 0, seed = 1;
+    ARSP_SPEC_ASSIGN(m, params->IntOr("m", 40));
+    ARSP_SPEC_ASSIGN(seed, params->IntOr("seed", 1));
+    ARSP_RETURN_IF_ERROR(params->ExpectAllUsed());
+    if (m < 1 || m > kMaxSpecCount) {
+      return Status::InvalidArgument("car spec needs m in [1, " +
+                                     std::to_string(kMaxSpecCount) + "]");
+    }
+    UncertainDataset dataset =
+        GenerateCarLike(static_cast<int>(m), static_cast<uint64_t>(seed));
+    FillPlaceholderNames(dataset.num_objects(), names);
+    return dataset;
+  }
+  if (family == "nba") {
+    int64_t m = 0, d = 0, seed = 1;
+    ARSP_SPEC_ASSIGN(m, params->IntOr("m", 50));
+    ARSP_SPEC_ASSIGN(d, params->IntOr("d", 4));
+    ARSP_SPEC_ASSIGN(seed, params->IntOr("seed", 1));
+    ARSP_RETURN_IF_ERROR(params->ExpectAllUsed());
+    if (m < 1 || m > kMaxSpecCount || d < 1 || d > 8) {
+      return Status::InvalidArgument("nba spec needs m in [1, " +
+                                     std::to_string(kMaxSpecCount) +
+                                     "] and d in [1,8]");
+    }
+    return GenerateNbaLike(static_cast<int>(m), static_cast<int>(d),
+                           static_cast<uint64_t>(seed), names);
+  }
+  return Status::InvalidArgument(
+      "unknown generator family '" + family +
+      "' (expected synthetic:, iip:, car:, or nba:)");
+}
+
+#undef ARSP_SPEC_ASSIGN
 
 }  // namespace arsp

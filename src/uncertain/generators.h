@@ -75,6 +75,20 @@ std::vector<Point> AggregateByMean(const UncertainDataset& dataset);
 /// "vary m%" sweeps on real datasets).
 UncertainDataset TakeObjects(const UncertainDataset& dataset, int count);
 
+/// Builds a dataset from a textual generator spec — the form the arspd
+/// LOAD_DATASET message and scripted workloads use to name synthetic data
+/// without shipping CSVs:
+///   "synthetic:m=512,cnt=20,d=4,l=0.2,phi=0,dist=IND|ANTI|CORR,seed=42"
+///   "iip:n=500,seed=1"
+///   "car:m=40,seed=1"
+///   "nba:m=50,d=4,seed=1"
+/// Every key is optional (defaults above / SyntheticConfig defaults);
+/// unknown keys, malformed numbers, and out-of-range values are
+/// InvalidArgument. `names` (if non-null) receives object names when the
+/// generator produces them (NBA), else "obj-<j>" placeholders.
+StatusOr<UncertainDataset> GenerateFromSpec(
+    const std::string& spec, std::vector<std::string>* names = nullptr);
+
 }  // namespace arsp
 
 #endif  // ARSP_UNCERTAIN_GENERATORS_H_

@@ -52,6 +52,48 @@ TEST(CsvTest, RejectsMalformedRows) {
   EXPECT_FALSE(ParseUncertainDatasetCsv("a,0.7,1.0\na,0.7,2.0\n").ok());
 }
 
+TEST(CsvTest, RejectsNonFiniteValues) {
+  // strtod accepts these spellings; the parser must not — NaN/inf would
+  // poison every downstream comparison and index bound.
+  EXPECT_FALSE(ParseUncertainDatasetCsv("a,nan,1.0\n").ok());
+  EXPECT_FALSE(ParseUncertainDatasetCsv("a,inf,1.0\n").ok());
+  EXPECT_FALSE(ParseUncertainDatasetCsv("a,0.5,nan\n").ok());
+  EXPECT_FALSE(ParseUncertainDatasetCsv("a,0.5,-inf\n").ok());
+  EXPECT_FALSE(ParseUncertainDatasetCsv("a,0.5,1e999\n").ok());  // overflow
+}
+
+TEST(CsvTest, ProbabilityErrorsNameTheLine) {
+  // Out-of-range probabilities fail at the offending row, not as an
+  // anonymous builder error after the whole file parsed.
+  const auto zero = ParseUncertainDatasetCsv("a,0.5,1.0\nb,0,2.0\n");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().message().find("line 2"), std::string::npos)
+      << zero.status().ToString();
+  const auto above = ParseUncertainDatasetCsv("a,1.5,1.0\n");
+  ASSERT_FALSE(above.ok());
+  EXPECT_NE(above.status().message().find("line 1"), std::string::npos);
+  const auto negative = ParseUncertainDatasetCsv("a,-0.5,1.0\n");
+  EXPECT_FALSE(negative.ok());
+  // Per-object sums are checked incrementally: the error names the row
+  // that crossed 1 and the object key.
+  const auto sum =
+      ParseUncertainDatasetCsv("a,0.6,1.0\nb,1.0,3.0\na,0.6,2.0\n");
+  ASSERT_FALSE(sum.ok());
+  EXPECT_NE(sum.status().message().find("line 3"), std::string::npos)
+      << sum.status().ToString();
+  EXPECT_NE(sum.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyObjectKeyAndToleratesTrailingBlankLines) {
+  EXPECT_FALSE(ParseUncertainDatasetCsv(",0.5,1.0\n").ok());
+  EXPECT_FALSE(ParseUncertainDatasetCsv("  ,0.5,1.0\n").ok());
+  // Trailing blank lines (and CRLF blanks) are not data rows.
+  const auto dataset =
+      ParseUncertainDatasetCsv("a,0.5,1.0\n\n\r\n  \n", false);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_instances(), 1);
+}
+
 TEST(CsvTest, RoundTripThroughResultCsv) {
   std::vector<std::string> names;
   const auto dataset = ParseUncertainDatasetCsv(kSmallCsv, false, &names);

@@ -151,5 +151,58 @@ TEST(GeneratorsTest, TakeObjectsPrefix) {
   }
 }
 
+TEST(GenerateFromSpecTest, SpecsMatchDirectGeneratorCalls) {
+  // The textual form must produce bit-identical data to the direct call —
+  // it is how arspd LOAD_DATASET names synthetic datasets, and remote
+  // results are compared against locally generated references.
+  const auto iip = GenerateFromSpec("iip:n=50,seed=9");
+  ASSERT_TRUE(iip.ok()) << iip.status().ToString();
+  const UncertainDataset direct = GenerateIipLike(50, 9);
+  ASSERT_EQ(iip->num_instances(), direct.num_instances());
+  for (int i = 0; i < direct.num_instances(); ++i) {
+    EXPECT_EQ(iip->instance(i).point, direct.instance(i).point);
+    EXPECT_EQ(iip->instance(i).prob, direct.instance(i).prob);
+  }
+
+  std::vector<std::string> names;
+  const auto nba = GenerateFromSpec("nba:m=10,d=3,seed=2", &names);
+  ASSERT_TRUE(nba.ok());
+  EXPECT_EQ(nba->num_objects(), 10);
+  EXPECT_EQ(nba->dim(), 3);
+  EXPECT_EQ(names.size(), 10u);  // NBA provides real names
+
+  const auto synthetic =
+      GenerateFromSpec("synthetic:m=20,cnt=3,d=2,dist=ANTI,seed=5");
+  ASSERT_TRUE(synthetic.ok());
+  SyntheticConfig config;
+  config.num_objects = 20;
+  config.max_instances = 3;
+  config.dim = 2;
+  config.distribution = Distribution::kAntiCorrelated;
+  config.seed = 5;
+  const UncertainDataset expected = GenerateSynthetic(config);
+  EXPECT_EQ(synthetic->num_instances(), expected.num_instances());
+}
+
+TEST(GenerateFromSpecTest, DefaultsApplyAndPlaceholderNamesFill) {
+  std::vector<std::string> names;
+  const auto car = GenerateFromSpec("car:m=5", &names);
+  ASSERT_TRUE(car.ok()) << car.status().ToString();
+  EXPECT_EQ(car->num_objects(), 5);
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "obj-0");
+}
+
+TEST(GenerateFromSpecTest, MalformedSpecsAreInvalidArgument) {
+  EXPECT_FALSE(GenerateFromSpec("unknown:n=5").ok());       // bad family
+  EXPECT_FALSE(GenerateFromSpec("iip:n=zap").ok());         // bad number
+  EXPECT_FALSE(GenerateFromSpec("iip:n=0").ok());           // out of range
+  EXPECT_FALSE(GenerateFromSpec("iip:bogus=3").ok());       // unknown key
+  EXPECT_FALSE(GenerateFromSpec("iip:n").ok());             // not key=value
+  EXPECT_FALSE(GenerateFromSpec("nba:d=9").ok());           // d out of range
+  EXPECT_FALSE(GenerateFromSpec("synthetic:dist=DIAG").ok());
+  EXPECT_FALSE(GenerateFromSpec("synthetic:phi=1.5").ok());
+}
+
 }  // namespace
 }  // namespace arsp

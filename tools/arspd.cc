@@ -1,0 +1,228 @@
+// Copyright 2026 The ARSP Authors.
+//
+// arspd — the long-lived ARSP query daemon. Holds one ArspEngine behind the
+// src/net wire protocol so that dataset load, index build, SV(·) mapping,
+// and the result cache are paid once and amortized across every client
+// connection (the service frontend of ROADMAP.md; arsp_cli --connect is the
+// thin client).
+//
+// Usage:
+//   arspd [--host 127.0.0.1] [--port 7439] [--workers N]
+//         [--cache N] [--contexts N] [--threads N]
+//         [--load name=csv:/path/to/file.csv[:header]]
+//         [--load name=gen:iip:n=500,seed=1]           (repeatable)
+//
+// The daemon prints "arspd listening on HOST:PORT" once ready (scripts wait
+// for it), serves until SIGINT/SIGTERM or a SHUTDOWN message, then drains
+// live connections and exits 0.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace arsp;
+
+// Signal handlers may only touch lock-free state; the main loop polls this
+// flag and performs the actual (lock-taking) drain.
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: arspd [--host ADDR] [--port P] [--workers N] [--cache N]\n"
+      "             [--contexts N] [--threads N]\n"
+      "             [--load name=csv:PATH[:header]] [--load name=gen:SPEC]\n"
+      "defaults: --host 127.0.0.1 --port 7439; --port 0 picks an ephemeral\n"
+      "port. --load preloads a dataset at startup (repeatable); gen specs\n"
+      "are GenerateFromSpec syntax, e.g. gen:iip:n=500,seed=1\n");
+}
+
+struct PreloadSpec {
+  std::string name;
+  net::LoadSource source = net::LoadSource::kCsvFile;
+  std::string payload;
+  bool header = false;
+};
+
+// "name=csv:PATH[:header]" or "name=gen:SPEC".
+bool ParsePreload(const std::string& arg, PreloadSpec* out) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  out->name = arg.substr(0, eq);
+  std::string rest = arg.substr(eq + 1);
+  if (rest.rfind("csv:", 0) == 0) {
+    out->source = net::LoadSource::kCsvFile;
+    out->payload = rest.substr(4);
+    const size_t suffix = out->payload.rfind(":header");
+    if (suffix != std::string::npos &&
+        suffix + 7 == out->payload.size()) {
+      out->header = true;
+      out->payload.resize(suffix);
+    }
+    return !out->payload.empty();
+  }
+  if (rest.rfind("gen:", 0) == 0) {
+    out->source = net::LoadSource::kGenerator;
+    out->payload = rest.substr(4);
+    return !out->payload.empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServerOptions options;
+  options.port = 7439;
+  std::vector<PreloadSpec> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      options.host = v;
+    } else if (flag == "--port") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      // Strict parse: a typo'd port silently becoming 0 would bind an
+      // ephemeral port and strand every client configured for the real one.
+      if (!cli::internal::ParseIntStrict(v, &options.port) ||
+          options.port < 0 || options.port > 65535) {
+        std::fprintf(stderr, "bad --port '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &options.num_workers)) {
+        std::fprintf(stderr, "bad --workers '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      int cache = 0;
+      if (!cli::internal::ParseIntStrict(v, &cache) || cache < 0) {
+        std::fprintf(stderr, "bad --cache '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+      options.engine.result_cache_capacity = static_cast<size_t>(cache);
+    } else if (flag == "--contexts") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      int contexts = 0;
+      if (!cli::internal::ParseIntStrict(v, &contexts) || contexts < 1) {
+        std::fprintf(stderr, "--contexts must be an integer >= 1\n");
+        return PrintUsage(), 2;
+      }
+      options.engine.context_pool_capacity = static_cast<size_t>(contexts);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &options.engine.num_threads)) {
+        std::fprintf(stderr, "bad --threads '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--load") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      PreloadSpec spec;
+      if (!ParsePreload(v, &spec)) {
+        std::fprintf(stderr, "bad --load '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+      preloads.push_back(std::move(spec));
+    } else if (flag == "--help" || flag == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return PrintUsage(), 2;
+    }
+  }
+
+  net::ArspServer server(options);
+
+  // Handlers go in before the (possibly slow) preloads: a supervisor's
+  // SIGTERM during a long CSV parse must still reach the clean-drain path,
+  // and the handler only sets a flag, so installing it this early is safe.
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "arspd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Preloads go through a loopback connection so they take the exact wire
+  // path a client load does (registry names, fingerprinting, validation).
+  // The connection targets the bound address — a daemon bound to a
+  // specific interface does not listen on 127.0.0.1 (wildcard binds do).
+  if (!preloads.empty()) {
+    const std::string preload_host =
+        options.host == "0.0.0.0" ? "127.0.0.1" : options.host;
+    auto client = net::ArspClient::Connect(preload_host, server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "arspd: preload connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    for (const PreloadSpec& spec : preloads) {
+      net::LoadDatasetRequest request;
+      request.name = spec.name;
+      request.source = spec.source;
+      request.payload = spec.payload;
+      request.header = spec.header;
+      auto loaded = client->LoadDataset(request);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "arspd: preload '%s' failed: %s\n",
+                     spec.name.c_str(),
+                     loaded.status().ToString().c_str());
+        server.Shutdown();
+        server.Wait();
+        return 1;
+      }
+      std::printf("arspd preloaded %s: %d objects / %d instances, d=%d\n",
+                  loaded->name.c_str(), loaded->num_objects,
+                  loaded->num_instances, loaded->dim);
+    }
+  }
+
+  std::printf("arspd listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  // Serve until a signal or a wire SHUTDOWN. The 50ms poll is the price of
+  // keeping the signal handler async-safe (it only sets a flag).
+  while (g_signal == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("arspd draining (%lld requests served)\n",
+              static_cast<long long>(server.requests_served()));
+  server.Shutdown();
+  server.Wait();
+  std::printf("arspd stopped\n");
+  return 0;
+}
