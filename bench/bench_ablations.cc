@@ -263,8 +263,5 @@ BENCHMARK(BM_OvReductionScaling)->RangeMultiplier(2)->Range(256, 4096)
 
 int main(int argc, char** argv) {
   arsp::RegisterPartitioningTree();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return arsp::bench_util::BenchMain(argc, argv);
 }

@@ -156,8 +156,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   arsp::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return arsp::bench_util::BenchMain(argc, argv);
 }

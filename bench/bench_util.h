@@ -98,6 +98,25 @@ PreferenceRegion MakeImRegion(int dim, int c, uint64_t seed = 12345);
 std::string Label(const std::string& panel, const std::string& series,
                   const std::string& point);
 
+/// Shared driver entry point: every bench/*.cc main() is
+/// `RegisterAll(); return bench_util::BenchMain(argc, argv);`.
+///
+/// On top of the standard Google Benchmark flags it adds a machine-readable
+/// export for the CI perf gate: `--json PATH` (or `--json=PATH`, or the
+/// ARSP_BENCH_JSON environment variable) writes one line of JSON per
+/// completed benchmark in the stable "arsp-bench-v1" schema that
+/// tools/bench_diff.cc consumes:
+///
+///   {"schema":"arsp-bench-v1","arch":"avx2","scale":1,"git_rev":"..."}
+///   {"name":"...","ns_per_op":1234.5,"iterations":1,
+///    "counters":{"n":100,"exact_evals":42}}
+///
+/// The header line records the kernel dispatch arch (simd::ActiveArchName),
+/// ARSP_BENCH_SCALE, and the git revision from ARSP_GIT_REV (or "unknown").
+/// Skipped/errored benchmarks are not exported. Console output is
+/// unaffected; the flag is stripped before benchmark::Initialize.
+int BenchMain(int argc, char** argv);
+
 }  // namespace bench_util
 }  // namespace arsp
 

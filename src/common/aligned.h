@@ -1,0 +1,67 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Cache-line-aligned vector storage for the SoA data plane. ScoreBuffer's
+// coordinate/probability streams start on 64-byte boundaries so hot spans
+// never share a cache line with unrelated allocations and vector loads hit
+// full lines from row 0. This is a layout guarantee, not a kernel
+// precondition — spans may window a buffer at arbitrary row offsets, so
+// the SIMD kernels always use unaligned loads (see src/simd/kernels.h).
+
+#ifndef ARSP_COMMON_ALIGNED_H_
+#define ARSP_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace arsp {
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned blocks via the
+/// aligned operator new. Stateless: all instances are interchangeable.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Alignment of the SoA score streams.
+inline constexpr std::size_t kScoreAlignment = 64;
+
+/// A std::vector whose data() is 64-byte (cache-line) aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kScoreAlignment>>;
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_ALIGNED_H_

@@ -21,6 +21,7 @@
 #include "src/core/solver.h"
 #include "src/geometry/point.h"
 #include "src/prefs/score_mapper.h"
+#include "src/simd/kernels.h"
 
 namespace arsp {
 namespace internal {
@@ -148,7 +149,10 @@ class GoalGate {
   bool stopped_ = false;  // global goal-met early exit fired
 };
 
-/// Tight [pmin, pmax] corners of rows order[begin..end) (end > begin).
+/// Tight [pmin, pmax] corners of rows order[begin..end) (end > begin),
+/// tightened by the dispatched ScoreCorners kernel (strict-inequality
+/// updates: ties keep the first occurrence, identically to the scalar
+/// reference on every arch).
 inline void ComputeScoreCorners(const ScoreSpan& scores,
                                 const std::vector<int>& order, int begin,
                                 int end, std::vector<double>* pmin,
@@ -157,22 +161,21 @@ inline void ComputeScoreCorners(const ScoreSpan& scores,
   const double* first = scores.row(order[static_cast<size_t>(begin)]);
   pmin->assign(first, first + dim);
   pmax->assign(first, first + dim);
-  for (int i = begin + 1; i < end; ++i) {
-    const double* p = scores.row(order[static_cast<size_t>(i)]);
-    for (int k = 0; k < dim; ++k) {
-      if (p[k] < (*pmin)[static_cast<size_t>(k)]) {
-        (*pmin)[static_cast<size_t>(k)] = p[k];
-      }
-      if (p[k] > (*pmax)[static_cast<size_t>(k)]) {
-        (*pmax)[static_cast<size_t>(k)] = p[k];
-      }
-    }
+  if (end - begin > 1) {
+    simd::Ops().ScoreCorners(scores.coords, dim,
+                             order.data() + begin + 1, end - begin - 1,
+                             pmin->data(), pmax->data());
   }
 }
 
 /// Moves candidates into D (σ) when they dominate pmin, keeps them in
 /// `kept` when they dominate pmax; everything else is discarded for this
-/// subtree. Counts one dominance test per candidate into `result`.
+/// subtree. The two dominance tests per candidate run batched through the
+/// ClassifyCorners kernel into `class_scratch` (runner-owned, resized on
+/// demand — the classification is fully consumed before any recursion, so
+/// one scratch serves every level); the scalar loop then applies the
+/// σ/kept side effects in candidate order. Counts one dominance test per
+/// candidate into `result`, as the scalar loop always has.
 inline void FilterAspCandidates(const ScoreSpan& scores,
                                 const std::vector<int>& parent_candidates,
                                 const double* pmin, const double* pmax,
@@ -180,13 +183,23 @@ inline void FilterAspCandidates(const ScoreSpan& scores,
                                 std::vector<int>* kept,
                                 std::vector<AspTraversalState::Change>*
                                     undo_log,
+                                std::vector<unsigned char>* class_scratch,
                                 ArspResult* result) {
-  for (int cid : parent_candidates) {
-    const double* row = scores.row(cid);
-    ++result->dominance_tests;
-    if (DominatesWeak(row, pmin, scores.dim)) {
+  const int count = static_cast<int>(parent_candidates.size());
+  if (count == 0) return;
+  if (class_scratch->size() < static_cast<size_t>(count)) {
+    class_scratch->resize(static_cast<size_t>(count));
+  }
+  simd::Ops().ClassifyCorners(scores.coords, scores.dim,
+                              parent_candidates.data(), count, pmin, pmax,
+                              class_scratch->data());
+  result->dominance_tests += count;
+  const unsigned char* classes = class_scratch->data();
+  for (int c = 0; c < count; ++c) {
+    const int cid = parent_candidates[static_cast<size_t>(c)];
+    if (classes[c] == simd::kClassDominatesMin) {
       state->Add(scores.object(cid), scores.prob(cid), undo_log);
-    } else if (DominatesWeak(row, pmax, scores.dim)) {
+    } else if (classes[c] == simd::kClassDominatesMax) {
       kept->push_back(cid);
     }
   }

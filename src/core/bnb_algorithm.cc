@@ -7,10 +7,12 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/core/solver.h"
 #include "src/index/rtree.h"
 #include "src/prefs/fdominance.h"
 #include "src/prefs/score_mapper.h"
+#include "src/simd/kernels.h"
 
 namespace arsp {
 
@@ -36,12 +38,25 @@ struct ObjectState {
   bool in_pruning_set = false;
 };
 
-bool PrunedBy(const Point& mapped, const std::vector<Point>& pruning_set) {
-  for (const Point& p : pruning_set) {
-    if (DominatesWeak(p, mapped)) return true;
+// The pruning set P as a dense row-major matrix (|P| rows × d' doubles):
+// the Theorem-3 membership probe is one AnyRowDominates kernel sweep over
+// contiguous rows instead of |P| Point-indirected scalar loops.
+struct PruningSet {
+  AlignedVector<double> rows;  // row-major, dim doubles per entry
+  int count = 0;
+  int dim = 0;
+
+  void Add(const Point& corner) {
+    rows.insert(rows.end(), corner.coords().begin(), corner.coords().end());
+    ++count;
   }
-  return false;
-}
+
+  bool Prunes(const Point& mapped) const {
+    if (count == 0) return false;
+    return simd::Ops().AnyRowDominates(rows.data(), count, dim,
+                                       mapped.coords().data());
+  }
+};
 
 // A Theorem-3 node prune proves Pr_rsky = 0 for every instance under the
 // node; with goal pushdown active those zeros are bound resolutions, so the
@@ -100,7 +115,8 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
   const int id_bound = view.id_bound();
 
   std::vector<ObjectState> objects(static_cast<size_t>(m));
-  std::vector<Point> pruning_set;  // |P| ≤ m (Theorem 4)
+  PruningSet pruning_set;  // |P| ≤ m (Theorem 4)
+  pruning_set.dim = mapped_dim;
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
   heap.push(HeapEntry{Score(omega, data_tree.root()->mbr().min_corner()),
@@ -118,6 +134,8 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     bool skip_eval = false;
   };
   std::vector<BatchItem> batch;
+  AlignedVector<double> batch_rows;       // phase-2 dense mapped points
+  std::vector<unsigned char> batch_mask;  // phase-2 dominance masks
 
   while (!heap.empty()) {
     // Goal pushdown: once every object is decided, nothing left in the
@@ -145,7 +163,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
         ++result.nodes_visited;
         const RTree::Node* node = entry.node;
         if (options.enable_pruning &&
-            PrunedBy(mapper.Map(node->mbr().min_corner()), pruning_set)) {
+            pruning_set.Prunes(mapper.Map(node->mbr().min_corner()))) {
           ++result.nodes_pruned;
           if (pruner != nullptr) {
             ResolveSubtreeZero(node, view, id_bound, pruner);
@@ -170,7 +188,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
       }
       // Instance entry (local id).
       Point mapped = mapper.Map(view.point(entry.instance_id));
-      if (options.enable_pruning && PrunedBy(mapped, pruning_set)) {
+      if (options.enable_pruning && pruning_set.Prunes(mapped)) {
         ++result.nodes_pruned;
         if (pruner != nullptr) pruner->Resolve(entry.instance_id, 0.0);
         continue;  // Pr_rsky = 0; Theorem 3 allows discarding it entirely.
@@ -211,17 +229,37 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
 
     // Phase 2: tied instances of this round dominate each other whenever
     // their mapped points weakly dominate; count that mass symmetrically
-    // before anything is inserted.
-    for (const BatchItem& s : batch) {
-      const int s_object = view.object_of(s.instance_id);
-      const double s_prob = view.prob(s.instance_id);
-      for (BatchItem& t : batch) {
-        if (&s == &t) continue;
-        if (t.skip_eval) continue;  // t's sigma is never read
-        if (s_object == view.object_of(t.instance_id)) continue;
-        ++result.dominance_tests;
-        if (DominatesWeak(s.mapped, t.mapped)) {
-          t.sigma[static_cast<size_t>(s_object)] += s_prob;
+    // before anything is inserted. The batch's mapped points are packed
+    // into a dense row matrix once, then each source instance s takes one
+    // DominatedMask kernel sweep over the whole batch (mask[t] = 1 iff
+    // s ⪯ t); the scalar loop applies the same-object/skip filters and
+    // counts tests exactly as before.
+    if (batch.size() > 1) {
+      const size_t batch_n = batch.size();
+      batch_rows.resize(batch_n * static_cast<size_t>(mapped_dim));
+      for (size_t i = 0; i < batch_n; ++i) {
+        std::copy(batch[i].mapped.coords().begin(),
+                  batch[i].mapped.coords().end(),
+                  batch_rows.begin() + static_cast<size_t>(mapped_dim) * i);
+      }
+      batch_mask.resize(batch_n);
+      for (size_t si = 0; si < batch_n; ++si) {
+        const BatchItem& s = batch[si];
+        const int s_object = view.object_of(s.instance_id);
+        const double s_prob = view.prob(s.instance_id);
+        simd::Ops().DominatedMask(batch_rows.data(),
+                                  static_cast<int>(batch_n), mapped_dim,
+                                  s.mapped.coords().data(),
+                                  batch_mask.data());
+        for (size_t ti = 0; ti < batch_n; ++ti) {
+          BatchItem& t = batch[ti];
+          if (si == ti) continue;
+          if (t.skip_eval) continue;  // t's sigma is never read
+          if (s_object == view.object_of(t.instance_id)) continue;
+          ++result.dominance_tests;
+          if (batch_mask[ti] != 0) {
+            t.sigma[static_cast<size_t>(s_object)] += s_prob;
+          }
         }
       }
     }
@@ -277,7 +315,7 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
       if (options.enable_pruning && !obj.in_pruning_set &&
           obj.cum_prob >= 1.0 - kProbabilityEps) {
         obj.in_pruning_set = true;
-        pruning_set.push_back(obj.max_corner);
+        pruning_set.Add(obj.max_corner);
       }
     }
   }

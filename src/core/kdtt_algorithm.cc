@@ -89,7 +89,7 @@ class KdAspRunner {
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
                                   pmax.data(), &state_, &kept, &undo_log,
-                                  result_);
+                                  &class_scratch_, result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
                                      pmax.data(), state_, result_,
@@ -132,7 +132,7 @@ class KdAspRunner {
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates,
                                   node.pmin.data(), node.pmax.data(), &state_,
-                                  &kept, &undo_log, result_);
+                                  &kept, &undo_log, &class_scratch_, result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, node.begin, node.end,
                                      node.pmin.data(), node.pmax.data(),
@@ -148,6 +148,7 @@ class KdAspRunner {
   const int dim_;
   std::vector<int> order_;
   std::vector<Node> nodes_;
+  std::vector<unsigned char> class_scratch_;  // FilterAspCandidates batches
   AspTraversalState state_;
   ArspResult* result_;
   internal::GoalGate gate_;
@@ -180,8 +181,9 @@ class KdttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
-    GoalPruner pruner(context.goal(), view);
-    KdAspRunner runner(context.scores(), view.num_objects(), &result,
+    const ScoreSpan scores = context.scores();
+    GoalPruner pruner(context.goal(), view, &scores);
+    KdAspRunner runner(scores, view.num_objects(), &result,
                        pruner.active() ? &pruner : nullptr);
     if (integrated_) {
       runner.RunIntegrated();

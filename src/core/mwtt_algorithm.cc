@@ -52,7 +52,7 @@ class MultiWayAspRunner {
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
                                   pmax.data(), &state_, &kept, &undo_log,
-                                  result_);
+                                  &class_scratch_, result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
                                      pmax.data(), state_, result_,
@@ -86,6 +86,7 @@ class MultiWayAspRunner {
   const ScoreSpan scores_;
   const int dim_;
   std::vector<int> order_;
+  std::vector<unsigned char> class_scratch_;  // FilterAspCandidates batches
   const int fanout_;
   AspTraversalState state_;
   ArspResult* result_;
@@ -123,8 +124,9 @@ class MwttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
-    GoalPruner pruner(context.goal(), view);
-    MultiWayAspRunner runner(context.scores(), view.num_objects(), fanout_,
+    const ScoreSpan scores = context.scores();
+    GoalPruner pruner(context.goal(), view, &scores);
+    MultiWayAspRunner runner(scores, view.num_objects(), fanout_,
                              &result, pruner.active() ? &pruner : nullptr);
     runner.Run();
     pruner.Finish(&result);

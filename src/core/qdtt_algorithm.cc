@@ -62,7 +62,7 @@ class QuadAspRunner {
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
                                   pmax.data(), &state_, &kept, &undo_log,
-                                  result_);
+                                  &class_scratch_, result_);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
                                      pmax.data(), state_, result_,
@@ -100,6 +100,7 @@ class QuadAspRunner {
   const ScoreSpan scores_;
   const int dim_;
   std::vector<int> order_;
+  std::vector<unsigned char> class_scratch_;  // FilterAspCandidates batches
   AspTraversalState state_;
   ArspResult* result_;
   internal::GoalGate gate_;
@@ -124,8 +125,9 @@ class QdttSolver : public ArspSolver {
     result.instance_probs.assign(
         static_cast<size_t>(view.num_instances()), 0.0);
     if (view.num_instances() == 0) return result;
-    GoalPruner pruner(context.goal(), view);
-    QuadAspRunner runner(context.scores(), view.num_objects(), &result,
+    const ScoreSpan scores = context.scores();
+    GoalPruner pruner(context.goal(), view, &scores);
+    QuadAspRunner runner(scores, view.num_objects(), &result,
                          pruner.active() ? &pruner : nullptr);
     runner.Run();
     pruner.Finish(&result);

@@ -10,6 +10,7 @@
 
 #include "src/common/lru.h"
 #include "src/common/stopwatch.h"
+#include "src/simd/kernels.h"
 
 namespace arsp {
 
@@ -467,7 +468,8 @@ void ExecutionContext::set_last_stats(const SolverStats& stats) {
 
 // ---------------------------------------------------------- goal pruner
 
-GoalPruner::GoalPruner(const QueryGoal& goal, const DatasetView& view)
+GoalPruner::GoalPruner(const QueryGoal& goal, const DatasetView& view,
+                       const ScoreSpan* scores)
     : goal_(goal), view_(view) {
   const int m = view_.valid() ? view_.num_objects() : 0;
   switch (goal_.kind) {
@@ -487,43 +489,81 @@ GoalPruner::GoalPruner(const QueryGoal& goal, const DatasetView& view)
   }
   active_ = true;
   num_instances_ = view_.num_instances();
-  objects_.resize(static_cast<size_t>(m));
-  for (int i = 0; i < num_instances_; ++i) {
-    ObjectState& o = objects_[static_cast<size_t>(view_.object_of(i))];
-    o.pending += view_.prob(i);
-    ++o.unresolved;
+  num_objects_ = m;
+  if (scores != nullptr) {
+    ARSP_DCHECK(scores->n == num_instances_);
+    probs_ = scores->probs;
+    objects_ptr_ = scores->objects;
+  }
+  lower_.assign(static_cast<size_t>(m), 0.0);
+  pending_.assign(static_cast<size_t>(m), 0.0);
+  unresolved_.assign(static_cast<size_t>(m), 0);
+  decided_.assign(static_cast<size_t>(m), 0);
+  excluded_.assign(static_cast<size_t>(m), 0);
+  if (probs_ != nullptr) {
+    // Dense SoA probabilities and instances grouped by object: accumulate
+    // each object's existence mass with one SumProbs kernel call over its
+    // contiguous slice.
+    for (int j = 0; j < m; ++j) {
+      const auto [begin, end] = view_.object_range(j);
+      pending_[static_cast<size_t>(j)] =
+          simd::Ops().SumProbs(probs_ + begin, end - begin);
+      unresolved_[static_cast<size_t>(j)] = end - begin;
+    }
+  } else {
+    for (int i = 0; i < num_instances_; ++i) {
+      const size_t j = static_cast<size_t>(view_.object_of(i));
+      pending_[j] += view_.prob(i);
+      ++unresolved_[j];
+    }
   }
   undecided_ = m;
   for (int j = 0; j < m; ++j) {
-    ObjectState& o = objects_[static_cast<size_t>(j)];
-    if (o.unresolved == 0) {
+    if (unresolved_[static_cast<size_t>(j)] == 0) {
       // No instances in the view: vacuously exact (Pr = 0).
       Decide(j, false);
-    } else if (goal_.kind == GoalKind::kThreshold && ExcludedNow(o)) {
-      // Total existence mass already below the threshold — excluded before
-      // the traversal touches a single instance. (Top-k starts with τ = 0,
-      // so it has no pre-traversal exclusions.)
-      Decide(j, true);
     }
+  }
+  if (goal_.kind == GoalKind::kThreshold) {
+    // Objects whose total existence mass is already below the threshold are
+    // excluded before the traversal touches a single instance. (Top-k
+    // starts with τ = 0, so it has no pre-traversal exclusions.)
+    SweepExclusions(goal_.p);
   }
   // τ sweeps are O(m); amortize one over a batch of resolutions.
   refresh_interval_ = std::max<int64_t>(16, m / 8);
 }
 
-bool GoalPruner::ExcludedNow(const ObjectState& o) const {
+bool GoalPruner::ExcludedNow(int j) const {
   // Strictly conservative cut: kProbabilityEps absorbs summation rounding
   // in the bounds, so an object whose true probability ties the cut value
   // is never excluded — it is refined to exactness and the boundary tie is
   // settled on exact values, identically to post-hoc slicing.
   const double cut = goal_.kind == GoalKind::kThreshold ? goal_.p : tau_;
-  return o.lower + o.pending < cut - kProbabilityEps;
+  return lower_[static_cast<size_t>(j)] + pending_[static_cast<size_t>(j)] <
+         cut - kProbabilityEps;
+}
+
+void GoalPruner::SweepExclusions(double cut) {
+  // One kernel pass computes the exclusion mask for every undecided object;
+  // the Decide loop then applies it (bookkeeping stays scalar). The kernel
+  // evaluates lower + pending < threshold with the same association as
+  // ExcludedNow, so the sweep and the per-resolution test always agree.
+  sweep_scratch_.resize(static_cast<size_t>(num_objects_));
+  simd::Ops().BoundSweepMask(lower_.data(), pending_.data(), decided_.data(),
+                             num_objects_, cut - kProbabilityEps,
+                             sweep_scratch_.data());
+  for (int j = 0; j < num_objects_; ++j) {
+    if (sweep_scratch_[static_cast<size_t>(j)] != 0) {
+      Decide(j, true);
+    }
+  }
 }
 
 void GoalPruner::Decide(int j, bool excluded) {
-  ObjectState& o = objects_[static_cast<size_t>(j)];
-  ARSP_DCHECK(!o.decided);
-  o.decided = true;
-  o.excluded = excluded;
+  ARSP_DCHECK(decided_[static_cast<size_t>(j)] == 0);
+  decided_[static_cast<size_t>(j)] = 1;
+  excluded_[static_cast<size_t>(j)] = excluded ? 1 : 0;
   --undecided_;
   ++decided_count_;
   if (excluded) {
@@ -537,28 +577,27 @@ void GoalPruner::Resolve(int i, double prob) {
   if (!active_) return;
   ++bound_refinements_;
   ++resolved_;
-  const int j = view_.object_of(i);
-  ObjectState& o = objects_[static_cast<size_t>(j)];
-  ARSP_DCHECK(o.unresolved > 0);
-  o.lower += prob;
-  o.pending -= view_.prob(i);
-  if (o.pending < 0.0) o.pending = 0.0;  // clamp summation rounding
-  --o.unresolved;
+  const size_t j = static_cast<size_t>(ObjectOf(i));
+  ARSP_DCHECK(unresolved_[j] > 0);
+  lower_[j] += prob;
+  pending_[j] -= InstanceProb(i);
+  if (pending_[j] < 0.0) pending_[j] = 0.0;  // clamp summation rounding
+  --unresolved_[j];
   ++since_refresh_;
-  if (o.decided) return;
-  if (o.unresolved == 0) {
-    Decide(j, false);  // exact
-  } else if (ExcludedNow(o)) {
+  if (decided_[j] != 0) return;
+  if (unresolved_[j] == 0) {
+    Decide(static_cast<int>(j), false);  // exact
+  } else if (ExcludedNow(static_cast<int>(j))) {
     // For top-k goals this tests against the last swept τ — stale but
     // sound, since τ only grows.
-    Decide(j, true);
+    Decide(static_cast<int>(j), true);
   }
 }
 
 bool GoalPruner::AllDecided(const int* ids, int count) const {
   if (!active_ || decided_count_ == 0) return false;
   for (int i = 0; i < count; ++i) {
-    if (!objects_[static_cast<size_t>(view_.object_of(ids[i]))].decided) {
+    if (decided_[static_cast<size_t>(ObjectOf(ids[i]))] == 0) {
       return false;
     }
   }
@@ -568,20 +607,12 @@ bool GoalPruner::AllDecided(const int* ids, int count) const {
 void GoalPruner::RefreshTau() {
   // τ = k-th largest lower bound over all objects; monotone in the
   // resolutions, so recomputing can only raise it.
-  const size_t m = objects_.size();
-  tau_scratch_.clear();
-  tau_scratch_.reserve(m);
-  for (const ObjectState& o : objects_) tau_scratch_.push_back(o.lower);
+  tau_scratch_.assign(lower_.begin(), lower_.end());
   const size_t kth = static_cast<size_t>(goal_.k - 1);
   std::nth_element(tau_scratch_.begin(), tau_scratch_.begin() + kth,
                    tau_scratch_.end(), std::greater<double>());
   tau_ = std::max(tau_, tau_scratch_[kth]);
-  for (size_t j = 0; j < m; ++j) {
-    ObjectState& o = objects_[j];
-    if (!o.decided && ExcludedNow(o)) {
-      Decide(static_cast<int>(j), true);
-    }
-  }
+  SweepExclusions(tau_);
 }
 
 bool GoalPruner::GoalMet() {
@@ -606,17 +637,20 @@ void GoalPruner::Finish(ArspResult* result) const {
   result->complete = all_resolved();
   result->objects_pruned = objects_pruned_;
   result->bound_refinements = bound_refinements_;
-  const int m = static_cast<int>(objects_.size());
+  const int m = num_objects_;
   result->object_bounds.assign(static_cast<size_t>(m), ProbabilityBounds{});
   result->object_decisions.assign(static_cast<size_t>(m),
                                   ObjectDecision::kUndecided);
   for (int j = 0; j < m; ++j) {
-    const ObjectState& o = objects_[static_cast<size_t>(j)];
-    ProbabilityBounds& b = result->object_bounds[static_cast<size_t>(j)];
-    if (o.unresolved == 0) {
+    const size_t sj = static_cast<size_t>(j);
+    ProbabilityBounds& b = result->object_bounds[sj];
+    if (unresolved_[sj] == 0) {
       // Exact: re-sum in ascending instance order — the accumulation order
       // of ObjectProbabilities — so slicing this run's instance vector
-      // post hoc would give exactly this value.
+      // post hoc would give exactly this value. (Deliberately a sequential
+      // scalar sum, NOT the SumProbs kernel: the kernel's fixed 4-lane
+      // association differs from ObjectProbabilities' accumulation order
+      // and would break that equivalence.)
       const auto [begin, end] = view_.object_range(j);
       double sum = 0.0;
       for (int i = begin; i < end; ++i) {
@@ -624,15 +658,13 @@ void GoalPruner::Finish(ArspResult* result) const {
       }
       b.lower = sum;
       b.upper = sum;
-      result->object_decisions[static_cast<size_t>(j)] =
-          ObjectDecision::kExact;
+      result->object_decisions[sj] = ObjectDecision::kExact;
     } else {
-      b.lower = o.lower;
-      b.upper = o.lower + o.pending;
-      if (o.decided) {
-        ARSP_DCHECK(o.excluded);
-        result->object_decisions[static_cast<size_t>(j)] =
-            ObjectDecision::kExcluded;
+      b.lower = lower_[sj];
+      b.upper = lower_[sj] + pending_[sj];
+      if (decided_[sj] != 0) {
+        ARSP_DCHECK(excluded_[sj] != 0);
+        result->object_decisions[sj] = ObjectDecision::kExcluded;
       }
     }
   }

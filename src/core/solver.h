@@ -36,6 +36,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/common/status.h"
 #include "src/core/arsp_result.h"
 #include "src/index/kdtree.h"
@@ -164,7 +165,16 @@ class ExecutionContext;
 /// no-op and solvers pass nullptr into their hot loops instead.
 class GoalPruner {
  public:
-  GoalPruner(const QueryGoal& goal, const DatasetView& view);
+  /// `scores` optionally hands the pruner the view's SoA score span: the
+  /// per-object pending-mass accumulation then runs through the SumProbs
+  /// kernel over the span's contiguous probability stream, and object
+  /// lookups read the dense object-id stream instead of chasing Instance
+  /// records. The span must cover exactly the view's instances in local
+  /// order (what ExecutionContext::scores() returns) and outlive the
+  /// pruner. Solvers without SoA storage (B&B) pass nullptr and get the
+  /// instance-at-a-time path.
+  GoalPruner(const QueryGoal& goal, const DatasetView& view,
+             const ScoreSpan* scores = nullptr);
 
   /// False for full goals (and for top-k goals that cannot prune, e.g.
   /// k >= num_objects or k < 0 — every object must be exact anyway).
@@ -179,7 +189,7 @@ class GoalPruner {
   /// use it to skip per-instance work whose only purpose is j's own
   /// probability — never work that feeds *other* objects' probabilities.
   bool ObjectDecided(int j) const {
-    return active_ && objects_[static_cast<size_t>(j)].decided;
+    return active_ && decided_[static_cast<size_t>(j)] != 0;
   }
 
   /// True when every instance in `ids[0..count)` belongs to a decided
@@ -206,23 +216,41 @@ class GoalPruner {
   void Finish(ArspResult* result) const;
 
  private:
-  struct ObjectState {
-    double lower = 0.0;    ///< Σ resolved rskyline probabilities
-    double pending = 0.0;  ///< Σ unresolved existence probabilities
-    int unresolved = 0;    ///< #instances not yet resolved
-    bool decided = false;
-    bool excluded = false;
-  };
+  /// Existence probability / owning object of local instance `i`, through
+  /// the span's dense streams when one was provided (bit-identical values
+  /// either way — MapView copies them from the view).
+  double InstanceProb(int i) const {
+    return probs_ != nullptr ? probs_[static_cast<size_t>(i)]
+                             : view_.prob(i);
+  }
+  int ObjectOf(int i) const {
+    return objects_ptr_ != nullptr ? objects_ptr_[static_cast<size_t>(i)]
+                                   : view_.object_of(i);
+  }
 
-  bool ExcludedNow(const ObjectState& o) const;
+  bool ExcludedNow(int j) const;
   void Decide(int j, bool excluded);
   void RefreshTau();
+  /// Decides every undecided object with lower + pending < cut − ε as
+  /// excluded, via one BoundSweepMask kernel pass over the SoA bounds.
+  void SweepExclusions(double cut);
 
   QueryGoal goal_;
   DatasetView view_;
+  const double* probs_ = nullptr;      ///< span probs, when provided
+  const int* objects_ptr_ = nullptr;   ///< span object ids, when provided
   bool active_ = false;
   int num_instances_ = 0;
-  std::vector<ObjectState> objects_;
+  int num_objects_ = 0;
+  // Per-object state, structure-of-arrays: the τ/threshold sweeps walk
+  // lower_/pending_/decided_ as dense streams through the BoundSweepMask
+  // kernel instead of striding over an array of structs.
+  AlignedVector<double> lower_;        ///< Σ resolved rskyline probabilities
+  AlignedVector<double> pending_;      ///< Σ unresolved existence probs
+  std::vector<int> unresolved_;        ///< #instances not yet resolved
+  std::vector<unsigned char> decided_;
+  std::vector<unsigned char> excluded_;
+  std::vector<unsigned char> sweep_scratch_;  ///< BoundSweepMask output
   int undecided_ = 0;
   int decided_count_ = 0;
   int64_t resolved_ = 0;

@@ -514,6 +514,7 @@ std::string StatsResponse::EncodePayload() const {
   w.I64(score_maps);
   w.I64(score_reuses);
   w.I64(parent_index_hits);
+  w.Str(kernel_arch);
   return w.Take();
 }
 
@@ -552,6 +553,7 @@ Status StatsResponse::DecodePayload(const std::string& bytes) {
   score_maps = r.I64();
   score_reuses = r.I64();
   parent_index_hits = r.I64();
+  kernel_arch = r.Str();
   return r.Finish();
 }
 

@@ -48,7 +48,8 @@ inline constexpr uint16_t kWireMagic = 0xA75F;
 
 /// Protocol version; bumped on any incompatible message change. Both sides
 /// reject frames carrying a newer version than they speak.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: StatsResponse grew kernel_arch (the daemon's simd dispatch arch).
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Max payload bytes a peer will accept (the max-frame guard). Large enough
 /// for a multi-million-instance probability vector, small enough that a
@@ -314,6 +315,10 @@ struct StatsResponse {
   int64_t score_maps = 0;
   int64_t score_reuses = 0;
   int64_t parent_index_hits = 0;
+  /// The daemon's active simd kernel dispatch arch (simd::ActiveArchName:
+  /// "scalar", "avx2", "neon") — the server process's, which may differ
+  /// from the client's. Since wire v2.
+  std::string kernel_arch;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);

@@ -18,6 +18,7 @@
 
 #include "src/core/queries.h"
 #include "src/io/csv.h"
+#include "src/simd/kernels.h"
 #include "src/uncertain/generators.h"
 
 namespace arsp {
@@ -624,6 +625,7 @@ StatusOr<QueryResponseWire> ArspServer::HandleQuery(
 
 StatusOr<StatsResponse> ArspServer::HandleStats(const StatsRequest& request) {
   StatsResponse response;
+  response.kernel_arch = simd::ActiveArchName();
   const ArspEngine::CacheStats cache = engine_.cache_stats();
   response.cache_hits = cache.hits;
   response.cache_misses = cache.misses;

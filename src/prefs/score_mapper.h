@@ -7,31 +7,42 @@
 //
 // Mapped scores are stored structure-of-arrays (ScoreBuffer): one contiguous
 // coordinate array (row-major, d' doubles per instance), one probability
-// array, one local-object-id array. The §III–§IV hot loops touch exactly
+// array, one local-object-id array — both double streams on 64-byte-aligned
+// storage (src/common/aligned.h). The §III–§IV hot loops touch exactly
 // these three streams, so SoA keeps them dense instead of striding over
-// vector-of-struct Instance records. Solvers consume a ScoreSpan — a
-// non-owning window — which is how a prefix DatasetView shares its parent's
-// buffer with zero copies (the first n rows of the full buffer *are* the
-// prefix's buffer, local ids included).
+// vector-of-struct Instance records, and the SIMD kernel layer
+// (src/simd/kernels.h) vectorizes over them. Solvers consume a ScoreSpan —
+// a non-owning window — which is how a prefix DatasetView shares its
+// parent's buffer with zero copies (the first n rows of the full buffer
+// *are* the prefix's buffer, local ids included).
+//
+// The mapper evaluates SV through the dispatched MapPoint kernel over a
+// dimension-major (transposed) copy of the vertex matrix, so the d' dot
+// products of one point vectorize across outputs while each output keeps
+// the sequential summation order of Point::Dot — AoS (Map/MapAll), SoA
+// (MapView), and every dispatch arch produce bit-identical scores.
 
 #ifndef ARSP_PREFS_SCORE_MAPPER_H_
 #define ARSP_PREFS_SCORE_MAPPER_H_
 
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/geometry/point.h"
 #include "src/prefs/preference_region.h"
+#include "src/simd/kernels.h"
 #include "src/uncertain/dataset_view.h"
 
 namespace arsp {
 
 /// Owned structure-of-arrays score storage for one DatasetView, in local
-/// instance order (row index == local instance id).
+/// instance order (row index == local instance id). Coordinate and
+/// probability streams are 64-byte aligned.
 struct ScoreBuffer {
-  int dim = 0;                 ///< mapped dimensionality d'
-  std::vector<double> coords;  ///< size() * dim, row-major
-  std::vector<double> probs;   ///< instance probabilities
-  std::vector<int> objects;    ///< local object ids
+  int dim = 0;                  ///< mapped dimensionality d'
+  AlignedVector<double> coords; ///< size() * dim, row-major
+  AlignedVector<double> probs;  ///< instance probabilities
+  std::vector<int> objects;     ///< local object ids
 
   int size() const { return static_cast<int>(probs.size()); }
   const double* row(int i) const {
@@ -81,38 +92,46 @@ struct ScoreSpan {
 /// score space spanned by the preference region's vertices.
 class ScoreMapper {
  public:
-  /// Keeps a reference to the region's vertex set; the region must outlive
-  /// the mapper.
+  /// Keeps a reference to the region's vertex set and builds the
+  /// dimension-major vertex matrix the MapPoint kernel consumes; the region
+  /// must outlive the mapper.
   explicit ScoreMapper(const PreferenceRegion& region)
-      : vertices_(&region.vertices()) {}
+      : vertices_(&region.vertices()) {
+    data_dim_ = vertices_->empty() ? 0 : vertices_->front().dim();
+    const size_t dprime = vertices_->size();
+    vt_.resize(static_cast<size_t>(data_dim_) * dprime);
+    for (int j = 0; j < data_dim_; ++j) {
+      for (size_t k = 0; k < dprime; ++k) {
+        vt_[static_cast<size_t>(j) * dprime + k] = (*vertices_)[k][j];
+      }
+    }
+  }
 
   /// Mapped dimensionality d' = |V|.
   int mapped_dim() const { return static_cast<int>(vertices_->size()); }
 
-  /// SV(t) written into `out` (d' doubles) — the SoA row form. Map() and
-  /// MapView() are defined in terms of this, so AoS and SoA scores are
-  /// bit-identical.
+  /// SV(t) written into `out` (d' doubles) — the SoA row form, evaluated by
+  /// the dispatched MapPoint kernel. Map() and MapView() are defined in
+  /// terms of this, so AoS and SoA scores are bit-identical.
   void MapInto(const Point& t, double* out) const {
-    const std::vector<Point>& v = *vertices_;
-    for (int i = 0; i < mapped_dim(); ++i) {
-      out[i] = v[static_cast<size_t>(i)].Dot(t);
-    }
+    ARSP_DCHECK(t.dim() == data_dim_ || mapped_dim() == 0);
+    simd::Ops().MapPoint(t.coords().data(), data_dim_, vt_.data(),
+                         mapped_dim(), out);
   }
 
   /// SV(t): the i-th output coordinate is the score of t under vertex ω_i.
+  /// Writes straight into the returned Point's storage — no temporary
+  /// buffer per call.
   Point Map(const Point& t) const {
-    std::vector<double> out(static_cast<size_t>(mapped_dim()));
-    MapInto(t, out.data());
-    return Point(std::move(out));
-  }
-
-  /// Maps a batch of points.
-  std::vector<Point> MapAll(const std::vector<Point>& points) const {
-    std::vector<Point> out;
-    out.reserve(points.size());
-    for (const Point& p : points) out.push_back(Map(p));
+    Point out(mapped_dim());
+    if (mapped_dim() > 0) MapInto(t, &out[0]);
     return out;
   }
+
+  /// Maps a batch of points through one reused flat row buffer (a single
+  /// scratch allocation for the whole batch, instead of per-point
+  /// temporaries).
+  std::vector<Point> MapAll(const std::vector<Point>& points) const;
 
   /// Maps every instance of `view` into a SoA buffer (local instance order,
   /// local object ids).
@@ -120,6 +139,8 @@ class ScoreMapper {
 
  private:
   const std::vector<Point>* vertices_;
+  int data_dim_ = 0;
+  AlignedVector<double> vt_;  ///< dim-major vertex matrix: vt_[j·d' + k] = ω_k[j]
 };
 
 }  // namespace arsp

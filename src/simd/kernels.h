@@ -1,0 +1,153 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Runtime-dispatched SIMD kernels for the solver hot path. The §III–§IV
+// traversal loops — coordinate-dominance tests, the SV(·) score mapping,
+// and the GoalPruner's bound sweeps — all walk the SoA streams laid out by
+// ScoreBuffer/ScoreSpan; this layer gives each loop one batched, branch-
+// light kernel with three interchangeable implementations:
+//
+//   * scalar — portable reference, always available;
+//   * avx2   — x86-64, 4 doubles per lane group (compiled into every
+//              x86-64 build, selected only when CPUID reports AVX2);
+//   * neon   — aarch64, 2 doubles per register, paired to the same 4-lane
+//              reduction spec as avx2.
+//
+// One implementation is selected at startup (CPUID on x86-64, baseline on
+// aarch64) and can be overridden with ARSP_KERNEL=scalar|avx2|neon —
+// unsupported overrides fall back to scalar with a one-line warning. Tests
+// additionally switch in-process via internal::SetArchForTesting.
+//
+// Bit-identity contract: every implementation of a kernel must produce
+// results bit-identical to the scalar reference on the same inputs —
+// comparisons are exact by nature, min/max keep the accumulator on ties
+// (matching scalar strict-inequality updates, including -0.0/+0.0), and
+// floating-point sums fix both the association (the 4-accumulator spec of
+// SumProbs, the per-output sequential sums of MapPoint) and the operation
+// set (separate multiply and add; no FMA contraction — the build sets
+// -ffp-contract=off so scalar code cannot silently fuse either). The
+// registry-wide equivalence suite in tests/simd_kernel_test.cc asserts
+// bit-identical ArspResults per dispatch arch on top of the per-kernel
+// sweeps.
+//
+// Alignment contract: ScoreBuffer allocates its coord/prob streams on
+// 64-byte boundaries (cache-line aligned, zero false sharing between
+// buffers); kernels must NOT rely on it — spans may window a parent buffer
+// at any row offset and callers pass arbitrary stack arrays — so every
+// implementation uses unaligned loads. Alignment is a throughput hint, not
+// a precondition.
+
+#ifndef ARSP_SIMD_KERNELS_H_
+#define ARSP_SIMD_KERNELS_H_
+
+#include <vector>
+
+namespace arsp {
+namespace simd {
+
+/// The dispatchable implementations.
+enum class KernelArch {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Canonical lower-case name ("scalar", "avx2", "neon") — the values
+/// ARSP_KERNEL accepts, and what --stats / the daemon report.
+const char* KernelArchName(KernelArch arch);
+
+/// Candidate classification against a node's corners (FilterAspCandidates):
+/// row ⪯ pmin → kDominatesMin (enters the dominating set D), else
+/// row ⪯ pmax → kDominatesMax (stays a candidate), else kDiscard.
+inline constexpr unsigned char kClassDiscard = 0;
+inline constexpr unsigned char kClassDominatesMax = 1;
+inline constexpr unsigned char kClassDominatesMin = 2;
+
+/// One batched kernel per hot loop. All row pointers address row-major
+/// storage with `dim` contiguous doubles per row; `ids` arguments gather
+/// rows through a permutation (ScoreSpan row ids), plain `rows` arguments
+/// are dense. No pointer may alias an output.
+struct KernelOps {
+  KernelArch arch;
+
+  /// out[c] ∈ {kClassDiscard, kClassDominatesMax, kClassDominatesMin} for
+  /// row ids[c] of `coords` against corners pmin/pmax (each `dim` doubles).
+  void (*ClassifyCorners)(const double* coords, int dim, const int* ids,
+                          int count, const double* pmin, const double* pmax,
+                          unsigned char* out);
+
+  /// Tightens pmin/pmax (already initialized) over rows ids[0..count):
+  /// strict-inequality replacement, so ties keep the incumbent value.
+  void (*ScoreCorners)(const double* coords, int dim, const int* ids,
+                       int count, double* pmin, double* pmax);
+
+  /// out[i] = 1 iff q ⪯ rows[i] (row i is dominated by q), else 0.
+  void (*DominatedMask)(const double* rows, int n, int dim, const double* q,
+                        unsigned char* out);
+
+  /// Number of rows with rows[i] ⪯ q (rows dominating q).
+  int (*DominanceCount)(const double* rows, int n, int dim, const double* q);
+
+  /// True iff some row satisfies rows[i] ⪯ q. May exit early.
+  bool (*AnyRowDominates)(const double* rows, int n, int dim,
+                          const double* q);
+
+  /// Score mapping of one point: out[k] = Σ_j t[j] · vt[j·dprime + k] for
+  /// k < dprime, each output summed in ascending j with separate
+  /// multiply/add — bit-identical to Point::Dot against vertex k. `vt` is
+  /// the dim-major (transposed) vertex matrix, which makes k the dense
+  /// vector axis. Backs ScoreMapper::MapInto/MapView.
+  void (*MapPoint)(const double* t, int d, const double* vt, int dprime,
+                   double* out);
+
+  /// Σ probs[0..n) under the fixed 4-accumulator spec: lane c accumulates
+  /// elements with index ≡ c (mod 4), combined as (l0+l1)+(l2+l3), then
+  /// the < 4 tail elements are added sequentially. Every arch implements
+  /// exactly this association (NEON pairs two 2-lane registers), so sums
+  /// are bit-identical everywhere. Backs the GoalPruner's per-object
+  /// pending-mass accumulation. (ObjectProbabilities deliberately stays a
+  /// sequential scalar sum — its order is a cross-layer exactness
+  /// contract with GoalPruner::Finish.)
+  double (*SumProbs)(const double* probs, int n);
+
+  /// GoalPruner τ/threshold sweep: out[j] = 1 iff decided[j] == 0 and
+  /// lower[j] + pending[j] < threshold, else 0.
+  void (*BoundSweepMask)(const double* lower, const double* pending,
+                         const unsigned char* decided, int m,
+                         double threshold, unsigned char* out);
+};
+
+/// The active dispatch table. Resolved once (CPUID/auxval + ARSP_KERNEL)
+/// on first use; subsequent calls are a single atomic load.
+const KernelOps& Ops();
+
+/// Arch of the active table.
+KernelArch ActiveArch();
+
+/// KernelArchName(ActiveArch()).
+const char* ActiveArchName();
+
+/// Every arch this binary can run on this machine, scalar first. What the
+/// per-arch test sweeps iterate.
+std::vector<KernelArch> SupportedArches();
+
+namespace internal {
+
+/// Forces the active dispatch table (tests sweeping arches in-process).
+/// Returns false — leaving the table unchanged — when `arch` is not in
+/// SupportedArches(). Not synchronized with concurrent solves: call it
+/// only between solves, like the test suites do.
+bool SetArchForTesting(KernelArch arch);
+
+/// The portable reference table (always valid).
+const KernelOps& ScalarOps();
+
+/// Arch-specific tables; nullptr when the build target or the running CPU
+/// lacks the instruction set.
+const KernelOps* Avx2OpsOrNull();
+const KernelOps* NeonOpsOrNull();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace arsp
+
+#endif  // ARSP_SIMD_KERNELS_H_

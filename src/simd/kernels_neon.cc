@@ -1,0 +1,198 @@
+// Copyright 2026 The ARSP Authors.
+//
+// NEON kernel table (aarch64, where Advanced SIMD is baseline — no runtime
+// probe needed). Two doubles per register, paired where the bit-identity
+// spec is 4-wide: SumProbs keeps two 2-lane accumulators standing in for
+// lanes 0..3 of the 4-accumulator spec. Dot products use explicit
+// vmulq/vaddq (never vfmaq — fusing would change the rounding the scalar
+// reference defines), and min/max use compare-and-select rather than
+// vminq/vmaxq, whose IEEE minNum semantics would pick -0.0 over +0.0
+// regardless of operand order and break ±0.0 tie identity.
+
+#include "src/simd/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace arsp {
+namespace simd {
+namespace {
+
+inline const double* Row(const double* coords, int dim, int id) {
+  return coords + static_cast<size_t>(id) * static_cast<size_t>(dim);
+}
+
+// True iff row[k] > a[k] for some k < dim.
+inline bool ViolatesAgainst(const double* row, const double* a, int dim) {
+  uint64x2_t viol = vdupq_n_u64(0);
+  int k = 0;
+  for (; k + 2 <= dim; k += 2) {
+    viol = vorrq_u64(viol, vcgtq_f64(vld1q_f64(row + k), vld1q_f64(a + k)));
+  }
+  bool any = (vgetq_lane_u64(viol, 0) | vgetq_lane_u64(viol, 1)) != 0;
+  if (k < dim) any |= row[k] > a[k];
+  return any;
+}
+
+void ClassifyCornersNeon(const double* coords, int dim, const int* ids,
+                         int count, const double* pmin, const double* pmax,
+                         unsigned char* out) {
+  for (int c = 0; c < count; ++c) {
+    const double* row = Row(coords, dim, ids[c]);
+    uint64x2_t viol_min = vdupq_n_u64(0);
+    uint64x2_t viol_max = vdupq_n_u64(0);
+    int k = 0;
+    for (; k + 2 <= dim; k += 2) {
+      const float64x2_t r = vld1q_f64(row + k);
+      viol_min = vorrq_u64(viol_min, vcgtq_f64(r, vld1q_f64(pmin + k)));
+      viol_max = vorrq_u64(viol_max, vcgtq_f64(r, vld1q_f64(pmax + k)));
+    }
+    bool gt_min =
+        (vgetq_lane_u64(viol_min, 0) | vgetq_lane_u64(viol_min, 1)) != 0;
+    bool gt_max =
+        (vgetq_lane_u64(viol_max, 0) | vgetq_lane_u64(viol_max, 1)) != 0;
+    if (k < dim) {
+      gt_min |= row[k] > pmin[k];
+      gt_max |= row[k] > pmax[k];
+    }
+    out[c] = !gt_min ? kClassDominatesMin
+                     : (!gt_max ? kClassDominatesMax : kClassDiscard);
+  }
+}
+
+void ScoreCornersNeon(const double* coords, int dim, const int* ids,
+                      int count, double* pmin, double* pmax) {
+  int k = 0;
+  for (; k + 2 <= dim; k += 2) {
+    float64x2_t mn = vld1q_f64(pmin + k);
+    float64x2_t mx = vld1q_f64(pmax + k);
+    for (int c = 0; c < count; ++c) {
+      const float64x2_t r = vld1q_f64(Row(coords, dim, ids[c]) + k);
+      // Strict-inequality select: ties (incl. ±0.0) keep the incumbent.
+      mn = vbslq_f64(vcltq_f64(r, mn), r, mn);
+      mx = vbslq_f64(vcgtq_f64(r, mx), r, mx);
+    }
+    vst1q_f64(pmin + k, mn);
+    vst1q_f64(pmax + k, mx);
+  }
+  if (k < dim) {
+    for (int c = 0; c < count; ++c) {
+      const double v = Row(coords, dim, ids[c])[k];
+      if (v < pmin[k]) pmin[k] = v;
+      if (v > pmax[k]) pmax[k] = v;
+    }
+  }
+}
+
+void DominatedMaskNeon(const double* rows, int n, int dim, const double* q,
+                       unsigned char* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = ViolatesAgainst(q, Row(rows, dim, i), dim) ? 0 : 1;
+  }
+}
+
+int DominanceCountNeon(const double* rows, int n, int dim, const double* q) {
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    count += ViolatesAgainst(Row(rows, dim, i), q, dim) ? 0 : 1;
+  }
+  return count;
+}
+
+bool AnyRowDominatesNeon(const double* rows, int n, int dim,
+                         const double* q) {
+  for (int i = 0; i < n; ++i) {
+    if (!ViolatesAgainst(Row(rows, dim, i), q, dim)) return true;
+  }
+  return false;
+}
+
+void MapPointNeon(const double* t, int d, const double* vt, int dprime,
+                  double* out) {
+  const size_t stride = static_cast<size_t>(dprime);
+  int k = 0;
+  for (; k + 2 <= dprime; k += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    const double* col = vt + k;
+    for (int j = 0; j < d; ++j) {
+      // Explicit mul + add (not vfmaq): matches scalar per-term rounding.
+      acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(t[j]),
+                                     vld1q_f64(col + stride *
+                                                         static_cast<size_t>(
+                                                             j))));
+    }
+    vst1q_f64(out + k, acc);
+  }
+  if (k < dprime) {
+    double acc = 0.0;
+    for (int j = 0; j < d; ++j) {
+      acc += t[j] * vt[stride * static_cast<size_t>(j) +
+                       static_cast<size_t>(k)];
+    }
+    out[k] = acc;
+  }
+}
+
+double SumProbsNeon(const double* probs, int n) {
+  // Lanes 0..3 of the 4-accumulator spec as two 2-lane registers.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vld1q_f64(probs + i));
+    acc23 = vaddq_f64(acc23, vld1q_f64(probs + i + 2));
+  }
+  const double s01 = vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1);
+  const double s23 = vgetq_lane_f64(acc23, 0) + vgetq_lane_f64(acc23, 1);
+  double sum = s01 + s23;
+  for (; i < n; ++i) sum += probs[i];
+  return sum;
+}
+
+void BoundSweepMaskNeon(const double* lower, const double* pending,
+                        const unsigned char* decided, int m, double threshold,
+                        unsigned char* out) {
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  int j = 0;
+  for (; j + 2 <= m; j += 2) {
+    const float64x2_t upper =
+        vaddq_f64(vld1q_f64(lower + j), vld1q_f64(pending + j));
+    const uint64x2_t lt = vcltq_f64(upper, thr);
+    out[j] = (decided[j] == 0 && vgetq_lane_u64(lt, 0) != 0) ? 1 : 0;
+    out[j + 1] = (decided[j + 1] == 0 && vgetq_lane_u64(lt, 1) != 0) ? 1 : 0;
+  }
+  for (; j < m; ++j) {
+    out[j] = (decided[j] == 0 && lower[j] + pending[j] < threshold) ? 1 : 0;
+  }
+}
+
+const KernelOps kNeonOps = {
+    KernelArch::kNeon,    ClassifyCornersNeon, ScoreCornersNeon,
+    DominatedMaskNeon,    DominanceCountNeon,  AnyRowDominatesNeon,
+    MapPointNeon,         SumProbsNeon,        BoundSweepMaskNeon,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps* NeonOpsOrNull() { return &kNeonOps; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace arsp
+
+#else  // !aarch64
+
+namespace arsp {
+namespace simd {
+namespace internal {
+
+const KernelOps* NeonOpsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace arsp
+
+#endif

@@ -214,6 +214,7 @@ TEST(ProtocolMessagesTest, StatsRoundTrip) {
   response.has_index_stats = true;
   response.kdtree_builds = 1;
   response.parent_index_hits = 9;
+  response.kernel_arch = "avx2";
   StatsResponse decoded;
   ASSERT_TRUE(decoded.DecodePayload(response.EncodePayload()).ok());
   EXPECT_EQ(decoded.cache_hits, 10);
@@ -221,6 +222,7 @@ TEST(ProtocolMessagesTest, StatsRoundTrip) {
   ASSERT_EQ(decoded.datasets.size(), 2u);
   EXPECT_EQ(decoded.datasets[1].name, "nba#50");
   EXPECT_TRUE(decoded.datasets[1].is_view);
+  EXPECT_EQ(decoded.kernel_arch, "avx2");
   EXPECT_TRUE(decoded.has_index_stats);
   EXPECT_EQ(decoded.parent_index_hits, 9);
 }

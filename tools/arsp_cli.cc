@@ -56,6 +56,7 @@
 #include "src/core/engine.h"
 #include "src/io/csv.h"
 #include "src/net/client.h"
+#include "src/simd/kernels.h"
 #include "tools/cli_args.h"
 
 namespace {
@@ -439,10 +440,11 @@ int RunLocal(const CliArgs& args,
     // plus result-cache effectiveness for the whole run.
     const ArspEngine::CacheStats cache = engine.cache_stats();
     std::printf("engine: latency %s cache_hits=%lld cache_misses=%lld "
-                "entries=%zu\n",
+                "entries=%zu kernel=%s\n",
                 engine.latency_stats().ToString().c_str(),
                 static_cast<long long>(cache.hits),
-                static_cast<long long>(cache.misses), cache.entries);
+                static_cast<long long>(cache.misses), cache.entries,
+                simd::ActiveArchName());
   }
 
   return WriteResultCsvs(args, *outcomes[0]->result, *dataset, names);
@@ -650,7 +652,8 @@ int RunRemote(const CliArgs& args,
     if (stats.ok()) {
       std::printf("daemon: latency requests=%lld window=%lld min_ms=%g "
                   "mean_ms=%g p50_ms=%g p95_ms=%g cache_hits=%lld "
-                  "cache_misses=%lld entries=%llu pooled_contexts=%llu\n",
+                  "cache_misses=%lld entries=%llu pooled_contexts=%llu "
+                  "kernel=%s\n",
                   static_cast<long long>(stats->latency_count),
                   static_cast<long long>(stats->latency_window),
                   stats->latency_min_ms, stats->latency_mean_ms,
@@ -658,7 +661,9 @@ int RunRemote(const CliArgs& args,
                   static_cast<long long>(stats->cache_hits),
                   static_cast<long long>(stats->cache_misses),
                   static_cast<unsigned long long>(stats->cache_entries),
-                  static_cast<unsigned long long>(stats->pooled_contexts));
+                  static_cast<unsigned long long>(stats->pooled_contexts),
+                  stats->kernel_arch.empty() ? "unknown"
+                                             : stats->kernel_arch.c_str());
     }
   }
 

@@ -1,0 +1,254 @@
+// Copyright 2026 The ARSP Authors.
+//
+// CI perf gate: compares two arsp-bench-v1 exports (bench --json) and fails
+// on regressions against the committed baseline (BENCH_solver_hotpath.json).
+//
+//   bench_diff BASELINE CURRENT [--max-regression PCT]
+//
+// Two gates run over every benchmark present in the baseline:
+//
+//   * Timing. ns/op is first normalized by the file's own
+//     BM_Calibrate_Xorshift64 entry — a serial scalar workload that tracks
+//     raw machine speed — so the comparison is shape-vs-shape, not
+//     container-vs-container. A normalized ratio more than PCT percent
+//     (default 15) above the baseline fails.
+//   * Determinism. Work counters that appear in both files
+//     (dominance_tests, nodes_visited, arsp_size, n, m, ...) must match
+//     exactly: a drifted counter means the algorithm changed, which a
+//     timing gate would misread as noise.
+//
+// A baseline entry missing from the current export fails too (bench
+// bitrot); entries only in the current export are reported but pass. The
+// files must agree on ARSP_BENCH_SCALE; an arch mismatch (avx2 baseline vs
+// scalar run) only warns, since calibration absorbs most of it and the
+// counter gate is arch-independent by the kernel layer's bit-identity
+// contract.
+//
+// Exit codes: 0 pass, 1 regression/bitrot, 2 usage or parse error.
+//
+// The parser handles exactly what bench_util's JsonExportReporter writes —
+// one object per line, string values without escapes in practice — not
+// general JSON. Keep the two in sync.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kSchema = "arsp-bench-v1";
+constexpr const char* kCalibration = "BM_Calibrate_Xorshift64";
+
+struct Entry {
+  double ns_per_op = 0.0;
+  std::map<std::string, double> counters;
+};
+
+struct BenchFile {
+  std::string arch;
+  std::string git_rev;
+  double scale = 0.0;
+  std::map<std::string, Entry> entries;
+};
+
+// Returns the string value of `"key":"..."` in `line`, or "" if absent.
+std::string ExtractString(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+// Returns the numeric value of `"key":<number>` in `line`, or NaN.
+double ExtractNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+// Parses the flat `"counters":{"a":1,"b":2}` object.
+std::map<std::string, double> ExtractCounters(const std::string& line) {
+  std::map<std::string, double> out;
+  const std::string needle = "\"counters\":{";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return out;
+  size_t pos = at + needle.size();
+  while (pos < line.size() && line[pos] != '}') {
+    const size_t key_begin = line.find('"', pos);
+    if (key_begin == std::string::npos) break;
+    const size_t key_end = line.find('"', key_begin + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = line.substr(key_begin + 1, key_end - key_begin - 1);
+    const size_t colon = line.find(':', key_end);
+    if (colon == std::string::npos) break;
+    out[key] = std::strtod(line.c_str() + colon + 1, nullptr);
+    const size_t comma = line.find_first_of(",}", colon + 1);
+    if (comma == std::string::npos) break;
+    pos = line[comma] == ',' ? comma + 1 : comma;
+  }
+  return out;
+}
+
+bool Load(const char* path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (ExtractString(line, "schema") != kSchema) {
+        std::fprintf(stderr, "bench_diff: %s is not an %s export\n", path,
+                     kSchema);
+        return false;
+      }
+      out->arch = ExtractString(line, "arch");
+      out->git_rev = ExtractString(line, "git_rev");
+      out->scale = ExtractNumber(line, "scale");
+      saw_header = true;
+      continue;
+    }
+    const std::string name = ExtractString(line, "name");
+    if (name.empty()) {
+      std::fprintf(stderr, "bench_diff: %s: entry without a name: %s\n", path,
+                   line.c_str());
+      return false;
+    }
+    Entry entry;
+    entry.ns_per_op = ExtractNumber(line, "ns_per_op");
+    entry.counters = ExtractCounters(line);
+    out->entries[name] = entry;
+  }
+  if (!saw_header) {
+    std::fprintf(stderr, "bench_diff: %s has no header line\n", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double max_regression_pct = 15.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      max_regression_pct = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--max-regression=", 17) == 0) {
+      max_regression_pct = std::strtod(argv[i] + 17, nullptr);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_diff: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE CURRENT [--max-regression PCT]\n");
+    return 2;
+  }
+
+  BenchFile baseline, current;
+  if (!Load(baseline_path, &baseline) || !Load(current_path, &current)) {
+    return 2;
+  }
+  if (baseline.scale != current.scale) {
+    std::fprintf(stderr,
+                 "bench_diff: ARSP_BENCH_SCALE mismatch (baseline %g, "
+                 "current %g) — rerun with the baseline's scale\n",
+                 baseline.scale, current.scale);
+    return 2;
+  }
+  if (baseline.arch != current.arch) {
+    std::fprintf(stderr,
+                 "bench_diff: note: kernel arch differs (baseline %s, "
+                 "current %s); timing is calibration-normalized and "
+                 "counters are arch-independent, so the gate still runs\n",
+                 baseline.arch.c_str(), current.arch.c_str());
+  }
+
+  const auto base_calib = baseline.entries.find(kCalibration);
+  const auto cur_calib = current.entries.find(kCalibration);
+  if (base_calib == baseline.entries.end() ||
+      cur_calib == current.entries.end() ||
+      base_calib->second.ns_per_op <= 0.0 ||
+      cur_calib->second.ns_per_op <= 0.0) {
+    std::fprintf(stderr,
+                 "bench_diff: both files need a positive %s entry for "
+                 "normalization\n",
+                 kCalibration);
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& [name, base] : baseline.entries) {
+    if (name == kCalibration) continue;
+    const auto it = current.entries.find(name);
+    if (it == current.entries.end()) {
+      std::fprintf(stderr, "FAIL %s: present in baseline, missing from "
+                   "current export (bench bitrot?)\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    const Entry& cur = it->second;
+    // Determinism gate: exact equality on counters present in both.
+    for (const auto& [counter, base_value] : base.counters) {
+      const auto cit = cur.counters.find(counter);
+      if (cit == cur.counters.end()) {
+        std::fprintf(stderr, "FAIL %s: counter %s missing from current\n",
+                     name.c_str(), counter.c_str());
+        ++failures;
+      } else if (cit->second != base_value) {
+        std::fprintf(stderr,
+                     "FAIL %s: counter %s changed (%.17g -> %.17g) — "
+                     "deterministic work drifted\n",
+                     name.c_str(), counter.c_str(), base_value, cit->second);
+        ++failures;
+      }
+    }
+    // Timing gate on calibration-normalized ns/op.
+    if (base.ns_per_op > 0.0 && cur.ns_per_op > 0.0) {
+      const double base_ratio = base.ns_per_op / base_calib->second.ns_per_op;
+      const double cur_ratio = cur.ns_per_op / cur_calib->second.ns_per_op;
+      const double delta_pct = (cur_ratio / base_ratio - 1.0) * 100.0;
+      if (delta_pct > max_regression_pct) {
+        std::fprintf(stderr,
+                     "FAIL %s: +%.1f%% normalized time (limit +%.1f%%)\n",
+                     name.c_str(), delta_pct, max_regression_pct);
+        ++failures;
+      } else {
+        std::printf("ok   %s: %+.1f%%\n", name.c_str(), delta_pct);
+      }
+    }
+  }
+  for (const auto& [name, entry] : current.entries) {
+    (void)entry;
+    if (baseline.entries.find(name) == baseline.entries.end()) {
+      std::printf("new  %s (not in baseline)\n", name.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_diff: %d failure(s) vs %s\n", failures,
+                 baseline_path);
+    return 1;
+  }
+  std::printf("bench_diff: no regressions vs %s\n", baseline_path);
+  return 0;
+}
