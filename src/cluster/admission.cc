@@ -1,0 +1,81 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/cluster/admission.h"
+
+#include <algorithm>
+
+namespace arsp {
+namespace cluster {
+
+AdmissionController::AdmissionController(AdmissionOptions options, NowFn now)
+    : options_(options),
+      now_(now != nullptr ? std::move(now) : [] { return Clock::now(); }) {
+  options_.client_burst = std::max(1.0, options_.client_burst);
+}
+
+bool AdmissionController::Admit(uint64_t client_id, uint32_t* retry_after_ms,
+                                std::string* reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pending budget first: it protects the whole service, not one client,
+  // and a denial here must not burn the client's rate tokens.
+  if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+    ++denied_;
+    *retry_after_ms = options_.retry_after_ms;
+    *reason = "pending-work budget exhausted (" +
+              std::to_string(options_.max_pending) + " queries in flight)";
+    return false;
+  }
+  if (options_.client_qps > 0.0) {
+    const Clock::time_point now = now_();
+    auto [it, inserted] = buckets_.try_emplace(client_id);
+    Bucket& bucket = it->second;
+    if (inserted) {
+      // New clients start with a full burst.
+      bucket.tokens = options_.client_burst;
+      bucket.last_refill = now;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.last_refill).count();
+      bucket.tokens = std::min(options_.client_burst,
+                               bucket.tokens + elapsed * options_.client_qps);
+      bucket.last_refill = now;
+    }
+    if (bucket.tokens < 1.0) {
+      ++denied_;
+      // Time until one token accrues, rounded up to a whole millisecond so
+      // an immediate retry cannot see an still-empty bucket.
+      const double wait_s = (1.0 - bucket.tokens) / options_.client_qps;
+      *retry_after_ms = static_cast<uint32_t>(wait_s * 1000.0) + 1;
+      *reason = "client query rate above " +
+                std::to_string(options_.client_qps) + " qps";
+      return false;
+    }
+    bucket.tokens -= 1.0;
+  }
+  ++pending_;
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::Release(uint64_t /*client_id*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ > 0) --pending_;
+}
+
+int AdmissionController::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+int64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t AdmissionController::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+}  // namespace cluster
+}  // namespace arsp

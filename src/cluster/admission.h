@@ -1,0 +1,73 @@
+// Copyright 2026 The ARSP Authors.
+//
+// AdmissionController — the cluster's overload policy, implementing the
+// server's QueryGate hook: a per-client token bucket (rate fairness) plus a
+// global bounded pending-work budget (memory/queue safety). A denied query
+// is answered with a typed RETRY_LATER carrying a delay hint instead of
+// queueing unboundedly; clients (the load generator, the cluster CLI) back
+// off and retry.
+//
+// The clock is injectable so tests drive refill deterministically.
+
+#ifndef ARSP_CLUSTER_ADMISSION_H_
+#define ARSP_CLUSTER_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/net/backend.h"
+
+namespace arsp {
+namespace cluster {
+
+struct AdmissionOptions {
+  /// Sustained per-client query rate; <= 0 disables rate limiting.
+  double client_qps = 0.0;
+  /// Burst size (token bucket capacity); clamped to >= 1 when rate
+  /// limiting is on.
+  double client_burst = 8.0;
+  /// Max queries in flight across all clients; <= 0 disables the budget.
+  int max_pending = 0;
+  /// Retry hint attached to RETRY_LATER replies.
+  uint32_t retry_after_ms = 50;
+};
+
+class AdmissionController : public net::QueryGate {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using NowFn = std::function<Clock::time_point()>;
+
+  explicit AdmissionController(AdmissionOptions options,
+                               NowFn now = nullptr);
+
+  bool Admit(uint64_t client_id, uint32_t* retry_after_ms,
+             std::string* reason) override;
+  void Release(uint64_t client_id) override;
+
+  int pending() const;
+  int64_t admitted() const;
+  int64_t denied() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill;
+  };
+
+  AdmissionOptions options_;
+  NowFn now_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Bucket> buckets_;
+  int pending_ = 0;
+  int64_t admitted_ = 0;
+  int64_t denied_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace arsp
+
+#endif  // ARSP_CLUSTER_ADMISSION_H_

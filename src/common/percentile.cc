@@ -1,0 +1,27 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/common/percentile.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace arsp {
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[index];
+}
+
+std::vector<double> Percentiles(std::vector<double>* sample,
+                                const std::vector<double>& quantiles) {
+  std::sort(sample->begin(), sample->end());
+  std::vector<double> out;
+  out.reserve(quantiles.size());
+  for (double q : quantiles) out.push_back(SortedPercentile(*sample, q));
+  return out;
+}
+
+}  // namespace arsp

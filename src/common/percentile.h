@@ -1,0 +1,27 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Shared percentile computation. Every consumer of latency windows — the
+// engine's latency_stats(), arsp_loadgen's report — must agree on one
+// definition, so it lives here: nearest-rank over a sorted sample,
+// index = round(q · (n − 1)), the historical ArspEngine rule.
+
+#ifndef ARSP_COMMON_PERCENTILE_H_
+#define ARSP_COMMON_PERCENTILE_H_
+
+#include <vector>
+
+namespace arsp {
+
+/// Nearest-rank percentile of a *sorted ascending* sample: element at index
+/// round(q · (n − 1)). q is clamped to [0, 1]. Returns 0.0 for an empty
+/// sample.
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
+/// Sorts `sample` in place, then returns the percentile for each q in
+/// `quantiles` (same order). Returns zeros for an empty sample.
+std::vector<double> Percentiles(std::vector<double>* sample,
+                                const std::vector<double>& quantiles);
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_PERCENTILE_H_

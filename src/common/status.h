@@ -24,6 +24,9 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kUnimplemented,
+  /// Transient overload / backpressure: the operation is safe to retry
+  /// after a delay (the cluster admission controller's RETRY_LATER).
+  kUnavailable,
 };
 
 /// Result of an operation that can fail without a payload.
@@ -47,6 +50,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

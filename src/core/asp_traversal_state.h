@@ -33,9 +33,16 @@ class AspTraversalState {
       : sigma_(static_cast<size_t>(num_objects), 0.0) {}
 
   /// One σ update, recorded so the caller can undo it when unwinding.
+  /// Undo is snapshot-based: each change carries the pre-Add σ of its
+  /// object plus the pre-Add (β, χ), so unwinding restores the state
+  /// *bitwise* — an entered-and-exited subtree is indistinguishable from
+  /// one never entered. That exactness is what lets goal pruning and
+  /// scoped (sharded) solves return values bit-identical to a full solve.
   struct Change {
     int object;
-    double prob;
+    double old_sigma;
+    double old_beta;
+    int old_chi;
   };
 
   double beta() const { return beta_; }
@@ -52,6 +59,7 @@ class AspTraversalState {
   /// σ[object] += prob, maintaining β and χ; appends to `undo_log`.
   void Add(int object, double prob, std::vector<Change>* undo_log) {
     double& s = sigma_[static_cast<size_t>(object)];
+    undo_log->push_back(Change{object, s, beta_, chi_});
     const double old_value = s;
     s += prob;
     const bool was_full = old_value >= 1.0 - kProbabilityEps;
@@ -62,25 +70,21 @@ class AspTraversalState {
     } else if (!is_full) {
       beta_ *= (1.0 - s) / (1.0 - old_value);
     }
-    undo_log->push_back(Change{object, prob});
   }
 
   /// Reverts the changes in `undo_log`, newest first, restoring σ, β and χ
-  /// to their values before the corresponding Add calls.
+  /// bitwise to their values before the corresponding Add calls. The log
+  /// must cover a contiguous suffix of Adds (which is what the node-local
+  /// logs of every traversal are): σ is restored per change, while β and χ
+  /// come from the snapshot in the oldest change — no floating-point
+  /// arithmetic, hence no drift, on the unwind path.
   void Undo(const std::vector<Change>& undo_log) {
+    if (undo_log.empty()) return;
     for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
-      double& s = sigma_[static_cast<size_t>(it->object)];
-      const double new_value = s;
-      s -= it->prob;
-      const bool was_full = s >= 1.0 - kProbabilityEps;
-      const bool is_full = new_value >= 1.0 - kProbabilityEps;
-      if (is_full && !was_full) {
-        --chi_;
-        beta_ *= (1.0 - s);  // restore the object's factor
-      } else if (!is_full) {
-        beta_ *= (1.0 - s) / (1.0 - new_value);
-      }
+      sigma_[static_cast<size_t>(it->object)] = it->old_sigma;
     }
+    beta_ = undo_log.front().old_beta;
+    chi_ = undo_log.front().old_chi;
   }
 
   /// Final rskyline probability of an instance of `object` with existence

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/common/lru.h"
+#include "src/common/percentile.h"
 #include "src/common/stopwatch.h"
 #include "src/core/queries.h"
 #include "src/prefs/constraint_generators.h"
@@ -64,21 +65,30 @@ constexpr int kAutoLoopMaxInstances = 64;
 // The QueryGoal a derived request pushes into the solver layer. Instance-
 // level retrievals stay full: goal pushdown tracks per-*object* bounds.
 QueryGoal GoalForDerived(const DerivedSpec& derived) {
+  QueryGoal goal;
   switch (derived.kind) {
     case DerivedKind::kNone:
+      break;
     case DerivedKind::kTopKInstances:
+      // Instance retrievals need complete results; scope never applies.
       return QueryGoal::Full();
     case DerivedKind::kTopKObjects:
       // Negative k means "rank all objects" — full work by definition, so
       // it maps to the full goal (and AnswerGoal's full slicing). k == 0
       // stays a top-k goal: its answer is empty, not everything.
-      return derived.k < 0 ? QueryGoal::Full() : QueryGoal::TopK(derived.k);
+      if (derived.k >= 0) goal = QueryGoal::TopK(derived.k);
+      break;
     case DerivedKind::kObjectsAboveThreshold:
-      return QueryGoal::Threshold(derived.threshold);
+      goal = QueryGoal::Threshold(derived.threshold);
+      break;
     case DerivedKind::kCountControlled:
-      return QueryGoal::CountControlled(derived.max_objects);
+      goal = QueryGoal::CountControlled(derived.max_objects);
+      break;
   }
-  return QueryGoal::Full();
+  if (derived.scope_begin >= 0 && derived.scope_end >= 0) {
+    goal = goal.WithScope(derived.scope_begin, derived.scope_end);
+  }
+  return goal;
 }
 
 }  // namespace
@@ -374,7 +384,10 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   // only if a capable solver stored it (probing the key for a capless
   // solver is a guaranteed, harmless miss).
   const QueryGoal goal = GoalForDerived(request.derived);
-  const bool want_pushdown = request.allow_pushdown && !goal.is_full();
+  // A scoped full goal is still pushdown-worthy: the scope alone lets a
+  // capable solver skip out-of-scope subtrees (yielding a partial result).
+  const bool want_pushdown =
+      request.allow_pushdown && (!goal.is_full() || goal.has_scope());
   bool pushdown = false;  // decided at solve time from solver capabilities
 
   QueryResponse response;
@@ -676,13 +689,10 @@ ArspEngine::LatencyStats ArspEngine::latency_stats() const {
   for (double v : window) sum += v;
   stats.min_ms = window.front();
   stats.mean_ms = sum / static_cast<double>(window.size());
-  // Nearest-rank percentiles over the retained window.
-  const auto rank = [&](double q) {
-    return window[static_cast<size_t>(
-        q * static_cast<double>(window.size() - 1) + 0.5)];
-  };
-  stats.p50_ms = rank(0.50);
-  stats.p95_ms = rank(0.95);
+  // Nearest-rank percentiles over the retained window, via the shared
+  // helper so every latency reporter (arsp_loadgen included) agrees.
+  stats.p50_ms = SortedPercentile(window, 0.50);
+  stats.p95_ms = SortedPercentile(window, 0.95);
   return stats;
 }
 

@@ -55,6 +55,21 @@ class EnumSolver : public ArspSolver {
   }
   uint32_t capabilities() const override { return kCapExponentialTime; }
 
+  Status ValidateContext(const ExecutionContext& context) const override {
+    ARSP_RETURN_IF_ERROR(ArspSolver::ValidateContext(context));
+    // Refuse oversized inputs here instead of tripping the enumeration's
+    // fatal guard: validation errors are recoverable (and answerable over
+    // the wire), a CHECK in a daemon is not.
+    const double worlds = context.view().NumPossibleWorlds();
+    if (worlds > max_worlds_) {
+      return Status::FailedPrecondition(
+          "ENUM over " + std::to_string(worlds) +
+          " possible worlds exceeds max_worlds=" +
+          std::to_string(max_worlds_));
+    }
+    return Status::OK();
+  }
+
   Status Configure(const SolverOptions& options) override {
     ARSP_RETURN_IF_ERROR(options.ExpectOnly({"max_worlds"}));
     StatusOr<double> max_worlds = options.DoubleOr("max_worlds", max_worlds_);

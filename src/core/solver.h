@@ -176,8 +176,11 @@ class GoalPruner {
   GoalPruner(const QueryGoal& goal, const DatasetView& view,
              const ScoreSpan* scores = nullptr);
 
-  /// False for full goals (and for top-k goals that cannot prune, e.g.
-  /// k >= num_objects or k < 0 — every object must be exact anyway).
+  /// False for unscoped full goals (and for unscoped top-k goals that
+  /// cannot prune, e.g. k >= num_objects or k < 0 — every object must be
+  /// exact anyway). A goal with a restricting evaluation scope is always
+  /// active: out-of-scope objects are pre-decided (excluded) so the
+  /// traversal skips subtrees that concern only them.
   bool active() const { return active_; }
 
   /// Records the exact rskyline probability of local instance `i`. Must be
@@ -256,6 +259,14 @@ class GoalPruner {
   int64_t resolved_ = 0;
   int64_t objects_pruned_ = 0;
   int64_t bound_refinements_ = 0;
+  // Evaluation scope, clamped to [0, num_objects]: only objects in
+  // [scope_begin_, scope_end_) are answer candidates. Unscoped goals get
+  // the whole range.
+  int scope_begin_ = 0;
+  int scope_end_ = 0;
+  /// Whether top-k bounds can ever exclude an in-scope object (requires
+  /// 0 < k < |scope|; otherwise τ is ill-defined / nothing is decidable).
+  bool topk_prunable_ = false;
   double tau_ = 0.0;            ///< k-th largest lower bound (top-k goals)
   int64_t since_refresh_ = 0;   ///< resolutions since the last τ sweep
   int64_t exact_since_refresh_ = 0;  ///< objects turned exact since then
@@ -287,8 +298,11 @@ class ArspSolver {
   }
 
   /// Checks the context against capabilities(); FailedPrecondition explains
-  /// what is missing (e.g. DUAL without weight-ratio constraints).
-  Status ValidateContext(const ExecutionContext& context) const;
+  /// what is missing (e.g. DUAL without weight-ratio constraints). Virtual
+  /// so solvers with input-size limits (ENUM's world cap) can refuse
+  /// cleanly instead of tripping a fatal guard mid-solve; overrides must
+  /// call the base first.
+  virtual Status ValidateContext(const ExecutionContext& context) const;
 
   /// Validates, runs the algorithm, and records SolverStats (wall time via
   /// Stopwatch plus the ArspResult counters) into the context. Stats are

@@ -102,6 +102,15 @@ StatusOr<Frame> ArspClient::RoundTrip(MessageType type,
     if (!st.ok()) return st;
     return error.ToStatus();
   }
+  if (frame->type == MessageType::kRetryLater) {
+    RetryLaterResponse retry;
+    const Status st = retry.DecodePayload(frame->payload);
+    if (!st.ok()) return st;
+    return Status::Unavailable(
+        (retry.reason.empty() ? std::string("server overloaded")
+                              : retry.reason) +
+        " (retry after " + std::to_string(retry.retry_after_ms) + "ms)");
+  }
   if (frame->type != expect) {
     return Status::Internal(std::string("expected ") +
                             MessageTypeName(expect) + " response, got " +

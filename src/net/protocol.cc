@@ -88,6 +88,7 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kViewResult: return "VIEW_RESULT";
     case MessageType::kQueryResult: return "QUERY_RESULT";
     case MessageType::kStatsResult: return "STATS_RESULT";
+    case MessageType::kRetryLater: return "RETRY_LATER";
   }
   return "UNKNOWN";
 }
@@ -346,6 +347,8 @@ std::string QueryRequestWire::EncodePayload() const {
   w.Bool(use_cache);
   w.Bool(allow_pushdown);
   w.Bool(include_instances);
+  w.I32(scope_begin);
+  w.I32(scope_end);
   return w.Take();
 }
 
@@ -362,6 +365,8 @@ Status QueryRequestWire::DecodePayload(const std::string& bytes) {
   use_cache = r.Bool();
   allow_pushdown = r.Bool();
   include_instances = r.Bool();
+  scope_begin = r.I32();
+  scope_end = r.I32();
   ARSP_RETURN_IF_ERROR(r.Finish());
   if (kind > static_cast<uint8_t>(WireDerivedKind::kCountControlled)) {
     return Status::InvalidArgument("bad derived kind " +
@@ -444,6 +449,14 @@ std::string QueryResponseWire::EncodePayload() const {
   w.F64(count_threshold);
   stats.Encode(w);
   w.F64Vec(instance_probs);
+  w.I32(instance_offset);
+  w.U32(static_cast<uint32_t>(object_reports.size()));
+  for (const ObjectReportWire& o : object_reports) {
+    w.I32(o.object_id);
+    w.U8(o.decision);
+    w.F64(o.lower);
+    w.F64(o.upper);
+  }
   return w.Take();
 }
 
@@ -473,6 +486,44 @@ Status QueryResponseWire::DecodePayload(const std::string& bytes) {
   count_threshold = r.F64();
   stats.Decode(r);
   instance_probs = r.F64Vec();
+  instance_offset = r.I32();
+  const uint32_t report_count = r.U32();
+  // Each object report costs exactly 21 bytes (i32 + u8 + 2×f64).
+  if (r.status().ok() && report_count <= bytes.size() / 21 + 1) {
+    object_reports.clear();
+    object_reports.reserve(report_count);
+    for (uint32_t i = 0; i < report_count; ++i) {
+      ObjectReportWire o;
+      o.object_id = r.I32();
+      o.decision = r.U8();
+      o.lower = r.F64();
+      o.upper = r.F64();
+      object_reports.push_back(o);
+    }
+  } else if (r.status().ok()) {
+    return Status::InvalidArgument("object report count exceeds payload");
+  }
+  ARSP_RETURN_IF_ERROR(r.Finish());
+  for (const ObjectReportWire& o : object_reports) {
+    if (o.decision > 2) {
+      return Status::InvalidArgument("bad object decision " +
+                                     std::to_string(o.decision));
+    }
+  }
+  return Status::OK();
+}
+
+std::string RetryLaterResponse::EncodePayload() const {
+  WireWriter w;
+  w.U32(retry_after_ms);
+  w.Str(reason);
+  return w.Take();
+}
+
+Status RetryLaterResponse::DecodePayload(const std::string& bytes) {
+  WireReader r(bytes);
+  retry_after_ms = r.U32();
+  reason = r.Str();
   return r.Finish();
 }
 
@@ -590,6 +641,8 @@ Status ErrorResponse::ToStatus() const {
       return Status::Internal(message);
     case StatusCode::kUnimplemented:
       return Status::Unimplemented(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
   }
   return Status::Internal(message);
 }
@@ -606,7 +659,7 @@ Status ErrorResponse::DecodePayload(const std::string& bytes) {
   const uint8_t c = r.U8();
   message = r.Str();
   ARSP_RETURN_IF_ERROR(r.Finish());
-  if (c > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (c > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument("bad status code " + std::to_string(c));
   }
   code = static_cast<StatusCode>(c);

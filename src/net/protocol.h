@@ -49,7 +49,11 @@ inline constexpr uint16_t kWireMagic = 0xA75F;
 /// Protocol version; bumped on any incompatible message change. Both sides
 /// reject frames carrying a newer version than they speak.
 /// v2: StatsResponse grew kernel_arch (the daemon's simd dispatch arch).
-inline constexpr uint8_t kWireVersion = 2;
+/// v3 (cluster): QueryRequestWire grew the evaluation scope
+///     (scope_begin/scope_end), QueryResponseWire grew per-object reports +
+///     a shipped-instance offset (shard partial results), and RETRY_LATER
+///     became a typed overload reply.
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Max payload bytes a peer will accept (the max-frame guard). Large enough
 /// for a multi-million-instance probability vector, small enough that a
@@ -74,6 +78,11 @@ enum class MessageType : uint8_t {
   kViewResult = 131,  ///< AddViewResponse
   kQueryResult = 132, ///< QueryResponseWire
   kStatsResult = 133, ///< StatsResponse
+  /// Typed overload reply (RetryLaterResponse): the admission controller
+  /// rejected the request; retry after the suggested delay. Distinct from
+  /// kError so well-behaved clients can back off without parsing text.
+  /// Since wire v3.
+  kRetryLater = 134,
 };
 
 /// Human-readable message-type name for logs and errors.
@@ -223,6 +232,12 @@ struct QueryRequestWire {
   /// Ship the full instance-probability vector back (complete results
   /// only); off by default — it is O(n) bytes.
   bool include_instances = false;
+  /// Evaluation scope (view-local object range, half-open); [-1, -1) =
+  /// whole view. Set by the cluster coordinator to partition work across
+  /// shards; the scoped answer is a bit-identical slice of the unscoped
+  /// one. Since wire v3 (absent fields decode as unscoped for v2 frames).
+  int32_t scope_begin = -1;
+  int32_t scope_end = -1;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);
@@ -255,6 +270,20 @@ struct RankedEntry {
   double prob = 0.0;
 };
 
+/// Per-object outcome of a (scoped) goal-pruned solve, shipped so the
+/// cluster coordinator can merge shard partials and decide whether a
+/// refinement round is needed. `decision` mirrors ObjectDecision (u8).
+/// Since wire v3.
+struct ObjectReportWire {
+  /// VIEW-LOCAL object id (the scope's own coordinate system), so the
+  /// coordinator can issue [j, j+1) refinement scopes without knowing the
+  /// view mapping. Base ids travel in RankedEntry, never here.
+  int32_t object_id = 0;
+  uint8_t decision = 0;  ///< ObjectDecision: 0 undecided, 1 exact, 2 excluded
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
 struct QueryResponseWire {
   std::string solver;       ///< resolved concrete solver
   bool cache_hit = false;
@@ -267,9 +296,27 @@ struct QueryResponseWire {
   std::vector<RankedEntry> ranked;
   double count_threshold = 0.0;
   WireSolverStats stats;
-  /// Full per-instance probabilities; filled only when the request set
-  /// include_instances and the result is complete.
+  /// Per-instance probabilities. Unscoped requests with include_instances
+  /// ship the full vector (complete results only). Scoped requests ship
+  /// only the scope's contiguous instance slice, partial results included —
+  /// in-scope entries are exact by the scoped-goal contract.
   std::vector<double> instance_probs;
+  /// View-local instance id of instance_probs[0]; 0 for full vectors.
+  /// Since wire v3.
+  int32_t instance_offset = 0;
+  /// Per-object bounds/decisions of the *in-scope* objects (scoped
+  /// requests only; empty otherwise). Since wire v3.
+  std::vector<ObjectReportWire> object_reports;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Typed overload reply (kRetryLater): the server refused admission.
+/// Since wire v3.
+struct RetryLaterResponse {
+  uint32_t retry_after_ms = 0;  ///< suggested backoff; 0 = "soon"
+  std::string reason;           ///< which budget rejected (quota, pending)
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);

@@ -3,6 +3,7 @@
 #include "src/net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -11,6 +12,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -62,8 +64,22 @@ DerivedKind ToDerivedKind(WireDerivedKind kind) {
 
 }  // namespace
 
-ArspServer::ArspServer(ServerOptions options)
-    : options_(std::move(options)), engine_(options_.engine) {}
+EngineBackend::EngineBackend(EngineOptions options) : engine_(options) {}
+
+ArspServer::ArspServer(ServerOptions options) : options_(std::move(options)) {
+  if (options_.backend != nullptr) {
+    backend_ = options_.backend;
+  } else {
+    engine_backend_ = std::make_shared<EngineBackend>(options_.engine);
+    backend_ = engine_backend_;
+  }
+}
+
+ArspEngine& ArspServer::engine() {
+  ARSP_CHECK_MSG(engine_backend_ != nullptr,
+                 "ArspServer::engine(): a custom backend is installed");
+  return engine_backend_->engine();
+}
 
 ArspServer::~ArspServer() {
   Shutdown();
@@ -120,6 +136,15 @@ Status ArspServer::Start() {
     ::close(fd);
     return st;
   }
+  // Non-blocking accepts bound the shutdown latency: the accept loop polls
+  // with a 100ms timeout, but a blocking accept(2) can still hang when a
+  // connection that was ready at poll time vanishes before the accept (the
+  // peer sent RST, or a SYN-cookie handshake fell through) — the kernel
+  // then blocks until the *next* connection. O_NONBLOCK turns that race
+  // into EAGAIN and the loop re-polls, so Shutdown() is always observed
+  // within one poll tick.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
@@ -135,10 +160,6 @@ Status ArspServer::Start() {
     port_ = ntohs(bound.sin_port);
     started_ = true;
     stopping_ = false;
-    const int workers = options_.num_workers > 0
-                            ? options_.num_workers
-                            : ThreadPool::DefaultConcurrency();
-    workers_ = std::make_unique<ThreadPool>(workers);
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -177,9 +198,9 @@ void ArspServer::Wait() {
     std::unique_lock<std::mutex> lock(mu_);
     drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
-  // Joins the handler threads; queued-but-unstarted connections were
-  // already unblocked (their sockets are shut down) and exit immediately.
-  workers_.reset();
+  // Every handler spliced itself onto finished_threads_ before the drain
+  // count hit zero (same critical section); join them all.
+  ReapFinishedHandlers();
   std::lock_guard<std::mutex> lock(mu_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -187,20 +208,48 @@ void ArspServer::Wait() {
   }
 }
 
+void ArspServer::ReapFinishedHandlers() {
+  std::list<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reap.swap(finished_threads_);
+  }
+  // A reaped thread may still be running its epilogue; join synchronizes
+  // with its true exit.
+  for (std::thread& t : reap) t.join();
+}
+
 void ArspServer::AcceptLoop() {
   for (;;) {
+    ReapFinishedHandlers();
     int listen_fd;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
       listen_fd = listen_fd_;
+      if (options_.max_connections > 0 &&
+          active_connections_ >= options_.max_connections) {
+        // At the cap: leave pending connections in the TCP backlog and
+        // check again next tick. stopping_ is still honored above.
+        listen_fd = -1;
+      }
+    }
+    if (listen_fd < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
     }
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0 && errno != EINTR) return;
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) continue;  // EAGAIN (ready connection vanished) re-polls
+    // Accepted sockets inherit no flags from the listener on Linux, but be
+    // explicit: the handlers use blocking reads.
+    const int cflags = ::fcntl(conn, F_GETFL, 0);
+    if (cflags >= 0 && (cflags & O_NONBLOCK) != 0) {
+      ::fcntl(conn, F_SETFL, cflags & ~O_NONBLOCK);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) {
@@ -211,12 +260,15 @@ void ArspServer::AcceptLoop() {
       // accept and handler startup still unblocks this connection.
       live_connections_.insert(conn);
       ++active_connections_;
+      connection_threads_.emplace_back();
+      const auto self = std::prev(connection_threads_.end());
+      *self = std::thread([this, conn, self] { HandleConnection(conn, self); });
     }
-    workers_->Submit([this, conn] { HandleConnection(conn); });
   }
 }
 
-void ArspServer::HandleConnection(int fd) {
+void ArspServer::HandleConnection(int fd,
+                                  std::list<std::thread>::iterator self) {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -236,7 +288,7 @@ void ArspServer::HandleConnection(int fd) {
     MessageType reply_type = MessageType::kError;
     std::string reply_payload;
     const bool keep_open =
-        HandleRequest(*frame, &reply_type, &reply_payload);
+        HandleRequest(fd, *frame, &reply_type, &reply_payload);
     if (reply_payload.size() > kMaxPayloadBytes) {
       // A legitimate request can produce a response past the max-frame
       // guard (include_instances on a huge dataset). SendFrame would
@@ -269,12 +321,18 @@ void ArspServer::HandleConnection(int fd) {
     std::lock_guard<std::mutex> lock(mu_);
     live_connections_.erase(fd);
     ::close(fd);
+    // Park this thread for the reaper strictly before announcing the
+    // drain, so Wait() joining after active_connections_ == 0 sees every
+    // handler on finished_threads_.
+    finished_threads_.splice(finished_threads_.end(), connection_threads_,
+                             self);
     --active_connections_;
     if (active_connections_ == 0) drained_cv_.notify_all();
   }
 }
 
-bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
+bool ArspServer::HandleRequest(int client_fd, const Frame& frame,
+                               MessageType* reply_type,
                                std::string* reply_payload) {
   // Encodes the outcome of one typed handler: the success message on OK,
   // an ErrorResponse otherwise. Payload decode errors go the same route —
@@ -305,7 +363,7 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
         reply_error(st);
         return true;
       }
-      auto response = HandleLoad(request);
+      auto response = backend_->Load(request);
       if (!response.ok()) {
         reply_error(response.status());
         return true;
@@ -321,7 +379,7 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
         reply_error(st);
         return true;
       }
-      auto response = HandleAddView(request);
+      auto response = backend_->AddView(request);
       if (!response.ok()) {
         reply_error(response.status());
         return true;
@@ -337,7 +395,22 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
         reply_error(st);
         return true;
       }
-      auto response = HandleQuery(request);
+      // Admission gate: an overloaded service answers with a typed
+      // RETRY_LATER instead of queueing the query behind an unbounded
+      // backlog. The connection stays usable — retrying is the client's
+      // call (the load generator and the cluster client both honor it).
+      QueryGate* const gate = options_.query_gate.get();
+      if (gate != nullptr) {
+        RetryLaterResponse retry;
+        if (!gate->Admit(static_cast<uint64_t>(client_fd),
+                         &retry.retry_after_ms, &retry.reason)) {
+          *reply_type = MessageType::kRetryLater;
+          *reply_payload = retry.EncodePayload();
+          return true;
+        }
+      }
+      auto response = backend_->Query(request);
+      if (gate != nullptr) gate->Release(static_cast<uint64_t>(client_fd));
       if (!response.ok()) {
         reply_error(response.status());
         return true;
@@ -353,7 +426,7 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
         reply_error(st);
         return true;
       }
-      auto response = HandleStats(request);
+      auto response = backend_->Stats(request);
       if (!response.ok()) {
         reply_error(response.status());
         return true;
@@ -365,7 +438,7 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
     case MessageType::kDrop: {
       DropRequest request;
       Status st = request.DecodePayload(frame.payload);
-      if (st.ok()) st = HandleDrop(request);
+      if (st.ok()) st = backend_->Drop(request);
       if (!st.ok()) {
         reply_error(st);
         return true;
@@ -382,7 +455,7 @@ bool ArspServer::HandleRequest(const Frame& frame, MessageType* reply_type,
   }
 }
 
-StatusOr<LoadDatasetResponse> ArspServer::HandleLoad(
+StatusOr<LoadDatasetResponse> EngineBackend::Load(
     const LoadDatasetRequest& request) {
   if (request.name.empty()) {
     return Status::InvalidArgument("LOAD_DATASET needs a non-empty name");
@@ -468,7 +541,7 @@ StatusOr<LoadDatasetResponse> ArspServer::HandleLoad(
   return response;
 }
 
-StatusOr<AddViewResponse> ArspServer::HandleAddView(
+StatusOr<AddViewResponse> EngineBackend::AddView(
     const AddViewRequest& request) {
   if (request.view_name.empty()) {
     return Status::InvalidArgument("ADD_VIEW needs a non-empty view name");
@@ -556,11 +629,12 @@ StatusOr<AddViewResponse> ArspServer::HandleAddView(
   return response;
 }
 
-StatusOr<QueryResponseWire> ArspServer::HandleQuery(
+StatusOr<QueryResponseWire> EngineBackend::Query(
     const QueryRequestWire& request) {
   DatasetHandle handle;
   std::shared_ptr<const std::vector<std::string>> names;
   int dim = 0;
+  int num_objects = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = registry_.find(request.dataset);
@@ -570,6 +644,7 @@ StatusOr<QueryResponseWire> ArspServer::HandleQuery(
     handle = it->second.handle;
     names = it->second.names;
     dim = it->second.dim;
+    num_objects = it->second.num_objects;
   }
 
   auto constraints = ParseConstraintSpec(request.constraint_spec, dim);
@@ -588,6 +663,17 @@ StatusOr<QueryResponseWire> ArspServer::HandleQuery(
   query.derived.max_objects = request.max_objects;
   query.use_cache = request.use_cache;
   query.allow_pushdown = request.allow_pushdown;
+  // Evaluation scope (wire v3): clamp to the view so the canonical goal —
+  // and therefore the cache key — is identical however the coordinator
+  // over- or under-shoots the range.
+  const bool scoped = request.scope_begin >= 0 && request.scope_end >= 0;
+  if (scoped) {
+    query.derived.scope_begin = std::min(std::max(0, request.scope_begin),
+                                         num_objects);
+    query.derived.scope_end =
+        std::min(std::max(query.derived.scope_begin, request.scope_end),
+                 num_objects);
+  }
 
   auto response = engine_.Solve(query);
   if (!response.ok()) return response.status();
@@ -617,13 +703,86 @@ StatusOr<QueryResponseWire> ArspServer::HandleQuery(
     entry.prob = prob;
     wire.ranked.push_back(std::move(entry));
   }
-  if (request.include_instances && wire.complete) {
+  if (request.include_instances && wire.complete && !scoped) {
     wire.instance_probs = response->result->instance_probs;
+  }
+
+  // Scoped responses additionally carry per-object reports — the decision
+  // and probability bounds of every in-scope object — which is what the
+  // coordinator's merge consumes (ranked lists alone are truncated at k and
+  // cannot prove exclusion soundness). Report ids are *view-local*, i.e. in
+  // the scope's own coordinate system, so the coordinator can issue
+  // [j, j+1) refinement scopes without knowing the view mapping.
+  const ArspResult& result = *response->result;
+  if (scoped && request.derived_kind != WireDerivedKind::kTopKInstances) {
+    const DatasetView view = engine_.view(handle);
+    const int b = query.derived.scope_begin;
+    const int e = query.derived.scope_end;
+    wire.object_reports.reserve(static_cast<size_t>(e - b));
+    if (!result.is_complete() &&
+        static_cast<int>(result.object_decisions.size()) ==
+            view.num_objects()) {
+      for (int j = b; j < e; ++j) {
+        ObjectReportWire o;
+        o.object_id = j;
+        o.decision =
+            static_cast<uint8_t>(result.object_decisions[static_cast<size_t>(j)]);
+        o.lower = result.object_bounds[static_cast<size_t>(j)].lower;
+        o.upper = result.object_bounds[static_cast<size_t>(j)].upper;
+        wire.object_reports.push_back(o);
+      }
+    } else if (result.is_complete()) {
+      // A goal-oblivious solver (or a cached full answer) evaluated
+      // everything: every in-scope object is exact.
+      const std::vector<double> probs = ObjectProbabilities(result, view);
+      for (int j = b; j < e; ++j) {
+        ObjectReportWire o;
+        o.object_id = j;
+        o.decision = static_cast<uint8_t>(ObjectDecision::kExact);
+        o.lower = probs[static_cast<size_t>(j)];
+        o.upper = o.lower;
+        wire.object_reports.push_back(o);
+      }
+    }
+    if (b < e) {
+      // The scope's contiguous instance slice (instances of one object are
+      // contiguous and objects ascend, so [first(b), last(e-1)) is exactly
+      // the scope's instances). For scoped-full goals every in-scope
+      // instance is exact whether or not the overall result is "complete" —
+      // this is the coordinator's concatenation primitive.
+      const int ib = view.object_range(b).first;
+      const int ie = view.object_range(e - 1).second;
+      if (request.include_instances &&
+          static_cast<int>(result.instance_probs.size()) >= ie) {
+        wire.instance_offset = ib;
+        wire.instance_probs.assign(
+            result.instance_probs.begin() + ib,
+            result.instance_probs.begin() + ie);
+      }
+      // kTopKObjects with k < 0 collapses to a full solve (GoalForDerived),
+      // so it gets the same per-scope nonzero count the coordinator sums
+      // into the global result size.
+      const bool full_goal =
+          request.derived_kind == WireDerivedKind::kNone ||
+          (request.derived_kind == WireDerivedKind::kTopKObjects &&
+           request.k < 0);
+      if (full_goal && static_cast<int>(result.instance_probs.size()) >= ie) {
+        int nonzero = 0;
+        for (int i = ib; i < ie; ++i) {
+          if (result.instance_probs[static_cast<size_t>(i)] > 0.0) ++nonzero;
+        }
+        wire.result_size = nonzero;
+      }
+    } else if (request.derived_kind == WireDerivedKind::kNone ||
+               (request.derived_kind == WireDerivedKind::kTopKObjects &&
+                request.k < 0)) {
+      wire.result_size = 0;
+    }
   }
   return wire;
 }
 
-StatusOr<StatsResponse> ArspServer::HandleStats(const StatsRequest& request) {
+StatusOr<StatsResponse> EngineBackend::Stats(const StatsRequest& request) {
   StatsResponse response;
   response.kernel_arch = simd::ActiveArchName();
   const ArspEngine::CacheStats cache = engine_.cache_stats();
@@ -684,7 +843,7 @@ StatusOr<StatsResponse> ArspServer::HandleStats(const StatsRequest& request) {
   return response;
 }
 
-Status ArspServer::HandleDrop(const DropRequest& request) {
+Status EngineBackend::Drop(const DropRequest& request) {
   DatasetHandle handle;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -10,16 +10,20 @@
 //
 // Threading model (deliberately simple — blocking sockets, no event loop):
 //   * one accept thread polls the listening socket;
-//   * each accepted connection becomes one task on a fixed ThreadPool, whose
-//     handler loops RecvFrame → dispatch → SendFrame until the client
-//     disconnects. With W workers, at most W connections are served
-//     concurrently; further connections queue in accept order. Requests on
-//     one connection are strictly sequential (responses cannot interleave);
-//     concurrency across connections is the engine's own thread-safety.
+//   * each accepted connection gets a dedicated handler thread that loops
+//     RecvFrame → dispatch → SendFrame until the client disconnects.
+//     Dedicated threads — NOT slots on a fixed pool — because a handler
+//     occupies its thread for the connection's lifetime: pooling would cap
+//     concurrent *connections* at the pool size, and on a small machine
+//     (pool of 1) a second client deadlocks behind an idle first one.
+//     `max_connections` bounds the thread count explicitly instead; excess
+//     connections wait in the TCP backlog. Requests on one connection are
+//     strictly sequential (responses cannot interleave); concurrency across
+//     connections is the engine's own thread-safety.
 //   * Shutdown() (SIGINT in arspd, or a SHUTDOWN message) is a clean drain:
 //     stop accepting, shut down every live connection socket (which
-//     unblocks their reads), then Wait() joins the accept thread and the
-//     handler pool.
+//     unblocks their reads), then Wait() joins the accept thread and every
+//     handler thread.
 //
 // Registry semantics:
 //   * LOAD_DATASET binds a name to content (inline CSV text, a server-side
@@ -38,6 +42,7 @@
 #define ARSP_NET_SERVER_H_
 
 #include <condition_variable>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,12 +51,52 @@
 #include <thread>
 #include <vector>
 
-#include "src/common/thread_pool.h"
 #include "src/core/engine.h"
+#include "src/net/backend.h"
 #include "src/net/protocol.h"
 
 namespace arsp {
 namespace net {
+
+/// The single-process backend: one ArspEngine plus the named registry.
+/// This is what a plain arspd serves; the cluster layer also uses it
+/// directly as an in-process shard (it is a ServiceBackend like any other).
+class EngineBackend : public ServiceBackend {
+ public:
+  explicit EngineBackend(EngineOptions options = {});
+
+  StatusOr<LoadDatasetResponse> Load(const LoadDatasetRequest& request) override;
+  StatusOr<AddViewResponse> AddView(const AddViewRequest& request) override;
+  StatusOr<QueryResponseWire> Query(const QueryRequestWire& request) override;
+  StatusOr<StatsResponse> Stats(const StatsRequest& request) override;
+  Status Drop(const DropRequest& request) override;
+
+  /// The engine behind the registry (tests assert cache/index behavior).
+  ArspEngine& engine() { return engine_; }
+
+ private:
+  /// One registered name: the engine handle behind it plus everything the
+  /// wire layer needs to answer without re-deriving (names for ranked
+  /// output, shape for listings, the content fingerprint for idempotent
+  /// re-loads).
+  struct NamedEntry {
+    DatasetHandle handle;
+    uint64_t fingerprint = 0;
+    bool is_view = false;
+    std::string view_spec_key;     ///< ViewSpec::CacheKey (views only)
+    std::string base;              ///< base name (views only)
+    std::vector<std::string> views;  ///< view names over this base
+    /// Object names of the *base* dataset (ranked ids are base ids).
+    std::shared_ptr<const std::vector<std::string>> names;
+    int num_objects = 0;
+    int num_instances = 0;
+    int dim = 0;
+  };
+
+  ArspEngine engine_;
+  mutable std::mutex mu_;
+  std::map<std::string, NamedEntry> registry_;
+};
 
 struct ServerOptions {
   /// Bind address. Defaults to loopback: arspd is a backend service; put a
@@ -59,10 +104,20 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   int port = 0;
-  /// Connection-handler threads; 0 = ThreadPool::DefaultConcurrency().
-  int num_workers = 0;
-  /// Engine construction knobs (cache capacity, batch threads, ...).
+  /// Maximum concurrent connections (each holds one handler thread);
+  /// 0 = unlimited. When at the cap, the accept loop leaves new
+  /// connections in the TCP backlog until a slot frees.
+  int max_connections = 0;
+  /// Engine construction knobs (cache capacity, batch threads, ...) for the
+  /// default EngineBackend; ignored when `backend` is set.
   EngineOptions engine;
+  /// The request backend. Null (the default) builds an internal
+  /// EngineBackend from `engine` — the classic single-process daemon. The
+  /// cluster layer installs a Coordinator here.
+  std::shared_ptr<ServiceBackend> backend;
+  /// Optional admission gate for QUERY requests (see QueryGate). Null
+  /// admits everything.
+  std::shared_ptr<QueryGate> query_gate;
 };
 
 /// The daemon's server object. Lifecycle: construct → Start() → (serve) →
@@ -98,50 +153,37 @@ class ArspServer {
   bool shutdown_requested() const;
 
   /// The engine behind the wire (tests assert cache/index behavior on it).
-  ArspEngine& engine() { return engine_; }
+  /// Only valid for the default EngineBackend; CHECKs when a custom
+  /// ServiceBackend was installed.
+  ArspEngine& engine();
 
   /// Number of requests served since Start (all message types).
   int64_t requests_served() const;
 
  private:
-  /// One registered name: the engine handle behind it plus everything the
-  /// wire layer needs to answer without re-deriving (names for ranked
-  /// output, shape for listings, the content fingerprint for idempotent
-  /// re-loads).
-  struct NamedEntry {
-    DatasetHandle handle;
-    uint64_t fingerprint = 0;
-    bool is_view = false;
-    std::string view_spec_key;     ///< ViewSpec::CacheKey (views only)
-    std::string base;              ///< base name (views only)
-    std::vector<std::string> views;  ///< view names over this base
-    /// Object names of the *base* dataset (ranked ids are base ids).
-    std::shared_ptr<const std::vector<std::string>> names;
-    int num_objects = 0;
-    int num_instances = 0;
-    int dim = 0;
-  };
-
   void AcceptLoop();
-  void HandleConnection(int fd);
+  /// `self` is this handler's node in connection_threads_; the handler
+  /// splices it onto finished_threads_ on exit so it can be joined.
+  void HandleConnection(int fd, std::list<std::thread>::iterator self);
+  /// Joins every thread parked on finished_threads_. Called from the
+  /// accept loop each tick (so a long-lived daemon reaps as it goes) and
+  /// from Wait() for the final drain.
+  void ReapFinishedHandlers();
 
   /// Dispatches one decoded frame; fills the reply (type + payload).
-  /// Returns false when the connection must close (SHUTDOWN).
-  bool HandleRequest(const Frame& frame, MessageType* reply_type,
-                     std::string* reply_payload);
-
-  StatusOr<LoadDatasetResponse> HandleLoad(const LoadDatasetRequest& request);
-  StatusOr<AddViewResponse> HandleAddView(const AddViewRequest& request);
-  StatusOr<QueryResponseWire> HandleQuery(const QueryRequestWire& request);
-  StatusOr<StatsResponse> HandleStats(const StatsRequest& request);
-  Status HandleDrop(const DropRequest& request);
+  /// Returns false when the connection must close (SHUTDOWN). `client_fd`
+  /// identifies the connection to the admission gate.
+  bool HandleRequest(int client_fd, const Frame& frame,
+                     MessageType* reply_type, std::string* reply_payload);
 
   ServerOptions options_;
-  ArspEngine engine_;
+  /// Set iff no custom backend was installed (the classic daemon).
+  std::shared_ptr<EngineBackend> engine_backend_;
+  /// The dispatch target — engine_backend_ or options_.backend.
+  std::shared_ptr<ServiceBackend> backend_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
-  std::map<std::string, NamedEntry> registry_;
   std::set<int> live_connections_;
   int active_connections_ = 0;
   int listen_fd_ = -1;
@@ -150,7 +192,11 @@ class ArspServer {
   bool stopping_ = false;
   int64_t requests_served_ = 0;
 
-  std::unique_ptr<ThreadPool> workers_;
+  /// Live handler threads, one per open connection. A handler moves its
+  /// own node to finished_threads_ (under mu_) just before exiting; only
+  /// ReapFinishedHandlers joins, so no thread ever joins itself.
+  std::list<std::thread> connection_threads_;
+  std::list<std::thread> finished_threads_;
   std::thread accept_thread_;
 };
 

@@ -1,0 +1,143 @@
+// Copyright 2026 The ARSP Authors.
+//
+// AdmissionController policy, driven by an injected clock: token-bucket
+// depletion and refill per client, the global pending-work budget, and the
+// retry hints a RETRY_LATER reply carries. The wire-level path (a real
+// server answering kRetryLater, a client surfacing kUnavailable) lives in
+// cluster_server_test.cc; this file pins the policy arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "src/cluster/admission.h"
+
+namespace arsp {
+namespace cluster {
+namespace {
+
+using Clock = AdmissionController::Clock;
+
+// A hand-cranked clock: tests advance time explicitly.
+struct FakeClock {
+  Clock::time_point now = Clock::time_point{};
+  void Advance(double seconds) {
+    now += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+  AdmissionController::NowFn fn() {
+    return [this] { return now; };
+  }
+};
+
+bool Admit(AdmissionController& gate, uint64_t client,
+           uint32_t* retry_ms = nullptr, std::string* why = nullptr) {
+  uint32_t retry = 0;
+  std::string reason;
+  const bool ok = gate.Admit(client, &retry, &reason);
+  if (retry_ms != nullptr) *retry_ms = retry;
+  if (why != nullptr) *why = reason;
+  return ok;
+}
+
+TEST(Admission, DisabledOptionsAdmitEverything) {
+  AdmissionController gate(AdmissionOptions{});  // both budgets off
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(Admit(gate, 1));
+  EXPECT_EQ(gate.admitted(), 1000);
+  EXPECT_EQ(gate.denied(), 0);
+  EXPECT_EQ(gate.pending(), 1000);  // nothing released yet
+}
+
+TEST(Admission, BurstDepletesThenRefillsAtTheConfiguredRate) {
+  FakeClock clock;
+  AdmissionOptions options;
+  options.client_qps = 10.0;
+  options.client_burst = 4.0;
+  AdmissionController gate(options, clock.fn());
+
+  // A new client starts with a full burst: exactly 4 admits.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(Admit(gate, 7)) << "burst admit " << i;
+    gate.Release(7);
+  }
+  uint32_t retry = 0;
+  std::string reason;
+  ASSERT_FALSE(Admit(gate, 7, &retry, &reason));
+  // One token accrues in 1/qps = 100ms; the hint rounds up and must never
+  // suggest an immediate retry that would be denied again.
+  EXPECT_GE(retry, 100u);
+  EXPECT_LE(retry, 101u);
+  EXPECT_NE(reason.find("rate"), std::string::npos);
+
+  // 100ms later exactly one token is back — one admit, then denied again.
+  clock.Advance(0.1);
+  EXPECT_TRUE(Admit(gate, 7));
+  gate.Release(7);
+  EXPECT_FALSE(Admit(gate, 7));
+
+  // A long idle period refills to the burst cap, not beyond.
+  clock.Advance(60.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(Admit(gate, 7)) << "post-idle admit " << i;
+    gate.Release(7);
+  }
+  EXPECT_FALSE(Admit(gate, 7));
+  EXPECT_EQ(gate.denied(), 3);
+}
+
+TEST(Admission, ClientsHaveIndependentBuckets) {
+  FakeClock clock;
+  AdmissionOptions options;
+  options.client_qps = 1.0;
+  options.client_burst = 1.0;
+  AdmissionController gate(options, clock.fn());
+  ASSERT_TRUE(Admit(gate, 1));
+  EXPECT_FALSE(Admit(gate, 1));  // client 1 exhausted...
+  EXPECT_TRUE(Admit(gate, 2));   // ...client 2 unaffected
+}
+
+TEST(Admission, PendingBudgetBoundsInFlightWork) {
+  AdmissionOptions options;
+  options.max_pending = 2;
+  options.retry_after_ms = 25;
+  AdmissionController gate(options);
+
+  ASSERT_TRUE(Admit(gate, 1));
+  ASSERT_TRUE(Admit(gate, 2));
+  uint32_t retry = 0;
+  std::string reason;
+  ASSERT_FALSE(Admit(gate, 3, &retry, &reason));
+  EXPECT_EQ(retry, 25u);
+  EXPECT_NE(reason.find("pending"), std::string::npos);
+  EXPECT_EQ(gate.pending(), 2);
+
+  // Releasing frees a slot for anyone.
+  gate.Release(1);
+  EXPECT_TRUE(Admit(gate, 3));
+  EXPECT_EQ(gate.pending(), 2);
+  gate.Release(2);
+  gate.Release(3);
+  EXPECT_EQ(gate.pending(), 0);
+  EXPECT_EQ(gate.admitted(), 3);
+  EXPECT_EQ(gate.denied(), 1);
+}
+
+TEST(Admission, PendingDenialDoesNotBurnRateTokens) {
+  FakeClock clock;
+  AdmissionOptions options;
+  options.client_qps = 10.0;
+  options.client_burst = 1.0;
+  options.max_pending = 1;
+  AdmissionController gate(options, clock.fn());
+
+  ASSERT_TRUE(Admit(gate, 1));       // takes the only pending slot + a token
+  ASSERT_FALSE(Admit(gate, 2));      // pending-denied, BEFORE the bucket
+  gate.Release(1);
+  // Client 2's untouched burst token must still be there.
+  EXPECT_TRUE(Admit(gate, 2));
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace arsp

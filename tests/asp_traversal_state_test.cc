@@ -3,8 +3,8 @@
 // Unit tests for the incremental (σ, β, χ) bookkeeping shared by the
 // kd/quad/multi-way traversals: β must always equal the direct product
 // Π_{σ[j]≠1}(1 − σ[j]), χ must count full objects, and Undo must restore
-// the state exactly (up to floating-point drift) under randomized
-// add/undo sequences — including masses crossing the σ = 1 boundary.
+// the state *bitwise* (snapshot-based undo) under randomized add/undo
+// sequences — including masses crossing the σ = 1 boundary.
 
 #include "src/core/asp_traversal_state.h"
 
@@ -132,17 +132,50 @@ TEST(AspTraversalStateTest, RandomizedAddUndoMatchesRecomputation) {
     EXPECT_NEAR(state.beta(), beta_expected, 1e-9 + 1e-9 * beta_expected)
         << "round " << round;
 
-    // ...then either keep it (descend) or undo it (backtrack).
+    // ...then either keep it (descend) or undo it (backtrack). Undo is
+    // snapshot-based, so the restore must be bitwise, not merely close.
     if (rng.Bernoulli(0.5)) {
-      state.Undo(log);
-      for (const auto& change : log) {
-        sigma[static_cast<size_t>(change.object)] -= change.prob;
+      const double beta_before = log.empty() ? state.beta()
+                                             : log.front().old_beta;
+      const int chi_before = log.empty() ? state.chi() : log.front().old_chi;
+      for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        sigma[static_cast<size_t>(it->object)] = it->old_sigma;
       }
-      Recompute(sigma, &beta_expected, &chi_expected);
-      EXPECT_EQ(state.chi(), chi_expected);
-      EXPECT_NEAR(state.beta(), beta_expected, 1e-9 + 1e-9 * beta_expected);
+      state.Undo(log);
+      EXPECT_EQ(state.beta(), beta_before);
+      EXPECT_EQ(state.chi(), chi_before);
+      for (int j = 0; j < m; ++j) {
+        EXPECT_EQ(state.sigma(j), sigma[static_cast<size_t>(j)]);
+      }
     }
   }
+}
+
+TEST(AspTraversalStateTest, UndoRestoresBitwise) {
+  // Enter-and-exit a "subtree" must leave (σ, β, χ) bit-identical to never
+  // entering — the exactness goal pruning and scoped (sharded) solves rely
+  // on for bit-identical answers.
+  AspTraversalState state(4);
+  std::vector<AspTraversalState::Change> path;
+  state.Add(0, 0.3, &path);
+  state.Add(1, 0.7, &path);
+  const double beta_at_node = state.beta();
+  const int chi_at_node = state.chi();
+  const double sigma0 = state.sigma(0);
+  const double sigma1 = state.sigma(1);
+
+  std::vector<AspTraversalState::Change> subtree;
+  state.Add(2, 0.9999999, &subtree);
+  state.Add(0, 0.1, &subtree);
+  state.Add(3, 1.0, &subtree);  // crosses the full boundary
+  state.Undo(subtree);
+
+  EXPECT_EQ(state.beta(), beta_at_node);
+  EXPECT_EQ(state.chi(), chi_at_node);
+  EXPECT_EQ(state.sigma(0), sigma0);
+  EXPECT_EQ(state.sigma(1), sigma1);
+  EXPECT_EQ(state.sigma(2), 0.0);
+  EXPECT_EQ(state.sigma(3), 0.0);
 }
 
 }  // namespace

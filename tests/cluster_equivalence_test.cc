@@ -1,0 +1,445 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Coordinator merge correctness — the cluster tentpole's acceptance bar: a
+// Coordinator over N in-process EngineBackend shards must answer every
+// query *bit-identically* (EXPECT_EQ on doubles, no tolerance) to a single
+// EngineBackend holding the same data, for every registered solver, every
+// derived-goal kind, shard counts {1, 2, 3, 7}, and adversarially skewed /
+// empty scope partitions. Tie boundaries are pinned explicitly: a top-k cut
+// through an exact probability tie, the count-controlled tie extension, and
+// a threshold lying exactly on an object's probability — the cases where a
+// merge that is "almost right" (re-ranked with drifted doubles, or sliced
+// with different boundary rules) visibly diverges.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/coordinator.h"
+#include "src/core/solver.h"
+#include "src/net/server.h"
+
+namespace arsp {
+namespace {
+
+using cluster::Coordinator;
+using cluster::CoordinatorOptions;
+using net::EngineBackend;
+using net::LoadDatasetRequest;
+using net::LoadSource;
+using net::QueryRequestWire;
+using net::QueryResponseWire;
+using net::ServiceBackend;
+using net::WireDerivedKind;
+
+// A multi-instance synthetic (enum refuses it: 3^18 worlds > the cap, which
+// must fail identically through the coordinator) and a single-instance IIP.
+struct DatasetCase {
+  const char* name;
+  const char* spec;
+  const char* constraints;
+};
+constexpr DatasetCase kDatasets[] = {
+    {"syn", "synthetic:m=14,cnt=3,d=3,l=0.3,seed=11", "wr:0.5,2.0,0.4,1.8"},
+    {"iip", "iip:n=30,seed=5", "wr:0.5,2.0"},
+};
+
+// Objects 1 and 2 share an identical instance layout, so their rskyline
+// probabilities are exactly equal doubles (the TiedDataset of
+// goal_equivalence_test, shipped as CSV). Small enough for enum.
+constexpr char kTiedCsv[] =
+    "a,1.0,0.1,0.9\n"
+    "b,0.5,0.3,0.5\nb,0.5,0.5,0.3\n"
+    "c,0.5,0.3,0.5\nc,0.5,0.5,0.3\n"
+    "d,0.5,0.7,0.8\nd,0.5,0.9,0.6\n";
+
+std::unique_ptr<Coordinator> MakeCluster(int num_shards,
+                                         CoordinatorOptions options = {}) {
+  std::vector<std::shared_ptr<ServiceBackend>> shards;
+  std::vector<std::string> names;
+  for (int s = 0; s < num_shards; ++s) {
+    shards.push_back(std::make_shared<EngineBackend>());
+    names.push_back("shard-" + std::to_string(s));
+  }
+  return std::make_unique<Coordinator>(std::move(shards), std::move(names),
+                                       std::move(options));
+}
+
+void LoadGenerator(ServiceBackend& backend, const std::string& name,
+                   const std::string& spec) {
+  LoadDatasetRequest load;
+  load.name = name;
+  load.source = LoadSource::kGenerator;
+  load.payload = spec;
+  auto response = backend.Load(load);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+}
+
+void LoadCsv(ServiceBackend& backend, const std::string& name,
+             const std::string& csv) {
+  LoadDatasetRequest load;
+  load.name = name;
+  load.source = LoadSource::kCsvText;
+  load.payload = csv;
+  auto response = backend.Load(load);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+}
+
+QueryRequestWire MakeQuery(const std::string& dataset,
+                           const std::string& constraints,
+                           const std::string& solver,
+                           WireDerivedKind kind = WireDerivedKind::kNone) {
+  QueryRequestWire request;
+  request.dataset = dataset;
+  request.constraint_spec = constraints;
+  request.solver = solver;
+  request.derived_kind = kind;
+  // The sweeps compare *solve* metadata (complete, goal, size). With the
+  // cache on, a daemon may legitimately serve a later goal query from an
+  // earlier full result — metadata then depends on query history, not on
+  // sharding, on either side. Cache behavior gets its own test below.
+  request.use_cache = false;
+  return request;
+}
+
+// The merged answer must be indistinguishable from the single daemon's:
+// same ranked ids, names, and bit-identical probabilities, same derived
+// threshold, same completeness/size, and (when shipped) the identical
+// instance-probability vector.
+void ExpectBitIdentical(const QueryResponseWire& reference,
+                        const QueryResponseWire& merged,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(reference.solver, merged.solver);
+  // Completeness is emergent, not a merge property: a pushdown-capable
+  // solver may still complete an *unscoped* solve (B&B whose bounds never
+  // pruned) while its scoped parts are partial by construction. The sound
+  // invariant is one-directional — a merged answer may only claim complete
+  // when the unsharded one does — and the complete-only metadata must agree
+  // whenever both sides are in the same state.
+  if (merged.complete) EXPECT_TRUE(reference.complete);
+  if (reference.complete == merged.complete) {
+    EXPECT_EQ(reference.goal, merged.goal);
+    EXPECT_EQ(reference.result_size, merged.result_size);
+  }
+  EXPECT_EQ(reference.count_threshold, merged.count_threshold);
+  ASSERT_EQ(reference.ranked.size(), merged.ranked.size());
+  for (size_t i = 0; i < reference.ranked.size(); ++i) {
+    EXPECT_EQ(reference.ranked[i].object_id, merged.ranked[i].object_id)
+        << "rank " << i;
+    EXPECT_EQ(reference.ranked[i].name, merged.ranked[i].name) << "rank " << i;
+    EXPECT_EQ(reference.ranked[i].prob, merged.ranked[i].prob) << "rank " << i;
+  }
+  EXPECT_EQ(reference.instance_probs, merged.instance_probs);
+}
+
+// The goal grid each (dataset, solver) pair is swept through. The boundary
+// threshold (a probability exactly on an object) is appended by the caller
+// once the reference full ranking is known.
+std::vector<QueryRequestWire> GoalGrid(const std::string& dataset,
+                                       const std::string& constraints,
+                                       const std::string& solver) {
+  std::vector<QueryRequestWire> grid;
+  {
+    QueryRequestWire q = MakeQuery(dataset, constraints, solver);
+    q.include_instances = true;
+    grid.push_back(q);  // full answer, instance vector shipped
+  }
+  for (int k : {0, 1, 3, -1}) {  // -1 ranks everything; 0 is empty
+    QueryRequestWire q = MakeQuery(dataset, constraints, solver,
+                                   WireDerivedKind::kTopKObjects);
+    q.k = k;
+    grid.push_back(q);
+  }
+  {
+    QueryRequestWire q = MakeQuery(dataset, constraints, solver,
+                                   WireDerivedKind::kCountControlled);
+    q.max_objects = 3;
+    grid.push_back(q);
+  }
+  {
+    QueryRequestWire q = MakeQuery(dataset, constraints, solver,
+                                   WireDerivedKind::kObjectsAboveThreshold);
+    q.threshold = 0.25;
+    grid.push_back(q);
+  }
+  {
+    // Instance-level goal: the coordinator forwards instead of merging.
+    QueryRequestWire q = MakeQuery(dataset, constraints, solver,
+                                   WireDerivedKind::kTopKInstances);
+    q.k = 5;
+    grid.push_back(q);
+  }
+  return grid;
+}
+
+const char* KindName(WireDerivedKind kind) {
+  switch (kind) {
+    case WireDerivedKind::kNone: return "full";
+    case WireDerivedKind::kTopKObjects: return "topk";
+    case WireDerivedKind::kTopKInstances: return "topk-inst";
+    case WireDerivedKind::kObjectsAboveThreshold: return "threshold";
+    case WireDerivedKind::kCountControlled: return "count";
+  }
+  return "?";
+}
+
+// Sweeps every registered solver over the goal grid on `dataset`,
+// comparing `cluster` against the single-backend `reference`. Solvers the
+// engine rejects for this dataset/constraint combination must be rejected
+// identically (same status code) through the coordinator.
+void SweepSolvers(ServiceBackend& reference, ServiceBackend& cluster,
+                  const std::string& dataset, const std::string& constraints,
+                  const std::string& label,
+                  std::vector<std::string> solvers = {}) {
+  if (solvers.empty()) solvers = SolverRegistry::Names();
+  for (const std::string& solver : solvers) {
+    SCOPED_TRACE(label + "/" + solver);
+    // Probe applicability with a full ranking; inapplicable solvers must
+    // fail with the same code on both sides.
+    QueryRequestWire probe = MakeQuery(dataset, constraints, solver,
+                                       WireDerivedKind::kTopKObjects);
+    probe.k = -1;
+    auto reference_probe = reference.Query(probe);
+    auto cluster_probe = cluster.Query(probe);
+    ASSERT_EQ(reference_probe.ok(), cluster_probe.ok())
+        << "reference: " << reference_probe.status().ToString()
+        << " cluster: " << cluster_probe.status().ToString();
+    if (!reference_probe.ok()) {
+      EXPECT_EQ(reference_probe.status().code(),
+                cluster_probe.status().code());
+      continue;
+    }
+    ExpectBitIdentical(*reference_probe, *cluster_probe, "rank-all");
+
+    std::vector<QueryRequestWire> grid =
+        GoalGrid(dataset, constraints, solver);
+    // A threshold lying exactly on an object's probability — the boundary
+    // tie ("probability == threshold" is included).
+    if (reference_probe->ranked.size() >= 2 &&
+        reference_probe->ranked[1].prob > 0.0) {
+      QueryRequestWire q = MakeQuery(dataset, constraints, solver,
+                                     WireDerivedKind::kObjectsAboveThreshold);
+      q.threshold = reference_probe->ranked[1].prob;
+      grid.push_back(q);
+    }
+    for (const QueryRequestWire& request : grid) {
+      SCOPED_TRACE(std::string(KindName(request.derived_kind)) + " k=" +
+                   std::to_string(request.k));
+      auto expected = reference.Query(request);
+      auto merged = cluster.Query(request);
+      ASSERT_EQ(expected.ok(), merged.ok())
+          << "reference: " << expected.status().ToString()
+          << " cluster: " << merged.status().ToString();
+      if (!expected.ok()) {
+        EXPECT_EQ(expected.status().code(), merged.status().code());
+        continue;
+      }
+      ExpectBitIdentical(*expected, *merged, "merge");
+    }
+  }
+}
+
+TEST(ClusterEquivalence, RegistrySweepAcrossShardCounts) {
+  for (int num_shards : {1, 2, 3, 7}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    auto coordinator = MakeCluster(num_shards);
+    EngineBackend reference;
+    for (const DatasetCase& dataset : kDatasets) {
+      LoadGenerator(*coordinator, dataset.name, dataset.spec);
+      LoadGenerator(reference, dataset.name, dataset.spec);
+      SweepSolvers(reference, *coordinator, dataset.name,
+                   dataset.constraints, dataset.name);
+    }
+  }
+}
+
+TEST(ClusterEquivalence, AdversarialPartitionsStayBitIdentical) {
+  // Skewed and degenerate scope splits: all the work on one shard, empty
+  // scopes, single-object scopes. The merge must not care.
+  using Partition = std::vector<std::pair<int, int>>;
+  const std::vector<std::function<Partition(int, int)>> partitions = {
+      // Everything on the first holder, the rest idle.
+      [](int m, int parts) {
+        Partition p(static_cast<size_t>(parts), {m, m});
+        p[0] = {0, m};
+        return p;
+      },
+      // One object on the first holder, the rest on the last.
+      [](int m, int parts) {
+        Partition p(static_cast<size_t>(parts), {1, 1});
+        p[0] = {0, 1};
+        p[static_cast<size_t>(parts) - 1] = {1, m};
+        return p;
+      },
+      // Maximally fragmented head: single-object scopes, tail gets the rest.
+      [](int m, int parts) {
+        Partition p;
+        int begin = 0;
+        for (int s = 0; s + 1 < parts && begin < m; ++s, ++begin) {
+          p.emplace_back(begin, begin + 1);
+        }
+        while (static_cast<int>(p.size()) + 1 < parts) p.emplace_back(m, m);
+        p.emplace_back(begin, m);
+        return p;
+      },
+  };
+  for (int num_shards : {2, 3, 7}) {
+    for (size_t variant = 0; variant < partitions.size(); ++variant) {
+      SCOPED_TRACE("shards=" + std::to_string(num_shards) + " variant=" +
+                   std::to_string(variant));
+      CoordinatorOptions options;
+      options.partition_fn = partitions[variant];
+      auto coordinator = MakeCluster(num_shards, options);
+      EngineBackend reference;
+      const DatasetCase& dataset = kDatasets[0];
+      LoadGenerator(*coordinator, dataset.name, dataset.spec);
+      LoadGenerator(reference, dataset.name, dataset.spec);
+      // One pushdown solver (partial per-scope answers + refinement) and
+      // one goal-oblivious solver (complete per-scope answers); the full
+      // registry is already swept across shard counts above.
+      SweepSolvers(reference, *coordinator, dataset.name, dataset.constraints,
+                   "adversarial", {"kdtt+", "loop"});
+    }
+  }
+}
+
+TEST(ClusterEquivalence, TieBoundariesSurviveTheMerge) {
+  // The exact-tie dataset: k = 2 cuts through the tie (id order keeps the
+  // lower base id), count-controlled k = 2 extends to 3, and a threshold
+  // exactly equal to the tied probability includes both. Shard count 3 over
+  // 4 objects guarantees the tied pair lands in different scopes.
+  auto coordinator = MakeCluster(3);
+  EngineBackend reference;
+  LoadCsv(*coordinator, "tied", kTiedCsv);
+  LoadCsv(reference, "tied", kTiedCsv);
+  constexpr char kRank[] = "rank:1";
+
+  for (const char* solver : {"kdtt+", "mwtt", "bnb", "enum", "loop"}) {
+    SCOPED_TRACE(solver);
+    QueryRequestWire all =
+        MakeQuery("tied", kRank, solver, WireDerivedKind::kTopKObjects);
+    all.k = -1;
+    auto reference_all = reference.Query(all);
+    if (!reference_all.ok()) continue;  // solver not applicable here
+    ASSERT_GE(reference_all->ranked.size(), 3u);
+    const double tied = reference_all->ranked[1].prob;
+    ASSERT_EQ(tied, reference_all->ranked[2].prob);  // the exact tie
+    ASSERT_GT(tied, 0.0);
+
+    QueryRequestWire topk =
+        MakeQuery("tied", kRank, solver, WireDerivedKind::kTopKObjects);
+    topk.k = 2;
+    auto merged_topk = coordinator->Query(topk);
+    auto reference_topk = reference.Query(topk);
+    ASSERT_TRUE(merged_topk.ok()) << merged_topk.status().ToString();
+    ASSERT_TRUE(reference_topk.ok());
+    ExpectBitIdentical(*reference_topk, *merged_topk, "topk-tie");
+    ASSERT_EQ(merged_topk->ranked.size(), 2u);
+    EXPECT_EQ(merged_topk->ranked[1].object_id, 1);  // id order breaks the tie
+
+    QueryRequestWire count =
+        MakeQuery("tied", kRank, solver, WireDerivedKind::kCountControlled);
+    count.max_objects = 2;
+    auto merged_count = coordinator->Query(count);
+    auto reference_count = reference.Query(count);
+    ASSERT_TRUE(merged_count.ok()) << merged_count.status().ToString();
+    ASSERT_TRUE(reference_count.ok());
+    ExpectBitIdentical(*reference_count, *merged_count, "count-tie");
+    ASSERT_EQ(merged_count->ranked.size(), 3u);  // the tie extends the answer
+    EXPECT_EQ(merged_count->count_threshold, tied);
+
+    QueryRequestWire at = MakeQuery("tied", kRank, solver,
+                                    WireDerivedKind::kObjectsAboveThreshold);
+    at.threshold = tied;
+    auto merged_at = coordinator->Query(at);
+    auto reference_at = reference.Query(at);
+    ASSERT_TRUE(merged_at.ok()) << merged_at.status().ToString();
+    ASSERT_TRUE(reference_at.ok());
+    ExpectBitIdentical(*reference_at, *merged_at, "threshold-tie");
+    ASSERT_EQ(merged_at->ranked.size(), 3u);
+    EXPECT_EQ(merged_at->ranked[1].object_id, 1);
+    EXPECT_EQ(merged_at->ranked[2].object_id, 2);
+  }
+}
+
+TEST(ClusterEquivalence, ViewsPartitionAcrossShards) {
+  // Views registered through the coordinator land on the base's holders and
+  // scatter like any dataset; ranked answers still carry base object ids.
+  auto coordinator = MakeCluster(3);
+  EngineBackend reference;
+  const DatasetCase& dataset = kDatasets[1];
+  LoadGenerator(*coordinator, dataset.name, dataset.spec);
+  LoadGenerator(reference, dataset.name, dataset.spec);
+
+  net::AddViewRequest add;
+  add.base_name = dataset.name;
+  add.view_name = "iip#25";
+  add.spec = ViewSpec::Prefix(25);
+  auto through = coordinator->AddView(add);
+  ASSERT_TRUE(through.ok()) << through.status().ToString();
+  EXPECT_EQ(through->num_objects, 25);
+  ASSERT_TRUE(reference.AddView(add).ok());
+
+  SweepSolvers(reference, *coordinator, "iip#25", dataset.constraints,
+               "view");
+
+  // Dropping the base through the coordinator cascades on every shard.
+  net::DropRequest drop;
+  drop.name = dataset.name;
+  ASSERT_TRUE(coordinator->Drop(drop).ok());
+  auto gone = coordinator->Query(
+      MakeQuery("iip#25", dataset.constraints, "kdtt+"));
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterEquivalence, RepeatQueryIsAClusterWideCacheHit) {
+  auto coordinator = MakeCluster(3);
+  const DatasetCase& dataset = kDatasets[1];
+  LoadGenerator(*coordinator, dataset.name, dataset.spec);
+  QueryRequestWire request =
+      MakeQuery(dataset.name, dataset.constraints, "kdtt+");
+  request.use_cache = true;
+  auto miss = coordinator->Query(request);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->cache_hit);
+  auto hit = coordinator->Query(request);
+  ASSERT_TRUE(hit.ok());
+  // Every per-scope sub-query hits its shard's cache; the merged flag is
+  // the conjunction.
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->result_size, miss->result_size);
+
+  // Aggregated stats see the dataset once (deduplicated across holders)
+  // and sum the shard caches.
+  auto stats = coordinator->Stats(net::StatsRequest{dataset.name});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->datasets.size(), 1u);
+  EXPECT_EQ(stats->datasets[0].name, dataset.name);
+  EXPECT_GT(stats->cache_hits, 0);
+  EXPECT_TRUE(stats->has_index_stats);
+}
+
+TEST(ClusterEquivalence, UnknownNamesAndBadSpecsFailCleanly) {
+  auto coordinator = MakeCluster(2);
+  EXPECT_EQ(coordinator->Query(MakeQuery("nope", "wr:0.5,2.0", "kdtt+"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  const DatasetCase& dataset = kDatasets[1];
+  LoadGenerator(*coordinator, dataset.name, dataset.spec);
+  EXPECT_EQ(coordinator->Query(MakeQuery(dataset.name, "wr:banana", "kdtt+"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      coordinator->Query(MakeQuery(dataset.name, dataset.constraints,
+                                   "no-such-solver"))
+          .ok());
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,223 @@
+// Copyright 2026 The ARSP Authors.
+//
+// The cluster stack over real sockets: an ArspServer serving a Coordinator
+// whose shards are RemoteShards dialing two backend arspd processes' worth
+// of ArspServers — the exact `arspd --coordinator` topology, in-process.
+// Covers: bit-identical answers through two wire hops, the typed
+// RETRY_LATER overload reply (client surfaces kUnavailable with the retry
+// hint), admission applying only to QUERY, and the bounded-shutdown-latency
+// regression for the nonblocking accept loop.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/admission.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/remote_shard.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace arsp {
+namespace {
+
+using cluster::AdmissionController;
+using cluster::AdmissionOptions;
+using cluster::Coordinator;
+using cluster::CoordinatorOptions;
+using cluster::RemoteShard;
+
+constexpr char kSpec[] = "iip:n=50,seed=9";
+constexpr char kWr[] = "wr:0.5,2.0";
+
+std::unique_ptr<net::ArspServer> StartServer(net::ServerOptions options) {
+  options.port = 0;
+  auto server = std::make_unique<net::ArspServer>(std::move(options));
+  const Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  EXPECT_GT(server->port(), 0);
+  return server;
+}
+
+net::ArspClient Connect(const net::ArspServer& server) {
+  auto client = net::ArspClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+void LoadIip(net::ArspClient& client, const std::string& name) {
+  net::LoadDatasetRequest load;
+  load.name = name;
+  load.source = net::LoadSource::kGenerator;
+  load.payload = kSpec;
+  auto response = client.LoadDataset(load);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+}
+
+net::QueryRequestWire WireQuery(const std::string& dataset,
+                                net::WireDerivedKind kind =
+                                    net::WireDerivedKind::kNone) {
+  net::QueryRequestWire request;
+  request.dataset = dataset;
+  request.constraint_spec = kWr;
+  request.solver = "kdtt+";
+  request.derived_kind = kind;
+  return request;
+}
+
+TEST(ClusterServer, CoordinatorDaemonAnswersBitIdenticallyToASingleDaemon) {
+  // Two backend daemons (the shards), dialed via RemoteShard.
+  auto shard_a = StartServer({});
+  auto shard_b = StartServer({});
+  std::vector<std::shared_ptr<net::ServiceBackend>> shards = {
+      std::make_shared<RemoteShard>("127.0.0.1", shard_a->port()),
+      std::make_shared<RemoteShard>("127.0.0.1", shard_b->port()),
+  };
+  net::ServerOptions coordinator_options;
+  coordinator_options.backend = std::make_shared<Coordinator>(
+      shards, std::vector<std::string>{"a", "b"}, CoordinatorOptions{});
+  auto coordinator = StartServer(std::move(coordinator_options));
+
+  // The unsharded reference daemon.
+  auto single = StartServer({});
+  net::ArspClient single_client = Connect(*single);
+  LoadIip(single_client, "iip");
+
+  net::ArspClient client = Connect(*coordinator);
+  LoadIip(client, "iip");
+
+  // Full answer: the assembled instance vector is bit-identical.
+  net::QueryRequestWire full = WireQuery("iip");
+  full.include_instances = true;
+  auto merged = client.Query(full);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto expected = single_client.Query(full);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(merged->complete);
+  EXPECT_EQ(merged->instance_probs, expected->instance_probs);
+  EXPECT_EQ(merged->result_size, expected->result_size);
+
+  // Ranked kinds: ids, names, probabilities bit-exact through both hops.
+  for (const net::WireDerivedKind kind :
+       {net::WireDerivedKind::kTopKObjects,
+        net::WireDerivedKind::kObjectsAboveThreshold,
+        net::WireDerivedKind::kCountControlled}) {
+    net::QueryRequestWire request = WireQuery("iip", kind);
+    request.k = 5;
+    request.threshold = 0.5;
+    request.max_objects = 5;
+    auto got = client.Query(request);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = single_client.Query(request);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->ranked.size(), want->ranked.size());
+    for (size_t i = 0; i < got->ranked.size(); ++i) {
+      EXPECT_EQ(got->ranked[i].object_id, want->ranked[i].object_id);
+      EXPECT_EQ(got->ranked[i].name, want->ranked[i].name);
+      EXPECT_EQ(got->ranked[i].prob, want->ranked[i].prob);
+    }
+    EXPECT_EQ(got->count_threshold, want->count_threshold);
+  }
+
+  // Both shards actually hold the dataset (replication 0 = everywhere) —
+  // scatter is real, not a lucky single-holder forward.
+  net::ArspClient direct_a = Connect(*shard_a);
+  auto stats_a = direct_a.Stats("iip");
+  ASSERT_TRUE(stats_a.ok()) << stats_a.status().ToString();
+  net::ArspClient direct_b = Connect(*shard_b);
+  auto stats_b = direct_b.Stats("iip");
+  ASSERT_TRUE(stats_b.ok()) << stats_b.status().ToString();
+
+  for (auto* server : {coordinator.get(), single.get(), shard_a.get(),
+                       shard_b.get()}) {
+    server->Shutdown();
+    server->Wait();
+  }
+}
+
+TEST(ClusterServer, OverloadRepliesTypedRetryLater) {
+  // One query's worth of budget: the second QUERY on the same connection is
+  // denied with the typed RETRY_LATER reply, which the client surfaces as
+  // kUnavailable carrying the backoff hint — NOT a generic error, NOT a
+  // closed connection.
+  AdmissionOptions admission;
+  admission.client_qps = 0.001;  // ~17 minutes per token: no refill in-test
+  admission.client_burst = 1.0;
+  net::ServerOptions options;
+  options.query_gate = std::make_shared<AdmissionController>(admission);
+  auto server = StartServer(std::move(options));
+
+  net::ArspClient client = Connect(*server);
+  LoadIip(client, "iip");  // LOAD is not admission-gated
+  ASSERT_TRUE(client.Query(WireQuery("iip")).ok());  // spends the burst
+
+  auto denied = client.Query(WireQuery("iip"));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(denied.status().message().find("retry after"),
+            std::string::npos)
+      << denied.status().ToString();
+
+  // The connection survives a denial; non-QUERY traffic is never gated.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Stats().ok());
+
+  // A second connection is a distinct admission client with its own burst.
+  net::ArspClient other = Connect(*server);
+  EXPECT_TRUE(other.Query(WireQuery("iip")).ok());
+
+  server->Shutdown();
+  server->Wait();
+}
+
+TEST(ClusterServer, DeniedQueriesDoNotLeakPendingBudget) {
+  // A rate denial must not consume a pending slot (Release is only paired
+  // with successful Admit): after many denials the pending gauge is zero
+  // and admitted counts only the successes.
+  AdmissionOptions admission;
+  admission.client_qps = 0.001;
+  admission.client_burst = 1.0;
+  admission.max_pending = 4;
+  auto gate = std::make_shared<AdmissionController>(admission);
+  net::ServerOptions options;
+  options.query_gate = gate;
+  auto server = StartServer(std::move(options));
+
+  net::ArspClient client = Connect(*server);
+  LoadIip(client, "iip");
+  ASSERT_TRUE(client.Query(WireQuery("iip")).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(client.Query(WireQuery("iip")).status().code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(gate->pending(), 0);
+  EXPECT_EQ(gate->admitted(), 1);
+  EXPECT_EQ(gate->denied(), 5);
+
+  server->Shutdown();
+  server->Wait();
+}
+
+TEST(ClusterServer, ShutdownLatencyIsBoundedByThePollTick) {
+  // The nonblocking-accept regression: Shutdown() + Wait() of an idle
+  // server must complete within a few poll ticks (100ms each), never hang
+  // waiting for a next connection. Generous bound for loaded CI machines.
+  auto server = StartServer({});
+  // An accepted-and-closed connection exercises the accept path first.
+  { net::ArspClient client = Connect(*server); }
+
+  const auto begin = std::chrono::steady_clock::now();
+  server->Shutdown();
+  server->Wait();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(elapsed_ms, 2000.0);
+}
+
+}  // namespace
+}  // namespace arsp

@@ -1,0 +1,176 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Evaluation-scope equivalence: for EVERY registered solver, a scoped solve
+// (QueryGoal with [scope_begin, scope_end)) must answer *bit-identically* to
+// slicing the solver's own unscoped full solve to the scope. This is the
+// foundation of the cluster coordinator (src/cluster/): shards hold the full
+// dataset and solve disjoint scopes, and their merged answers must be
+// bit-identical to the unsharded answer. Bit-identity (EXPECT_EQ on doubles,
+// not EXPECT_NEAR) holds because (a) AspTraversalState's undo is
+// snapshot-based, so skipped subtrees are exact no-ops, and (b) B&B's
+// evaluated instances never depend on pruner state (skipped items still
+// insert their mass).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/queries.h"
+#include "src/core/solver.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::RandomWr;
+
+// Contiguous splits of [0, m) used as scopes: the {1, 2, 3, 7}-way even
+// partitions plus deliberately skewed cuts.
+std::vector<std::pair<int, int>> ScopesUnderTest(int m) {
+  std::vector<std::pair<int, int>> scopes;
+  for (int parts : {1, 2, 3, 7}) {
+    for (int s = 0; s < parts; ++s) {
+      const int begin = static_cast<int>(static_cast<int64_t>(m) * s / parts);
+      const int end =
+          static_cast<int>(static_cast<int64_t>(m) * (s + 1) / parts);
+      if (begin < end) scopes.emplace_back(begin, end);
+    }
+  }
+  if (m >= 3) {
+    scopes.emplace_back(0, 1);          // single object
+    scopes.emplace_back(m - 1, m);      // last object only
+    scopes.emplace_back(1, m);          // all but the first
+    scopes.emplace_back(m / 2, m / 2);  // empty scope
+  }
+  return scopes;
+}
+
+void ExpectRankedBitIdentical(
+    const std::vector<std::pair<int, double>>& oracle,
+    const std::vector<std::pair<int, double>>& scoped,
+    const std::string& label) {
+  ASSERT_EQ(oracle.size(), scoped.size()) << label;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(oracle[i].first, scoped[i].first) << label << " rank " << i;
+    EXPECT_EQ(oracle[i].second, scoped[i].second) << label << " rank " << i;
+  }
+}
+
+void SweepSolverScopes(const std::string& name,
+                       std::shared_ptr<ExecutionContext> full_context) {
+  SCOPED_TRACE(name);
+  auto solver = SolverRegistry::Create(name);
+  ASSERT_TRUE(solver.ok());
+  if (!(*solver)->ValidateContext(*full_context).ok()) return;
+  const bool has_pushdown =
+      ((*solver)->capabilities() & kCapGoalPushdown) != 0;
+  auto reference = (*solver)->Solve(*full_context);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_TRUE(reference->is_complete());
+
+  const DatasetView& view = full_context->view();
+  const int m = view.num_objects();
+  for (const auto& [begin, end] : ScopesUnderTest(m)) {
+    SCOPED_TRACE("scope [" + std::to_string(begin) + "," +
+                 std::to_string(end) + ")");
+    std::vector<QueryGoal> goals = {
+        QueryGoal::Full().WithScope(begin, end),
+        QueryGoal::TopK(1).WithScope(begin, end),
+        QueryGoal::TopK(2).WithScope(begin, end),
+        QueryGoal::CountControlled(2).WithScope(begin, end),
+        QueryGoal::Threshold(0.25).WithScope(begin, end),
+        // k >= |scope|: bound pruning is off, scope skipping stays on.
+        QueryGoal::TopK(end - begin + 1).WithScope(begin, end),
+    };
+    for (const QueryGoal& goal : goals) {
+      SCOPED_TRACE(goal.ToString());
+      auto scoped_context = ExecutionContext::Derive(full_context, view, goal);
+      auto result = (*solver)->Solve(*scoped_context);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+      // The ranked scoped answer must be a bit-identical slice of the
+      // solver's own full answer.
+      double oracle_threshold = 0.0;
+      double scoped_threshold = 0.0;
+      const auto oracle =
+          AnswerGoal(*reference, view, goal, &oracle_threshold);
+      const auto scoped =
+          AnswerGoal(*result, view, goal, &scoped_threshold);
+      ExpectRankedBitIdentical(oracle, scoped, name);
+      EXPECT_EQ(oracle_threshold, scoped_threshold);
+
+      // A scoped-full solve determines every in-scope instance probability
+      // bit-exactly (partial results leave out-of-scope entries as
+      // placeholders; complete results match everywhere in scope).
+      if (goal.is_full()) {
+        for (int j = begin; j < end; ++j) {
+          const auto [ib, ie] = view.object_range(j);
+          for (int i = ib; i < ie; ++i) {
+            EXPECT_EQ(result->instance_probs[static_cast<size_t>(i)],
+                      reference->instance_probs[static_cast<size_t>(i)])
+                << "instance " << i << " of object " << j;
+          }
+        }
+      }
+      if (!has_pushdown) {
+        // Goal-oblivious solvers ignore the scope and stay complete.
+        EXPECT_TRUE(result->is_complete());
+      }
+    }
+  }
+}
+
+TEST(ScopedGoal, RegistrySweepBitIdenticalSlices) {
+  for (uint64_t seed = 7100; seed < 7103; ++seed) {
+    SCOPED_TRACE(seed);
+    const int dim = 2 + static_cast<int>(seed % 2);
+    const UncertainDataset dataset =
+        RandomDataset(14, 3, dim, 0.4, seed, seed % 2 == 0);
+    auto context =
+        std::make_shared<ExecutionContext>(dataset, RandomWr(dim, seed));
+    for (const std::string& name : SolverRegistry::Names()) {
+      SweepSolverScopes(name, context);
+    }
+  }
+}
+
+TEST(ScopedGoal, ScopedUnionCoversFullAnswer) {
+  // The disjoint scoped-full answers of a partition, concatenated, must
+  // reproduce the complete instance vector bit-for-bit — the coordinator's
+  // full-goal merge in miniature.
+  const UncertainDataset dataset = RandomDataset(15, 3, 2, 0.5, 7200);
+  auto context =
+      std::make_shared<ExecutionContext>(dataset, RandomWr(2, 7200));
+  auto solver = SolverRegistry::Create("kdtt+");
+  ASSERT_TRUE(solver.ok());
+  auto reference = (*solver)->Solve(*context);
+  ASSERT_TRUE(reference.ok());
+  const DatasetView& view = context->view();
+  const int m = view.num_objects();
+
+  std::vector<double> stitched(reference->instance_probs.size(), -1.0);
+  const std::vector<std::pair<int, int>> parts = {
+      {0, 4}, {4, 5}, {5, 12}, {12, m}};  // deliberately skewed
+  for (const auto& [begin, end] : parts) {
+    const QueryGoal goal = QueryGoal::Full().WithScope(begin, end);
+    auto scoped_context = ExecutionContext::Derive(context, view, goal);
+    auto result = (*solver)->Solve(*scoped_context);
+    ASSERT_TRUE(result.ok());
+    const auto [ib, ie] = std::make_pair(
+        view.object_range(begin).first, view.object_range(end - 1).second);
+    for (int i = ib; i < ie; ++i) {
+      stitched[static_cast<size_t>(i)] =
+          result->instance_probs[static_cast<size_t>(i)];
+    }
+  }
+  for (size_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_EQ(stitched[i], reference->instance_probs[i]) << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace arsp

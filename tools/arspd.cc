@@ -7,10 +7,20 @@
 // thin client).
 //
 // Usage:
-//   arspd [--host 127.0.0.1] [--port 7439] [--workers N]
+//   arspd [--host 127.0.0.1] [--port 7439] [--max-connections N]
 //         [--cache N] [--contexts N] [--threads N]
 //         [--load name=csv:/path/to/file.csv[:header]]
 //         [--load name=gen:iip:n=500,seed=1]           (repeatable)
+//         [--shards host:port[,host:port...]] [--replication N]
+//         [--client-qps F] [--client-burst F] [--max-pending N]
+//
+// --shards turns the daemon into a *coordinator*: instead of an embedded
+// engine it serves a cluster::Coordinator over RemoteShard connections to
+// the listed arspd peers (same wire protocol on both tiers — clients cannot
+// tell a coordinator from a plain daemon). --replication controls how many
+// shards hold each dataset (0 = all). The admission flags install an
+// AdmissionController in front of QUERY in either mode; over-budget clients
+// get the typed RETRY_LATER reply instead of queueing.
 //
 // The daemon prints "arspd listening on HOST:PORT" once ready (scripts wait
 // for it), serves until SIGINT/SIGTERM or a SHUTDOWN message, then drains
@@ -25,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/cluster/admission.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/remote_shard.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "tools/cli_args.h"
@@ -42,12 +55,18 @@ void OnSignal(int) { g_signal = 1; }
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: arspd [--host ADDR] [--port P] [--workers N] [--cache N]\n"
-      "             [--contexts N] [--threads N]\n"
+      "usage: arspd [--host ADDR] [--port P] [--max-connections N]\n"
+      "             [--cache N] [--contexts N] [--threads N]\n"
       "             [--load name=csv:PATH[:header]] [--load name=gen:SPEC]\n"
+      "             [--shards H:P[,H:P...]] [--replication N]\n"
+      "             [--client-qps F] [--client-burst F] [--max-pending N]\n"
       "defaults: --host 127.0.0.1 --port 7439; --port 0 picks an ephemeral\n"
       "port. --load preloads a dataset at startup (repeatable); gen specs\n"
-      "are GenerateFromSpec syntax, e.g. gen:iip:n=500,seed=1\n");
+      "are GenerateFromSpec syntax, e.g. gen:iip:n=500,seed=1\n"
+      "--shards serves a scatter-gather coordinator over the listed arspd\n"
+      "peers instead of an embedded engine (--load is engine-mode only);\n"
+      "--client-qps/--client-burst/--max-pending bound admission, over-\n"
+      "budget queries get a typed RETRY_LATER reply\n");
 }
 
 struct PreloadSpec {
@@ -88,6 +107,10 @@ int main(int argc, char** argv) {
   net::ServerOptions options;
   options.port = 7439;
   std::vector<PreloadSpec> preloads;
+  std::vector<std::pair<std::string, int>> shard_addrs;
+  cluster::CoordinatorOptions coordinator_options;
+  cluster::AdmissionOptions admission;
+  bool want_admission = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -112,11 +135,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --port '%s'\n", v);
         return PrintUsage(), 2;
       }
-    } else if (flag == "--workers") {
+    } else if (flag == "--max-connections") {
       const char* v = next();
       if (v == nullptr) return PrintUsage(), 2;
-      if (!cli::internal::ParseIntStrict(v, &options.num_workers)) {
-        std::fprintf(stderr, "bad --workers '%s'\n", v);
+      if (!cli::internal::ParseIntStrict(v, &options.max_connections)) {
+        std::fprintf(stderr, "bad --max-connections '%s'\n", v);
         return PrintUsage(), 2;
       }
     } else if (flag == "--cache") {
@@ -144,6 +167,61 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --threads '%s'\n", v);
         return PrintUsage(), 2;
       }
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      std::string list = v;
+      size_t begin = 0;
+      while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const std::string token =
+            list.substr(begin, comma == std::string::npos ? std::string::npos
+                                                          : comma - begin);
+        auto parsed = net::ParseHostPort(token);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "bad --shards entry '%s': %s\n", token.c_str(),
+                       parsed.status().ToString().c_str());
+          return PrintUsage(), 2;
+        }
+        shard_addrs.push_back(std::move(*parsed));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+    } else if (flag == "--replication") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(
+              v, &coordinator_options.plan.replication) ||
+          coordinator_options.plan.replication < 0) {
+        std::fprintf(stderr, "bad --replication '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--client-qps") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseDoubleStrict(v, &admission.client_qps) ||
+          admission.client_qps < 0) {
+        std::fprintf(stderr, "bad --client-qps '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+      want_admission = true;
+    } else if (flag == "--client-burst") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseDoubleStrict(v, &admission.client_burst) ||
+          admission.client_burst < 1) {
+        std::fprintf(stderr, "bad --client-burst '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--max-pending") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &admission.max_pending) ||
+          admission.max_pending < 0) {
+        std::fprintf(stderr, "bad --max-pending '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+      want_admission = true;
     } else if (flag == "--load") {
       const char* v = next();
       if (v == nullptr) return PrintUsage(), 2;
@@ -160,6 +238,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return PrintUsage(), 2;
     }
+  }
+
+  if (!shard_addrs.empty()) {
+    if (!preloads.empty()) {
+      std::fprintf(stderr,
+                   "arspd: --load is engine-mode only; load datasets through "
+                   "the coordinator's wire interface instead\n");
+      return 2;
+    }
+    std::vector<std::shared_ptr<net::ServiceBackend>> shards;
+    std::vector<std::string> shard_names;
+    shards.reserve(shard_addrs.size());
+    for (const auto& [shard_host, shard_port] : shard_addrs) {
+      shards.push_back(
+          std::make_shared<cluster::RemoteShard>(shard_host, shard_port));
+      shard_names.push_back(shard_host + ":" + std::to_string(shard_port));
+    }
+    options.backend = std::make_shared<cluster::Coordinator>(
+        std::move(shards), std::move(shard_names), coordinator_options);
+  }
+  if (want_admission) {
+    options.query_gate =
+        std::make_shared<cluster::AdmissionController>(admission);
   }
 
   net::ArspServer server(options);
@@ -210,6 +311,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!shard_addrs.empty()) {
+    std::printf("arspd coordinating %zu shards (replication %d)\n",
+                shard_addrs.size(), coordinator_options.plan.replication);
+  }
   std::printf("arspd listening on %s:%d\n", options.host.c_str(),
               server.port());
   std::fflush(stdout);
