@@ -1,0 +1,233 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Out-of-core scale bench: the build-vs-load split behind the .arsp
+// snapshot format (src/io/snapshot.h), exported as BENCH_scale.json for the
+// CI perf gate. Measures, on one synthetic dataset:
+//
+//   Scale/BuildIndexes    — the in-memory cost a cold start pays without a
+//     snapshot: both spatial index builds over the dataset.
+//   Scale/PackSnapshot    — arsp_pack's hot loop: serialize columns +
+//     prebuilt index arenas + checksums to a snapshot file.
+//   Scale/LoadSnapshot    — the out-of-core path: mmap + validate + borrow;
+//     O(sections), not O(instances).
+//   Scale/LoadVsBuild     — both paths back to back, exporting build_ns /
+//     load_ns counters (bench_diff's _ns-suffix counters are gated like
+//     timings, calibration-normalized) plus the deterministic bytes_mapped.
+//   Scale/Query{InMemory,FromSnapshot} — identical warm solves over the
+//     heap-built and snapshot-served dataset; their deterministic work
+//     counters (arsp_size, dominance_tests) must match exactly — the
+//     bit-identity contract, enforced by the perf gate's counter check.
+//
+// Sizing: ~100K instances at ARSP_BENCH_SCALE=1 (CI default). The paper
+// -scale 10M-instance run is ARSP_BENCH_SCALE=100 — see the acceptance
+// numbers in ARCHITECTURE.md ("Storage & snapshots").
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/mem.h"
+#include "src/core/solver.h"
+#include "src/index/kdtree.h"
+#include "src/index/rtree.h"
+#include "src/io/snapshot.h"
+#include "src/uncertain/dataset_view.h"
+
+namespace arsp {
+namespace {
+
+using bench_util::MakeWrRegion;
+using bench_util::MustCreate;
+using bench_util::MustSolve;
+using bench_util::ScaledM;
+
+// Serially dependent xorshift64 chain — the same calibration entry every
+// gated export carries (bench_diff normalizes ns/op ratios by it).
+void BM_Calibrate_Xorshift64(benchmark::State& state) {
+  uint64_t x = 88172645463325252ull;
+  for (auto _ : state) {
+    for (int i = 0; i < (1 << 16); ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Calibrate_Xorshift64);
+
+// ~100K instances at scale 1 (m=2000 objects x cnt=50); ARSP_BENCH_SCALE
+// scales m, so =100 reaches the paper-scale 10M instances.
+const UncertainDataset& ScaleDataset() {
+  static const auto* dataset = new UncertainDataset(bench_util::MakeSynthetic(
+      Distribution::kIndependent, ScaledM(2000), 50, 3, 0.2, 0.0));
+  return *dataset;
+}
+
+std::string SnapshotPath() {
+  static const std::string* path = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    return new std::string(std::string(tmp != nullptr ? tmp : "/tmp") +
+                           "/arsp_bench_scale.arsp");
+  }();
+  return *path;
+}
+
+// The query benches' preference region. The snapshot ships pre-mapped
+// scores for exactly this region, so the snapshot-served query is fully
+// zero-copy: kdtt+ reads its score span straight from the mapping (a
+// snapshot_hit) instead of re-mapping in memory.
+const PreferenceRegion& BenchRegion() {
+  static const auto* region = new PreferenceRegion(MakeWrRegion(3, 2));
+  return *region;
+}
+
+snapshot::SnapshotWriteOptions PackOptions() {
+  snapshot::SnapshotWriteOptions options;
+  options.scores_region = &BenchRegion();
+  return options;
+}
+
+// Packs ScaleDataset() once; every load-side bench reads this file.
+const std::string& PackedOnce() {
+  static const std::string* path = [] {
+    const Status st =
+        snapshot::WriteSnapshot(ScaleDataset(), SnapshotPath(), PackOptions());
+    ARSP_CHECK_MSG(st.ok(), "pack failed: %s", st.ToString().c_str());
+    return new std::string(SnapshotPath());
+  }();
+  return *path;
+}
+
+double NsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_Scale_BuildIndexes(benchmark::State& state) {
+  const UncertainDataset& dataset = ScaleDataset();
+  const DatasetView view(dataset);
+  for (auto _ : state) {
+    const KdTree kd = KdTree::FromView(view);
+    const RTree rt = RTree::BulkLoadFromView(view);
+    benchmark::DoNotOptimize(kd.size());
+    benchmark::DoNotOptimize(rt.size());
+  }
+  state.counters["n"] = static_cast<double>(dataset.num_instances());
+  state.counters["m"] = static_cast<double>(dataset.num_objects());
+}
+BENCHMARK(BM_Scale_BuildIndexes)->Unit(benchmark::kMillisecond);
+
+void BM_Scale_PackSnapshot(benchmark::State& state) {
+  const UncertainDataset& dataset = ScaleDataset();
+  for (auto _ : state) {
+    const Status st =
+        snapshot::WriteSnapshot(dataset, SnapshotPath(), PackOptions());
+    ARSP_CHECK(st.ok());
+  }
+}
+BENCHMARK(BM_Scale_PackSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_Scale_LoadSnapshot(benchmark::State& state) {
+  const std::string& path = PackedOnce();
+  size_t bytes_mapped = 0;
+  for (auto _ : state) {
+    auto loaded = snapshot::LoadSnapshot(path);
+    ARSP_CHECK(loaded.ok());
+    bytes_mapped = loaded->bytes_mapped;
+    benchmark::DoNotOptimize(loaded->dataset->num_instances());
+  }
+  // Deterministic for a fixed scale: the snapshot layout is a pure function
+  // of the dataset, so a drift here means the format changed.
+  state.counters["bytes_mapped"] = static_cast<double>(bytes_mapped);
+}
+BENCHMARK(BM_Scale_LoadSnapshot)->Unit(benchmark::kMillisecond);
+
+// Both cold-start paths in one entry, so their ratio travels in a single
+// export line: build_ns (index construction) vs load_ns (mmap + validate).
+// The _ns suffix puts these under bench_diff's normalized timing gate; a
+// snapshot load regressing toward build cost fails CI.
+void BM_Scale_LoadVsBuild(benchmark::State& state) {
+  const UncertainDataset& dataset = ScaleDataset();
+  const DatasetView view(dataset);
+  const std::string& path = PackedOnce();
+  // Per-iteration minima, the same noise-robust collapse the exporter
+  // applies across repetitions.
+  double build_ns = std::numeric_limits<double>::infinity();
+  double load_ns = std::numeric_limits<double>::infinity();
+  size_t bytes_mapped = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const KdTree kd = KdTree::FromView(view);
+    const RTree rt = RTree::BulkLoadFromView(view);
+    benchmark::DoNotOptimize(kd.size());
+    benchmark::DoNotOptimize(rt.size());
+    const auto t1 = std::chrono::steady_clock::now();
+    auto loaded = snapshot::LoadSnapshot(path);
+    ARSP_CHECK(loaded.ok());
+    benchmark::DoNotOptimize(loaded->dataset->num_instances());
+    build_ns = std::min(
+        build_ns, std::chrono::duration<double, std::nano>(t1 - t0).count());
+    load_ns = std::min(load_ns, NsSince(t1));
+    bytes_mapped = loaded->bytes_mapped;
+  }
+  state.counters["build_ns"] = build_ns;
+  state.counters["load_ns"] = load_ns;
+  state.counters["bytes_mapped"] = static_cast<double>(bytes_mapped);
+}
+BENCHMARK(BM_Scale_LoadVsBuild)->Unit(benchmark::kMillisecond);
+
+// Warm query work must be identical however the dataset got into memory:
+// the two entries below export the same deterministic counters, and the
+// perf gate's exact-equality check turns any divergence into a CI failure.
+void RunScaleQuery(benchmark::State& state, ExecutionContext& context) {
+  auto solver = MustCreate("kdtt+");
+  ArspResult result;
+  for (auto _ : state) {
+    result = MustSolve(*solver, context);
+    benchmark::DoNotOptimize(result.instance_probs.data());
+  }
+  state.counters["arsp_size"] = static_cast<double>(CountNonZero(result));
+  state.counters["dominance_tests"] =
+      static_cast<double>(result.dominance_tests);
+}
+
+void BM_Scale_QueryInMemory(benchmark::State& state) {
+  static auto* context = new ExecutionContext(ScaleDataset(), BenchRegion());
+  RunScaleQuery(state, *context);
+}
+BENCHMARK(BM_Scale_QueryInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_Scale_QueryFromSnapshot(benchmark::State& state) {
+  static auto* context = [] {
+    auto loaded = snapshot::LoadSnapshot(PackedOnce());
+    ARSP_CHECK(loaded.ok());
+    return new ExecutionContext(DatasetView(loaded->dataset), BenchRegion());
+  }();
+  RunScaleQuery(state, *context);
+  // Nonzero proves the score span is served from the mapping (the packed
+  // region's vertex hash matched); deterministic for a fixed scale.
+  state.counters["index_bytes_mapped"] =
+      static_cast<double>(context->IndexMemoryFootprint().mapped);
+}
+BENCHMARK(BM_Scale_QueryFromSnapshot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace arsp
+
+int main(int argc, char** argv) {
+  const int rc = arsp::bench_util::BenchMain(argc, argv);
+  // Peak RSS is machine state, not a gated counter — print it for the
+  // 10M-instance acceptance runs (ARSP_BENCH_SCALE=100).
+  std::fprintf(stderr, "peak_rss_mb=%.1f\n",
+               static_cast<double>(arsp::PeakRssBytes()) / (1024.0 * 1024.0));
+  return rc;
+}

@@ -71,7 +71,8 @@ int main() {
 
   const auto dataset_view = engine.dataset(data);
   std::printf("\nper-instance rskyline probabilities:\n");
-  for (const Instance& inst : dataset_view->instances()) {
+  for (int i = 0; i < dataset_view->num_instances(); ++i) {
+    const Instance inst = dataset_view->instance(i);
     std::printf("  T%d %-12s p=%.3f  Pr_rsky=%.4f\n", inst.object_id + 1,
                 inst.point.ToString().c_str(), inst.prob,
                 result.instance_probs[static_cast<size_t>(inst.instance_id)]);

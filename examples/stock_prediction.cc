@@ -60,7 +60,7 @@ int main() {
 
   std::printf("top stock predictions, ratio range [0.5, 2]:\n");
   for (const auto& [object, prob] : TopKObjects(via_ms, *dataset, 8)) {
-    const Instance& inst = dataset->instance(dataset->object_range(object).first);
+    const Instance inst = dataset->instance(dataset->object_range(object).first);
     std::printf("  stock-%03d  Pr_rsky=%.4f  price=%6.1f  growth=%+.3f\n",
                 object + 1, prob, inst.point[0], -inst.point[1]);
   }
@@ -72,7 +72,7 @@ int main() {
   std::printf("\nsecond query [0.1, 0.5] reused the index in %.2f ms:\n",
               sw.ElapsedMillis());
   for (const auto& [object, prob] : TopKObjects(growth_heavy, *dataset, 5)) {
-    const Instance& inst = dataset->instance(dataset->object_range(object).first);
+    const Instance inst = dataset->instance(dataset->object_range(object).first);
     std::printf("  stock-%03d  Pr_rsky=%.4f  price=%6.1f  growth=%+.3f\n",
                 object + 1, prob, inst.point[0], -inst.point[1]);
   }

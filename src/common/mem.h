@@ -1,0 +1,20 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Process memory introspection for the --stats / STATS reporting paths and
+// the scale bench: peak resident set size as the kernel accounts it.
+
+#ifndef ARSP_COMMON_MEM_H_
+#define ARSP_COMMON_MEM_H_
+
+#include <cstdint>
+
+namespace arsp {
+
+/// Peak resident set size of the calling process in bytes, or 0 when the
+/// platform offers no way to ask (the value is reporting-only; callers must
+/// treat 0 as "unknown", never as "no memory").
+int64_t PeakRssBytes();
+
+}  // namespace arsp
+
+#endif  // ARSP_COMMON_MEM_H_

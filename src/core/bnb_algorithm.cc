@@ -22,8 +22,8 @@ namespace {
 // the score of its lower corner under the reference vertex ω (best-first).
 struct HeapEntry {
   double key;
-  const RTree::Node* node;  // nullptr for instance entries
-  int instance_id;          // valid when node == nullptr
+  int node_id;      // flat node id; -1 for instance entries
+  int instance_id;  // valid when node_id < 0
 
   bool operator>(const HeapEntry& other) const { return key > other.key; }
 };
@@ -63,18 +63,22 @@ struct PruningSet {
 // subtree is walked once to report them (all-delta subtrees and ids outside
 // the view are not the view's instances and are skipped like everywhere
 // else).
-void ResolveSubtreeZero(const RTree::Node* node, const DatasetView& view,
-                        int id_bound, GoalPruner* pruner) {
-  if (node->is_leaf()) {
-    for (const RTree::LeafEntry& leaf : node->entries()) {
-      const int local = view.LocalInstanceOf(leaf.id);
+void ResolveSubtreeZero(const RTree& tree, int node_id,
+                        const DatasetView& view, int id_bound,
+                        GoalPruner* pruner) {
+  const int count = tree.node_count(node_id);
+  if (tree.node_is_leaf(node_id)) {
+    for (int k = 0; k < count; ++k) {
+      const int local =
+          view.LocalInstanceOf(tree.entry_id(tree.node_kid(node_id, k)));
       if (local >= 0) pruner->Resolve(local, 0.0);
     }
     return;
   }
-  for (const auto& child : node->children()) {
-    if (child->min_id() >= id_bound) continue;
-    ResolveSubtreeZero(child.get(), view, id_bound, pruner);
+  for (int k = 0; k < count; ++k) {
+    const int child = tree.node_kid(node_id, k);
+    if (tree.node_min_id(child) >= id_bound) continue;
+    ResolveSubtreeZero(tree, child, view, id_bound, pruner);
   }
 }
 
@@ -119,8 +123,12 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
   pruning_set.dim = mapped_dim;
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  heap.push(HeapEntry{Score(omega, data_tree.root()->mbr().min_corner()),
-                      data_tree.root(), -1});
+  heap.push(HeapEntry{Score(omega, data_tree.node_lo(data_tree.root_id())),
+                      data_tree.root_id(), -1});
+
+  // Scratch for mapping node lower corners through SV without a Point
+  // allocation per visited node.
+  Point node_mapped(mapped_dim);
 
   // Scratch for batch processing of equal-key instances.
   struct BatchItem {
@@ -159,35 +167,47 @@ ArspResult RunBnb(ExecutionContext& context, const BnbOptions& options) {
     while (!heap.empty() && heap.top().key == key) {
       const HeapEntry entry = heap.top();
       heap.pop();
-      if (entry.node != nullptr) {
+      if (entry.node_id >= 0) {
         ++result.nodes_visited;
-        const RTree::Node* node = entry.node;
-        if (options.enable_pruning &&
-            pruning_set.Prunes(mapper.Map(node->mbr().min_corner()))) {
-          ++result.nodes_pruned;
-          if (pruner != nullptr) {
-            ResolveSubtreeZero(node, view, id_bound, pruner);
+        const int node = entry.node_id;
+        if (options.enable_pruning) {
+          if (mapped_dim > 0) {
+            mapper.MapRowInto(data_tree.node_lo(node), &node_mapped[0]);
           }
-          continue;
+          if (pruning_set.Prunes(node_mapped)) {
+            ++result.nodes_pruned;
+            if (pruner != nullptr) {
+              ResolveSubtreeZero(data_tree, node, view, id_bound, pruner);
+            }
+            continue;
+          }
         }
-        if (node->is_leaf()) {
-          for (const RTree::LeafEntry& leaf : node->entries()) {
-            const int local = view.LocalInstanceOf(leaf.id);
+        const int count = data_tree.node_count(node);
+        if (data_tree.node_is_leaf(node)) {
+          for (int k = 0; k < count; ++k) {
+            const int e = data_tree.node_kid(node, k);
+            const int local = view.LocalInstanceOf(data_tree.entry_id(e));
             if (local < 0) continue;  // outside the view (shared tree)
             heap.push(
-                HeapEntry{Score(omega, leaf.point), nullptr, local});
+                HeapEntry{Score(omega, data_tree.entry_coords(e)), -1, local});
           }
         } else {
-          for (const auto& child : node->children()) {
-            if (child->min_id() >= id_bound) continue;  // all-delta subtree
-            heap.push(HeapEntry{Score(omega, child->mbr().min_corner()),
-                                child.get(), -1});
+          for (int k = 0; k < count; ++k) {
+            const int child = data_tree.node_kid(node, k);
+            if (data_tree.node_min_id(child) >= id_bound) {
+              continue;  // all-delta subtree
+            }
+            heap.push(HeapEntry{Score(omega, data_tree.node_lo(child)),
+                                child, -1});
           }
         }
         continue;
       }
       // Instance entry (local id).
-      Point mapped = mapper.Map(view.point(entry.instance_id));
+      Point mapped(mapped_dim);
+      if (mapped_dim > 0) {
+        mapper.MapRowInto(view.coords(entry.instance_id), &mapped[0]);
+      }
       if (options.enable_pruning && pruning_set.Prunes(mapped)) {
         ++result.nodes_pruned;
         if (pruner != nullptr) pruner->Resolve(entry.instance_id, 0.0);

@@ -19,7 +19,7 @@ constexpr double kAngleEps = 1e-12;
 // Angle of s around t in [0, 2π); coincident points sit at 3π/2, which lies
 // inside the dominator range of every ratio range (mutual F-dominance of
 // duplicates).
-double AngleAround(const Point& t, const Point& s) {
+double AngleAround(const double* t, const double* s) {
   const double dx = s[0] - t[0];
   const double dy = s[1] - t[1];
   if (dx == 0.0 && dy == 0.0) return kThreeHalfPi;
@@ -63,12 +63,12 @@ StatusOr<Dual2dMs> Dual2dMs::Build(const DatasetView& view,
 
   std::vector<std::pair<double, double>> angled;  // (angle, prob)
   for (int ti = 0; ti < n; ++ti) {
-    const Point& t_point = view.point(ti);
+    const double* t_row = view.coords(ti);
     angled.clear();
     angled.reserve(static_cast<size_t>(n - 1));
     for (int si = 0; si < n; ++si) {
       if (si == ti) continue;  // single-instance objects: skip own object
-      angled.emplace_back(AngleAround(t_point, view.point(si)), view.prob(si));
+      angled.emplace_back(AngleAround(t_row, view.coords(si)), view.prob(si));
     }
     std::sort(angled.begin(), angled.end());
 

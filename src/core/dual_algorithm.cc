@@ -17,8 +17,9 @@ namespace {
 constexpr double kBelowEps = 1e-9;
 
 // Region code of s relative to t: bit i = 1 iff s[i] >= t[i] (the paper's
-// "0 if less than t[i], 1 otherwise").
-int RegionCode(const Point& s, const Point& t, int d) {
+// "0 if less than t[i], 1 otherwise"). Raw rows straight out of the
+// flattened kd-tree arena and the view's columnar storage.
+int RegionCode(const double* s, const double* t, int d) {
   int code = 0;
   for (int i = 0; i < d - 1; ++i) {
     if (s[i] >= t[i]) code |= (1 << i);
@@ -50,7 +51,8 @@ ArspResult RunDual(ExecutionContext& context) {
   std::vector<int> touched;
 
   for (int ti = 0; ti < n; ++ti) {
-    const Point& t_point = view.point(ti);
+    const double* t_row = view.coords(ti);
+    const Point t_point = view.point(ti);
     const int t_object = view.object_of(ti);
     touched.clear();
     for (int k = 0; k < (1 << (d - 1)); ++k) {
@@ -76,12 +78,12 @@ ArspResult RunDual(ExecutionContext& context) {
 
       ++result.index_probes;
       tree.ForEachInBoxBelow(
-          box, plane, kBelowEps, id_bound, [&](const KdItem& item) {
+          box, plane, kBelowEps, id_bound, [&](const KdTree::EntryRef& item) {
             const int si = view.LocalInstanceOf(item.id);
             if (si < 0) return;  // outside the view (shared tree)
             const int s_object = view.object_of(si);
             if (s_object == t_object) return;
-            if (RegionCode(item.point, t_point, d) != k) return;
+            if (RegionCode(item.coords, t_row, d) != k) return;
             ++result.dominance_tests;
             double& bucket = sigma[static_cast<size_t>(s_object)];
             if (bucket == 0.0) touched.push_back(s_object);

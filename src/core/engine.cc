@@ -616,6 +616,18 @@ ExecutionContext::IndexBuildStats ArspEngine::index_stats(
   return total;
 }
 
+ColumnBytes ArspEngine::index_memory(DatasetHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ColumnBytes total;
+  for (const auto& [key, pooled] : contexts_) {
+    if (key.first != handle.id) continue;
+    const ColumnBytes bytes = pooled.context->IndexMemoryFootprint();
+    total.resident += bytes.resident;
+    total.mapped += bytes.mapped;
+  }
+  return total;
+}
+
 std::vector<StatusOr<QueryResponse>> ArspEngine::SolveBatch(
     const std::vector<QueryRequest>& requests) {
   std::vector<StatusOr<QueryResponse>> results(

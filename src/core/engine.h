@@ -311,6 +311,11 @@ class ArspEngine {
   /// to assert "one full index build, delta work per view".
   ExecutionContext::IndexBuildStats index_stats(DatasetHandle handle) const;
 
+  /// Aggregated index/score memory of one handle's pooled contexts, split
+  /// into heap-resident vs snapshot-mapped bytes (the out-of-core accounting
+  /// the daemon's STATS reply and arsp_cli --stats report).
+  ColumnBytes index_memory(DatasetHandle handle) const;
+
  private:
   struct CacheEntry {
     std::shared_ptr<const ArspResult> result;

@@ -27,14 +27,14 @@ ArspResult RunEnum(const DatasetView& view, const PreferenceRegion& region,
         for (int j = 0; j < view.num_objects(); ++j) {
           const int tid = world.choice[static_cast<size_t>(j)];
           if (tid < 0) continue;
-          const Point& t = view.point(tid);
+          const double* t = view.coords(tid);
           bool dominated = false;
           for (int l = 0; l < view.num_objects() && !dominated; ++l) {
             if (l == j) continue;
             const int sid = world.choice[static_cast<size_t>(l)];
             if (sid < 0) continue;
             ++result.dominance_tests;
-            dominated = FDominatesVertex(view.point(sid), t, vertices);
+            dominated = FDominatesVertex(view.coords(sid), t, vertices);
           }
           if (!dominated) {
             result.instance_probs[static_cast<size_t>(tid)] += world.prob;

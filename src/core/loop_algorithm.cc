@@ -30,7 +30,7 @@ ArspResult RunLoop(const DatasetView& view, const PreferenceRegion& region) {
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> keys(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    keys[static_cast<size_t>(i)] = Score(omega, view.point(i));
+    keys[static_cast<size_t>(i)] = Score(omega, view.coords(i));
   }
   std::sort(order.begin(), order.end(), [&keys](int a, int b) {
     return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
@@ -54,7 +54,7 @@ ArspResult RunLoop(const DatasetView& view, const PreferenceRegion& region) {
 
     for (int pos = group_begin; pos < group_end; ++pos) {
       const int tid = order[static_cast<size_t>(pos)];
-      const Point& t_point = view.point(tid);
+      const double* t_row = view.coords(tid);
       const int t_object = view.object_of(tid);
       touched.clear();
       // Candidate dominators: everything strictly before the group plus the
@@ -65,7 +65,7 @@ ArspResult RunLoop(const DatasetView& view, const PreferenceRegion& region) {
         const int s_object = view.object_of(sid);
         if (s_object == t_object) continue;
         ++result.dominance_tests;
-        if (FDominatesVertex(view.point(sid), t_point, vertices)) {
+        if (FDominatesVertex(view.coords(sid), t_row, vertices)) {
           if (sigma[static_cast<size_t>(s_object)] == 0.0) {
             touched.push_back(s_object);
           }

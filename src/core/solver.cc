@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/lru.h"
+#include "src/common/mem.h"
 #include "src/common/stopwatch.h"
 #include "src/simd/kernels.h"
 
@@ -74,7 +75,10 @@ std::string SolverStats::ToString() const {
      << " index_probes=" << index_probes
      << " objects_pruned=" << objects_pruned
      << " bound_refinements=" << bound_refinements
-     << " early_exit=" << early_exit_depth;
+     << " early_exit=" << early_exit_depth
+     << " index_resident_bytes=" << index_bytes_resident
+     << " index_mapped_bytes=" << index_bytes_mapped
+     << " peak_rss_bytes=" << peak_rss_bytes;
   return os.str();
 }
 
@@ -388,10 +392,26 @@ ScoreSpan ExecutionContext::scores() const {
       // zero-copy storage higher up the derivation chain.
       scores_ = parent_->scores().Gather(parent_->view(), view_);
       ++index_stats_.score_reuses;
-    } else {
-      scores_ = mapper().MapView(view_);
-      ++index_stats_.score_maps;
+      span_ = ScoreSpan::Of(*scores_);
+      span_ready_ = true;
+      return span_;
     }
+    const auto& attached = view_.base().attached_scores();
+    if (view_.is_full() && attached != nullptr &&
+        attached->vertex_hash == mapper().VertexHash()) {
+      // Snapshot-attached pre-mapped scores for this exact vertex matrix
+      // (the hash covers dimensions and every matrix byte, so the section
+      // is bit-identical to what MapView would produce). Full views only:
+      // row index must equal local instance id.
+      span_ = ScoreSpan{attached->coords.data(), attached->probs.data(),
+                        attached->objects.data(), view_.num_instances(),
+                        attached->mapped_dim};
+      ++index_stats_.snapshot_hits;
+      span_ready_ = true;
+      return span_;
+    }
+    scores_ = mapper().MapView(view_);
+    ++index_stats_.score_maps;
     span_ = ScoreSpan::Of(*scores_);
   }
   span_ready_ = true;
@@ -405,6 +425,16 @@ const KdTree& ExecutionContext::instance_kdtree() const {
     if (parent_ != nullptr) {
       kdtree_ptr_ = &parent_->instance_kdtree();
       ++index_stats_.parent_index_hits;
+    } else if (view_.is_full() &&
+               view_.base().attached_kdtree() != nullptr) {
+      // Snapshot-attached prebuilt tree. Only the full view may adopt it:
+      // the attached arenas were built over the whole dataset, and a root
+      // context over a narrower view must build its own tree so probe
+      // results (and their floating-point accumulation orders) match an
+      // in-memory build of that view exactly. The dataset outlives the
+      // context by contract, which pins the shared arenas.
+      kdtree_ptr_ = view_.base().attached_kdtree().get();
+      ++index_stats_.snapshot_hits;
     } else {
       kdtree_.emplace(KdTree::FromView(view_));
       kdtree_ptr_ = &*kdtree_;
@@ -428,6 +458,17 @@ std::shared_ptr<const RTree> ExecutionContext::instance_rtree(
     return it->second.tree;
   }
   SetupTimer timer(this);
+  if (view_.is_full() && view_.base().attached_rtree() != nullptr &&
+      view_.base().attached_rtree_fanout() == fanout) {
+    // Snapshot-attached prebuilt tree (full views only; see
+    // instance_kdtree). Cached like a built tree so repeat requests skip
+    // the attachment checks.
+    auto attached = view_.base().attached_rtree();
+    ++index_stats_.snapshot_hits;
+    if (rtrees_.size() >= kMaxCachedRtrees) EvictLeastRecentlyUsed(rtrees_);
+    rtrees_.emplace(fanout, CachedRtree{attached, ++rtree_tick_});
+    return attached;
+  }
   auto tree = std::make_shared<const RTree>(
       RTree::BulkLoadFromView(view_, fanout));
   ++index_stats_.rtree_builds;
@@ -449,6 +490,32 @@ bool ExecutionContext::single_instance_objects() const {
 ExecutionContext::IndexBuildStats ExecutionContext::index_build_stats() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   return index_stats_;
+}
+
+ColumnBytes ExecutionContext::IndexMemoryFootprint() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ColumnBytes bytes;
+  if (kdtree_ptr_ != nullptr && parent_ == nullptr) {
+    bytes += kdtree_ptr_->memory_bytes();
+  }
+  for (const auto& [fanout, cached] : rtrees_) {
+    bytes += cached.tree->memory_bytes();
+  }
+  if (scores_.has_value()) {
+    bytes.Add(scores_->coords);
+    bytes.Add(scores_->probs);
+    bytes.Add(scores_->objects);
+  } else if (span_ready_ && parent_ == nullptr) {
+    // Span without owned storage on a root context: snapshot-attached
+    // scores.
+    const auto& attached = view_.base().attached_scores();
+    if (attached != nullptr && span_.coords == attached->coords.data()) {
+      bytes.Add(attached->coords);
+      bytes.Add(attached->probs);
+      bytes.Add(attached->objects);
+    }
+  }
+  return bytes;
 }
 
 double ExecutionContext::total_setup_millis() const {
@@ -753,6 +820,19 @@ StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context,
   stats.objects_pruned = result->objects_pruned;
   stats.bound_refinements = result->bound_refinements;
   stats.early_exit_depth = result->early_exit_depth;
+  // Index artifacts live on the root ancestor (children delegate R-trees,
+  // alias the kd-tree, and share the score span), and IndexMemoryFootprint
+  // charges each artifact to its owning context so engine-wide sums don't
+  // double count. Per-query stats therefore read the root's footprint —
+  // that is what backed this solve.
+  const ExecutionContext* footprint_context = &context;
+  while (footprint_context->parent() != nullptr) {
+    footprint_context = footprint_context->parent();
+  }
+  const ColumnBytes footprint = footprint_context->IndexMemoryFootprint();
+  stats.index_bytes_resident = static_cast<int64_t>(footprint.resident);
+  stats.index_bytes_mapped = static_cast<int64_t>(footprint.mapped);
+  stats.peak_rss_bytes = PeakRssBytes();
   context.set_last_stats(stats);
   if (stats_out != nullptr) *stats_out = stats;
   return result;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/common/aligned.h"
+#include "src/common/column.h"
 #include "src/common/status.h"
 #include "src/core/arsp_result.h"
 #include "src/index/kdtree.h"
@@ -92,6 +93,13 @@ struct SolverStats {
   int64_t objects_pruned = 0;     ///< objects decided out by bounds
   int64_t bound_refinements = 0;  ///< per-object bound updates applied
   int64_t early_exit_depth = 0;   ///< depth of the global goal-met stop
+  /// Data-plane memory accounting, taken after the run: the context's index
+  /// and score artifacts split by where their bytes live (heap-owned vs.
+  /// snapshot-mapped), plus the process peak RSS (0 when the platform
+  /// cannot report it).
+  int64_t index_bytes_resident = 0;  ///< heap-owned index/score bytes
+  int64_t index_bytes_mapped = 0;    ///< snapshot-borrowed (mmap) bytes
+  int64_t peak_rss_bytes = 0;        ///< getrusage peak RSS of the process
 
   /// One-line "k=v" rendering for logs and arsp_cli --stats.
   std::string ToString() const;
@@ -447,6 +455,7 @@ class ExecutionContext {
     int64_t score_maps = 0;      ///< SoA buffers filled by dot-product runs
     int64_t score_reuses = 0;    ///< spans served from the parent's buffer
     int64_t parent_index_hits = 0;  ///< index requests served by the parent
+    int64_t snapshot_hits = 0;      ///< artifacts adopted from a snapshot
 
     /// Field-wise accumulation — the one place that must know every
     /// counter, so aggregators (engine, CLI, tests) cannot drift.
@@ -456,10 +465,17 @@ class ExecutionContext {
       score_maps += other.score_maps;
       score_reuses += other.score_reuses;
       parent_index_hits += other.parent_index_hits;
+      snapshot_hits += other.snapshot_hits;
       return *this;
     }
   };
   IndexBuildStats index_build_stats() const;
+
+  /// Resident vs. mapped bytes of the index and score artifacts this context
+  /// currently serves queries with (its kd-tree, cached R-trees, and score
+  /// buffer — whether built in memory or adopted from a snapshot). Artifacts
+  /// shared from a parent context or not yet lazily built are not counted.
+  ColumnBytes IndexMemoryFootprint() const;
 
   /// Total lazy-preprocessing wall time paid on this context so far, in
   /// milliseconds. Monotonic; ArspSolver::Solve diffs it around a run to

@@ -18,6 +18,16 @@ double Hyperplane::SignedDistance(const Point& p) const {
   return p[dim() - 1] - HeightAt(p);
 }
 
+double Hyperplane::SignedDistanceRow(const double* coords) const {
+  // Mirrors HeightAt's summation order exactly so the raw-row path used by
+  // the flattened kd-tree is bit-identical to the Point path.
+  double h = -offset_;
+  for (size_t i = 0; i < coef_.size(); ++i) {
+    h += coef_[i] * coords[i];
+  }
+  return coords[dim() - 1] - h;
+}
+
 bool Hyperplane::BelowOrOn(const Point& p, double eps) const {
   return SignedDistance(p) <= eps;
 }

@@ -40,6 +40,9 @@ class Hyperplane {
   /// Signed vertical distance of p above the plane: p[d] - HeightAt(p).
   /// Positive = above, negative = below, ~0 = on.
   double SignedDistance(const Point& p) const;
+  /// Raw-row variant of SignedDistance (`coords` is dim() contiguous
+  /// doubles); bit-identical to the Point form.
+  double SignedDistanceRow(const double* coords) const;
 
   /// True iff p lies below or on the hyperplane (tolerance eps).
   bool BelowOrOn(const Point& p, double eps = 1e-12) const;

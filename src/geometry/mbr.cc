@@ -58,6 +58,20 @@ void Mbr::Extend(const Mbr& other) {
   }
 }
 
+void Mbr::ExtendRow(const double* coords) {
+  for (int i = 0; i < dim(); ++i) {
+    min_[i] = std::min(min_[i], coords[i]);
+    max_[i] = std::max(max_[i], coords[i]);
+  }
+}
+
+bool Mbr::ContainsRow(const double* coords) const {
+  for (int i = 0; i < dim(); ++i) {
+    if (coords[i] < min_[i] || coords[i] > max_[i]) return false;
+  }
+  return true;
+}
+
 bool Mbr::Contains(const Point& p) const {
   ARSP_DCHECK(p.dim() == dim());
   for (int i = 0; i < dim(); ++i) {

@@ -42,9 +42,14 @@ class Mbr {
   void Extend(const Point& p);
   /// Grows the box to cover another box.
   void Extend(const Mbr& other);
+  /// Raw-row variant of Extend for columnar storage: `coords` is dim()
+  /// contiguous doubles.
+  void ExtendRow(const double* coords);
 
   /// True iff p lies inside the box (inclusive bounds).
   bool Contains(const Point& p) const;
+  /// Raw-row variant of Contains.
+  bool ContainsRow(const double* coords) const;
 
   /// True iff the boxes intersect (inclusive bounds).
   bool Intersects(const Mbr& other) const;

@@ -168,15 +168,15 @@ std::string FormatArspResultCsv(
              dataset.num_instances());
   std::string out = "object,instance,prob,pr_rsky\n";
   char buf[128];
-  for (const Instance& inst : dataset.instances()) {
+  for (int i = 0; i < dataset.num_instances(); ++i) {
+    const int object_id = dataset.object_of(i);
     const std::string name =
         object_names != nullptr
-            ? (*object_names)[static_cast<size_t>(inst.object_id)]
-            : std::to_string(inst.object_id);
-    std::snprintf(buf, sizeof(buf), "%s,%d,%.17g,%.17g\n", name.c_str(),
-                  inst.instance_id, inst.prob,
-                  result.instance_probs[static_cast<size_t>(
-                      inst.instance_id)]);
+            ? (*object_names)[static_cast<size_t>(object_id)]
+            : std::to_string(object_id);
+    std::snprintf(buf, sizeof(buf), "%s,%d,%.17g,%.17g\n", name.c_str(), i,
+                  dataset.prob(i),
+                  result.instance_probs[static_cast<size_t>(i)]);
     out += buf;
   }
   return out;

@@ -388,6 +388,9 @@ WireSolverStats WireSolverStats::From(const SolverStats& stats) {
   w.objects_pruned = stats.objects_pruned;
   w.bound_refinements = stats.bound_refinements;
   w.early_exit_depth = stats.early_exit_depth;
+  w.index_bytes_resident = stats.index_bytes_resident;
+  w.index_bytes_mapped = stats.index_bytes_mapped;
+  w.peak_rss_bytes = stats.peak_rss_bytes;
   return w;
 }
 
@@ -403,6 +406,9 @@ SolverStats WireSolverStats::ToSolverStats() const {
   s.objects_pruned = objects_pruned;
   s.bound_refinements = bound_refinements;
   s.early_exit_depth = early_exit_depth;
+  s.index_bytes_resident = index_bytes_resident;
+  s.index_bytes_mapped = index_bytes_mapped;
+  s.peak_rss_bytes = peak_rss_bytes;
   return s;
 }
 
@@ -417,6 +423,9 @@ void WireSolverStats::Encode(WireWriter& w) const {
   w.I64(objects_pruned);
   w.I64(bound_refinements);
   w.I64(early_exit_depth);
+  w.I64(index_bytes_resident);
+  w.I64(index_bytes_mapped);
+  w.I64(peak_rss_bytes);
 }
 
 void WireSolverStats::Decode(WireReader& r) {
@@ -430,6 +439,9 @@ void WireSolverStats::Decode(WireReader& r) {
   objects_pruned = r.I64();
   bound_refinements = r.I64();
   early_exit_depth = r.I64();
+  index_bytes_resident = r.I64();
+  index_bytes_mapped = r.I64();
+  peak_rss_bytes = r.I64();
 }
 
 std::string QueryResponseWire::EncodePayload() const {
@@ -566,6 +578,9 @@ std::string StatsResponse::EncodePayload() const {
   w.I64(score_reuses);
   w.I64(parent_index_hits);
   w.Str(kernel_arch);
+  w.I64(index_bytes_resident);
+  w.I64(index_bytes_mapped);
+  w.I64(peak_rss_bytes);
   return w.Take();
 }
 
@@ -605,6 +620,9 @@ Status StatsResponse::DecodePayload(const std::string& bytes) {
   score_reuses = r.I64();
   parent_index_hits = r.I64();
   kernel_arch = r.Str();
+  index_bytes_resident = r.I64();
+  index_bytes_mapped = r.I64();
+  peak_rss_bytes = r.I64();
   return r.Finish();
 }
 

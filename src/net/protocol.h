@@ -53,7 +53,12 @@ inline constexpr uint16_t kWireMagic = 0xA75F;
 ///     (scope_begin/scope_end), QueryResponseWire grew per-object reports +
 ///     a shipped-instance offset (shard partial results), and RETRY_LATER
 ///     became a typed overload reply.
-inline constexpr uint8_t kWireVersion = 3;
+/// v4 (out-of-core): WireSolverStats grew the data-plane memory fields
+///     (index_bytes_resident / index_bytes_mapped / peak_rss_bytes), and
+///     StatsResponse grew the same per-dataset index footprint plus the
+///     daemon's process peak RSS — so a client can see whether a dataset is
+///     served from heap-built indexes or a mapped snapshot.
+inline constexpr uint8_t kWireVersion = 4;
 
 /// Max payload bytes a peer will accept (the max-frame guard). Large enough
 /// for a multi-million-instance probability vector, small enough that a
@@ -255,6 +260,10 @@ struct WireSolverStats {
   int64_t objects_pruned = 0;
   int64_t bound_refinements = 0;
   int64_t early_exit_depth = 0;
+  // Data-plane memory accounting (SolverStats field-for-field). Since v4.
+  int64_t index_bytes_resident = 0;
+  int64_t index_bytes_mapped = 0;
+  int64_t peak_rss_bytes = 0;
 
   static WireSolverStats From(const SolverStats& stats);
   SolverStats ToSolverStats() const;
@@ -366,6 +375,13 @@ struct StatsResponse {
   /// "scalar", "avx2", "neon") — the server process's, which may differ
   /// from the client's. Since wire v2.
   std::string kernel_arch;
+  // Index/score memory of the requested dataset (valid iff has_index_stats),
+  // split into heap-resident vs snapshot-mapped bytes, plus the daemon
+  // process's peak RSS (always filled; 0 when the platform cannot report
+  // it). Since wire v4.
+  int64_t index_bytes_resident = 0;
+  int64_t index_bytes_mapped = 0;
+  int64_t peak_rss_bytes = 0;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);

@@ -18,8 +18,10 @@
 #include <sstream>
 #include <utility>
 
+#include "src/common/mem.h"
 #include "src/core/queries.h"
 #include "src/io/csv.h"
+#include "src/io/snapshot.h"
 #include "src/simd/kernels.h"
 #include "src/uncertain/generators.h"
 
@@ -461,26 +463,44 @@ StatusOr<LoadDatasetResponse> EngineBackend::Load(
     return Status::InvalidArgument("LOAD_DATASET needs a non-empty name");
   }
 
+  // A server-side path ending in ".arsp" is a columnar snapshot: it is
+  // mmap-loaded (zero parse, zero copy) instead of read as CSV, and the
+  // snapshot header's content hash is the registry fingerprint — two
+  // snapshot files with identical sections reuse one handle regardless of
+  // path or mtime, exactly like re-shipped CSV bytes.
+  const bool is_snapshot =
+      request.source == LoadSource::kCsvFile &&
+      request.payload.size() > 5 &&
+      request.payload.compare(request.payload.size() - 5, 5, ".arsp") == 0;
+
   // Server-side file sources are read up front so the fingerprint covers
   // content, not the path — a changed file under the same path must not be
   // silently reused. Inline payloads are referenced, not copied (they can
   // be hundreds of MB).
   std::string file_content;
-  if (request.source == LoadSource::kCsvFile) {
-    std::ifstream file(request.payload);
-    if (!file) {
-      return Status::NotFound("cannot open '" + request.payload +
-                              "' on the server");
+  snapshot::LoadedSnapshot snap;
+  uint64_t fingerprint = 0;
+  if (is_snapshot) {
+    auto loaded = snapshot::LoadSnapshot(request.payload);
+    if (!loaded.ok()) return loaded.status();
+    snap = std::move(*loaded);
+    fingerprint = snap.fingerprint;
+  } else {
+    if (request.source == LoadSource::kCsvFile) {
+      std::ifstream file(request.payload);
+      if (!file) {
+        return Status::NotFound("cannot open '" + request.payload +
+                                "' on the server");
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      file_content = buffer.str();
     }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    file_content = buffer.str();
+    const std::string& content = request.source == LoadSource::kCsvFile
+                                     ? file_content
+                                     : request.payload;
+    fingerprint = Fingerprint(request.source, request.header, content);
   }
-  const std::string& content = request.source == LoadSource::kCsvFile
-                                   ? file_content
-                                   : request.payload;
-  const uint64_t fingerprint =
-      Fingerprint(request.source, request.header, content);
 
   // Idempotent re-load: same name + same content reuses the handle (this
   // is what lets separate CLI invocations share one engine dataset and hit
@@ -505,20 +525,34 @@ StatusOr<LoadDatasetResponse> EngineBackend::Load(
   }
 
   // Parse / generate outside the registry lock — loads can be slow.
-  auto names = std::make_shared<std::vector<std::string>>();
-  StatusOr<UncertainDataset> dataset =
-      request.source == LoadSource::kGenerator
-          ? GenerateFromSpec(content, names.get())
-          : ParseUncertainDatasetCsv(content, request.header, names.get());
-  if (!dataset.ok()) return dataset.status();
-
+  // Snapshot datasets arrive fully assembled (borrowed columns, attached
+  // indexes) and enter the engine by shared pointer — no copy.
   NamedEntry entry;
-  entry.num_objects = dataset->num_objects();
-  entry.num_instances = dataset->num_instances();
-  entry.dim = dataset->dim();
-  entry.fingerprint = fingerprint;
-  entry.names = std::move(names);
-  entry.handle = engine_.AddDataset(std::move(*dataset));
+  if (is_snapshot) {
+    entry.num_objects = snap.dataset->num_objects();
+    entry.num_instances = snap.dataset->num_instances();
+    entry.dim = snap.dataset->dim();
+    entry.fingerprint = fingerprint;
+    entry.names = std::make_shared<std::vector<std::string>>(
+        std::move(snap.object_names));
+    entry.handle = engine_.AddDataset(snap.dataset);
+  } else {
+    const std::string& content = request.source == LoadSource::kCsvFile
+                                     ? file_content
+                                     : request.payload;
+    auto names = std::make_shared<std::vector<std::string>>();
+    StatusOr<UncertainDataset> dataset =
+        request.source == LoadSource::kGenerator
+            ? GenerateFromSpec(content, names.get())
+            : ParseUncertainDatasetCsv(content, request.header, names.get());
+    if (!dataset.ok()) return dataset.status();
+    entry.num_objects = dataset->num_objects();
+    entry.num_instances = dataset->num_instances();
+    entry.dim = dataset->dim();
+    entry.fingerprint = fingerprint;
+    entry.names = std::move(names);
+    entry.handle = engine_.AddDataset(std::move(*dataset));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = registry_.emplace(request.name, entry);
@@ -830,8 +864,12 @@ StatusOr<StatsResponse> EngineBackend::Stats(const StatsRequest& request) {
   }
   if (!index_handles.empty()) {
     ExecutionContext::IndexBuildStats total;
+    ColumnBytes memory;
     for (const DatasetHandle& handle : index_handles) {
       total += engine_.index_stats(handle);
+      const ColumnBytes bytes = engine_.index_memory(handle);
+      memory.resident += bytes.resident;
+      memory.mapped += bytes.mapped;
     }
     response.has_index_stats = true;
     response.kdtree_builds = total.kdtree_builds;
@@ -839,7 +877,10 @@ StatusOr<StatsResponse> EngineBackend::Stats(const StatsRequest& request) {
     response.score_maps = total.score_maps;
     response.score_reuses = total.score_reuses;
     response.parent_index_hits = total.parent_index_hits;
+    response.index_bytes_resident = static_cast<int64_t>(memory.resident);
+    response.index_bytes_mapped = static_cast<int64_t>(memory.mapped);
   }
+  response.peak_rss_bytes = PeakRssBytes();
   return response;
 }
 

@@ -12,6 +12,14 @@ bool FDominatesVertex(const Point& t, const Point& s,
   return true;
 }
 
+bool FDominatesVertex(const double* t, const double* s,
+                      const std::vector<Point>& vertices) {
+  for (const Point& omega : vertices) {
+    if (Score(omega, t) > Score(omega, s)) return false;
+  }
+  return true;
+}
+
 bool FDominatesWeightRatio(const Point& t, const Point& s,
                            const WeightRatioConstraints& wr) {
   const int d = wr.dim();

@@ -25,10 +25,24 @@ inline double Score(const Point& omega, const Point& t) {
   return omega.Dot(t);
 }
 
+/// Raw-row variant of Score for columnar storage: `t` is omega.dim()
+/// contiguous doubles. Same summation order as Point::Dot — bit-identical.
+inline double Score(const Point& omega, const double* t) {
+  double sum = 0.0;
+  for (int i = 0; i < omega.dim(); ++i) sum += omega[i] * t[i];
+  return sum;
+}
+
 /// Theorem 2: t ≺F s iff S_ω(t) ≤ S_ω(s) for every vertex ω ∈ V.
 /// Comparisons are exact (no epsilon) so every algorithm in the library
 /// agrees bit-for-bit on the dominance relation.
 bool FDominatesVertex(const Point& t, const Point& s,
+                      const std::vector<Point>& vertices);
+
+/// Raw-row variant of the Theorem-2 test for columnar storage: `t` and `s`
+/// are contiguous coordinate rows of the vertices' dimension. Bit-identical
+/// to the Point form.
+bool FDominatesVertex(const double* t, const double* s,
                       const std::vector<Point>& vertices);
 
 /// Theorem 2 via a PreferenceRegion.

@@ -18,11 +18,11 @@ ScoreBuffer ScoreSpan::Gather(const DatasetView& source_view,
     const int source = source_view.LocalInstanceOf(view.base_instance_id(i));
     ARSP_CHECK_MSG(source >= 0 && source < n,
                    "Gather: view instance %d is outside the source span", i);
-    std::memcpy(out.coords.data() +
+    std::memcpy(out.coords.mutable_data() +
                     static_cast<size_t>(i) * static_cast<size_t>(dim),
                 row(source), sizeof(double) * static_cast<size_t>(dim));
-    out.probs[static_cast<size_t>(i)] = prob(source);
-    out.objects[static_cast<size_t>(i)] = view.object_of(i);
+    out.probs.at_mut(static_cast<size_t>(i)) = prob(source);
+    out.objects.at_mut(static_cast<size_t>(i)) = view.object_of(i);
   }
   return out;
 }
@@ -45,13 +45,33 @@ ScoreBuffer ScoreMapper::MapView(const DatasetView& view) const {
   out.coords.resize(static_cast<size_t>(n) * static_cast<size_t>(out.dim));
   out.probs.resize(static_cast<size_t>(n));
   out.objects.resize(static_cast<size_t>(n));
+  double* rows = out.coords.mutable_data();
   for (int i = 0; i < n; ++i) {
-    MapInto(view.point(i), out.coords.data() + static_cast<size_t>(i) *
-                                                   static_cast<size_t>(out.dim));
-    out.probs[static_cast<size_t>(i)] = view.prob(i);
-    out.objects[static_cast<size_t>(i)] = view.object_of(i);
+    MapRowInto(view.coords(i), rows + static_cast<size_t>(i) *
+                                          static_cast<size_t>(out.dim));
+    out.probs.at_mut(static_cast<size_t>(i)) = view.prob(i);
+    out.objects.at_mut(static_cast<size_t>(i)) = view.object_of(i);
   }
   return out;
+}
+
+uint64_t ScoreMapper::VertexHash() const {
+  // FNV-1a over (data_dim, mapped_dim, vt bytes). The dimension-major
+  // matrix is a canonical encoding of the vertex set, so equal regions hash
+  // equal regardless of how they were constructed.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const int32_t dims[2] = {static_cast<int32_t>(data_dim_),
+                           static_cast<int32_t>(mapped_dim())};
+  mix(dims, sizeof(dims));
+  mix(vt_.data(), vt_.size() * sizeof(double));
+  return h;
 }
 
 }  // namespace arsp

@@ -25,9 +25,11 @@
 #ifndef ARSP_PREFS_SCORE_MAPPER_H_
 #define ARSP_PREFS_SCORE_MAPPER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/aligned.h"
+#include "src/common/column.h"
 #include "src/geometry/point.h"
 #include "src/prefs/preference_region.h"
 #include "src/simd/kernels.h"
@@ -35,14 +37,16 @@
 
 namespace arsp {
 
-/// Owned structure-of-arrays score storage for one DatasetView, in local
-/// instance order (row index == local instance id). Coordinate and
-/// probability streams are 64-byte aligned.
+/// Structure-of-arrays score storage for one DatasetView, in local instance
+/// order (row index == local instance id). Each stream is a Column — owned
+/// 64-byte-aligned storage when mapped in memory, borrowed spans when served
+/// from a snapshot's pre-mapped scores section (zero copy either way for
+/// consumers, which only ever see a ScoreSpan).
 struct ScoreBuffer {
   int dim = 0;                  ///< mapped dimensionality d'
-  AlignedVector<double> coords; ///< size() * dim, row-major
-  AlignedVector<double> probs;  ///< instance probabilities
-  std::vector<int> objects;     ///< local object ids
+  Column<double> coords;        ///< size() * dim, row-major
+  Column<double> probs;         ///< instance probabilities
+  Column<int32_t> objects;      ///< local object ids
 
   int size() const { return static_cast<int>(probs.size()); }
   const double* row(int i) const {
@@ -118,6 +122,20 @@ class ScoreMapper {
     simd::Ops().MapPoint(t.coords().data(), data_dim_, vt_.data(),
                          mapped_dim(), out);
   }
+
+  /// Raw-row variant of MapInto for columnar storage: `coords` is data_dim
+  /// contiguous doubles. Same kernel, same summation order — bit-identical
+  /// to the Point form.
+  void MapRowInto(const double* coords, double* out) const {
+    simd::Ops().MapPoint(coords, data_dim_, vt_.data(), mapped_dim(), out);
+  }
+
+  /// FNV-1a fingerprint of the mapping itself (data dimension, mapped
+  /// dimension, and the dimension-major vertex matrix bytes). Two mappers
+  /// with equal hashes produce bit-identical scores for equal inputs, which
+  /// is how snapshot-attached score sections are matched to a query's
+  /// preference region without string plumbing.
+  uint64_t VertexHash() const;
 
   /// SV(t): the i-th output coordinate is the score of t under vertex ω_i.
   /// Writes straight into the returned Point's storage — no temporary

@@ -94,7 +94,7 @@ StatusOr<DatasetView> DatasetView::CreateImpl(
       rep->id_bound = rep->num_instances;
       rep->bounds = Mbr::Empty(base.dim());
       for (int i = 0; i < rep->num_instances; ++i) {
-        rep->bounds.Extend(base.instance(i).point);
+        rep->bounds.ExtendRow(base.coords(i));
       }
       break;
     }
@@ -127,7 +127,7 @@ StatusOr<DatasetView> DatasetView::CreateImpl(
           rep->local_of_base[static_cast<size_t>(i)] = next++;
           rep->instance_base_ids.push_back(i);
           rep->instance_objects.push_back(local_j);
-          rep->bounds.Extend(base.instance(i).point);
+          rep->bounds.ExtendRow(base.coords(i));
         }
       }
       rep->num_instances = next;

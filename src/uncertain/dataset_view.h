@@ -137,17 +137,23 @@ class DatasetView {
     return rep_->object_base_ids[static_cast<size_t>(j)];
   }
 
-  /// Point of local instance `i` — a reference into the base's storage
-  /// (this is the zero-copy part).
-  const Point& point(int i) const {
-    return rep_->base->instance(base_instance_id(i)).point;
+  /// Raw coordinate row of local instance `i` (dim() contiguous doubles) —
+  /// a pointer into the base's columnar storage (this is the zero-copy
+  /// part; for a snapshot-loaded base it points into the mmap'ed file).
+  const double* coords(int i) const {
+    return rep_->base->coords(base_instance_id(i));
+  }
+  /// Point of local instance `i`, by value (cold paths; allocates — hot
+  /// loops read coords()).
+  Point point(int i) const {
+    return rep_->base->point(base_instance_id(i));
   }
   double prob(int i) const {
-    return rep_->base->instance(base_instance_id(i)).prob;
+    return rep_->base->prob(base_instance_id(i));
   }
   /// Local object id owning local instance `i`.
   int object_of(int i) const {
-    if (is_prefix()) return rep_->base->instance(i).object_id;
+    if (is_prefix()) return rep_->base->object_of(i);
     return rep_->instance_objects[static_cast<size_t>(i)];
   }
   /// Base instance id of local instance `i`.

@@ -249,11 +249,12 @@ std::vector<Point> AggregateByMean(const UncertainDataset& dataset) {
     Point mean(dataset.dim());
     double total = 0.0;
     for (int i = begin; i < end; ++i) {
-      const Instance& inst = dataset.instance(i);
+      const double p = dataset.prob(i);
+      const double* row = dataset.coords(i);
       for (int k = 0; k < dataset.dim(); ++k) {
-        mean[k] += inst.prob * inst.point[k];
+        mean[k] += p * row[k];
       }
-      total += inst.prob;
+      total += p;
     }
     ARSP_CHECK(total > 0.0);
     for (int k = 0; k < dataset.dim(); ++k) mean[k] /= total;

@@ -60,7 +60,7 @@ double WorldProbability(const UncertainDataset& dataset,
     if (pick < 0) {
       prob *= 1.0 - dataset.object_prob(j);
     } else {
-      prob *= dataset.instance(pick).prob;
+      prob *= dataset.prob(pick);
     }
   }
   return prob;

@@ -2,6 +2,8 @@
 
 #include "src/uncertain/uncertain_dataset.h"
 
+#include <algorithm>
+
 namespace arsp {
 
 namespace {
@@ -17,6 +19,16 @@ double UncertainDataset::NumPossibleWorlds() const {
   return worlds;
 }
 
+ColumnBytes UncertainDataset::memory_bytes() const {
+  ColumnBytes bytes;
+  bytes.Add(coords_);
+  bytes.Add(probs_);
+  bytes.Add(instance_objects_);
+  bytes.Add(object_starts_);
+  bytes.Add(object_probs_);
+  return bytes;
+}
+
 int UncertainDatasetBuilder::AddObject(std::vector<Point> points,
                                        std::vector<double> probs) {
   object_points_.push_back(std::move(points));
@@ -30,6 +42,15 @@ StatusOr<UncertainDataset> UncertainDatasetBuilder::Build() {
   out.bounds_ = Mbr::Empty(dim_);
 
   const int m = static_cast<int>(object_points_.size());
+  size_t total_instances = 0;
+  for (const auto& points : object_points_) total_instances += points.size();
+  out.coords_.reserve(total_instances * static_cast<size_t>(dim_));
+  out.probs_.reserve(total_instances);
+  out.instance_objects_.reserve(total_instances);
+  out.object_starts_.reserve(static_cast<size_t>(m) + 1);
+  out.object_probs_.reserve(static_cast<size_t>(m));
+
+  if (m > 0) out.object_starts_.push_back(0);
   int next_instance = 0;
   for (int j = 0; j < m; ++j) {
     const auto& points = object_points_[static_cast<size_t>(j)];
@@ -56,17 +77,15 @@ StatusOr<UncertainDataset> UncertainDatasetBuilder::Build() {
       return Status::InvalidArgument(
           "object probabilities sum to more than 1");
     }
-    const int begin = next_instance;
     for (size_t i = 0; i < points.size(); ++i) {
-      Instance inst;
-      inst.point = points[i];
-      inst.prob = std::min(probs[i], 1.0);
-      inst.object_id = j;
-      inst.instance_id = next_instance++;
-      out.bounds_.Extend(inst.point);
-      out.instances_.push_back(std::move(inst));
+      const Point& p = points[i];
+      for (int k = 0; k < dim_; ++k) out.coords_.push_back(p[k]);
+      out.probs_.push_back(std::min(probs[i], 1.0));
+      out.instance_objects_.push_back(j);
+      out.bounds_.Extend(p);
+      ++next_instance;
     }
-    out.object_ranges_.emplace_back(begin, next_instance);
+    out.object_starts_.push_back(next_instance);
     out.object_probs_.push_back(std::min(total, 1.0));
   }
   return out;

@@ -40,8 +40,9 @@ TEST(DatasetViewTest, FullViewMirrorsTheBase) {
   EXPECT_EQ(view.dim(), dataset.dim());
   EXPECT_EQ(view.id_bound(), dataset.num_instances());
   for (int i = 0; i < view.num_instances(); ++i) {
-    // Zero-copy: the view's point is the base instance's point object.
-    EXPECT_EQ(&view.point(i), &dataset.instance(i).point);
+    // Zero-copy: the view's coords are the base's columnar storage rows.
+    EXPECT_EQ(view.coords(i), dataset.coords(i));
+    EXPECT_EQ(view.point(i), dataset.instance(i).point);
     EXPECT_EQ(view.prob(i), dataset.instance(i).prob);
     EXPECT_EQ(view.object_of(i), dataset.instance(i).object_id);
     EXPECT_EQ(view.base_instance_id(i), i);
@@ -99,7 +100,7 @@ TEST(DatasetViewTest, SubsetViewRemapsIds) {
     for (int i = begin; i < end; ++i, ++local_instance) {
       EXPECT_EQ(view->base_instance_id(local_instance), i);
       EXPECT_EQ(view->LocalInstanceOf(i), local_instance);
-      EXPECT_EQ(&view->point(local_instance), &dataset.instance(i).point);
+      EXPECT_EQ(view->coords(local_instance), dataset.coords(i));
       EXPECT_EQ(view->object_of(local_instance), local_j);
     }
   }

@@ -25,10 +25,11 @@ TEST(GeneratorsTest, SyntheticRespectsConfig) {
     EXPECT_LE(dataset.object_size(j), 10);
   }
   // All coordinates inside the unit cube.
-  for (const Instance& inst : dataset.instances()) {
+  for (int i = 0; i < dataset.num_instances(); ++i) {
+    const double* row = dataset.coords(i);
     for (int k = 0; k < 3; ++k) {
-      EXPECT_GE(inst.point[k], 0.0);
-      EXPECT_LE(inst.point[k], 1.0);
+      EXPECT_GE(row[k], 0.0);
+      EXPECT_LE(row[k], 1.0);
     }
   }
 }
@@ -72,12 +73,13 @@ TEST(GeneratorsTest, DistributionsDifferInCorrelation) {
     const UncertainDataset dataset = GenerateSynthetic(config);
     double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
     const int n = dataset.num_instances();
-    for (const Instance& inst : dataset.instances()) {
-      sx += inst.point[0];
-      sy += inst.point[1];
-      sxx += inst.point[0] * inst.point[0];
-      syy += inst.point[1] * inst.point[1];
-      sxy += inst.point[0] * inst.point[1];
+    for (int i = 0; i < n; ++i) {
+      const double* row = dataset.coords(i);
+      sx += row[0];
+      sy += row[1];
+      sxx += row[0] * row[0];
+      syy += row[1] * row[1];
+      sxy += row[0] * row[1];
     }
     const double cov = sxy / n - (sx / n) * (sy / n);
     const double vx = sxx / n - (sx / n) * (sx / n);

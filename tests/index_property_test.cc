@@ -99,7 +99,8 @@ TEST_P(IndexSweep, KdTreeSumAndReportAgreeWithBrute) {
     }
     EXPECT_NEAR(tree.SumInBox(box), brute, 1e-9);
     std::vector<int> got;
-    tree.ForEachInBox(box, [&](const KdItem& it) { got.push_back(it.id); });
+    tree.ForEachInBox(box,
+                      [&](const KdTree::EntryRef& it) { got.push_back(it.id); });
     std::sort(got.begin(), got.end());
     std::sort(brute_ids.begin(), brute_ids.end());
     EXPECT_EQ(got, brute_ids);
@@ -119,8 +120,9 @@ TEST_P(IndexSweep, KdTreeHalfspaceAgreesWithBrute) {
     for (double& v : coef) v = rng.Uniform(-2.0, 2.0);
     const Hyperplane hp(coef, rng.Uniform(-1.0, 1.0));
     std::vector<int> got;
-    tree.ForEachInBoxBelow(tree.root_mbr(), hp, 0.0,
-                           [&](const KdItem& it) { got.push_back(it.id); });
+    tree.ForEachInBoxBelow(
+        tree.root_mbr(), hp, 0.0,
+        [&](const KdTree::EntryRef& it) { got.push_back(it.id); });
     std::vector<int> brute;
     for (const auto& e : entries) {
       if (hp.SignedDistance(e.point) <= 0.0) brute.push_back(e.id);

@@ -21,7 +21,7 @@ std::vector<KdItem> RandomItems(int n, int dim, Rng& rng) {
 }
 
 TEST(KdTreeTest, EmptyTree) {
-  const KdTree tree({});
+  const KdTree tree(std::vector<KdItem>{});
   EXPECT_EQ(tree.size(), 0);
   EXPECT_EQ(tree.SumInBox(Mbr(Point{0.0}, Point{1.0})), 0.0);
 }
@@ -63,7 +63,8 @@ TEST(KdTreeTest, ForEachInBoxVisitsExactlyTheBox) {
   const KdTree tree(items);
   const Mbr box(Point{0.25, 0.25}, Point{0.75, 0.75});
   std::vector<int> visited;
-  tree.ForEachInBox(box, [&](const KdItem& it) { visited.push_back(it.id); });
+  tree.ForEachInBox(
+      box, [&](const KdTree::EntryRef& it) { visited.push_back(it.id); });
   std::vector<int> expected;
   for (const KdItem& it : items) {
     if (box.Contains(it.point)) expected.push_back(it.id);
@@ -82,8 +83,9 @@ TEST(KdTreeTest, HalfspaceReportingMatchesBruteForce) {
                         rng.Uniform(-1.0, 1.0));
     const Mbr box = tree.root_mbr();
     std::vector<int> visited;
-    tree.ForEachInBoxBelow(box, hp, 0.0,
-                           [&](const KdItem& it) { visited.push_back(it.id); });
+    tree.ForEachInBoxBelow(
+        box, hp, 0.0,
+        [&](const KdTree::EntryRef& it) { visited.push_back(it.id); });
     std::vector<int> expected;
     for (const KdItem& it : items) {
       if (hp.SignedDistance(it.point) <= 0.0) expected.push_back(it.id);
@@ -121,7 +123,8 @@ TEST(KdTreeTest, OrthantQueryWithHalfspace) {
   const Mbr orthant(tree.root_mbr().min_corner(), Point{0.5, 0.5});
   const Hyperplane hp({-1.0}, -1.0);  // y = -x + 1
   int count = 0;
-  tree.ForEachInBoxBelow(orthant, hp, 0.0, [&](const KdItem&) { ++count; });
+  tree.ForEachInBoxBelow(orthant, hp, 0.0,
+                         [&](const KdTree::EntryRef&) { ++count; });
   int expected = 0;
   for (const KdItem& it : items) {
     if (it.point[0] <= 0.5 && it.point[1] <= 0.5 &&

@@ -41,7 +41,7 @@ Mbr RandomBox(int dim, Rng& rng) {
 TEST(RTreeTest, EmptyTree) {
   const RTree tree(2);
   EXPECT_TRUE(tree.empty());
-  EXPECT_EQ(tree.root(), nullptr);
+  EXPECT_EQ(tree.root_id(), -1);
   EXPECT_EQ(tree.WindowSum(Mbr(Point{0.0, 0.0}, Point{1.0, 1.0})), 0.0);
 }
 
@@ -92,27 +92,30 @@ TEST(RTreeTest, NodeInvariants) {
   RTree tree(3, 8);
   for (const auto& e : entries) tree.Insert(e.point, e.weight, e.id);
 
-  std::function<double(const RTree::Node*)> check =
-      [&](const RTree::Node* node) -> double {
+  std::function<double(int)> check = [&](int id) -> double {
     double sum = 0.0;
-    if (node->is_leaf()) {
-      for (const auto& e : node->entries()) {
-        EXPECT_TRUE(node->mbr().Contains(e.point));
-        sum += e.weight;
+    const Mbr box = tree.node_mbr(id);
+    if (tree.node_is_leaf(id)) {
+      for (int k = 0; k < tree.node_count(id); ++k) {
+        const int e = tree.node_kid(id, k);
+        EXPECT_TRUE(box.ContainsRow(tree.entry_coords(e)));
+        sum += tree.entry_weight(e);
       }
     } else {
-      for (const auto& child : node->children()) {
-        for (int k = 0; k < 3; ++k) {
-          EXPECT_GE(child->mbr().min_corner()[k], node->mbr().min_corner()[k]);
-          EXPECT_LE(child->mbr().max_corner()[k], node->mbr().max_corner()[k]);
+      for (int k = 0; k < tree.node_count(id); ++k) {
+        const int child = tree.node_kid(id, k);
+        const Mbr child_box = tree.node_mbr(child);
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_GE(child_box.min_corner()[d], box.min_corner()[d]);
+          EXPECT_LE(child_box.max_corner()[d], box.max_corner()[d]);
         }
-        sum += check(child.get());
+        sum += check(child);
       }
     }
-    EXPECT_NEAR(node->weight_sum(), sum, 1e-9);
+    EXPECT_NEAR(tree.node_weight_sum(id), sum, 1e-9);
     return sum;
   };
-  check(tree.root());
+  check(tree.root_id());
 }
 
 TEST(RTreeTest, CollectInBox) {
@@ -146,8 +149,8 @@ TEST(RTreeTest, BulkLoadHandlesTinyInputs) {
     const auto entries = RandomEntries(n, 2, rng);
     const RTree tree = RTree::BulkLoad(2, entries);
     EXPECT_EQ(tree.size(), n);
-    EXPECT_NEAR(tree.WindowSum(tree.root()->mbr()),
-                BruteSum(entries, tree.root()->mbr()), 1e-9);
+    const Mbr root_box = tree.node_mbr(tree.root_id());
+    EXPECT_NEAR(tree.WindowSum(root_box), BruteSum(entries, root_box), 1e-9);
   }
 }
 

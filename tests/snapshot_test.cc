@@ -1,0 +1,346 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Snapshot format tests: a written-then-mmap-loaded dataset must be
+// byte-identical to the in-memory original (columns, names, fingerprint),
+// every registered solver must produce bit-identical probabilities over
+// both — with and without goals, for both constraint families — and every
+// class of malformed file (truncation, corruption, wrong version, foreign
+// endianness) must be rejected with a clean error, never a crash.
+
+#include "src/io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/queries.h"
+#include "src/core/solver.h"
+#include "src/index/kdtree.h"
+#include "src/index/rtree.h"
+#include "src/prefs/score_mapper.h"
+#include "tests/test_util.h"
+
+namespace arsp {
+namespace {
+
+using snapshot::LoadSnapshot;
+using snapshot::SnapshotLoadOptions;
+using snapshot::SnapshotWriteOptions;
+using snapshot::WriteSnapshot;
+using testing_util::RandomDataset;
+using testing_util::RandomWr;
+using testing_util::WrRegion;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void ExpectColumnsEqual(const Column<T>& got, const Column<T>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.bytes()), 0);
+}
+
+TEST(SnapshotRoundTrip, ColumnsNamesAndBoundsAreBitIdentical) {
+  const UncertainDataset dataset = RandomDataset(20, 4, 3, 0.3, 501);
+  std::vector<std::string> names;
+  for (int j = 0; j < dataset.num_objects(); ++j) {
+    names.push_back("obj-" + std::to_string(j));
+  }
+  const std::string path = TempPath("roundtrip.arsp");
+  SnapshotWriteOptions options;
+  options.object_names = names;
+  ASSERT_TRUE(WriteSnapshot(dataset, path, options).ok());
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const UncertainDataset& snap = *loaded->dataset;
+
+  EXPECT_EQ(snap.dim(), dataset.dim());
+  EXPECT_EQ(snap.num_objects(), dataset.num_objects());
+  EXPECT_EQ(snap.num_instances(), dataset.num_instances());
+  ExpectColumnsEqual(snap.coords_column(), dataset.coords_column());
+  ExpectColumnsEqual(snap.probs_column(), dataset.probs_column());
+  ExpectColumnsEqual(snap.instance_objects_column(),
+                     dataset.instance_objects_column());
+  ExpectColumnsEqual(snap.object_starts_column(),
+                     dataset.object_starts_column());
+  ExpectColumnsEqual(snap.object_probs_column(), dataset.object_probs_column());
+  EXPECT_EQ(snap.bounds().min_corner(), dataset.bounds().min_corner());
+  EXPECT_EQ(snap.bounds().max_corner(), dataset.bounds().max_corner());
+  EXPECT_EQ(loaded->object_names, names);
+  EXPECT_GT(loaded->bytes_mapped, 0u);
+
+  // Zero-copy contract: every hot column is borrowed (pointing into the
+  // mapping), and the prebuilt indexes arrived attached.
+  EXPECT_TRUE(snap.coords_column().borrowed());
+  EXPECT_TRUE(snap.probs_column().borrowed());
+  ASSERT_NE(snap.attached_kdtree(), nullptr);
+  ASSERT_NE(snap.attached_rtree(), nullptr);
+  EXPECT_TRUE(snap.attached_kdtree()->nodes_column().borrowed());
+  EXPECT_TRUE(snap.attached_rtree()->nodes_column().borrowed());
+  EXPECT_EQ(snap.attached_kdtree()->size(), dataset.num_instances());
+  EXPECT_EQ(snap.attached_rtree()->size(), dataset.num_instances());
+  EXPECT_EQ(snap.attached_scores(), nullptr);  // none were written
+}
+
+TEST(SnapshotRoundTrip, AttachedIndexesMatchFreshBuildsBitExactly) {
+  const UncertainDataset dataset = RandomDataset(25, 3, 2, 0.0, 502, true);
+  const std::string path = TempPath("indexes.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+
+  const DatasetView view(dataset);
+  const KdTree fresh_kd = KdTree::FromView(view);
+  const RTree fresh_rt = RTree::BulkLoadFromView(view);
+  const KdTree& snap_kd = *loaded->dataset->attached_kdtree();
+  const RTree& snap_rt = *loaded->dataset->attached_rtree();
+  ExpectColumnsEqual(snap_kd.nodes_column(), fresh_kd.nodes_column());
+  ExpectColumnsEqual(snap_kd.node_bounds_column(),
+                     fresh_kd.node_bounds_column());
+  ExpectColumnsEqual(snap_kd.item_coords_column(),
+                     fresh_kd.item_coords_column());
+  ExpectColumnsEqual(snap_kd.item_ids_column(), fresh_kd.item_ids_column());
+  ExpectColumnsEqual(snap_rt.nodes_column(), fresh_rt.nodes_column());
+  ExpectColumnsEqual(snap_rt.node_bounds_column(),
+                     fresh_rt.node_bounds_column());
+  ExpectColumnsEqual(snap_rt.node_kids_column(), fresh_rt.node_kids_column());
+  ExpectColumnsEqual(snap_rt.entry_coords_column(),
+                     fresh_rt.entry_coords_column());
+  EXPECT_EQ(snap_rt.root_id(), fresh_rt.root_id());
+}
+
+// Every registered solver, both constraint families, full solves and goal
+// solves: a snapshot-served dataset must be indistinguishable — bit for
+// bit — from the in-memory build it was written from.
+TEST(SnapshotEquivalence, EverySolverAndGoalIsBitIdentical) {
+  const UncertainDataset dataset = RandomDataset(18, 3, 3, 0.25, 503);
+  const PreferenceRegion region = WrRegion(3, 2);
+  const WeightRatioConstraints wr = RandomWr(3, 77);
+
+  const std::string path = TempPath("solvers.arsp");
+  SnapshotWriteOptions options;
+  options.scores_region = &region;  // ship pre-mapped scores too
+  ASSERT_TRUE(WriteSnapshot(dataset, path, options).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto snap = loaded->dataset;
+
+  const std::vector<QueryGoal> goals = {
+      QueryGoal{}, QueryGoal::TopK(3), QueryGoal::Threshold(0.25),
+      QueryGoal::CountControlled(4)};
+
+  for (const std::string& name : SolverRegistry::Names()) {
+    auto solver = SolverRegistry::Create(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    for (int family = 0; family < 2; ++family) {
+      for (const QueryGoal& goal : goals) {
+        SCOPED_TRACE(name + (family == 0 ? "/region" : "/wr") + "/" +
+                     goal.ToString());
+        auto mem_context =
+            family == 0
+                ? std::make_unique<ExecutionContext>(dataset, region, goal)
+                : std::make_unique<ExecutionContext>(dataset, wr, goal);
+        auto snap_context =
+            family == 0 ? std::make_unique<ExecutionContext>(DatasetView(snap),
+                                                             region, goal)
+                        : std::make_unique<ExecutionContext>(DatasetView(snap),
+                                                             wr, goal);
+        auto mem_result = (*solver)->Solve(*mem_context);
+        auto snap_result = (*solver)->Solve(*snap_context);
+        ASSERT_EQ(mem_result.ok(), snap_result.ok());
+        if (!mem_result.ok()) continue;  // inapplicable either way
+        if (mem_result->is_complete()) {
+          ASSERT_EQ(mem_result->instance_probs.size(),
+                    snap_result->instance_probs.size());
+          for (size_t i = 0; i < mem_result->instance_probs.size(); ++i) {
+            EXPECT_EQ(mem_result->instance_probs[i],
+                      snap_result->instance_probs[i])
+                << "instance " << i;
+          }
+        }
+        const auto mem_ranked =
+            AnswerGoal(*mem_result, mem_context->view(), goal);
+        const auto snap_ranked =
+            AnswerGoal(*snap_result, snap_context->view(), goal);
+        ASSERT_EQ(mem_ranked.size(), snap_ranked.size());
+        for (size_t i = 0; i < mem_ranked.size(); ++i) {
+          EXPECT_EQ(mem_ranked[i].first, snap_ranked[i].first);
+          EXPECT_EQ(mem_ranked[i].second, snap_ranked[i].second);
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotEquivalence, AttachedArtifactsAreAdoptedNotRebuilt) {
+  const UncertainDataset dataset = RandomDataset(15, 3, 3, 0.0, 504);
+  const PreferenceRegion region = WrRegion(3, 2);
+  const std::string path = TempPath("adopt.arsp");
+  SnapshotWriteOptions options;
+  options.scores_region = &region;
+  options.rtree_fanout = 16;
+  ASSERT_TRUE(WriteSnapshot(dataset, path, options).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+
+  ExecutionContext context(DatasetView(loaded->dataset), region);
+  context.instance_kdtree();
+  context.instance_rtree(16);
+  context.scores();
+  const auto stats = context.index_build_stats();
+  EXPECT_EQ(stats.snapshot_hits, 3);
+  EXPECT_EQ(stats.kdtree_builds, 0);
+  EXPECT_EQ(stats.rtree_builds, 0);
+  EXPECT_EQ(stats.score_maps, 0);
+
+  const ColumnBytes footprint = context.IndexMemoryFootprint();
+  EXPECT_GT(footprint.mapped, 0u);  // artifacts live in the mapping
+  EXPECT_EQ(footprint.resident, 0u);
+
+  // A different region must NOT adopt the shipped scores (hash mismatch).
+  const PreferenceRegion other = WrRegion(3, 1);
+  ExecutionContext other_context(DatasetView(loaded->dataset), other);
+  other_context.scores();
+  EXPECT_EQ(other_context.index_build_stats().snapshot_hits, 0);
+  EXPECT_EQ(other_context.index_build_stats().score_maps, 1);
+}
+
+TEST(SnapshotIdentity, FingerprintIsContentNotPath) {
+  const UncertainDataset dataset = RandomDataset(10, 2, 2, 0.0, 505);
+  const std::string a = TempPath("fp_a.arsp");
+  const std::string b = TempPath("fp_b.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, a).ok());
+  ASSERT_TRUE(WriteSnapshot(dataset, b).ok());
+  auto la = LoadSnapshot(a);
+  auto lb = LoadSnapshot(b);
+  ASSERT_TRUE(la.ok() && lb.ok());
+  EXPECT_EQ(la->fingerprint, lb->fingerprint);
+  EXPECT_NE(la->fingerprint, 0u);
+
+  const UncertainDataset other = RandomDataset(10, 2, 2, 0.0, 506);
+  const std::string c = TempPath("fp_c.arsp");
+  ASSERT_TRUE(WriteSnapshot(other, c).ok());
+  auto lc = LoadSnapshot(c);
+  ASSERT_TRUE(lc.ok());
+  EXPECT_NE(la->fingerprint, lc->fingerprint);
+}
+
+// ------------------------------------------------------------- rejection
+
+TEST(SnapshotRejection, TruncatedFilesAreInvalid) {
+  const UncertainDataset dataset = RandomDataset(12, 3, 2, 0.0, 507);
+  const std::string path = TempPath("trunc.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, path).ok());
+  const std::string bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 256u);
+
+  const std::string cut = TempPath("trunc_cut.arsp");
+  for (const size_t keep :
+       {size_t{1}, size_t{32}, size_t{63}, size_t{200}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    WriteAll(cut, bytes.substr(0, keep));
+    const auto loaded = LoadSnapshot(cut);
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(SnapshotRejection, WrongMagicVersionAndEndianness) {
+  const UncertainDataset dataset = RandomDataset(8, 2, 2, 0.0, 508);
+  const std::string path = TempPath("hdr.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, path).ok());
+  const std::string bytes = ReadAll(path);
+  const std::string bad = TempPath("hdr_bad.arsp");
+
+  {
+    std::string mutated = bytes;
+    mutated[0] = 'X';  // magic
+    WriteAll(bad, mutated);
+    const auto loaded = LoadSnapshot(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  }
+  {
+    std::string mutated = bytes;
+    mutated[8] = 99;  // version (little-endian low byte)
+    WriteAll(bad, mutated);
+    const auto loaded = LoadSnapshot(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  }
+  {
+    std::string mutated = bytes;
+    std::swap(mutated[12], mutated[15]);  // endian marker byte order
+    WriteAll(bad, mutated);
+    const auto loaded = LoadSnapshot(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("byte order"),
+              std::string::npos);
+  }
+}
+
+TEST(SnapshotRejection, CorruptedSectionFailsItsChecksum) {
+  const UncertainDataset dataset = RandomDataset(12, 3, 2, 0.0, 509);
+  const std::string path = TempPath("corrupt.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, path).ok());
+  std::string bytes = ReadAll(path);
+
+  // Flip one bit deep inside the file (section payload, past header+table).
+  bytes[bytes.size() - 16] = static_cast<char>(bytes[bytes.size() - 16] ^ 0x40);
+  const std::string bad = TempPath("corrupt_bad.arsp");
+  WriteAll(bad, bytes);
+
+  const auto strict = LoadSnapshot(bad);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("checksum"), std::string::npos);
+
+  // With verification off the structural checks still pass — this is the
+  // documented trade: no sequential read, trust the bytes.
+  SnapshotLoadOptions trusting;
+  trusting.verify_checksums = false;
+  EXPECT_TRUE(LoadSnapshot(bad, trusting).ok());
+}
+
+TEST(SnapshotRejection, TamperedSectionTableIsCaughtByTheHeaderHash) {
+  const UncertainDataset dataset = RandomDataset(8, 2, 2, 0.0, 510);
+  const std::string path = TempPath("table.arsp");
+  ASSERT_TRUE(WriteSnapshot(dataset, path).ok());
+  std::string bytes = ReadAll(path);
+  // First table entry starts at offset 64; corrupt its length field.
+  bytes[64 + 16] = static_cast<char>(bytes[64 + 16] ^ 0x01);
+  const std::string bad = TempPath("table_bad.arsp");
+  WriteAll(bad, bytes);
+  // Even with checksum verification off, the table hash always runs.
+  SnapshotLoadOptions trusting;
+  trusting.verify_checksums = false;
+  const auto loaded = LoadSnapshot(bad, trusting);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("header hash"), std::string::npos);
+}
+
+TEST(SnapshotRejection, NonexistentAndEmptyFiles) {
+  EXPECT_FALSE(LoadSnapshot(TempPath("does_not_exist.arsp")).ok());
+  const std::string empty = TempPath("empty.arsp");
+  WriteAll(empty, "");
+  EXPECT_FALSE(LoadSnapshot(empty).ok());
+}
+
+}  // namespace
+}  // namespace arsp

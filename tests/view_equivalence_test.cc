@@ -174,9 +174,18 @@ TEST(ScoreMapperSoA, GatherMatchesDirectMapping) {
   const ScoreBuffer direct = mapper.MapView(*subset);
   ASSERT_EQ(gathered.size(), direct.size());
   ASSERT_EQ(gathered.dim, direct.dim);
-  EXPECT_EQ(gathered.coords, direct.coords);  // bit-exact
-  EXPECT_EQ(gathered.probs, direct.probs);
-  EXPECT_EQ(gathered.objects, direct.objects);
+  ASSERT_EQ(gathered.coords.size(), direct.coords.size());
+  for (size_t i = 0; i < direct.coords.size(); ++i) {
+    EXPECT_EQ(gathered.coords[i], direct.coords[i]) << i;  // bit-exact
+  }
+  ASSERT_EQ(gathered.probs.size(), direct.probs.size());
+  for (size_t i = 0; i < direct.probs.size(); ++i) {
+    EXPECT_EQ(gathered.probs[i], direct.probs[i]) << i;
+  }
+  ASSERT_EQ(gathered.objects.size(), direct.objects.size());
+  for (size_t i = 0; i < direct.objects.size(); ++i) {
+    EXPECT_EQ(gathered.objects[i], direct.objects[i]) << i;
+  }
 }
 
 // ------------------------------------------------- zero-copy span sharing

@@ -43,6 +43,10 @@
 //
 // CSV input format: object,prob,attr1,...,attrD (see src/io/csv.h). Lower
 // attribute values are preferred; negate "higher is better" columns.
+// A .arsp input (tools/arsp_pack) is mmap-loaded instead of parsed: columns
+// and prebuilt indexes come straight from the file, so startup is O(1) in
+// dataset size. In remote mode the daemon maps the path from its own
+// filesystem — snapshot bytes never ship over the wire.
 
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +59,7 @@
 
 #include "src/core/engine.h"
 #include "src/io/csv.h"
+#include "src/io/snapshot.h"
 #include "src/net/client.h"
 #include "src/simd/kernels.h"
 #include "tools/cli_args.h"
@@ -64,10 +69,19 @@ namespace {
 using namespace arsp;
 using cli::CliArgs;
 
+// --input paths ending in .arsp are columnar snapshots (tools/arsp_pack):
+// mmap-loaded locally, or passed as a server-side path in remote mode (the
+// daemon maps them itself — snapshot bytes never ship over the wire).
+bool IsSnapshotPath(const std::string& path) {
+  return path.size() > 5 &&
+         path.compare(path.size() - 5, 5, ".arsp") == 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: arsp_cli --input data.csv --constraints wr:l1,h1[,...]|rank:c\n"
+      "usage: arsp_cli --input data.csv|data.arsp "
+      "--constraints wr:l1,h1[,...]|rank:c\n"
       "                [--header] [--algo NAME|auto|list] [--opt k=v ...]\n"
       "                [--batch specs.txt] [--repeat N] [--stats]\n"
       "                [--subset m%%[,m%%...]] [--topk K] [--threshold P]\n"
@@ -515,9 +529,16 @@ int RunRemote(const CliArgs& args,
     // ships inline, so the daemon needs no access to the local filesystem.
     net::LoadDatasetRequest load;
     load.name = dataset_name;
-    load.source = net::LoadSource::kCsvText;
-    load.payload = csv_text;
-    load.header = args.header;
+    if (IsSnapshotPath(args.input)) {
+      // Ship the path, not the bytes: the daemon mmaps the snapshot from
+      // its own filesystem (LoadSource::kCsvFile + .arsp suffix).
+      load.source = net::LoadSource::kCsvFile;
+      load.payload = args.input;
+    } else {
+      load.source = net::LoadSource::kCsvText;
+      load.payload = csv_text;
+      load.header = args.header;
+    }
     auto loaded = client->LoadDataset(load);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -664,6 +685,8 @@ int RunRemote(const CliArgs& args,
                   static_cast<unsigned long long>(stats->pooled_contexts),
                   stats->kernel_arch.empty() ? "unknown"
                                              : stats->kernel_arch.c_str());
+      std::printf("daemon: peak_rss_mb=%.1f\n",
+                  static_cast<double>(stats->peak_rss_bytes) / (1024.0 * 1024.0));
     }
   }
 
@@ -722,33 +745,55 @@ int main(int argc, char** argv) {
     return RunRemote(args, nullptr, {}, std::string());
   }
 
-  // Both modes parse the CSV locally: local mode queries it, remote mode
-  // validates against it (dims, constraint specs), prints names from it,
-  // and ships the raw text to the daemon.
+  // Both modes load the input locally: local mode queries it, remote mode
+  // validates against it (dims, constraint specs) and prints names from it.
+  // CSV inputs ship their raw text to the daemon; snapshot inputs (.arsp)
+  // are mmap-loaded here and referenced by server-side path over the wire.
   std::string csv_text;
-  {
-    std::ifstream file(args.input);
-    if (!file) {
-      std::fprintf(stderr, "error loading %s: cannot open\n",
-                   args.input.c_str());
+  std::vector<std::string> names;
+  std::shared_ptr<const UncertainDataset> dataset;
+  if (IsSnapshotPath(args.input)) {
+    auto loaded = snapshot::LoadSnapshot(args.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", args.input.c_str(),
+                   loaded.status().ToString().c_str());
       return 1;
     }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    csv_text = buffer.str();
+    dataset = loaded->dataset;
+    names = std::move(loaded->object_names);
+    if (names.empty()) {
+      for (int j = 0; j < dataset->num_objects(); ++j) {
+        names.push_back(std::to_string(j));
+      }
+    }
+    std::printf("%s snapshot %s (%zu bytes): %d objects / %d instances, "
+                "d = %d\n",
+                loaded->mapped ? "mapped" : "read", args.input.c_str(),
+                loaded->bytes_mapped, dataset->num_objects(),
+                dataset->num_instances(), dataset->dim());
+  } else {
+    {
+      std::ifstream file(args.input);
+      if (!file) {
+        std::fprintf(stderr, "error loading %s: cannot open\n",
+                     args.input.c_str());
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      csv_text = buffer.str();
+    }
+    auto loaded = ParseUncertainDatasetCsv(csv_text, args.header, &names);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", args.input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::make_shared<const UncertainDataset>(std::move(*loaded));
+    std::printf("loaded %d objects / %d instances, d = %d\n",
+                dataset->num_objects(), dataset->num_instances(),
+                dataset->dim());
   }
-  std::vector<std::string> names;
-  auto loaded = ParseUncertainDatasetCsv(csv_text, args.header, &names);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error loading %s: %s\n", args.input.c_str(),
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  const auto dataset =
-      std::make_shared<const UncertainDataset>(std::move(*loaded));
-  std::printf("loaded %d objects / %d instances, d = %d\n",
-              dataset->num_objects(), dataset->num_instances(),
-              dataset->dim());
 
   return args.remote ? RunRemote(args, dataset, names, csv_text)
                      : RunLocal(args, dataset, names);

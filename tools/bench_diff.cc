@@ -15,7 +15,10 @@
 //   * Determinism. Work counters that appear in both files
 //     (dominance_tests, nodes_visited, arsp_size, n, m, ...) must match
 //     exactly: a drifted counter means the algorithm changed, which a
-//     timing gate would misread as noise.
+//     timing gate would misread as noise. Exception: counters whose name
+//     ends in "_ns" are timings a benchmark measured itself (bench_scale's
+//     build_ns / load_ns split) — those get the calibration-normalized
+//     regression gate, not exact equality.
 //
 // A baseline entry missing from the current export fails too (bench
 // bitrot); entries only in the current export are reported but pass. The
@@ -207,13 +210,36 @@ int main(int argc, char** argv) {
       continue;
     }
     const Entry& cur = it->second;
-    // Determinism gate: exact equality on counters present in both.
+    // Counter gates. "_ns"-suffixed counters are self-measured timings
+    // (normalized like ns/op); everything else is deterministic work and
+    // must match exactly.
     for (const auto& [counter, base_value] : base.counters) {
       const auto cit = cur.counters.find(counter);
       if (cit == cur.counters.end()) {
         std::fprintf(stderr, "FAIL %s: counter %s missing from current\n",
                      name.c_str(), counter.c_str());
         ++failures;
+        continue;
+      }
+      const bool is_timing =
+          counter.size() > 3 &&
+          counter.compare(counter.size() - 3, 3, "_ns") == 0;
+      if (is_timing) {
+        if (base_value <= 0.0 || cit->second <= 0.0) continue;
+        const double base_ratio = base_value / base_calib->second.ns_per_op;
+        const double cur_ratio = cit->second / cur_calib->second.ns_per_op;
+        const double delta_pct = (cur_ratio / base_ratio - 1.0) * 100.0;
+        if (delta_pct > max_regression_pct) {
+          std::fprintf(stderr,
+                       "FAIL %s: counter %s +%.1f%% normalized time "
+                       "(limit +%.1f%%)\n",
+                       name.c_str(), counter.c_str(), delta_pct,
+                       max_regression_pct);
+          ++failures;
+        } else {
+          std::printf("ok   %s/%s: %+.1f%%\n", name.c_str(), counter.c_str(),
+                      delta_pct);
+        }
       } else if (cit->second != base_value) {
         std::fprintf(stderr,
                      "FAIL %s: counter %s changed (%.17g -> %.17g) — "
