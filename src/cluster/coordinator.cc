@@ -34,6 +34,11 @@ void AddStats(WireSolverStats* total, const WireSolverStats& part) {
   total->bound_refinements += part.bound_refinements;
   total->early_exit_depth =
       std::max(total->early_exit_depth, part.early_exit_depth);
+  total->tasks_spawned += part.tasks_spawned;
+  total->tasks_stolen += part.tasks_stolen;
+  // Workers sum across shards: the merged figure is the cluster-wide
+  // intra-query worker count, matching how the timing fields add up.
+  total->parallel_workers += part.parallel_workers;
 }
 
 // The exact comparator of TopKObjects / AnswerGoal: probability descending,

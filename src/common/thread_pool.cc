@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/task_arena.h"
+
 namespace arsp {
 
 int ThreadPool::DefaultConcurrency() {
@@ -14,6 +16,10 @@ int ThreadPool::DefaultConcurrency() {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
+  // Pool sizes are explicit caller decisions, so this reserves
+  // unconditionally; intra-query TaskArenas only take what remains, which
+  // keeps batch × intra-query parallelism within one core budget.
+  CoreBudget::Reserve(count);
   threads_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -27,6 +33,7 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  CoreBudget::Release(num_threads());
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

@@ -19,6 +19,9 @@ namespace arsp {
 /// Fixed pool of worker threads draining a FIFO queue of tasks. Tasks must
 /// not throw; completion signalling (latches, futures) is the submitter's
 /// responsibility. The destructor drains already-queued tasks, then joins.
+/// Pool threads are charged against the process-global CoreBudget
+/// (src/common/task_arena.h) for their lifetime, so intra-query TaskArenas
+/// never oversubscribe on top of batch parallelism.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers; values < 1 are clamped to 1.

@@ -85,6 +85,12 @@ struct ArspResult {
   int64_t bound_refinements = 0;   ///< per-object bound updates applied
   int64_t early_exit_depth = 0;    ///< traversal depth (or B&B round) at the
                                    ///< global goal-met stop; 0 = ran to end
+  /// Intra-query parallelism counters (zero for serial runs). tasks_stolen
+  /// is scheduling-dependent and excluded from determinism comparisons;
+  /// everything else in this struct is bit-identical to the serial run.
+  int64_t tasks_spawned = 0;     ///< subtree tasks submitted to the arena
+  int64_t tasks_stolen = 0;      ///< tasks claimed by a non-owning worker
+  int64_t parallel_workers = 0;  ///< arena workers granted (incl. caller)
 };
 
 /// Number of instances with non-zero rskyline probability — the paper's

@@ -22,6 +22,11 @@ struct BnbOptions {
   bool enable_pruning = true;
   /// R-tree fan-out for both the data tree and the aggregated trees.
   int rtree_fanout = 16;
+  /// Worker budget for the per-batch window-query phase (1 = serial). The
+  /// aggregated trees are read-only during that phase and each batch item's
+  /// σ vector is private, so the parallel rounds are bit-identical to
+  /// serial; the heap expansion, tie counting and inserts stay serial.
+  int parallelism = 1;
 };
 
 /// Computes ARSP with the branch-and-bound algorithm.

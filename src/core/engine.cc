@@ -12,6 +12,7 @@
 #include "src/common/lru.h"
 #include "src/common/percentile.h"
 #include "src/common/stopwatch.h"
+#include "src/common/task_arena.h"
 #include "src/core/queries.h"
 #include "src/prefs/constraint_generators.h"
 
@@ -324,6 +325,11 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     return Status::InvalidArgument("count-controlled query needs "
                                    "max_objects >= 1");
   }
+  if (request.parallelism < 0) {
+    return Status::InvalidArgument(
+        "QueryRequest.parallelism must be >= 0, got " +
+        std::to_string(request.parallelism));
+  }
 
   const bool cacheable =
       request.use_cache && options_.result_cache_capacity > 0;
@@ -507,8 +513,38 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
       }
     }
     response.solver = solver_name;
-    auto solver = SolverRegistry::Create(solver_name, request.options);
+    // Created unconfigured: the capability bits decide whether the engine
+    // may inject an intra-query parallelism hint before Configure runs.
+    auto solver = SolverRegistry::Create(solver_name);
     if (!solver.ok()) return solver.status();
+    // Resolve the worker request: the per-query field wins, then the
+    // engine-wide policy, then the auto heuristic (parallelize only large
+    // contexts, sized by the process-global core budget so intra-query
+    // workers and the batch pool never oversubscribe — the executor's
+    // TryAcquire clamps to whatever is actually free at solve time).
+    int effective_parallelism = request.parallelism;
+    if (effective_parallelism == 0) {
+      effective_parallelism = options_.query_threads;
+    }
+    if (effective_parallelism == 0) {
+      effective_parallelism = view.num_instances() >= kParallelMinInstances
+                                  ? CoreBudget::Total()
+                                  : 1;
+    }
+    const bool inject_parallelism =
+        effective_parallelism >= 2 &&
+        ((*solver)->capabilities() & kCapIntraQueryParallel) != 0 &&
+        !request.options.Has("parallelism");
+    if (inject_parallelism) {
+      // The hint never enters `cache_key` (built from request.options
+      // above): parallel results are bit-identical to serial by contract,
+      // so serial and parallel runs of one query share a cache entry.
+      SolverOptions solve_options = request.options;
+      solve_options.SetInt("parallelism", effective_parallelism);
+      ARSP_RETURN_IF_ERROR((*solver)->Configure(solve_options));
+    } else {
+      ARSP_RETURN_IF_ERROR((*solver)->Configure(request.options));
+    }
     pushdown = want_pushdown &&
                ((*solver)->capabilities() & kCapGoalPushdown) != 0;
     // Goal pushdown runs on a goal-scoped child context derived over the

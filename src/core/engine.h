@@ -165,6 +165,13 @@ struct QueryRequest {
   /// post-hoc path — full solve, then slicing — e.g. when the full
   /// instance-probability vector is also needed, or in A/B ablations.
   bool allow_pushdown = true;
+  /// Intra-query worker budget for solvers advertising
+  /// kCapIntraQueryParallel: 0 = engine policy (EngineOptions::query_threads
+  /// plus the large-context heuristic), 1 = force serial, N ≥ 2 = request N
+  /// workers (the process-global core budget may grant fewer). Results are
+  /// bit-identical across every value by the parallel determinism contract,
+  /// which is also why the result cache ignores this field.
+  int parallelism = 0;
 };
 
 /// Answer to a QueryRequest. The result payload is shared (it may also
@@ -207,10 +214,23 @@ struct EngineOptions {
   /// SolveBatch worker threads; 0 = hardware concurrency. The pool is
   /// created lazily on the first SolveBatch.
   int num_threads = 0;
+  /// Default intra-query worker budget for requests with parallelism == 0:
+  /// 0 = auto (parallelize large contexts — kParallelMinInstances instances
+  /// and up — across the remaining core budget; smaller queries run
+  /// serially), 1 = serial unless a request asks, N ≥ 2 = request N workers
+  /// for every parallel-capable query. Actual grants never exceed the
+  /// process-global core budget (ARSP_THREADS / hardware concurrency).
+  int query_threads = 0;
   /// Ring-buffer window for per-request latency percentiles (latency_stats);
   /// 0 disables latency tracking.
   size_t latency_window = 1024;
 };
+
+/// Instance count from which the auto policy (query_threads == 0) treats a
+/// context as "large" and defaults parallel-capable solvers to parallel.
+/// Below it, task-spawn overhead and frontier bookkeeping outweigh the
+/// traversal work a worker can steal.
+inline constexpr int kParallelMinInstances = 200000;
 
 /// Long-lived query engine owning datasets, pooled contexts, the result
 /// cache, and the batch thread pool. All public methods are thread-safe.

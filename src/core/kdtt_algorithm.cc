@@ -5,9 +5,12 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/asp_traversal_state.h"
+#include "src/core/parallel_traversal.h"
 #include "src/core/solver.h"
 #include "src/prefs/score_mapper.h"
 
@@ -16,37 +19,51 @@ namespace arsp {
 namespace {
 
 using internal::AspTraversalState;
+using internal::GoalChannel;
+using internal::ParallelExecutor;
+using internal::PathChain;
+using internal::TraversalLane;
 
 // Runs over the context's SoA score storage (ScoreSpan): rows are local
 // instance ids, object ids are view-local. The hot candidate loops touch
 // only the three dense arrays (coords, probs, objects) — no Instance or
 // Point indirection.
+//
+// All traversal state lives in the TraversalLane the caller passes to the
+// Run entry points; the runner itself holds only immutable inputs plus the
+// shared `order` permutation and prebuilt nodes. With a ParallelExecutor,
+// the walk above `frontier_depth` runs on the caller's lane and each child
+// subtree at the frontier becomes one task: the task replays the captured
+// root→subtree PathChain into its own lane (bitwise the serial Add
+// sequence) and descends. Subtree ranges are disjoint and never revisited
+// by ancestors, so concurrent tasks write disjoint order_/probs_ slices.
 class KdAspRunner {
  public:
-  KdAspRunner(ScoreSpan scores, int num_objects, ArspResult* result,
-              GoalPruner* pruner)
+  KdAspRunner(ScoreSpan scores, double* probs, ParallelExecutor* executor,
+              int frontier_depth)
       : scores_(scores),
         dim_(scores.dim),
         order_(static_cast<size_t>(scores.n)),
-        state_(num_objects),
-        result_(result),
-        gate_(pruner, result) {
+        probs_(probs),
+        executor_(executor),
+        frontier_depth_(frontier_depth) {
     std::iota(order_.begin(), order_.end(), 0);
   }
 
   // KDTT+: construction fused with traversal.
-  void RunIntegrated() {
+  void RunIntegrated(TraversalLane& lane) {
     if (scores_.n == 0) return;
     std::vector<int> candidates(order_);
-    RecurseIntegrated(0, scores_.n, candidates, 1);
+    RecurseIntegrated(lane, 0, scores_.n, candidates, 1, nullptr);
   }
 
-  // KDTT: build the full kd-tree, then pre-order traverse it.
-  void RunPrebuilt() {
+  // KDTT: build the full kd-tree (serially — construction is the cheap,
+  // memory-bound phase), then pre-order traverse it.
+  void RunPrebuilt(TraversalLane& lane) {
     if (scores_.n == 0) return;
     const int root = Build(0, scores_.n);
     std::vector<int> candidates(order_);
-    Traverse(root, candidates, 1);
+    Traverse(lane, root, candidates, 1, nullptr);
   }
 
  private:
@@ -77,29 +94,61 @@ class KdAspRunner {
                      });
   }
 
-  void RecurseIntegrated(int begin, int end,
-                         const std::vector<int>& parent_candidates,
-                         int depth) {
-    if (gate_.Skip(order_, begin, end, depth)) return;
-    ++result_->nodes_visited;
+  void RecurseIntegrated(TraversalLane& lane, int begin, int end,
+                         const std::vector<int>& parent_candidates, int depth,
+                         const std::shared_ptr<const PathChain>& chain) {
+    if (lane.SkipSubtree(order_, begin, end, depth)) return;
+    ++lane.counters.nodes_visited;
     std::vector<double> pmin, pmax;
     internal::ComputeScoreCorners(scores_, order_, begin, end, &pmin, &pmax);
 
+    // Above the frontier, record this node's Add-deltas so frontier tasks
+    // can replay the root→subtree path. Inside a task depth starts at the
+    // frontier, so capture (and spawning) never re-fires there.
+    const bool capture = executor_ != nullptr && depth < frontier_depth_;
+    std::vector<std::pair<int, double>> adds;
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates, pmin.data(),
-                                  pmax.data(), &state_, &kept, &undo_log,
-                                  &class_scratch_, result_);
+                                  pmax.data(), &lane.state, &kept, &undo_log,
+                                  &lane.class_scratch, &lane.counters,
+                                  capture ? &adds : nullptr);
 
     if (!internal::HandleAspTerminal(scores_, order_, begin, end, pmin.data(),
-                                     pmax.data(), state_, result_,
-                                     gate_.pruner())) {
+                                     pmax.data(), lane.state, probs_,
+                                     &lane.counters, &lane.channel)) {
       const int mid = begin + (end - begin) / 2;
       PartitionRange(begin, end, mid, WidestDim(pmin.data(), pmax.data()));
-      RecurseIntegrated(begin, mid, kept, depth + 1);
-      RecurseIntegrated(mid, end, kept, depth + 1);
+      if (capture) {
+        auto node_chain =
+            std::make_shared<const PathChain>(chain, std::move(adds));
+        if (depth + 1 == frontier_depth_) {
+          auto shared_kept =
+              std::make_shared<const std::vector<int>>(std::move(kept));
+          SpawnIntegrated(node_chain, begin, mid, shared_kept);
+          SpawnIntegrated(node_chain, mid, end, shared_kept);
+        } else {
+          RecurseIntegrated(lane, begin, mid, kept, depth + 1, node_chain);
+          RecurseIntegrated(lane, mid, end, kept, depth + 1, node_chain);
+        }
+      } else {
+        RecurseIntegrated(lane, begin, mid, kept, depth + 1, nullptr);
+        RecurseIntegrated(lane, mid, end, kept, depth + 1, nullptr);
+      }
     }
-    state_.Undo(undo_log);
+    lane.state.Undo(undo_log);
+  }
+
+  void SpawnIntegrated(const std::shared_ptr<const PathChain>& chain,
+                       int begin, int end,
+                       const std::shared_ptr<const std::vector<int>>& kept) {
+    executor_->Spawn([this, chain, begin, end, kept](TraversalLane& lane) {
+      if (lane.stopped) return;  // global goal-met: skip even the replay
+      std::vector<AspTraversalState::Change> replay_log;
+      chain->Replay(&lane.state, &replay_log);
+      RecurseIntegrated(lane, begin, end, *kept, frontier_depth_, nullptr);
+      lane.state.Undo(replay_log);
+    });
   }
 
   int Build(int begin, int end) {
@@ -122,36 +171,67 @@ class KdAspRunner {
     return node_id;
   }
 
-  void Traverse(int node_id, const std::vector<int>& parent_candidates,
-                int depth) {
+  void Traverse(TraversalLane& lane, int node_id,
+                const std::vector<int>& parent_candidates, int depth,
+                const std::shared_ptr<const PathChain>& chain) {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
-    if (gate_.Skip(order_, node.begin, node.end, depth)) return;
-    ++result_->nodes_visited;
+    if (lane.SkipSubtree(order_, node.begin, node.end, depth)) return;
+    ++lane.counters.nodes_visited;
 
+    const bool capture = executor_ != nullptr && depth < frontier_depth_;
+    std::vector<std::pair<int, double>> adds;
     std::vector<int> kept;
     std::vector<AspTraversalState::Change> undo_log;
     internal::FilterAspCandidates(scores_, parent_candidates,
-                                  node.pmin.data(), node.pmax.data(), &state_,
-                                  &kept, &undo_log, &class_scratch_, result_);
+                                  node.pmin.data(), node.pmax.data(),
+                                  &lane.state, &kept, &undo_log,
+                                  &lane.class_scratch, &lane.counters,
+                                  capture ? &adds : nullptr);
 
     if (!internal::HandleAspTerminal(scores_, order_, node.begin, node.end,
                                      node.pmin.data(), node.pmax.data(),
-                                     state_, result_, gate_.pruner())) {
+                                     lane.state, probs_, &lane.counters,
+                                     &lane.channel)) {
       ARSP_DCHECK(node.left >= 0 && node.right >= 0);
-      Traverse(node.left, kept, depth + 1);
-      Traverse(node.right, kept, depth + 1);
+      if (capture) {
+        auto node_chain =
+            std::make_shared<const PathChain>(chain, std::move(adds));
+        if (depth + 1 == frontier_depth_) {
+          auto shared_kept =
+              std::make_shared<const std::vector<int>>(std::move(kept));
+          SpawnPrebuilt(node_chain, node.left, shared_kept);
+          SpawnPrebuilt(node_chain, node.right, shared_kept);
+        } else {
+          Traverse(lane, node.left, kept, depth + 1, node_chain);
+          Traverse(lane, node.right, kept, depth + 1, node_chain);
+        }
+      } else {
+        Traverse(lane, node.left, kept, depth + 1, nullptr);
+        Traverse(lane, node.right, kept, depth + 1, nullptr);
+      }
     }
-    state_.Undo(undo_log);
+    lane.state.Undo(undo_log);
+  }
+
+  void SpawnPrebuilt(const std::shared_ptr<const PathChain>& chain,
+                     int node_id,
+                     const std::shared_ptr<const std::vector<int>>& kept) {
+    executor_->Spawn([this, chain, node_id, kept](TraversalLane& lane) {
+      if (lane.stopped) return;
+      std::vector<AspTraversalState::Change> replay_log;
+      chain->Replay(&lane.state, &replay_log);
+      Traverse(lane, node_id, *kept, frontier_depth_, nullptr);
+      lane.state.Undo(replay_log);
+    });
   }
 
   const ScoreSpan scores_;
   const int dim_;
   std::vector<int> order_;
   std::vector<Node> nodes_;
-  std::vector<unsigned char> class_scratch_;  // FilterAspCandidates batches
-  AspTraversalState state_;
-  ArspResult* result_;
-  internal::GoalGate gate_;
+  double* const probs_;  // result->instance_probs, disjoint subtree writes
+  ParallelExecutor* const executor_;  // null = serial
+  const int frontier_depth_;
 };
 
 // Solver façade over both traversal modes; "kdtt+" fuses construction with
@@ -172,7 +252,18 @@ class KdttSolver : public ArspSolver {
                  "(Algorithm 1, the paper's default)"
                : "kd-tree traversal over a fully prebuilt tree";
   }
-  uint32_t capabilities() const override { return kCapGoalPushdown; }
+  uint32_t capabilities() const override {
+    return kCapGoalPushdown | kCapIntraQueryParallel;
+  }
+
+  Status Configure(const SolverOptions& options) override {
+    ARSP_RETURN_IF_ERROR(
+        options.ExpectOnly({"parallelism", "frontier_depth"}));
+    ARSP_RETURN_IF_ERROR(
+        internal::ReadParallelOptions(options, &parallelism_,
+                                      &frontier_depth_));
+    return Status::OK();
+  }
 
  protected:
   StatusOr<ArspResult> SolveImpl(ExecutionContext& context) override {
@@ -183,12 +274,45 @@ class KdttSolver : public ArspSolver {
     if (view.num_instances() == 0) return result;
     const ScoreSpan scores = context.scores();
     GoalPruner pruner(context.goal(), view, &scores);
-    KdAspRunner runner(scores, view.num_objects(), &result,
-                       pruner.active() ? &pruner : nullptr);
-    if (integrated_) {
-      runner.RunIntegrated();
+    GoalPruner* active = pruner.active() ? &pruner : nullptr;
+
+    std::optional<internal::SharedGoalState> shared;
+    std::optional<ParallelExecutor> executor;
+    if (parallelism_ >= 2) {
+      shared.emplace(active);
+      executor.emplace(parallelism_, view.num_objects(), &*shared,
+                       scores.objects);
+      if (!executor->parallel()) {  // core budget granted a single worker
+        executor.reset();
+        shared.reset();
+      }
+    }
+    if (executor.has_value()) {
+      const int frontier =
+          frontier_depth_ > 0
+              ? frontier_depth_
+              : internal::DefaultFrontierDepth(2, executor->num_workers());
+      KdAspRunner runner(scores, result.instance_probs.data(), &*executor,
+                         frontier);
+      if (integrated_) {
+        runner.RunIntegrated(executor->main_lane());
+      } else {
+        runner.RunPrebuilt(executor->main_lane());
+      }
+      executor->RunAndWait();
+      executor->MergedCounters().StoreInto(&result);
+      result.tasks_spawned = executor->tasks_spawned();
+      result.tasks_stolen = executor->tasks_stolen();
+      result.parallel_workers = executor->num_workers();
     } else {
-      runner.RunPrebuilt();
+      TraversalLane lane(view.num_objects(), GoalChannel(active));
+      KdAspRunner runner(scores, result.instance_probs.data(), nullptr, 0);
+      if (integrated_) {
+        runner.RunIntegrated(lane);
+      } else {
+        runner.RunPrebuilt(lane);
+      }
+      lane.counters.StoreInto(&result);
     }
     pruner.Finish(&result);
     return result;
@@ -196,6 +320,8 @@ class KdttSolver : public ArspSolver {
 
  private:
   const bool integrated_;
+  int parallelism_ = 1;
+  int frontier_depth_ = 0;  // 0 = auto
 };
 
 ARSP_REGISTER_SOLVER(kdtt, "kdtt",

@@ -1,0 +1,89 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/core/parallel_traversal.h"
+
+#include <string>
+
+namespace arsp {
+namespace internal {
+
+Status ReadParallelOptions(const SolverOptions& options, int* parallelism,
+                           int* frontier_depth) {
+  StatusOr<int64_t> par = options.IntOr("parallelism", *parallelism);
+  if (!par.ok()) return par.status();
+  if (*par < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1, got " +
+                                   std::to_string(*par));
+  }
+  StatusOr<int64_t> depth = options.IntOr("frontier_depth", *frontier_depth);
+  if (!depth.ok()) return depth.status();
+  if (*depth != 0 && (*depth < 2 || *depth > 12)) {
+    return Status::InvalidArgument(
+        "frontier_depth must be 0 (auto) or in [2, 12], got " +
+        std::to_string(*depth));
+  }
+  *parallelism = static_cast<int>(*par);
+  *frontier_depth = static_cast<int>(*depth);
+  return Status::OK();
+}
+
+int DefaultFrontierDepth(int branch_factor, int workers) {
+  if (branch_factor < 2) branch_factor = 2;
+  if (workers < 1) workers = 1;
+  const int64_t target = static_cast<int64_t>(kTaskFactor) * workers;
+  int depth = 2;
+  int64_t level_tasks = branch_factor;  // tasks spawned from depth D-1
+  while (depth < 12 && level_tasks < target) {
+    level_tasks *= branch_factor;
+    ++depth;
+  }
+  return depth;
+}
+
+SharedGoalState::SharedGoalState(GoalPruner* pruner)
+    : pruner_(pruner != nullptr && pruner->active() ? pruner : nullptr) {
+  if (pruner_ != nullptr) {
+    // Publish the construction-time mask: scoped goals pre-decide
+    // out-of-scope objects, and lanes should see those from task one.
+    std::lock_guard<std::mutex> lock(mu_);
+    PublishLocked();
+  }
+}
+
+void SharedGoalState::PublishLocked() {
+  published_ = pruner_->decided_mask();
+  published_count_ = pruner_->decided_count();
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void SharedGoalState::Flush(
+    const std::vector<std::pair<int, double>>& resolutions) {
+  if (pruner_ == nullptr || resolutions.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : resolutions) {
+    pruner_->Resolve(r.first, r.second);
+  }
+  if (pruner_->GoalMet()) {
+    stop_.store(true, std::memory_order_release);
+  }
+  if (pruner_->decided_count() != published_count_) {
+    PublishLocked();
+  }
+}
+
+void SharedGoalState::RefreshSnapshot(std::vector<unsigned char>* mask,
+                                      uint64_t* epoch_seen,
+                                      bool* any_decided) const {
+  if (pruner_ == nullptr) return;
+  const uint64_t current = epoch_.load(std::memory_order_acquire);
+  if (current == *epoch_seen) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  *mask = published_;
+  *any_decided = published_count_ > 0;
+  // Re-read under the lock: the copy above is consistent with at least
+  // this epoch.
+  *epoch_seen = epoch_.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+}  // namespace arsp

@@ -1,0 +1,161 @@
+// Copyright 2026 The ARSP Authors.
+//
+// Intra-query parallel traversal driver for the kd/quad/multi-way ASP
+// solvers. The serial traversals are pre-order walks whose per-subtree work
+// touches only (a) the subtree's slice of the shared `order` permutation,
+// (b) the instance_probs entries of that slice, and (c) the lane-private
+// (σ, β, χ) state — so a subtree is a self-contained work item once the
+// root→subtree σ path has been replayed. The driver:
+//
+//  * splits the traversal at a *frontier depth* D: the walk above D runs on
+//    the calling thread (lane 0) as in serial, and every child subtree at
+//    depth D becomes one TaskArena task;
+//  * hands each task a PathChain — the chain of per-node (object, prob)
+//    Add-deltas from the root to the subtree — which the task replays into
+//    its lane's state before descending. Replay performs the exact same
+//    Add calls in the exact same order as the serial walk, and Add/Undo
+//    are bitwise-exact, so the subtree computes bit-identical values no
+//    matter which lane runs it;
+//  * merges lanes at the end: instance probabilities need no merge at all
+//    (disjoint writes — the canonical node-index order of the output array
+//    IS the merge order), and counters are associative sums (see
+//    TraversalCounters).
+//
+// Goal pushdown under parallelism flows through SharedGoalState (declared
+// in asp_traversal_state.h, defined here): lanes buffer resolutions and
+// flush them to the single authoritative GoalPruner under a lock; decided
+// masks and the global early-exit flag come back as epoch-published
+// snapshots that lanes poll between tasks. Monotone pruning only, so no
+// torn decisions.
+
+#ifndef ARSP_CORE_PARALLEL_TRAVERSAL_H_
+#define ARSP_CORE_PARALLEL_TRAVERSAL_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/task_arena.h"
+#include "src/core/asp_traversal_state.h"
+
+namespace arsp {
+namespace internal {
+
+/// Immutable chain of per-node Add-deltas from the traversal root down to
+/// one frontier subtree. Nodes share their prefix (shared_ptr parent
+/// links), so capturing a chain per frontier task costs only that node's
+/// own deltas. Replay applies root-first — the serial Add order.
+class PathChain {
+ public:
+  PathChain(std::shared_ptr<const PathChain> parent,
+            std::vector<std::pair<int, double>> adds)
+      : parent_(std::move(parent)), adds_(std::move(adds)) {}
+
+  /// Re-applies every (object, prob) delta from the root to this node into
+  /// `state`, logging into `undo_log` so the caller can unwind afterwards.
+  void Replay(AspTraversalState* state,
+              std::vector<AspTraversalState::Change>* undo_log) const {
+    if (parent_ != nullptr) parent_->Replay(state, undo_log);
+    for (const auto& add : adds_) {
+      state->Add(add.first, add.second, undo_log);
+    }
+  }
+
+ private:
+  std::shared_ptr<const PathChain> parent_;
+  std::vector<std::pair<int, double>> adds_;
+};
+
+/// Parses the shared "parallelism" / "frontier_depth" solver options into
+/// the given fields (left untouched when absent, so solver defaults
+/// survive). parallelism must be >= 1 (1 = serial); frontier_depth must be
+/// 0 (auto) or in [2, 12]. Callers still list the keys in ExpectOnly —
+/// alongside their solver-specific ones.
+Status ReadParallelOptions(const SolverOptions& options, int* parallelism,
+                           int* frontier_depth);
+
+/// Frontier depth for a traversal with the given branching factor: the
+/// smallest depth whose level holds at least kTaskFactor tasks per worker
+/// (so steal-half has slack to balance irregular subtrees), clamped to
+/// [2, 12] — at least one split level, at most ~4k tasks even for binary
+/// trees.
+int DefaultFrontierDepth(int branch_factor, int workers);
+
+/// Per-worker multiplier in DefaultFrontierDepth's task-count target.
+inline constexpr int kTaskFactor = 8;
+
+/// Ties a TaskArena to one TraversalLane per worker. Lane 0 belongs to the
+/// calling thread: the runner descends to the frontier on it (helpers
+/// execute frontier tasks concurrently on lanes 1..W-1), and after the
+/// descent unwinds, lane 0's pristine state lets the caller join task
+/// execution in RunAndWait(). Construct once per solve; `parallel()` false
+/// (budget granted a single worker) means callers should take their pure
+/// serial path and skip task capture entirely.
+class ParallelExecutor {
+ public:
+  /// `shared` may be null or inert (full goal): lanes then get inactive
+  /// channels. `instance_objects` is the local instance → object map the
+  /// buffered channels answer AllDecided from (may be null when `shared`
+  /// is null/inert).
+  ParallelExecutor(int requested_workers, int num_objects,
+                   SharedGoalState* shared, const int* instance_objects)
+      : arena_(requested_workers) {
+    for (int w = 0; w < arena_.num_workers(); ++w) {
+      lanes_.emplace_back(num_objects,
+                          shared != nullptr && shared->active()
+                              ? GoalChannel(shared, instance_objects)
+                              : GoalChannel());
+      lanes_.back().channel.BeginTask();
+    }
+  }
+
+  bool parallel() const { return arena_.num_workers() >= 2; }
+  int num_workers() const { return arena_.num_workers(); }
+
+  /// The calling thread's lane; use it for the above-frontier descent.
+  TraversalLane& main_lane() { return lanes_[0]; }
+
+  /// Submits one subtree task. The wrapper refreshes the lane's goal
+  /// snapshot before the body and flushes its buffered resolutions after,
+  /// so a task is the unit of goal-state propagation.
+  void Spawn(std::function<void(TraversalLane&)> body) {
+    arena_.Submit([this, body = std::move(body)](int worker) {
+      TraversalLane& lane = lanes_[static_cast<size_t>(worker)];
+      lane.channel.BeginTask();
+      body(lane);
+      lane.channel.Flush();
+    });
+  }
+
+  /// Runs every spawned task to completion (caller participates), then
+  /// flushes lane 0 — the descent may have buffered resolutions too.
+  void RunAndWait() {
+    arena_.RunAndWait();
+    lanes_[0].channel.Flush();
+  }
+
+  /// Lane-summed counters; call after RunAndWait(). Totals equal the
+  /// serial run's (associative sums / max — see TraversalCounters).
+  TraversalCounters MergedCounters() const {
+    TraversalCounters total;
+    for (const TraversalLane& lane : lanes_) total.MergeFrom(lane.counters);
+    return total;
+  }
+
+  int64_t tasks_spawned() const { return arena_.tasks_spawned(); }
+  int64_t tasks_stolen() const { return arena_.tasks_stolen(); }
+
+ private:
+  TaskArena arena_;
+  // deque: lanes are neither movable nor copyable once workers hold
+  // references, and only the constructor appends.
+  std::deque<TraversalLane> lanes_;
+};
+
+}  // namespace internal
+}  // namespace arsp
+
+#endif  // ARSP_CORE_PARALLEL_TRAVERSAL_H_

@@ -78,7 +78,10 @@ std::string SolverStats::ToString() const {
      << " early_exit=" << early_exit_depth
      << " index_resident_bytes=" << index_bytes_resident
      << " index_mapped_bytes=" << index_bytes_mapped
-     << " peak_rss_bytes=" << peak_rss_bytes;
+     << " peak_rss_bytes=" << peak_rss_bytes
+     << " tasks_spawned=" << tasks_spawned
+     << " tasks_stolen=" << tasks_stolen
+     << " parallel_workers=" << parallel_workers;
   return os.str();
 }
 
@@ -820,6 +823,9 @@ StatusOr<ArspResult> ArspSolver::Solve(ExecutionContext& context,
   stats.objects_pruned = result->objects_pruned;
   stats.bound_refinements = result->bound_refinements;
   stats.early_exit_depth = result->early_exit_depth;
+  stats.tasks_spawned = result->tasks_spawned;
+  stats.tasks_stolen = result->tasks_stolen;
+  stats.parallel_workers = result->parallel_workers;
   // Index artifacts live on the root ancestor (children delegate R-trees,
   // alias the kd-tree, and share the score span), and IndexMemoryFootprint
   // charges each artifact to its owning context so engine-wide sums don't

@@ -76,6 +76,11 @@ enum SolverCaps : uint32_t {
   /// the goal and return complete results — correct for any goal, just
   /// without the savings.
   kCapGoalPushdown = 1u << 6,
+  /// Honors the "parallelism" solver option: splits the traversal across a
+  /// work-stealing TaskArena at a frontier depth, with results bit-identical
+  /// to the serial run by contract (see ARCHITECTURE.md, "Intra-query
+  /// parallel executor"). Solvers without this flag reject the option.
+  kCapIntraQueryParallel = 1u << 7,
 };
 
 /// Uniform instrumentation for one Solve() run: wall time split into the
@@ -100,6 +105,10 @@ struct SolverStats {
   int64_t index_bytes_resident = 0;  ///< heap-owned index/score bytes
   int64_t index_bytes_mapped = 0;    ///< snapshot-borrowed (mmap) bytes
   int64_t peak_rss_bytes = 0;        ///< getrusage peak RSS of the process
+  /// Intra-query parallelism counters (zero for serial runs).
+  int64_t tasks_spawned = 0;    ///< subtree tasks submitted to the arena
+  int64_t tasks_stolen = 0;     ///< tasks claimed by a non-owning worker
+  int64_t parallel_workers = 0;  ///< arena workers granted (incl. caller)
 
   /// One-line "k=v" rendering for logs and arsp_cli --stats.
   std::string ToString() const;
@@ -217,6 +226,13 @@ class GoalPruner {
 
   int64_t objects_pruned() const { return objects_pruned_; }
   int64_t bound_refinements() const { return bound_refinements_; }
+
+  /// Decided-object count / mask (object-indexed, 1 = decided), read by
+  /// SharedGoalState to republish decisions to parallel lanes. The mask
+  /// reference stays valid for the pruner's lifetime; callers snapshot it
+  /// under their own synchronization.
+  int decided_count() const { return decided_count_; }
+  const std::vector<unsigned char>& decided_mask() const { return decided_; }
 
   /// Exports goal, bounds, decisions, completeness, and counters into the
   /// result. Exact objects' bounds are recomputed as instance-order sums

@@ -349,6 +349,7 @@ std::string QueryRequestWire::EncodePayload() const {
   w.Bool(include_instances);
   w.I32(scope_begin);
   w.I32(scope_end);
+  w.I32(parallelism);
   return w.Take();
 }
 
@@ -367,6 +368,7 @@ Status QueryRequestWire::DecodePayload(const std::string& bytes) {
   include_instances = r.Bool();
   scope_begin = r.I32();
   scope_end = r.I32();
+  parallelism = r.I32();
   ARSP_RETURN_IF_ERROR(r.Finish());
   if (kind > static_cast<uint8_t>(WireDerivedKind::kCountControlled)) {
     return Status::InvalidArgument("bad derived kind " +
@@ -391,6 +393,9 @@ WireSolverStats WireSolverStats::From(const SolverStats& stats) {
   w.index_bytes_resident = stats.index_bytes_resident;
   w.index_bytes_mapped = stats.index_bytes_mapped;
   w.peak_rss_bytes = stats.peak_rss_bytes;
+  w.tasks_spawned = stats.tasks_spawned;
+  w.tasks_stolen = stats.tasks_stolen;
+  w.parallel_workers = stats.parallel_workers;
   return w;
 }
 
@@ -409,6 +414,9 @@ SolverStats WireSolverStats::ToSolverStats() const {
   s.index_bytes_resident = index_bytes_resident;
   s.index_bytes_mapped = index_bytes_mapped;
   s.peak_rss_bytes = peak_rss_bytes;
+  s.tasks_spawned = tasks_spawned;
+  s.tasks_stolen = tasks_stolen;
+  s.parallel_workers = parallel_workers;
   return s;
 }
 
@@ -426,6 +434,9 @@ void WireSolverStats::Encode(WireWriter& w) const {
   w.I64(index_bytes_resident);
   w.I64(index_bytes_mapped);
   w.I64(peak_rss_bytes);
+  w.I64(tasks_spawned);
+  w.I64(tasks_stolen);
+  w.I64(parallel_workers);
 }
 
 void WireSolverStats::Decode(WireReader& r) {
@@ -442,6 +453,9 @@ void WireSolverStats::Decode(WireReader& r) {
   index_bytes_resident = r.I64();
   index_bytes_mapped = r.I64();
   peak_rss_bytes = r.I64();
+  tasks_spawned = r.I64();
+  tasks_stolen = r.I64();
+  parallel_workers = r.I64();
 }
 
 std::string QueryResponseWire::EncodePayload() const {
@@ -581,6 +595,7 @@ std::string StatsResponse::EncodePayload() const {
   w.I64(index_bytes_resident);
   w.I64(index_bytes_mapped);
   w.I64(peak_rss_bytes);
+  w.I64(query_threads);
   return w.Take();
 }
 
@@ -623,6 +638,7 @@ Status StatsResponse::DecodePayload(const std::string& bytes) {
   index_bytes_resident = r.I64();
   index_bytes_mapped = r.I64();
   peak_rss_bytes = r.I64();
+  query_threads = r.I64();
   return r.Finish();
 }
 

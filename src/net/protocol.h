@@ -58,7 +58,11 @@ inline constexpr uint16_t kWireMagic = 0xA75F;
 ///     StatsResponse grew the same per-dataset index footprint plus the
 ///     daemon's process peak RSS — so a client can see whether a dataset is
 ///     served from heap-built indexes or a mapped snapshot.
-inline constexpr uint8_t kWireVersion = 4;
+/// v5 (intra-query parallelism): QueryRequestWire grew `parallelism` (the
+///     per-query worker request), WireSolverStats grew the executor
+///     counters (tasks_spawned / tasks_stolen / parallel_workers), and
+///     StatsResponse grew the daemon's configured query_threads policy.
+inline constexpr uint8_t kWireVersion = 5;
 
 /// Max payload bytes a peer will accept (the max-frame guard). Large enough
 /// for a multi-million-instance probability vector, small enough that a
@@ -243,6 +247,11 @@ struct QueryRequestWire {
   /// one. Since wire v3 (absent fields decode as unscoped for v2 frames).
   int32_t scope_begin = -1;
   int32_t scope_end = -1;
+  /// Intra-query worker request (QueryRequest::parallelism): 0 = server
+  /// policy, 1 = force serial, N >= 2 = request N workers. Results are
+  /// bit-identical to serial either way. Since wire v5 (absent fields
+  /// decode as 0 = policy for older frames).
+  int32_t parallelism = 0;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);
@@ -264,6 +273,11 @@ struct WireSolverStats {
   int64_t index_bytes_resident = 0;
   int64_t index_bytes_mapped = 0;
   int64_t peak_rss_bytes = 0;
+  // Intra-query executor counters (SolverStats field-for-field). Since v5.
+  // tasks_stolen is scheduling-dependent; the other two are deterministic.
+  int64_t tasks_spawned = 0;
+  int64_t tasks_stolen = 0;
+  int64_t parallel_workers = 0;
 
   static WireSolverStats From(const SolverStats& stats);
   SolverStats ToSolverStats() const;
@@ -382,6 +396,9 @@ struct StatsResponse {
   int64_t index_bytes_resident = 0;
   int64_t index_bytes_mapped = 0;
   int64_t peak_rss_bytes = 0;
+  /// The daemon's intra-query parallelism policy (EngineOptions::
+  /// query_threads: 0 = auto, 1 = serial, N >= 2 = N workers). Since v5.
+  int64_t query_threads = 0;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);

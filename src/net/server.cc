@@ -66,7 +66,8 @@ DerivedKind ToDerivedKind(WireDerivedKind kind) {
 
 }  // namespace
 
-EngineBackend::EngineBackend(EngineOptions options) : engine_(options) {}
+EngineBackend::EngineBackend(EngineOptions options)
+    : engine_(options), query_threads_(options.query_threads) {}
 
 ArspServer::ArspServer(ServerOptions options) : options_(std::move(options)) {
   if (options_.backend != nullptr) {
@@ -697,6 +698,11 @@ StatusOr<QueryResponseWire> EngineBackend::Query(
   query.derived.max_objects = request.max_objects;
   query.use_cache = request.use_cache;
   query.allow_pushdown = request.allow_pushdown;
+  if (request.parallelism < 0) {
+    return Status::InvalidArgument("parallelism must be >= 0, got " +
+                                   std::to_string(request.parallelism));
+  }
+  query.parallelism = request.parallelism;
   // Evaluation scope (wire v3): clamp to the view so the canonical goal —
   // and therefore the cache key — is identical however the coordinator
   // over- or under-shoots the range.
@@ -881,6 +887,7 @@ StatusOr<StatsResponse> EngineBackend::Stats(const StatsRequest& request) {
     response.index_bytes_mapped = static_cast<int64_t>(memory.mapped);
   }
   response.peak_rss_bytes = PeakRssBytes();
+  response.query_threads = query_threads_;
   return response;
 }
 

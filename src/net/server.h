@@ -94,6 +94,8 @@ class EngineBackend : public ServiceBackend {
   };
 
   ArspEngine engine_;
+  /// Kept for STATS reporting (the engine does not expose its options).
+  const int query_threads_;
   mutable std::mutex mu_;
   std::map<std::string, NamedEntry> registry_;
 };

@@ -17,6 +17,10 @@
 //                                    their contexts from the base dataset's,
 //                                    so the sweep pays one full index build)
 //            [--algo NAME|auto] [--opt key=value ...] [--stats]
+//            [--threads N]          (intra-query workers per solve: 0 =
+//                                    engine policy, 1 = serial, N >= 2
+//                                    requests N; answers are bit-identical
+//                                    to serial either way)
 //            [--topk K] [--threshold P]   (derived-goal queries; pushed down
 //                                    into kCapGoalPushdown solvers)
 //            [--instances out_instances.csv] [--objects out_objects.csv]
@@ -57,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/task_arena.h"
 #include "src/core/engine.h"
 #include "src/io/csv.h"
 #include "src/io/snapshot.h"
@@ -84,6 +89,7 @@ void PrintUsage() {
       "--constraints wr:l1,h1[,...]|rank:c\n"
       "                [--header] [--algo NAME|auto|list] [--opt k=v ...]\n"
       "                [--batch specs.txt] [--repeat N] [--stats]\n"
+      "                [--threads N]\n"
       "                [--subset m%%[,m%%...]] [--topk K] [--threshold P]\n"
       "                [--instances out.csv] [--objects out.csv]\n"
       "                [--connect host:port [--name NAME]]\n"
@@ -367,6 +373,7 @@ int RunLocal(const CliArgs& args,
         request.derived.kind = DerivedKind::kTopKObjects;
         request.derived.k = *args.topk;
       }
+      request.parallelism = args.threads;
       auto response = engine.Solve(request);
       if (!response.ok()) {
         std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
@@ -413,6 +420,7 @@ int RunLocal(const CliArgs& args,
     // partial result no longer carries: force the post-hoc path.
     request.allow_pushdown =
         args.instances_out.empty() && args.objects_out.empty();
+    request.parallelism = args.threads;
     requests.push_back(std::move(request));
   }
 
@@ -454,11 +462,11 @@ int RunLocal(const CliArgs& args,
     // plus result-cache effectiveness for the whole run.
     const ArspEngine::CacheStats cache = engine.cache_stats();
     std::printf("engine: latency %s cache_hits=%lld cache_misses=%lld "
-                "entries=%zu kernel=%s\n",
+                "entries=%zu kernel=%s threads=%d\n",
                 engine.latency_stats().ToString().c_str(),
                 static_cast<long long>(cache.hits),
                 static_cast<long long>(cache.misses), cache.entries,
-                simd::ActiveArchName());
+                simd::ActiveArchName(), CoreBudget::Total());
   }
 
   return WriteResultCsvs(args, *outcomes[0]->result, *dataset, names);
@@ -486,6 +494,7 @@ net::QueryRequestWire MakeWireRequest(const CliArgs& args,
       !args.instances_out.empty() || !args.objects_out.empty();
   request.allow_pushdown = !need_instances;
   request.include_instances = need_instances;
+  request.parallelism = args.threads;
   return request;
 }
 
@@ -674,7 +683,7 @@ int RunRemote(const CliArgs& args,
       std::printf("daemon: latency requests=%lld window=%lld min_ms=%g "
                   "mean_ms=%g p50_ms=%g p95_ms=%g cache_hits=%lld "
                   "cache_misses=%lld entries=%llu pooled_contexts=%llu "
-                  "kernel=%s\n",
+                  "kernel=%s threads=%lld\n",
                   static_cast<long long>(stats->latency_count),
                   static_cast<long long>(stats->latency_window),
                   stats->latency_min_ms, stats->latency_mean_ms,
@@ -684,7 +693,8 @@ int RunRemote(const CliArgs& args,
                   static_cast<unsigned long long>(stats->cache_entries),
                   static_cast<unsigned long long>(stats->pooled_contexts),
                   stats->kernel_arch.empty() ? "unknown"
-                                             : stats->kernel_arch.c_str());
+                                             : stats->kernel_arch.c_str(),
+                  static_cast<long long>(stats->query_threads));
       std::printf("daemon: peak_rss_mb=%.1f\n",
                   static_cast<double>(stats->peak_rss_bytes) / (1024.0 * 1024.0));
     }

@@ -11,6 +11,7 @@
 //   arsp_loadgen --connect host:port --name NAME --constraints wr:...
 //                [--load gen:SPEC] [--connections N] [--duration S]
 //                [--topk K] [--threshold P] [--target-qps F] [--cache]
+//                [--threads-per-query N]
 //
 // Prints one summary line per run:
 //   loadgen: <req> ok, <n> retry-later, <n> errors in <s>s  |  <qps> QPS,
@@ -56,10 +57,20 @@ struct LoadgenConfig {
   double threshold = -1.0;      // >= 0 selects p-threshold queries
   double target_qps = 0.0;      // 0 = closed loop
   bool use_cache = false;       // repeat queries would all hit the cache
+  /// --threads-per-query N (N >= 2): each worker alternates serial
+  /// (parallelism=1) and parallel (parallelism=N) requests and the summary
+  /// reports the coordinator-side p50/p95 of each mode separately, so the
+  /// intra-query speedup is measurable under service load. 0 = off (every
+  /// request leaves parallelism to the daemon's policy).
+  int threads_per_query = 0;
 };
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
+  // Per-mode latencies, filled only under --threads-per-query (each worker
+  // alternates modes, so both buckets see the same arrival pattern).
+  std::vector<double> serial_ms;
+  std::vector<double> parallel_ms;
   int64_t ok = 0;
   int64_t retry_later = 0;
   int64_t errors = 0;
@@ -74,11 +85,14 @@ void PrintUsage() {
       "                    [--load gen:SPEC] [--connections N]\n"
       "                    [--duration S] [--topk K] [--threshold P]\n"
       "                    [--target-qps F] [--solver NAME] [--cache]\n"
+      "                    [--threads-per-query N]\n"
       "--load registers NAME from a generator spec before the run\n"
       "(e.g. --load gen:iip:n=500,seed=1). --target-qps paces an open\n"
       "loop across all connections; default is closed-loop. --cache\n"
       "allows result-cache hits (off by default: loadgen measures solve\n"
-      "throughput, and identical queries would otherwise all hit).\n");
+      "throughput, and identical queries would otherwise all hit).\n"
+      "--threads-per-query N (>= 2) alternates serial and N-worker\n"
+      "requests per connection and reports a per-mode p50/p95 split.\n");
 }
 
 net::QueryRequestWire MakeQuery(const LoadgenConfig& config) {
@@ -107,7 +121,14 @@ void RunWorker(const LoadgenConfig& config, Clock::time_point deadline,
     out->first_error = client.status().ToString();
     return;
   }
-  const net::QueryRequestWire request = MakeQuery(config);
+  net::QueryRequestWire serial_request = MakeQuery(config);
+  net::QueryRequestWire parallel_request = serial_request;
+  const bool split_modes = config.threads_per_query >= 2;
+  if (split_modes) {
+    serial_request.parallelism = 1;
+    parallel_request.parallelism = config.threads_per_query;
+  }
+  int64_t sent = 0;
   Clock::time_point next_send = Clock::now();
   while (Clock::now() < deadline) {
     if (per_worker_interval_s > 0.0) {
@@ -117,6 +138,9 @@ void RunWorker(const LoadgenConfig& config, Clock::time_point deadline,
           std::chrono::duration<double>(per_worker_interval_s));
       if (Clock::now() >= deadline) break;
     }
+    const bool parallel_mode = split_modes && (sent++ % 2 == 1);
+    const net::QueryRequestWire& request =
+        parallel_mode ? parallel_request : serial_request;
     const Clock::time_point begin = Clock::now();
     auto response = client->Query(request);
     const double millis =
@@ -125,6 +149,10 @@ void RunWorker(const LoadgenConfig& config, Clock::time_point deadline,
     if (response.ok()) {
       ++out->ok;
       out->latencies_ms.push_back(millis);
+      if (split_modes) {
+        (parallel_mode ? out->parallel_ms : out->serial_ms)
+            .push_back(millis);
+      }
     } else if (response.status().code() == StatusCode::kUnavailable) {
       // The typed overload reply. Honor the hint (bounded) and keep going.
       ++out->retry_later;
@@ -216,6 +244,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --target-qps '%s'\n", v);
         return PrintUsage(), 2;
       }
+    } else if (flag == "--threads-per-query") {
+      if (!cli::internal::ParseIntStrict(v, &config.threads_per_query) ||
+          config.threads_per_query < 2) {
+        std::fprintf(stderr, "--threads-per-query needs an integer >= 2\n");
+        return PrintUsage(), 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return PrintUsage(), 2;
@@ -285,6 +319,11 @@ int main(int argc, char** argv) {
     total.latencies_ms.insert(total.latencies_ms.end(),
                               result.latencies_ms.begin(),
                               result.latencies_ms.end());
+    total.serial_ms.insert(total.serial_ms.end(), result.serial_ms.begin(),
+                           result.serial_ms.end());
+    total.parallel_ms.insert(total.parallel_ms.end(),
+                             result.parallel_ms.begin(),
+                             result.parallel_ms.end());
   }
   const std::vector<double> p =
       Percentiles(&total.latencies_ms, {0.50, 0.95, 0.99});
@@ -296,6 +335,19 @@ int main(int argc, char** argv) {
       static_cast<long long>(total.errors), elapsed_s,
       elapsed_s > 0 ? static_cast<double>(total.ok) / elapsed_s : 0.0,
       p[0], p[1], p[2]);
+  if (config.threads_per_query >= 2) {
+    // Coordinator-side view of the intra-query speedup: both modes ran
+    // interleaved on every connection, so the split is load-matched.
+    const std::vector<double> ps =
+        Percentiles(&total.serial_ms, {0.50, 0.95});
+    const std::vector<double> pp =
+        Percentiles(&total.parallel_ms, {0.50, 0.95});
+    std::printf(
+        "loadgen: serial p50/p95 = %.2f/%.2f ms  |  parallel(x%d) "
+        "p50/p95 = %.2f/%.2f ms (%zu/%zu samples)\n",
+        ps[0], ps[1], config.threads_per_query, pp[0], pp[1],
+        total.serial_ms.size(), total.parallel_ms.size());
+  }
   if (total.errors > 0) {
     std::fprintf(stderr, "loadgen: first error: %s\n",
                  total.first_error.c_str());

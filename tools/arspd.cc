@@ -8,7 +8,7 @@
 //
 // Usage:
 //   arspd [--host 127.0.0.1] [--port 7439] [--max-connections N]
-//         [--cache N] [--contexts N] [--threads N]
+//         [--cache N] [--contexts N] [--threads N] [--query-threads N]
 //         [--load name=csv:/path/to/file.csv[:header]]
 //         [--load name=gen:iip:n=500,seed=1]           (repeatable)
 //         [--shards host:port[,host:port...]] [--replication N]
@@ -57,6 +57,10 @@ void PrintUsage() {
       stderr,
       "usage: arspd [--host ADDR] [--port P] [--max-connections N]\n"
       "             [--cache N] [--contexts N] [--threads N]\n"
+      "             [--query-threads N]   (intra-query workers: 0 = auto,\n"
+      "                                    1 = serial, N >= 2 = N per query;\n"
+      "                                    shares the batch pool's core\n"
+      "                                    budget, never oversubscribes)\n"
       "             [--load name=csv:PATH[:header]] [--load name=gen:SPEC]\n"
       "             [--shards H:P[,H:P...]] [--replication N]\n"
       "             [--client-qps F] [--client-burst F] [--max-pending N]\n"
@@ -165,6 +169,14 @@ int main(int argc, char** argv) {
       if (v == nullptr) return PrintUsage(), 2;
       if (!cli::internal::ParseIntStrict(v, &options.engine.num_threads)) {
         std::fprintf(stderr, "bad --threads '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--query-threads") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &options.engine.query_threads) ||
+          options.engine.query_threads < 0) {
+        std::fprintf(stderr, "bad --query-threads '%s'\n", v);
         return PrintUsage(), 2;
       }
     } else if (flag == "--shards") {

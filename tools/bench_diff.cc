@@ -15,10 +15,12 @@
 //   * Determinism. Work counters that appear in both files
 //     (dominance_tests, nodes_visited, arsp_size, n, m, ...) must match
 //     exactly: a drifted counter means the algorithm changed, which a
-//     timing gate would misread as noise. Exception: counters whose name
+//     timing gate would misread as noise. Exceptions: counters whose name
 //     ends in "_ns" are timings a benchmark measured itself (bench_scale's
 //     build_ns / load_ns split) — those get the calibration-normalized
-//     regression gate, not exact equality.
+//     regression gate, not exact equality; counters ending in "_info" are
+//     scheduling-dependent observations (bench_parallel's steal counts) —
+//     reported for the record, never gated.
 //
 // A baseline entry missing from the current export fails too (bench
 // bitrot); entries only in the current export are reported but pass. The
@@ -211,14 +213,23 @@ int main(int argc, char** argv) {
     }
     const Entry& cur = it->second;
     // Counter gates. "_ns"-suffixed counters are self-measured timings
-    // (normalized like ns/op); everything else is deterministic work and
-    // must match exactly.
+    // (normalized like ns/op); "_info"-suffixed counters are ungated
+    // observations; everything else is deterministic work and must match
+    // exactly.
     for (const auto& [counter, base_value] : base.counters) {
       const auto cit = cur.counters.find(counter);
       if (cit == cur.counters.end()) {
         std::fprintf(stderr, "FAIL %s: counter %s missing from current\n",
                      name.c_str(), counter.c_str());
         ++failures;
+        continue;
+      }
+      const bool is_info =
+          counter.size() > 5 &&
+          counter.compare(counter.size() - 5, 5, "_info") == 0;
+      if (is_info) {
+        std::printf("info %s/%s: %.17g -> %.17g (ungated)\n", name.c_str(),
+                    counter.c_str(), base_value, cit->second);
         continue;
       }
       const bool is_timing =

@@ -28,6 +28,10 @@ struct CliArgs {
   bool header = false;
   bool stats = false;
   int repeat = 1;
+  /// --threads: intra-query workers per solve (QueryRequest::parallelism).
+  /// 0 = engine policy (parallelize large contexts), 1 = force serial,
+  /// N >= 2 = request N workers. Results are bit-identical either way.
+  int threads = 0;
   std::optional<int> topk;  ///< explicit --topk; kDefaultTopk otherwise
   std::vector<int> subset_pcts;
   static constexpr int kDefaultTopk = 10;
@@ -115,6 +119,15 @@ inline bool ParseCliArgs(int argc, char** argv, CliArgs* args,
       if (v == nullptr) return false;
       if (!internal::ParseIntStrict(v, &args->repeat) || args->repeat < 1) {
         *error = std::string("--repeat needs an integer >= 1 (got '") + v +
+                 "')";
+        return false;
+      }
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (!internal::ParseIntStrict(v, &args->threads) ||
+          args->threads < 0) {
+        *error = std::string("--threads needs an integer >= 0 (got '") + v +
                  "')";
         return false;
       }
