@@ -41,6 +41,22 @@ void AddStats(WireSolverStats* total, const WireSolverStats& part) {
   total->parallel_workers += part.parallel_workers;
 }
 
+// Stitches one shard reply's span subtree (if it carries one) under the
+// trace's innermost open span — called with the scatter/refine span open,
+// strictly after RunParallel returned (the Trace is single-threaded).
+// The subtree keeps its shard-local clock (offsets are per-process; only
+// structure and durations are comparable across the stitch boundary).
+void AdoptShardTrace(obs::Trace* trace, const QueryResponseWire& part,
+                     int shard) {
+  if (trace == nullptr || part.trace_spans.empty()) return;
+  std::vector<obs::Span> subtree;
+  if (!obs::DeserializeSpans(part.trace_spans, &subtree) || subtree.empty()) {
+    return;
+  }
+  subtree[0].annotations.emplace_back("shard", std::to_string(shard));
+  trace->AdoptChild(std::move(subtree[0]));
+}
+
 // The exact comparator of TopKObjects / AnswerGoal: probability descending,
 // base object id ascending. Merged candidates sorted with the same rule
 // over bit-identical probabilities reproduce the unsharded order.
@@ -204,12 +220,17 @@ StatusOr<AddViewResponse> Coordinator::AddView(const AddViewRequest& request) {
 }
 
 StatusOr<QueryResponseWire> Coordinator::ForwardToOne(
-    const QueryRequestWire& request, const Placement& placement) {
+    const QueryRequestWire& request, const Placement& placement,
+    obs::Trace* trace) {
   const size_t pick =
       round_robin_.fetch_add(1, std::memory_order_relaxed) %
       placement.holders.size();
-  return shards_[static_cast<size_t>(placement.holders[pick])]->Query(
-      request);
+  const int shard = placement.holders[pick];
+  obs::ScopedSpan forward_span(trace, "forward");
+  forward_span.Annotate("shard", static_cast<int64_t>(shard));
+  auto result = shards_[static_cast<size_t>(shard)]->Query(request);
+  if (result.ok()) AdoptShardTrace(trace, *result, shard);
+  return result;
 }
 
 StatusOr<QueryResponseWire> Coordinator::Query(
@@ -218,6 +239,19 @@ StatusOr<QueryResponseWire> Coordinator::Query(
   if (!placement.ok()) return placement.status();
   ARSP_CHECK(!placement->holders.empty());
 
+  // Distributed tracing: one id — the caller's if stamped, freshly minted
+  // otherwise — rides in every scattered frame, so each shard's reply
+  // subtree stitches under this coordinator trace into one cross-process
+  // timeline. Untraced requests keep trace == nullptr end to end.
+  std::unique_ptr<obs::Trace> trace;
+  QueryRequestWire effective = request;
+  if (request.want_trace) {
+    trace = std::make_unique<obs::Trace>(
+        request.trace_id != 0 ? request.trace_id : obs::Trace::NewTraceId(),
+        "coordinator_query");
+    effective.trace_id = trace->id();
+  }
+
   // Instance-level goals need the complete solve (no scope semantics), and
   // an already-scoped request means the caller partitions for itself;
   // either way a single holder is authoritative — full replication.
@@ -225,34 +259,51 @@ StatusOr<QueryResponseWire> Coordinator::Query(
       request.derived_kind == WireDerivedKind::kTopKInstances ||
       request.scope_begin >= 0 || request.scope_end >= 0 ||
       placement->holders.size() == 1;
-  if (passthrough) return ForwardToOne(request, *placement);
-
-  if (request.derived_kind == WireDerivedKind::kNone) {
-    return ScatterFull(request, *placement);
+  StatusOr<QueryResponseWire> out =
+      passthrough ? ForwardToOne(effective, *placement, trace.get())
+      : request.derived_kind == WireDerivedKind::kNone
+          ? ScatterFull(effective, *placement, trace.get())
+          : ScatterRanked(effective, *placement, trace.get());
+  if (out.ok() && trace != nullptr) {
+    trace->Annotate("dataset", request.dataset);
+    trace->Finish();
+    out->trace_id = trace->id();
+    out->trace_spans = obs::SerializeSpans({trace->root()});
+    obs::MaybeWriteChromeTrace(trace->root(), trace->id());
   }
-  return ScatterRanked(request, *placement);
+  return out;
 }
 
 StatusOr<QueryResponseWire> Coordinator::ScatterFull(
-    const QueryRequestWire& request, const Placement& placement) {
+    const QueryRequestWire& request, const Placement& placement,
+    obs::Trace* trace) {
   const std::vector<std::pair<int, int>> scopes = PartitionScopes(
       placement.num_objects, static_cast<int>(placement.holders.size()));
   ARSP_CHECK(scopes.size() == placement.holders.size());
 
   std::vector<StatusOr<QueryResponseWire>> results(
       placement.holders.size(), Status::Internal("not run"));
-  std::vector<std::function<void()>> tasks;
-  for (size_t i = 0; i < placement.holders.size(); ++i) {
-    if (scopes[i].first >= scopes[i].second) continue;  // empty scope
-    const int shard = placement.holders[i];
-    tasks.push_back([this, &request, &results, &scopes, shard, i] {
-      QueryRequestWire scoped = request;
-      scoped.scope_begin = scopes[i].first;
-      scoped.scope_end = scopes[i].second;
-      results[i] = shards_[static_cast<size_t>(shard)]->Query(scoped);
-    });
+  {
+    obs::ScopedSpan scatter_span(trace, "scatter");
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < placement.holders.size(); ++i) {
+      if (scopes[i].first >= scopes[i].second) continue;  // empty scope
+      const int shard = placement.holders[i];
+      tasks.push_back([this, &request, &results, &scopes, shard, i] {
+        QueryRequestWire scoped = request;
+        scoped.scope_begin = scopes[i].first;
+        scoped.scope_end = scopes[i].second;
+        results[i] = shards_[static_cast<size_t>(shard)]->Query(scoped);
+      });
+    }
+    scatter_span.Annotate("fanout", static_cast<int64_t>(tasks.size()));
+    RunParallel(&tasks);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (scopes[i].first >= scopes[i].second || !results[i].ok()) continue;
+      AdoptShardTrace(trace, *results[i], placement.holders[i]);
+    }
   }
-  RunParallel(&tasks);
+  obs::ScopedSpan merge_span(trace, "merge");
 
   QueryResponseWire out;
   // The assembled full answer presents exactly as an unsharded full solve:
@@ -286,31 +337,39 @@ StatusOr<QueryResponseWire> Coordinator::ScatterFull(
 }
 
 StatusOr<QueryResponseWire> Coordinator::ScatterRanked(
-    const QueryRequestWire& request, const Placement& placement) {
+    const QueryRequestWire& request, const Placement& placement,
+    obs::Trace* trace) {
   const std::vector<std::pair<int, int>> scopes = PartitionScopes(
       placement.num_objects, static_cast<int>(placement.holders.size()));
   ARSP_CHECK(scopes.size() == placement.holders.size());
 
   std::vector<StatusOr<QueryResponseWire>> results(
       placement.holders.size(), Status::Internal("not run"));
-  std::vector<std::function<void()>> tasks;
-  for (size_t i = 0; i < placement.holders.size(); ++i) {
-    if (scopes[i].first >= scopes[i].second) continue;
-    const int shard = placement.holders[i];
-    tasks.push_back([this, &request, &results, &scopes, shard, i] {
-      // Each scope answers with the GLOBAL goal parameters (k, p): an
-      // object in the global answer has fewer than k better objects in its
-      // own scope, so the union of per-scope answers covers the global
-      // answer (see header).
-      QueryRequestWire scoped = request;
-      scoped.scope_begin = scopes[i].first;
-      scoped.scope_end = scopes[i].second;
-      scoped.include_instances = request.include_instances;
-      results[i] = shards_[static_cast<size_t>(shard)]->Query(scoped);
-    });
+  {
+    obs::ScopedSpan scatter_span(trace, "scatter");
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < placement.holders.size(); ++i) {
+      if (scopes[i].first >= scopes[i].second) continue;
+      const int shard = placement.holders[i];
+      tasks.push_back([this, &request, &results, &scopes, shard, i] {
+        // Each scope answers with the GLOBAL goal parameters (k, p): an
+        // object in the global answer has fewer than k better objects in its
+        // own scope, so the union of per-scope answers covers the global
+        // answer (see header).
+        QueryRequestWire scoped = request;
+        scoped.scope_begin = scopes[i].first;
+        scoped.scope_end = scopes[i].second;
+        scoped.include_instances = request.include_instances;
+        results[i] = shards_[static_cast<size_t>(shard)]->Query(scoped);
+      });
+    }
+    scatter_span.Annotate("fanout", static_cast<int64_t>(tasks.size()));
+    RunParallel(&tasks);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (scopes[i].first >= scopes[i].second || !results[i].ok()) continue;
+      AdoptShardTrace(trace, *results[i], placement.holders[i]);
+    }
   }
-  RunParallel(&tasks);
-
   QueryResponseWire out;
   out.complete = true;
   out.cache_hit = true;
@@ -323,56 +382,66 @@ StatusOr<QueryResponseWire> Coordinator::ScatterRanked(
     double upper;
   };
   std::vector<Undecided> undecided;
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (scopes[i].first >= scopes[i].second) continue;
-    if (!results[i].ok()) return results[i].status();
-    const QueryResponseWire& part = *results[i];
-    if (out.solver.empty()) {
-      out.solver = part.solver;
-      out.goal = StripScopeSuffix(part.goal);
-    }
-    out.cache_hit = out.cache_hit && part.cache_hit;
-    out.pushdown = out.pushdown || part.pushdown;
-    out.complete = out.complete && part.complete;
-    AddStats(&out.stats, part.stats);
-    candidates.insert(candidates.end(), part.ranked.begin(),
-                      part.ranked.end());
-    for (const ObjectReportWire& report : part.object_reports) {
-      if (report.decision ==
-          static_cast<uint8_t>(ObjectDecision::kUndecided)) {
-        undecided.push_back(
-            Undecided{static_cast<int>(i), report.object_id, report.upper});
+  std::vector<Undecided> refine;
+  {
+    obs::ScopedSpan merge_span(trace, "merge");
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (scopes[i].first >= scopes[i].second) continue;
+      if (!results[i].ok()) return results[i].status();
+      const QueryResponseWire& part = *results[i];
+      if (out.solver.empty()) {
+        out.solver = part.solver;
+        out.goal = StripScopeSuffix(part.goal);
+      }
+      out.cache_hit = out.cache_hit && part.cache_hit;
+      out.pushdown = out.pushdown || part.pushdown;
+      out.complete = out.complete && part.complete;
+      AddStats(&out.stats, part.stats);
+      candidates.insert(candidates.end(), part.ranked.begin(),
+                        part.ranked.end());
+      for (const ObjectReportWire& report : part.object_reports) {
+        if (report.decision ==
+            static_cast<uint8_t>(ObjectDecision::kUndecided)) {
+          undecided.push_back(
+              Undecided{static_cast<int>(i), report.object_id, report.upper});
+        }
       }
     }
-  }
-  std::sort(candidates.begin(), candidates.end(), RankedLess);
+    std::sort(candidates.begin(), candidates.end(), RankedLess);
 
-  // λ — the value an object must reach to influence the merged answer.
-  // Undecided objects (a shard stopped refining once its scope's goal was
-  // met) whose upper bound reaches it are fetched exactly; excluded objects
-  // are provably below their scope's cut, which merging only raises.
-  double lambda;
-  if (request.derived_kind == WireDerivedKind::kObjectsAboveThreshold) {
-    lambda = request.threshold;
-  } else {
-    const int k = request.derived_kind == WireDerivedKind::kCountControlled
-                      ? request.max_objects
-                      : request.k;
-    lambda = (k >= 0 && candidates.size() >= static_cast<size_t>(k) && k > 0)
-                 ? candidates[static_cast<size_t>(k) - 1].prob
-                 : -std::numeric_limits<double>::infinity();
-    if (k == 0 &&
-        request.derived_kind == WireDerivedKind::kTopKObjects) {
-      // Empty answer; nothing can influence it.
-      lambda = std::numeric_limits<double>::infinity();
+    // λ — the value an object must reach to influence the merged answer.
+    // Undecided objects (a shard stopped refining once its scope's goal was
+    // met) whose upper bound reaches it are fetched exactly; excluded
+    // objects are provably below their scope's cut, which merging only
+    // raises.
+    double lambda;
+    if (request.derived_kind == WireDerivedKind::kObjectsAboveThreshold) {
+      lambda = request.threshold;
+    } else {
+      const int k = request.derived_kind == WireDerivedKind::kCountControlled
+                        ? request.max_objects
+                        : request.k;
+      lambda =
+          (k >= 0 && candidates.size() >= static_cast<size_t>(k) && k > 0)
+              ? candidates[static_cast<size_t>(k) - 1].prob
+              : -std::numeric_limits<double>::infinity();
+      if (k == 0 &&
+          request.derived_kind == WireDerivedKind::kTopKObjects) {
+        // Empty answer; nothing can influence it.
+        lambda = std::numeric_limits<double>::infinity();
+      }
     }
-  }
 
-  std::vector<Undecided> refine;
-  for (const Undecided& u : undecided) {
-    if (u.upper >= lambda - kProbabilityEps) refine.push_back(u);
+    for (const Undecided& u : undecided) {
+      if (u.upper >= lambda - kProbabilityEps) refine.push_back(u);
+    }
+    merge_span.Annotate("candidates",
+                        static_cast<int64_t>(candidates.size()));
+    merge_span.Annotate("undecided", static_cast<int64_t>(undecided.size()));
   }
   if (!refine.empty()) {
+    obs::ScopedSpan refine_span(trace, "refine");
+    refine_span.Annotate("objects", static_cast<int64_t>(refine.size()));
     std::vector<StatusOr<QueryResponseWire>> refined(
         refine.size(), Status::Internal("not run"));
     std::vector<std::function<void()>> refine_tasks;
@@ -397,6 +466,9 @@ StatusOr<QueryResponseWire> Coordinator::ScatterRanked(
     RunParallel(&refine_tasks);
     for (size_t i = 0; i < refined.size(); ++i) {
       if (!refined[i].ok()) return refined[i].status();
+      AdoptShardTrace(
+          trace, *refined[i],
+          placement.holders[static_cast<size_t>(refine[i].holder)]);
       AddStats(&out.stats, refined[i]->stats);
       out.cache_hit = out.cache_hit && refined[i]->cache_hit;
       if (!refined[i]->ranked.empty()) {
@@ -512,6 +584,9 @@ StatusOr<StatsResponse> Coordinator::Stats(const StatsRequest& request) {
       // conservative for capacity planning.
       out.latency_p50_ms = std::max(out.latency_p50_ms, part.latency_p50_ms);
       out.latency_p95_ms = std::max(out.latency_p95_ms, part.latency_p95_ms);
+      out.latency_p99_ms = std::max(out.latency_p99_ms, part.latency_p99_ms);
+      out.latency_p999_ms =
+          std::max(out.latency_p999_ms, part.latency_p999_ms);
       latency_weight += part.latency_count;
     }
     if (out.kernel_arch.empty()) out.kernel_arch = part.kernel_arch;

@@ -55,6 +55,7 @@
 #include "src/common/thread_pool.h"
 #include "src/cluster/shard_plan.h"
 #include "src/net/backend.h"
+#include "src/obs/trace.h"
 
 namespace arsp {
 namespace cluster {
@@ -113,15 +114,21 @@ class Coordinator : public net::ServiceBackend {
 
   StatusOr<Placement> PlacementFor(const std::string& name) const;
 
-  /// Scatter-gather for kNone (the full ARSP answer).
+  /// Scatter-gather for kNone (the full ARSP answer). `trace` (nullable)
+  /// gains scatter/merge phase spans with each shard's reply subtree
+  /// stitched under the scatter span.
   StatusOr<QueryResponseWire> ScatterFull(const QueryRequestWire& request,
-                                          const Placement& placement);
-  /// Scatter-gather + refinement for the object-ranking kinds.
+                                          const Placement& placement,
+                                          obs::Trace* trace);
+  /// Scatter-gather + refinement for the object-ranking kinds; the trace
+  /// additionally gains a refine span when a refinement round runs.
   StatusOr<QueryResponseWire> ScatterRanked(const QueryRequestWire& request,
-                                            const Placement& placement);
+                                            const Placement& placement,
+                                            obs::Trace* trace);
   /// Forwards `request` unchanged to one holder (round robin).
   StatusOr<QueryResponseWire> ForwardToOne(const QueryRequestWire& request,
-                                           const Placement& placement);
+                                           const Placement& placement,
+                                           obs::Trace* trace);
 
   std::vector<std::pair<int, int>> PartitionScopes(int num_objects,
                                                    int parts) const;

@@ -14,7 +14,10 @@ namespace arsp {
 
 /// Nearest-rank percentile of a *sorted ascending* sample: element at index
 /// round(q · (n − 1)). q is clamped to [0, 1]. Returns 0.0 for an empty
-/// sample.
+/// sample. Tail quantiles (p99 = 0.99, p99.9 = 0.999 — the standard
+/// reporting set across latency_stats(), daemon STATS, and arsp_loadgen)
+/// degrade gracefully on small samples: with n below 1/(1−q) the index
+/// rounds to n−1 and the tail percentile is simply the max.
 double SortedPercentile(const std::vector<double>& sorted, double q);
 
 /// Sorts `sample` in place, then returns the percentile for each q in

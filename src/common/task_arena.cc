@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace arsp {
 namespace {
 
@@ -116,6 +118,7 @@ bool TaskArena::RunOneTask(int worker) {
   // Own deque first: LIFO from the back keeps the working set warm.
   Task task;
   bool have = false;
+  bool stole = false;
   {
     WorkerQueue& own = *queues_[worker];
     std::lock_guard<std::mutex> lock(own.mu);
@@ -148,6 +151,7 @@ bool TaskArena::RunOneTask(int worker) {
       task = std::move(loot.front());
       loot.pop_front();
       have = true;
+      stole = true;
       if (!loot.empty()) {
         WorkerQueue& own = *queues_[worker];
         std::lock_guard<std::mutex> lock(own.mu);
@@ -157,7 +161,21 @@ bool TaskArena::RunOneTask(int worker) {
   }
   if (!have) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
-  task(worker);
+  // Optional per-task profiling events (ARSP_TRACE_FILE): one Chrome
+  // trace_event complete event per executed task, keyed by worker lane.
+  // enabled() is a cached bool, so the untraced hot path pays one branch.
+  obs::TaskEventSink& sink = obs::TaskEventSink::Global();
+  if (sink.enabled()) {
+    obs::TaskEventSink::Event event;
+    event.worker = worker;
+    event.stolen = stole;
+    event.start_ns = obs::Trace::NowNs();
+    task(worker);
+    event.end_ns = obs::Trace::NowNs();
+    sink.Record(event);
+  } else {
+    task(worker);
+  }
   FinishTask();
   return true;
 }

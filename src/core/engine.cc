@@ -407,6 +407,7 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   // `goal_cache_key` = cache_key + the goal, and are consulted only by
   // pushdown requests for that exact goal.
   const auto lookup_cache = [&]() {
+    obs::ScopedSpan probe_span(request.trace, "cache_probe");
     // The handle id is the dataset's fingerprint: handles are never reused
     // across the engine's lifetime and the dataset behind one is immutable
     // (shared_ptr<const>), so the id is collision-proof where a content
@@ -444,6 +445,7 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
     } else {
       ++cache_misses_;
     }
+    probe_span.Annotate("hit", hit ? "true" : "false");
   };
 
   // An explicit solver's cache key needs no context: look up first, so pure
@@ -454,23 +456,30 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   if (cacheable && !is_auto) lookup_cache();
 
   if (!response.cache_hit) {
-    if (context == nullptr) {
-      if (base_id != request.dataset.id && request.pool_context) {
-        // View handle with pooling (any spec — a Full-spec view must not
-        // rebuild either): derive from the base dataset's pooled context
-        // so the whole sweep of views over one base shares a single set
-        // of full indexes and one SoA score mapping.
-        std::shared_ptr<ExecutionContext> parent = FindOrCreatePooledContext(
-            base_id, constraint_key, request.constraints, dataset);
-        context = ExecutionContext::Derive(std::move(parent), view);
+    {
+      obs::ScopedSpan acquire_span(request.trace, "context_acquire");
+      if (context == nullptr) {
+        if (base_id != request.dataset.id && request.pool_context) {
+          // View handle with pooling (any spec — a Full-spec view must not
+          // rebuild either): derive from the base dataset's pooled context
+          // so the whole sweep of views over one base shares a single set
+          // of full indexes and one SoA score mapping.
+          std::shared_ptr<ExecutionContext> parent = FindOrCreatePooledContext(
+              base_id, constraint_key, request.constraints, dataset);
+          context = ExecutionContext::Derive(std::move(parent), view);
+          acquire_span.Annotate("source", "derived_from_base");
+        } else {
+          // Full view, or a cold (pool-less) request: a standalone context
+          // that builds only over its own view.
+          context = request.constraints.has_weight_ratios()
+                        ? std::make_shared<ExecutionContext>(
+                              view, request.constraints.weight_ratios())
+                        : std::make_shared<ExecutionContext>(
+                              view, request.constraints.region());
+          acquire_span.Annotate("source", "fresh");
+        }
       } else {
-        // Full view, or a cold (pool-less) request: a standalone context
-        // that builds only over its own view.
-        context = request.constraints.has_weight_ratios()
-                      ? std::make_shared<ExecutionContext>(
-                            view, request.constraints.weight_ratios())
-                      : std::make_shared<ExecutionContext>(
-                            view, request.constraints.region());
+        acquire_span.Annotate("source", "pooled");
       }
     }
     if (is_auto) {
@@ -557,8 +566,48 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
       solve_context = ExecutionContext::Derive(context, view, goal);
     }
     SolverStats stats;
+    ExecutionContext::IndexBuildStats index_before;
+    if (request.trace != nullptr) {
+      index_before = solve_context->index_build_stats();
+    }
+    obs::ScopedSpan solve_span(request.trace, "solve");
+    const uint64_t solve_start_ns =
+        request.trace != nullptr ? obs::Trace::NowNs() : 0;
     StatusOr<ArspResult> result = (*solver)->Solve(*solve_context, &stats);
     if (!result.ok()) return result.status();
+    if (request.trace != nullptr) {
+      // The lazy context preprocessing this solve triggered (index builds,
+      // snapshot adoption, score mapping) runs at the head of Solve; carve
+      // it out as a child span so the timeline separates setup from
+      // traversal, and annotate it with the build-vs-adopt counters.
+      const ExecutionContext::IndexBuildStats index_after =
+          solve_context->index_build_stats();
+      if (stats.setup_millis > 0.0) {
+        obs::Span setup;
+        setup.name = "index_setup";
+        setup.start_ns = solve_start_ns;
+        setup.end_ns =
+            solve_start_ns + static_cast<uint64_t>(stats.setup_millis * 1e6);
+        const auto note = [&setup](const char* key, int64_t delta) {
+          if (delta != 0) setup.annotations.emplace_back(key,
+                                                         std::to_string(delta));
+        };
+        note("kdtree_builds", index_after.kdtree_builds -
+                                  index_before.kdtree_builds);
+        note("rtree_builds",
+             index_after.rtree_builds - index_before.rtree_builds);
+        note("score_maps", index_after.score_maps - index_before.score_maps);
+        note("score_reuses",
+             index_after.score_reuses - index_before.score_reuses);
+        note("parent_index_hits", index_after.parent_index_hits -
+                                      index_before.parent_index_hits);
+        note("snapshot_adopts",
+             index_after.snapshot_hits - index_before.snapshot_hits);
+        request.trace->AdoptChild(std::move(setup));
+      }
+      solve_span.Annotate("pushdown", pushdown ? "true" : "false");
+      stats.AnnotateSpan(&solve_span);
+    }
     // Created non-const (then viewed as const) so TakeResult can move the
     // payload out of a uniquely owned response.
     response.result = std::make_shared<ArspResult>(std::move(*result));
@@ -593,6 +642,7 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
   // results from their exact object bounds. Ids in the output are base
   // object ids, so callers can map them to names regardless of the window.
   const ArspResult& result = *response.result;
+  obs::ScopedSpan goal_span(request.trace, "goal_answer");
   switch (request.derived.kind) {
     case DerivedKind::kNone:
       break;
@@ -607,6 +657,10 @@ StatusOr<QueryResponse> ArspEngine::SolveImpl(const QueryRequest& request) {
       response.ranked =
           AnswerGoal(result, view, goal, &response.count_threshold);
       break;
+  }
+  if (request.trace != nullptr &&
+      request.derived.kind != DerivedKind::kNone) {
+    goal_span.Annotate("ranked", static_cast<int64_t>(response.ranked.size()));
   }
   return response;
 }
@@ -715,7 +769,8 @@ std::string ArspEngine::LatencyStats::ToString() const {
   std::ostringstream os;
   os << "requests=" << count << " window=" << window << " min_ms=" << min_ms
      << " mean_ms=" << mean_ms << " p50_ms=" << p50_ms
-     << " p95_ms=" << p95_ms;
+     << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
+     << " p999_ms=" << p999_ms;
   return os.str();
 }
 
@@ -741,6 +796,8 @@ ArspEngine::LatencyStats ArspEngine::latency_stats() const {
   // helper so every latency reporter (arsp_loadgen included) agrees.
   stats.p50_ms = SortedPercentile(window, 0.50);
   stats.p95_ms = SortedPercentile(window, 0.95);
+  stats.p99_ms = SortedPercentile(window, 0.99);
+  stats.p999_ms = SortedPercentile(window, 0.999);
   return stats;
 }
 

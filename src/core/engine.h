@@ -56,6 +56,7 @@
 
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/core/arsp_result.h"
 #include "src/core/solver.h"
 #include "src/prefs/preference_region.h"
@@ -172,6 +173,14 @@ struct QueryRequest {
   /// bit-identical across every value by the parallel determinism contract,
   /// which is also why the result cache ignores this field.
   int parallelism = 0;
+  /// Optional per-request trace (non-owning; the caller keeps it alive
+  /// through Solve). Null — the default — disables tracing at zero cost:
+  /// no allocation, no clock reads, bit-identical results (the cache also
+  /// ignores this field). When set, the engine opens child spans for the
+  /// cache probe, context acquire (with index build / snapshot adopt
+  /// sub-spans), the solve itself (annotated with SolverStats counters),
+  /// and derived-goal answering.
+  obs::Trace* trace = nullptr;
 };
 
 /// Answer to a QueryRequest. The result payload is shared (it may also
@@ -305,11 +314,13 @@ class ArspEngine {
   /// Per-request latency distribution. `count` is the lifetime number of
   /// successful Solve calls (SolveBatch entries included; failed requests
   /// are not recorded — their sub-microsecond rejects would drag the
-  /// percentiles toward zero); min/mean/p50/p95 are computed over the most
-  /// recent `window` requests (the EngineOptions::latency_window ring, so a
-  /// long-lived service reports current behavior, not its lifetime
-  /// average). Percentiles use the nearest-rank method. All zero when
-  /// tracking is disabled or nothing has been recorded yet.
+  /// percentiles toward zero); min/mean/p50/p95/p99/p99.9 are computed over
+  /// the most recent `window` requests (the EngineOptions::latency_window
+  /// ring, so a long-lived service reports current behavior, not its
+  /// lifetime average). Percentiles use the nearest-rank method — note the
+  /// tail percentiles need a populated window to be meaningful (p99.9 over
+  /// 100 samples is just the max). All zero when tracking is disabled or
+  /// nothing has been recorded yet.
   struct LatencyStats {
     int64_t count = 0;    ///< lifetime requests recorded
     int64_t window = 0;   ///< requests in the ring right now
@@ -317,6 +328,8 @@ class ArspEngine {
     double mean_ms = 0.0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
 
     /// One-line "k=v" rendering for arsp_cli --stats and the daemon log.
     std::string ToString() const;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -83,6 +84,33 @@ std::string SolverStats::ToString() const {
      << " tasks_stolen=" << tasks_stolen
      << " parallel_workers=" << parallel_workers;
   return os.str();
+}
+
+void SolverStats::AnnotateSpan(obs::ScopedSpan* span) const {
+  if (span == nullptr || !span->enabled()) return;
+  span->Annotate("solver", solver);
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", setup_millis);
+  span->Annotate("setup_ms", std::string(ms));
+  span->Annotate("dominance_tests", dominance_tests);
+  span->Annotate("nodes_visited", nodes_visited);
+  span->Annotate("nodes_pruned", nodes_pruned);
+  span->Annotate("index_probes", index_probes);
+  if (objects_pruned != 0) span->Annotate("objects_pruned", objects_pruned);
+  if (bound_refinements != 0) {
+    span->Annotate("bound_refinements", bound_refinements);
+  }
+  if (early_exit_depth != 0) {
+    span->Annotate("early_exit_depth", early_exit_depth);
+  }
+  if (index_bytes_mapped != 0) {
+    span->Annotate("index_bytes_mapped", index_bytes_mapped);
+  }
+  if (tasks_spawned != 0) {
+    span->Annotate("tasks_spawned", tasks_spawned);
+    span->Annotate("tasks_stolen", tasks_stolen);
+    span->Annotate("parallel_workers", parallel_workers);
+  }
 }
 
 // -------------------------------------------------------------- options

@@ -42,6 +42,7 @@
 #include "src/core/arsp_result.h"
 #include "src/index/kdtree.h"
 #include "src/index/rtree.h"
+#include "src/obs/trace.h"
 #include "src/prefs/preference_region.h"
 #include "src/prefs/score_mapper.h"
 #include "src/prefs/weight_ratio.h"
@@ -112,6 +113,13 @@ struct SolverStats {
 
   /// One-line "k=v" rendering for logs and arsp_cli --stats.
   std::string ToString() const;
+
+  /// Annotates a trace span with the run's counters (zero-valued optional
+  /// counters — the goal-pushdown and parallelism groups — are skipped to
+  /// keep span trees readable). No-op on a disabled span. The counter list
+  /// lives here, next to the struct, so the engine's solve span and any
+  /// future reporter cannot drift from the fields.
+  void AnnotateSpan(obs::ScopedSpan* span) const;
 };
 
 /// Typed option bag passed to ArspSolver::Configure. Values keep the type

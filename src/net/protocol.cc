@@ -82,6 +82,8 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kStats: return "STATS";
     case MessageType::kDrop: return "DROP";
     case MessageType::kShutdown: return "SHUTDOWN";
+    case MessageType::kMetrics: return "METRICS";
+    case MessageType::kTraceGet: return "TRACE";
     case MessageType::kOk: return "OK";
     case MessageType::kError: return "ERROR";
     case MessageType::kLoadResult: return "LOAD_RESULT";
@@ -89,6 +91,8 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kQueryResult: return "QUERY_RESULT";
     case MessageType::kStatsResult: return "STATS_RESULT";
     case MessageType::kRetryLater: return "RETRY_LATER";
+    case MessageType::kMetricsResult: return "METRICS_RESULT";
+    case MessageType::kTraceResult: return "TRACE_RESULT";
   }
   return "UNKNOWN";
 }
@@ -350,6 +354,8 @@ std::string QueryRequestWire::EncodePayload() const {
   w.I32(scope_begin);
   w.I32(scope_end);
   w.I32(parallelism);
+  w.U64(trace_id);
+  w.Bool(want_trace);
   return w.Take();
 }
 
@@ -369,6 +375,8 @@ Status QueryRequestWire::DecodePayload(const std::string& bytes) {
   scope_begin = r.I32();
   scope_end = r.I32();
   parallelism = r.I32();
+  trace_id = r.U64();
+  want_trace = r.Bool();
   ARSP_RETURN_IF_ERROR(r.Finish());
   if (kind > static_cast<uint8_t>(WireDerivedKind::kCountControlled)) {
     return Status::InvalidArgument("bad derived kind " +
@@ -483,6 +491,8 @@ std::string QueryResponseWire::EncodePayload() const {
     w.F64(o.lower);
     w.F64(o.upper);
   }
+  w.U64(trace_id);
+  w.Str(trace_spans);
   return w.Take();
 }
 
@@ -529,6 +539,8 @@ Status QueryResponseWire::DecodePayload(const std::string& bytes) {
   } else if (r.status().ok()) {
     return Status::InvalidArgument("object report count exceeds payload");
   }
+  trace_id = r.U64();
+  trace_spans = r.Str();
   ARSP_RETURN_IF_ERROR(r.Finish());
   for (const ObjectReportWire& o : object_reports) {
     if (o.decision > 2) {
@@ -596,6 +608,8 @@ std::string StatsResponse::EncodePayload() const {
   w.I64(index_bytes_mapped);
   w.I64(peak_rss_bytes);
   w.I64(query_threads);
+  w.F64(latency_p99_ms);
+  w.F64(latency_p999_ms);
   return w.Take();
 }
 
@@ -639,6 +653,8 @@ Status StatsResponse::DecodePayload(const std::string& bytes) {
   index_bytes_mapped = r.I64();
   peak_rss_bytes = r.I64();
   query_threads = r.I64();
+  latency_p99_ms = r.F64();
+  latency_p999_ms = r.F64();
   return r.Finish();
 }
 
@@ -651,6 +667,32 @@ std::string DropRequest::EncodePayload() const {
 Status DropRequest::DecodePayload(const std::string& bytes) {
   WireReader r(bytes);
   name = r.Str();
+  return r.Finish();
+}
+
+std::string MetricsResponse::EncodePayload() const {
+  WireWriter w;
+  w.Str(text);
+  return w.Take();
+}
+
+Status MetricsResponse::DecodePayload(const std::string& bytes) {
+  WireReader r(bytes);
+  text = r.Str();
+  return r.Finish();
+}
+
+std::string TraceResponse::EncodePayload() const {
+  WireWriter w;
+  w.U64(trace_id);
+  w.Str(spans);
+  return w.Take();
+}
+
+Status TraceResponse::DecodePayload(const std::string& bytes) {
+  WireReader r(bytes);
+  trace_id = r.U64();
+  spans = r.Str();
   return r.Finish();
 }
 

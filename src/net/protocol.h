@@ -62,7 +62,14 @@ inline constexpr uint16_t kWireMagic = 0xA75F;
 ///     per-query worker request), WireSolverStats grew the executor
 ///     counters (tasks_spawned / tasks_stolen / parallel_workers), and
 ///     StatsResponse grew the daemon's configured query_threads policy.
-inline constexpr uint8_t kWireVersion = 5;
+/// v6 (observability): QueryRequestWire grew `trace_id` + `want_trace`
+///     (distributed tracing: the coordinator stamps its trace id into
+///     scattered frames), QueryResponseWire grew `trace_id` + `trace_spans`
+///     (the server-side span subtree, obs::SerializeSpans format),
+///     StatsResponse grew the tail latency percentiles (p99 / p99.9), and
+///     the METRICS / TRACE message pair was added (Prometheus text dump and
+///     most-recent-trace fetch).
+inline constexpr uint8_t kWireVersion = 6;
 
 /// Max payload bytes a peer will accept (the max-frame guard). Large enough
 /// for a multi-million-instance probability vector, small enough that a
@@ -80,6 +87,12 @@ enum class MessageType : uint8_t {
   kStats = 5,         ///< StatsRequest
   kDrop = 6,          ///< DropRequest
   kShutdown = 7,      ///< drain and stop the daemon; empty payload
+  /// Process metrics dump (Prometheus text, the same bytes the HTTP
+  /// /metrics endpoint serves); empty payload. Since wire v6.
+  kMetrics = 8,
+  /// Fetch the most recent traced query's span tree retained by the
+  /// server; empty payload. Since wire v6.
+  kTraceGet = 9,
   // Server → client.
   kOk = 128,          ///< generic success (ping, drop, shutdown)
   kError = 129,       ///< ErrorResponse
@@ -92,6 +105,8 @@ enum class MessageType : uint8_t {
   /// kError so well-behaved clients can back off without parsing text.
   /// Since wire v3.
   kRetryLater = 134,
+  kMetricsResult = 135,  ///< MetricsResponse. Since wire v6.
+  kTraceResult = 136,    ///< TraceResponse. Since wire v6.
 };
 
 /// Human-readable message-type name for logs and errors.
@@ -252,6 +267,14 @@ struct QueryRequestWire {
   /// bit-identical to serial either way. Since wire v5 (absent fields
   /// decode as 0 = policy for older frames).
   int32_t parallelism = 0;
+  /// Distributed tracing (since wire v6). `want_trace` asks the server to
+  /// trace this request and return its span subtree in the reply;
+  /// `trace_id` propagates the caller's trace id (0 = mint one server-side
+  /// when want_trace is set). The coordinator stamps its own id into every
+  /// scattered shard frame so one id correlates the whole cross-process
+  /// timeline. Tracing never changes results (bit-identity contract).
+  uint64_t trace_id = 0;
+  bool want_trace = false;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);
@@ -330,6 +353,13 @@ struct QueryResponseWire {
   /// Per-object bounds/decisions of the *in-scope* objects (scoped
   /// requests only; empty otherwise). Since wire v3.
   std::vector<ObjectReportWire> object_reports;
+  /// Distributed tracing (since wire v6): the trace id this reply belongs
+  /// to (0 = untraced) and the server-side span subtree in the
+  /// obs::SerializeSpans format (empty = untraced). A coordinator
+  /// deserializes each shard's subtree and stitches it under its own
+  /// scatter span.
+  uint64_t trace_id = 0;
+  std::string trace_spans;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);
@@ -377,6 +407,11 @@ struct StatsResponse {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   std::vector<DatasetInfo> datasets;
+  /// Tail latency percentiles of the same ring window (appended in wire
+  /// v6; declared here with the other latency fields for readability, but
+  /// encoded after query_threads to keep the append-only evolution rule).
+  double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
   // Index-work counters of the requested dataset (present iff a name was
   // given and known): ExecutionContext::IndexBuildStats field-for-field.
   bool has_index_stats = false;
@@ -406,6 +441,28 @@ struct StatsResponse {
 
 struct DropRequest {
   std::string name;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Reply to kMetrics: the process's Prometheus text exposition — the exact
+/// bytes `GET /metrics` on the daemon's --metrics-port serves, so wire
+/// clients (arsp_cli --metrics) and HTTP scrapers see one truth.
+/// Since wire v6.
+struct MetricsResponse {
+  std::string text;
+
+  std::string EncodePayload() const;
+  Status DecodePayload(const std::string& bytes);
+};
+
+/// Reply to kTraceGet: the most recent traced query the server retained
+/// (id 0 and empty spans when none has been traced yet). Since wire v6.
+struct TraceResponse {
+  uint64_t trace_id = 0;
+  /// obs::SerializeSpans format.
+  std::string spans;
 
   std::string EncodePayload() const;
   Status DecodePayload(const std::string& bytes);

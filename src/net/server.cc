@@ -13,15 +13,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "src/common/mem.h"
+#include "src/common/stopwatch.h"
 #include "src/core/queries.h"
 #include "src/io/csv.h"
 #include "src/io/snapshot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/simd/kernels.h"
 #include "src/uncertain/generators.h"
 
@@ -62,6 +67,20 @@ DerivedKind ToDerivedKind(WireDerivedKind kind) {
       return DerivedKind::kCountControlled;
   }
   return DerivedKind::kNone;
+}
+
+// Goal-kind label for the arsp_queries_total metric: a small closed set
+// (labels must stay low-cardinality — never the raw goal string, which
+// embeds constraint text).
+const char* GoalLabel(WireDerivedKind kind) {
+  switch (kind) {
+    case WireDerivedKind::kNone: return "full";
+    case WireDerivedKind::kTopKObjects: return "topk_objects";
+    case WireDerivedKind::kTopKInstances: return "topk_instances";
+    case WireDerivedKind::kObjectsAboveThreshold: return "threshold";
+    case WireDerivedKind::kCountControlled: return "count";
+  }
+  return "full";
 }
 
 }  // namespace
@@ -407,19 +426,64 @@ bool ArspServer::HandleRequest(int client_fd, const Frame& frame,
         RetryLaterResponse retry;
         if (!gate->Admit(static_cast<uint64_t>(client_fd),
                          &retry.retry_after_ms, &retry.reason)) {
+          obs::MetricsRegistry::Global()
+              .GetCounter("arsp_admission_denials_total", {},
+                          "QUERY requests refused by the admission gate "
+                          "(answered RETRY_LATER).")
+              ->Inc();
           *reply_type = MessageType::kRetryLater;
           *reply_payload = retry.EncodePayload();
           return true;
         }
       }
+      // The slow-query log needs the phase breakdown, which only a trace
+      // carries — force one internally when the log is armed, but never
+      // ship forced spans to a client that didn't ask for them.
+      const bool forced_trace =
+          options_.slow_query_ms >= 0 && !request.want_trace;
+      if (forced_trace) request.want_trace = true;
+      Stopwatch watch;
       auto response = backend_->Query(request);
+      const double elapsed_ms = watch.ElapsedMillis();
       if (gate != nullptr) gate->Release(static_cast<uint64_t>(client_fd));
       if (!response.ok()) {
         reply_error(response.status());
         return true;
       }
+      if (!response->trace_spans.empty()) {
+        // Retain for the TRACE message (most recent wins).
+        std::lock_guard<std::mutex> lock(mu_);
+        last_trace_id_ = response->trace_id;
+        last_trace_spans_ = response->trace_spans;
+      }
+      if (options_.slow_query_ms >= 0 &&
+          elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
+        LogSlowQuery(request, *response, elapsed_ms);
+      }
+      if (forced_trace) {
+        response->trace_id = 0;
+        response->trace_spans.clear();
+      }
       *reply_type = MessageType::kQueryResult;
       *reply_payload = response->EncodePayload();
+      return true;
+    }
+    case MessageType::kMetrics: {
+      MetricsResponse response;
+      response.text = obs::MetricsRegistry::Global().RenderPrometheusText();
+      *reply_type = MessageType::kMetricsResult;
+      *reply_payload = response.EncodePayload();
+      return true;
+    }
+    case MessageType::kTraceGet: {
+      TraceResponse response;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        response.trace_id = last_trace_id_;
+        response.spans = last_trace_spans_;
+      }
+      *reply_type = MessageType::kTraceResult;
+      *reply_payload = response.EncodePayload();
       return true;
     }
     case MessageType::kStats: {
@@ -456,6 +520,28 @@ bool ArspServer::HandleRequest(int client_fd, const Frame& frame,
           MessageTypeName(frame.type)));
       return true;
   }
+}
+
+void ArspServer::LogSlowQuery(const QueryRequestWire& request,
+                              const QueryResponseWire& response,
+                              double elapsed_ms) {
+  // Phase breakdown: the root span's direct children (cache_probe,
+  // context_acquire, index_setup, solve, goal_answer — whichever ran).
+  std::string phases;
+  std::vector<obs::Span> spans;
+  if (obs::DeserializeSpans(response.trace_spans, &spans) && !spans.empty()) {
+    for (const obs::Span& child : spans[0].children) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "=%.3fms", child.DurationMs());
+      phases += " " + child.name + ms;
+    }
+  }
+  std::fprintf(stderr,
+               "[arspd] slow query trace=%016" PRIx64
+               " dataset=%s solver=%s goal=%s total=%.3fms phases:%s\n",
+               response.trace_id, request.dataset.c_str(),
+               response.solver.c_str(), response.goal.c_str(), elapsed_ms,
+               phases.empty() ? " (none)" : phases.c_str());
 }
 
 StatusOr<LoadDatasetResponse> EngineBackend::Load(
@@ -715,8 +801,82 @@ StatusOr<QueryResponseWire> EngineBackend::Query(
                  num_objects);
   }
 
+  // Tracing: enabled only on request (want_trace), reusing a propagated
+  // upstream id when one is stamped so one id correlates coordinator and
+  // shard timelines. query.trace stays null otherwise — the zero-cost
+  // disabled mode.
+  std::unique_ptr<obs::Trace> trace;
+  if (request.want_trace) {
+    trace = std::make_unique<obs::Trace>(
+        request.trace_id != 0 ? request.trace_id : obs::Trace::NewTraceId(),
+        "engine_query");
+    query.trace = trace.get();
+  }
+  Stopwatch watch;
   auto response = engine_.Solve(query);
-  if (!response.ok()) return response.status();
+  const double elapsed_ms = watch.ElapsedMillis();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const char* const goal_label = GoalLabel(request.derived_kind);
+  const char* const queries_help =
+      "Queries served, by solver, goal kind, and outcome.";
+  if (!response.ok()) {
+    metrics
+        .GetCounter("arsp_queries_total",
+                    {{"solver",
+                      request.solver.empty() ? "auto" : request.solver},
+                     {"goal", goal_label},
+                     {"outcome", "error"}},
+                    queries_help)
+        ->Inc();
+    return response.status();
+  }
+  metrics
+      .GetCounter("arsp_queries_total",
+                  {{"solver", response->solver},
+                   {"goal", goal_label},
+                   {"outcome", "ok"}},
+                  queries_help)
+      ->Inc();
+  if (response->cache_hit) {
+    metrics
+        .GetCounter("arsp_query_cache_hits_total", {},
+                    "Queries answered from the result cache.")
+        ->Inc();
+  }
+  metrics
+      .GetHistogram("arsp_query_latency_ms", obs::Histogram::LatencyBucketsMs(),
+                    {}, "End-to-end Solve latency per query.")
+      ->Observe(elapsed_ms);
+  metrics
+      .GetHistogram("arsp_query_phase_ms", obs::Histogram::LatencyBucketsMs(),
+                    {{"phase", "setup"}},
+                    "Per-phase solver time (setup = context/index work, "
+                    "solve = the solver proper).")
+      ->Observe(response->stats.setup_millis);
+  metrics
+      .GetHistogram("arsp_query_phase_ms", obs::Histogram::LatencyBucketsMs(),
+                    {{"phase", "solve"}},
+                    "Per-phase solver time (setup = context/index work, "
+                    "solve = the solver proper).")
+      ->Observe(response->stats.solve_millis);
+  if (response->stats.tasks_spawned > 0) {
+    metrics
+        .GetCounter("arsp_arena_tasks_total", {},
+                    "TaskArena tasks executed by parallel solves.")
+        ->Inc(static_cast<uint64_t>(response->stats.tasks_spawned));
+    metrics
+        .GetCounter("arsp_arena_tasks_stolen_total", {},
+                    "TaskArena tasks claimed by work-stealing.")
+        ->Inc(static_cast<uint64_t>(response->stats.tasks_stolen));
+  }
+  if (response->stats.index_bytes_mapped > 0) {
+    metrics
+        .GetGauge("arsp_index_bytes_mapped", {},
+                  "Bytes of mmap-backed index sections behind the most "
+                  "recent query.")
+        ->Set(response->stats.index_bytes_mapped);
+  }
 
   QueryResponseWire wire;
   wire.solver = response->solver;
@@ -819,6 +979,14 @@ StatusOr<QueryResponseWire> EngineBackend::Query(
       wire.result_size = 0;
     }
   }
+  if (trace != nullptr) {
+    trace->Annotate("dataset", request.dataset);
+    trace->Annotate("solver", wire.solver);
+    trace->Finish();
+    wire.trace_id = trace->id();
+    wire.trace_spans = obs::SerializeSpans({trace->root()});
+    obs::MaybeWriteChromeTrace(trace->root(), trace->id());
+  }
   return wire;
 }
 
@@ -837,6 +1005,8 @@ StatusOr<StatsResponse> EngineBackend::Stats(const StatsRequest& request) {
   response.latency_mean_ms = latency.mean_ms;
   response.latency_p50_ms = latency.p50_ms;
   response.latency_p95_ms = latency.p95_ms;
+  response.latency_p99_ms = latency.p99_ms;
+  response.latency_p999_ms = latency.p999_ms;
 
   std::vector<DatasetHandle> index_handles;
   {

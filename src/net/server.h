@@ -120,6 +120,12 @@ struct ServerOptions {
   /// Optional admission gate for QUERY requests (see QueryGate). Null
   /// admits everything.
   std::shared_ptr<QueryGate> query_gate;
+  /// Slow-query log threshold in milliseconds; negative disables (the
+  /// default). When enabled, every QUERY is traced internally (the client
+  /// does not see the forced spans unless it asked) and any request whose
+  /// end-to-end handling exceeds the threshold logs one stderr line with
+  /// its trace id, dataset, solver, goal, and per-phase breakdown.
+  int slow_query_ms = -1;
 };
 
 /// The daemon's server object. Lifecycle: construct → Start() → (serve) →
@@ -178,6 +184,11 @@ class ArspServer {
   bool HandleRequest(int client_fd, const Frame& frame,
                      MessageType* reply_type, std::string* reply_payload);
 
+  /// One stderr line for an over-threshold query: trace id, dataset,
+  /// solver, goal, total, and the root span's per-phase child durations.
+  void LogSlowQuery(const QueryRequestWire& request,
+                    const QueryResponseWire& response, double elapsed_ms);
+
   ServerOptions options_;
   /// Set iff no custom backend was installed (the classic daemon).
   std::shared_ptr<EngineBackend> engine_backend_;
@@ -193,6 +204,10 @@ class ArspServer {
   bool started_ = false;
   bool stopping_ = false;
   int64_t requests_served_ = 0;
+  /// Most recent traced query (explicit --trace or forced by the slow-query
+  /// log), served back via the TRACE message. Guarded by mu_.
+  uint64_t last_trace_id_ = 0;
+  std::string last_trace_spans_;
 
   /// Live handler threads, one per open connection. A handler moves its
   /// own node to finished_threads_ (under mu_) just before exiting; only

@@ -1,0 +1,165 @@
+// Copyright 2026 The ARSP Authors.
+
+#include "src/obs/metrics_http.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+
+namespace arsp {
+namespace obs {
+
+namespace {
+
+// Request heads past this are dropped unread — /metrics needs ~20 bytes of
+// request line, anything bigger is not a scraper.
+constexpr size_t kMaxRequestHead = 8192;
+
+// The Prometheus text exposition content type, format version 0.0.4.
+constexpr char kContentType[] = "text/plain; version=0.0.4; charset=utf-8";
+
+void WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scrape is best-effort
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body) {
+  std::string head = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                     "\r\nContent-Type: " + kContentType +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  return head + body;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &MetricsRegistry::Global()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Shutdown(); }
+
+Status MetricsHttpServer::Start(const std::string& host, int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("metrics server already started");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* resolved = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int gai =
+      ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &resolved);
+  if (gai != 0) {
+    return Status::Internal("cannot resolve metrics bind address '" + host +
+                            "': " + gai_strerror(gai));
+  }
+  int fd = -1;
+  Status bind_status = Status::Internal("no usable address");
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 16) == 0) {
+      bind_status = Status::OK();
+      break;
+    }
+    bind_status = Status::Internal("metrics bind " + host + ":" + port_str +
+                                   ": " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (!bind_status.ok()) return bind_status;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeOne(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::ServeOne(int fd) {
+  // Read the request head (up to the blank line). Scrapers send tiny
+  // requests; a 2s receive timeout keeps a stuck peer from wedging the
+  // single accept thread.
+  timeval timeout{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxRequestHead) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "GET /metrics" or "GET /metrics?..." or "GET /metrics HTTP/1.1".
+  const bool is_get = request_line.rfind("GET ", 0) == 0;
+  std::string path;
+  if (is_get) {
+    const size_t path_end = request_line.find_first_of(" ?", 4);
+    path = request_line.substr(4, path_end == std::string::npos
+                                      ? std::string::npos
+                                      : path_end - 4);
+  }
+  if (is_get && path == "/metrics") {
+    WriteAll(fd, HttpResponse(200, "OK", registry_->RenderPrometheusText()));
+  } else if (!is_get) {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed",
+                              "only GET is supported\n"));
+  } else {
+    WriteAll(fd, HttpResponse(404, "Not Found", "try GET /metrics\n"));
+  }
+}
+
+}  // namespace obs
+}  // namespace arsp

@@ -5,8 +5,10 @@
 // of ArspServers — the exact `arspd --coordinator` topology, in-process.
 // Covers: bit-identical answers through two wire hops, the typed
 // RETRY_LATER overload reply (client surfaces kUnavailable with the retry
-// hint), admission applying only to QUERY, and the bounded-shutdown-latency
-// regression for the nonblocking accept loop.
+// hint), admission applying only to QUERY, cross-process trace stitching
+// (want_trace through the coordinator returns a span tree holding every
+// shard's solve subtree), and the bounded-shutdown-latency regression for
+// the nonblocking accept loop.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +22,7 @@
 #include "src/cluster/remote_shard.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/trace.h"
 
 namespace arsp {
 namespace {
@@ -133,6 +136,101 @@ TEST(ClusterServer, CoordinatorDaemonAnswersBitIdenticallyToASingleDaemon) {
 
   for (auto* server : {coordinator.get(), single.get(), shard_a.get(),
                        shard_b.get()}) {
+    server->Shutdown();
+    server->Wait();
+  }
+}
+
+// Depth-first search for spans named `name`; appends matches to `out`.
+void FindSpans(const obs::Span& span, const std::string& name,
+               std::vector<const obs::Span*>* out) {
+  if (span.name == name) out->push_back(&span);
+  for (const obs::Span& child : span.children) FindSpans(child, name, out);
+}
+
+bool HasAnnotation(const obs::Span& span, const std::string& key,
+                   const std::string& value) {
+  for (const auto& [k, v] : span.annotations) {
+    if (k == key && v == value) return true;
+  }
+  return false;
+}
+
+TEST(ClusterServer, CoordinatorStitchesShardTracesIntoOneTree) {
+  auto shard_a = StartServer({});
+  auto shard_b = StartServer({});
+  std::vector<std::shared_ptr<net::ServiceBackend>> shards = {
+      std::make_shared<RemoteShard>("127.0.0.1", shard_a->port()),
+      std::make_shared<RemoteShard>("127.0.0.1", shard_b->port()),
+  };
+  net::ServerOptions coordinator_options;
+  coordinator_options.backend = std::make_shared<Coordinator>(
+      shards, std::vector<std::string>{"a", "b"}, CoordinatorOptions{});
+  auto coordinator = StartServer(std::move(coordinator_options));
+
+  net::ArspClient client = Connect(*coordinator);
+  LoadIip(client, "iip");
+
+  // An untraced query stays untraced: no id, no spans leak back.
+  auto untraced = client.Query(WireQuery("iip"));
+  ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+  EXPECT_EQ(untraced->trace_id, 0u);
+  EXPECT_TRUE(untraced->trace_spans.empty());
+
+  // A traced scatter query returns the coordinator's tree with one adopted
+  // engine_query subtree per shard, each labeled with its shard index. A
+  // fresh constraint spec keeps the shard result caches cold so every shard
+  // subtree records a real solve span, not just the cache probe.
+  net::QueryRequestWire traced = WireQuery("iip");
+  traced.constraint_spec = "wr:0.4,2.5";
+  traced.want_trace = true;
+  auto response = client.Query(traced);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->trace_id, 0u);
+  std::vector<obs::Span> spans;
+  ASSERT_TRUE(obs::DeserializeSpans(response->trace_spans, &spans));
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::Span& root = spans[0];
+  EXPECT_EQ(root.name, "coordinator_query");
+
+  std::vector<const obs::Span*> scatter;
+  FindSpans(root, "scatter", &scatter);
+  ASSERT_EQ(scatter.size(), 1u);
+
+  std::vector<const obs::Span*> shard_queries;
+  FindSpans(root, "engine_query", &shard_queries);
+  ASSERT_EQ(shard_queries.size(), 2u);
+  EXPECT_TRUE(HasAnnotation(*shard_queries[0], "shard", "0") ||
+              HasAnnotation(*shard_queries[1], "shard", "0"));
+  EXPECT_TRUE(HasAnnotation(*shard_queries[0], "shard", "1") ||
+              HasAnnotation(*shard_queries[1], "shard", "1"));
+  // Each shard subtree carries its daemon's solve span — the cross-process
+  // timeline the --trace flag renders.
+  for (const obs::Span* shard_query : shard_queries) {
+    std::vector<const obs::Span*> solves;
+    FindSpans(*shard_query, "solve", &solves);
+    EXPECT_EQ(solves.size(), 1u);
+    EXPECT_GE(shard_query->end_ns, shard_query->start_ns);
+  }
+
+  // The shards each retain their traced query for the TRACE verb, and the
+  // coordinator's trace id propagated into both shard-side traces.
+  for (auto* shard : {shard_a.get(), shard_b.get()}) {
+    net::ArspClient direct = Connect(*shard);
+    auto retained = direct.Trace();
+    ASSERT_TRUE(retained.ok()) << retained.status().ToString();
+    EXPECT_EQ(retained->trace_id, response->trace_id);
+    std::vector<obs::Span> shard_spans;
+    EXPECT_TRUE(obs::DeserializeSpans(retained->spans, &shard_spans));
+  }
+
+  // The rendered stitched tree is printable end to end.
+  const std::string text = obs::RenderSpanTree(root, response->trace_id);
+  EXPECT_NE(text.find("scatter"), std::string::npos);
+  EXPECT_NE(text.find("shard=1"), std::string::npos);
+
+  for (auto* server :
+       {coordinator.get(), shard_a.get(), shard_b.get()}) {
     server->Shutdown();
     server->Wait();
   }

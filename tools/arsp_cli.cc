@@ -24,6 +24,11 @@
 //            [--topk K] [--threshold P]   (derived-goal queries; pushed down
 //                                    into kCapGoalPushdown solvers)
 //            [--instances out_instances.csv] [--objects out_objects.csv]
+//            [--trace]              (print a per-query span timeline after
+//                                    the results; in remote mode the daemon
+//                                    returns its spans — behind a sharded
+//                                    coordinator the tree includes every
+//                                    shard's solve subtree)
 //            [--connect host:port]  (run every query against an arspd: the
 //                                    CSV ships inline, the daemon holds the
 //                                    dataset/indexes/cache, and all flags
@@ -66,6 +71,7 @@
 #include "src/io/csv.h"
 #include "src/io/snapshot.h"
 #include "src/net/client.h"
+#include "src/obs/trace.h"
 #include "src/simd/kernels.h"
 #include "tools/cli_args.h"
 
@@ -91,7 +97,7 @@ void PrintUsage() {
       "                [--batch specs.txt] [--repeat N] [--stats]\n"
       "                [--threads N]\n"
       "                [--subset m%%[,m%%...]] [--topk K] [--threshold P]\n"
-      "                [--instances out.csv] [--objects out.csv]\n"
+      "                [--instances out.csv] [--objects out.csv] [--trace]\n"
       "                [--connect host:port [--name NAME]]\n"
       "       arsp_cli --connect host:port --name NAME --constraints ...\n"
       "                (query a dataset already loaded on the daemon)\n"
@@ -426,9 +432,22 @@ int RunLocal(const CliArgs& args,
 
   // Solve — repeats re-issue the whole request list, so runs past the first
   // are served by the engine's result cache (visible via --stats).
+  // --trace gives every request its own Trace (a Trace is single-threaded,
+  // but SolveBatch drives each request on one thread, so one per request is
+  // safe under concurrency); rebuilt per round so the printed trees show
+  // the final round — with repeats, that is the cache-hit timeline.
   std::vector<StatusOr<QueryResponse>> outcomes;
+  std::vector<std::unique_ptr<obs::Trace>> traces;
   for (int round = 0; round < args.repeat; ++round) {
     if (args.repeat > 1) std::printf("-- run %d/%d\n", round + 1, args.repeat);
+    if (args.trace) {
+      traces.clear();
+      for (QueryRequest& request : requests) {
+        traces.push_back(std::make_unique<obs::Trace>(obs::Trace::NewTraceId(),
+                                                      "cli_query"));
+        request.trace = traces.back().get();
+      }
+    }
     outcomes = engine.SolveBatch(requests);  // size-1 batches run serially
     for (size_t i = 0; i < outcomes.size(); ++i) {
       const std::string label =
@@ -454,6 +473,16 @@ int RunLocal(const CliArgs& args,
     for (const auto& [object, prob] : resp.ranked) {
       std::printf("  %-20s %.4f\n", names[static_cast<size_t>(object)].c_str(),
                   prob);
+    }
+  }
+
+  if (args.trace) {
+    for (size_t i = 0; i < traces.size(); ++i) {
+      obs::Trace& trace = *traces[i];
+      trace.Annotate("constraints", spec_strings[i]);
+      trace.Finish();
+      std::printf("\n%s", obs::RenderSpanTree(trace.root(), trace.id()).c_str());
+      obs::MaybeWriteChromeTrace(trace.root(), trace.id());
     }
   }
 
@@ -495,7 +524,27 @@ net::QueryRequestWire MakeWireRequest(const CliArgs& args,
   request.allow_pushdown = !need_instances;
   request.include_instances = need_instances;
   request.parallelism = args.threads;
+  // trace_id stays 0: the daemon (or coordinator) mints one and returns it
+  // with the serialized spans.
+  request.want_trace = args.trace;
   return request;
+}
+
+// --trace output for a wire response: decode the daemon's serialized span
+// tree and print the same timeline local mode renders. Behind a sharded
+// coordinator the tree carries one shard=N subtree per scattered solve.
+void PrintWireTrace(const net::QueryResponseWire& resp) {
+  if (resp.trace_spans.empty()) {
+    std::fprintf(stderr, "daemon returned no trace spans\n");
+    return;
+  }
+  std::vector<obs::Span> spans;
+  if (!obs::DeserializeSpans(resp.trace_spans, &spans) || spans.empty()) {
+    std::fprintf(stderr, "daemon returned an undecodable trace\n");
+    return;
+  }
+  std::printf("\n%s", obs::RenderSpanTree(spans[0], resp.trace_id).c_str());
+  obs::MaybeWriteChromeTrace(spans[0], resp.trace_id);
 }
 
 void PrintRankedEntries(const std::vector<net::RankedEntry>& ranked,
@@ -677,17 +726,23 @@ int RunRemote(const CliArgs& args,
     PrintRankedEntries(outcomes[i].ranked, names);
   }
 
+  if (args.trace) {
+    for (const net::QueryResponseWire& resp : outcomes) PrintWireTrace(resp);
+  }
+
   if (args.stats) {
     auto stats = client->Stats();
     if (stats.ok()) {
       std::printf("daemon: latency requests=%lld window=%lld min_ms=%g "
-                  "mean_ms=%g p50_ms=%g p95_ms=%g cache_hits=%lld "
+                  "mean_ms=%g p50_ms=%g p95_ms=%g p99_ms=%g p999_ms=%g "
+                  "cache_hits=%lld "
                   "cache_misses=%lld entries=%llu pooled_contexts=%llu "
                   "kernel=%s threads=%lld\n",
                   static_cast<long long>(stats->latency_count),
                   static_cast<long long>(stats->latency_window),
                   stats->latency_min_ms, stats->latency_mean_ms,
                   stats->latency_p50_ms, stats->latency_p95_ms,
+                  stats->latency_p99_ms, stats->latency_p999_ms,
                   static_cast<long long>(stats->cache_hits),
                   static_cast<long long>(stats->cache_misses),
                   static_cast<unsigned long long>(stats->cache_entries),

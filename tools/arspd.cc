@@ -40,6 +40,7 @@
 #include "src/cluster/remote_shard.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/metrics_http.h"
 #include "tools/cli_args.h"
 
 namespace {
@@ -64,13 +65,18 @@ void PrintUsage() {
       "             [--load name=csv:PATH[:header]] [--load name=gen:SPEC]\n"
       "             [--shards H:P[,H:P...]] [--replication N]\n"
       "             [--client-qps F] [--client-burst F] [--max-pending N]\n"
+      "             [--metrics-port P] [--slow-query-ms N]\n"
       "defaults: --host 127.0.0.1 --port 7439; --port 0 picks an ephemeral\n"
       "port. --load preloads a dataset at startup (repeatable); gen specs\n"
       "are GenerateFromSpec syntax, e.g. gen:iip:n=500,seed=1\n"
       "--shards serves a scatter-gather coordinator over the listed arspd\n"
       "peers instead of an embedded engine (--load is engine-mode only);\n"
       "--client-qps/--client-burst/--max-pending bound admission, over-\n"
-      "budget queries get a typed RETRY_LATER reply\n");
+      "budget queries get a typed RETRY_LATER reply\n"
+      "--metrics-port serves GET /metrics (Prometheus text) on a second\n"
+      "port (0 = ephemeral, printed at startup); --slow-query-ms logs one\n"
+      "line per query slower than N ms with its trace id and phase "
+      "breakdown\n");
 }
 
 struct PreloadSpec {
@@ -115,6 +121,7 @@ int main(int argc, char** argv) {
   cluster::CoordinatorOptions coordinator_options;
   cluster::AdmissionOptions admission;
   bool want_admission = false;
+  int metrics_port = -1;  // -1 = no scrape endpoint
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -234,6 +241,22 @@ int main(int argc, char** argv) {
         return PrintUsage(), 2;
       }
       want_admission = true;
+    } else if (flag == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &metrics_port) ||
+          metrics_port < 0 || metrics_port > 65535) {
+        std::fprintf(stderr, "bad --metrics-port '%s'\n", v);
+        return PrintUsage(), 2;
+      }
+    } else if (flag == "--slow-query-ms") {
+      const char* v = next();
+      if (v == nullptr) return PrintUsage(), 2;
+      if (!cli::internal::ParseIntStrict(v, &options.slow_query_ms) ||
+          options.slow_query_ms < 0) {
+        std::fprintf(stderr, "bad --slow-query-ms '%s'\n", v);
+        return PrintUsage(), 2;
+      }
     } else if (flag == "--load") {
       const char* v = next();
       if (v == nullptr) return PrintUsage(), 2;
@@ -326,6 +349,21 @@ int main(int argc, char** argv) {
   if (!shard_addrs.empty()) {
     std::printf("arspd coordinating %zu shards (replication %d)\n",
                 shard_addrs.size(), coordinator_options.plan.replication);
+  }
+  // The scrape endpoint binds the same host stance as the wire port.
+  obs::MetricsHttpServer metrics_server;
+  if (metrics_port >= 0) {
+    const Status metrics_started =
+        metrics_server.Start(options.host, metrics_port);
+    if (!metrics_started.ok()) {
+      std::fprintf(stderr, "arspd: %s\n",
+                   metrics_started.ToString().c_str());
+      server.Shutdown();
+      server.Wait();
+      return 1;
+    }
+    std::printf("arspd metrics on %s:%d\n", options.host.c_str(),
+                metrics_server.port());
   }
   std::printf("arspd listening on %s:%d\n", options.host.c_str(),
               server.port());

@@ -47,6 +47,11 @@ struct CliArgs {
   std::string remote_name;
   bool ping = false;      ///< --ping: liveness probe, needs --connect
   bool shutdown = false;  ///< --shutdown: drain the daemon, needs --connect
+  /// --trace: capture a per-query span tree and print it after results.
+  /// Local mode attaches an obs::Trace to each solve; remote mode sets
+  /// want_trace on the wire so the daemon (and, behind a coordinator, every
+  /// shard) returns its serialized spans.
+  bool trace = false;
 };
 
 namespace internal {
@@ -110,6 +115,8 @@ inline bool ParseCliArgs(int argc, char** argv, CliArgs* args,
       args->header = true;
     } else if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--trace") {
+      args->trace = true;
     } else if (flag == "--ping") {
       args->ping = true;
     } else if (flag == "--shutdown") {
